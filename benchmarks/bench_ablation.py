@@ -1,0 +1,90 @@
+"""Experiment ABL-BV (ablation): which bitvector inside the static Wavelet Trie?
+
+The paper's static construction uses RRR node bitvectors; practical succinct
+libraries often prefer plain or RLE bitvectors depending on the workload.  The
+ablation builds the same static Wavelet Trie with each of the three encodings
+and measures construction time, a query batch and the resulting space, on a
+skewed URL log (run-friendly) and a balanced column (incompressible-ish).
+
+A second ablation varies the append-only bitvector block size ``L`` -- the
+knob of Theorem 4.5's construction.
+"""
+
+import pytest
+
+from repro.core.append_only import AppendOnlyWaveletTrie
+from repro.core.static import WaveletTrie
+
+from benchmarks.conftest import make_column, make_query_batch, make_url_log
+
+N = 3000
+
+WORKLOADS = {
+    "urls": lambda: make_url_log(N),
+    "column": lambda: make_column(N),
+}
+
+
+@pytest.mark.parametrize("kind", ["rrr", "plain", "rle"])
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_static_trie_bitvector_choice_construction(benchmark, kind, workload):
+    values = WORKLOADS[workload]()
+
+    trie = benchmark.pedantic(
+        WaveletTrie, args=(values,), kwargs={"bitvector": kind}, rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        {
+            "experiment": "ABL-BV/construction",
+            "workload": workload,
+            "bitvector": kind,
+            "bitvector_bits": trie.bitvector_bits(),
+            "total_bits": trie.size_in_bits(),
+        }
+    )
+    assert len(trie) == N
+
+
+@pytest.mark.parametrize("kind", ["rrr", "plain", "rle"])
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_static_trie_bitvector_choice_queries(benchmark, kind, workload):
+    values = WORKLOADS[workload]()
+    trie = WaveletTrie(values, bitvector=kind)
+    batch = make_query_batch(values, 40)
+
+    def run():
+        total = 0
+        for value, position, prefix in batch:
+            total += trie.rank(value, position)
+            total += trie.rank_prefix(prefix, position)
+            total += len(trie.access(position % N))
+        return total
+
+    benchmark.extra_info.update(
+        {
+            "experiment": "ABL-BV/query",
+            "workload": workload,
+            "bitvector": kind,
+            "bitvector_bits": trie.bitvector_bits(),
+        }
+    )
+    assert benchmark(run) > 0
+
+
+@pytest.mark.parametrize("block_size", [256, 1024, 4096])
+def test_append_only_block_size(benchmark, block_size):
+    """ABL-L: the tail-block size of the append-only bitvectors (Theorem 4.5's L)."""
+    values = make_url_log(N)
+
+    def build():
+        return AppendOnlyWaveletTrie(values, block_size=block_size)
+
+    trie = benchmark.pedantic(build, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "experiment": "ABL-L/append-only-block",
+            "block_size": block_size,
+            "bitvector_bits": trie.bitvector_bits(),
+        }
+    )
+    assert len(trie) == N

@@ -1,0 +1,137 @@
+"""Experiment RW-BASE (Section 1 / Related Work comparison).
+
+The Wavelet Trie against the three traditional representations of an indexed
+string sequence:
+
+1. alphabet mapping + integer Wavelet Tree (``DictWaveletSequence``),
+2. concatenation + character-level compression (``TextCollectionSequence``),
+3. B-tree over ``(s, i)`` pairs plus an explicit copy (``BTreeSequenceIndex``),
+
+plus the uncompressed list as a reference point.  Each benchmark runs the same
+query batch on one implementation; ``extra_info`` records measured space and
+which operations the implementation supports, which is the qualitative half of
+the comparison (dynamic alphabet, SelectPrefix).
+"""
+
+import pytest
+
+from repro.baselines import (
+    BTreeSequenceIndex,
+    DictWaveletSequence,
+    NaiveIndexedSequence,
+    TextCollectionSequence,
+)
+from repro.core.append_only import AppendOnlyWaveletTrie
+from repro.core.static import WaveletTrie
+from repro.exceptions import InvalidOperationError
+
+from benchmarks.conftest import make_query_batch, make_url_log
+
+N = 3000
+
+IMPLEMENTATIONS = {
+    "wavelet-trie-static": WaveletTrie,
+    "wavelet-trie-append": AppendOnlyWaveletTrie,
+    "dict-wavelet-tree": DictWaveletSequence,
+    "btree-index": BTreeSequenceIndex,
+    "text-collection": TextCollectionSequence,
+    "naive-list": NaiveIndexedSequence,
+}
+
+
+@pytest.fixture(scope="module")
+def values():
+    return make_url_log(N)
+
+
+@pytest.fixture(scope="module")
+def built(values):
+    return {name: factory(values) for name, factory in IMPLEMENTATIONS.items()}
+
+
+@pytest.mark.parametrize("name", sorted(IMPLEMENTATIONS))
+def test_point_queries(benchmark, built, values, name):
+    """Access + Rank + Select batch (the operations everyone supports)."""
+    implementation = built[name]
+    batch = make_query_batch(values, 30)
+
+    def run():
+        total = 0
+        for value, position, _ in batch:
+            total += len(implementation.access(position % N))
+            total += implementation.rank(value, position)
+            total += implementation.select(value, 0)
+        return total
+
+    benchmark.extra_info.update(
+        {
+            "experiment": "RW-BASE/point",
+            "implementation": name,
+            "n": N,
+            "size_bits": implementation.size_in_bits(),
+        }
+    )
+    assert benchmark(run) > 0
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["wavelet-trie-static", "wavelet-trie-append", "dict-wavelet-tree", "btree-index", "naive-list"],
+)
+def test_prefix_rank(benchmark, built, values, name):
+    """RankPrefix batch (the text-collection baseline is skipped: too slow by design)."""
+    implementation = built[name]
+    batch = make_query_batch(values, 30)
+
+    def run():
+        total = 0
+        for _, position, prefix in batch:
+            total += implementation.rank_prefix(prefix, position)
+        return total
+
+    benchmark.extra_info.update({"experiment": "RW-BASE/rank-prefix", "implementation": name})
+    assert benchmark(run) >= 0
+
+
+@pytest.mark.parametrize("name", ["wavelet-trie-static", "wavelet-trie-append", "btree-index", "naive-list"])
+def test_prefix_select(benchmark, built, values, name):
+    """SelectPrefix batch -- note the dict-wavelet baseline cannot run this at all."""
+    implementation = built[name]
+    batch = make_query_batch(values, 20)
+
+    def run():
+        total = 0
+        for _, _, prefix in batch:
+            count = implementation.rank_prefix(prefix, N)
+            if count:
+                total += implementation.select_prefix(prefix, count - 1)
+        return total
+
+    benchmark.extra_info.update({"experiment": "RW-BASE/select-prefix", "implementation": name})
+    assert benchmark(run) >= 0
+
+
+def test_dict_wavelet_cannot_select_prefix_or_grow(built):
+    """The qualitative columns of the comparison (not a timing benchmark)."""
+    baseline = built["dict-wavelet-tree"]
+    with pytest.raises(InvalidOperationError):
+        baseline.select_prefix("http://", 0)
+    with pytest.raises(InvalidOperationError):
+        baseline.append("http://brand-new.example/")
+
+
+@pytest.mark.parametrize("name", ["wavelet-trie-append", "btree-index", "naive-list"])
+def test_append_throughput(benchmark, values, name):
+    """Appends of (partly unseen) values for the implementations that allow it."""
+    factory = IMPLEMENTATIONS[name]
+    implementation = factory(values)
+    extra = make_url_log(200, seed=777)
+    payload = [f"{value}/tail" for value in extra]
+
+    def run():
+        for value in payload[:100]:
+            implementation.append(value)
+
+    benchmark.extra_info.update({"experiment": "RW-BASE/append", "implementation": name})
+    benchmark(run)
+    assert len(implementation) > N

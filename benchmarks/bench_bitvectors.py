@@ -1,0 +1,198 @@
+"""Experiments T4.5-BV and T4.9-BV (Theorems 4.5 and 4.9: the bitvectors).
+
+* Theorem 4.5 -- the append-only bitvector supports Access/Rank/Select/Append
+  in O(1) with ``nH0 + o(n)`` bits;
+* Theorem 4.9 -- the dynamic RLE+gamma bitvector supports all operations plus
+  ``Init`` in ``O(log n)`` with ``O(nH0)`` bits.
+
+Benchmarks measure append throughput, query latency and the cost of ``Init``
+on both, for a Bernoulli(0.1) stream and a bursty stream, and attach the
+measured space against ``nH0``.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.entropy import binary_entropy
+from repro.bitvector import (
+    AppendOnlyBitVector,
+    DynamicBitVector,
+    PlainBitVector,
+    RLEBitVector,
+    RRRBitVector,
+)
+
+N = 20_000
+
+
+def bernoulli_bits(p: float, n: int = N, seed: int = 1) -> list:
+    rng = random.Random(seed)
+    return [1 if rng.random() < p else 0 for _ in range(n)]
+
+
+def bursty_bits(n: int = N, seed: int = 2) -> list:
+    rng = random.Random(seed)
+    bits, bit = [], 0
+    while len(bits) < n:
+        bits.extend([bit] * rng.randint(1, 60))
+        bit ^= 1
+    return bits[:n]
+
+
+STREAMS = {
+    "bernoulli-0.1": lambda: bernoulli_bits(0.1),
+    "bursty": lambda: bursty_bits(),
+}
+
+
+@pytest.mark.parametrize("stream", sorted(STREAMS))
+def test_append_only_bitvector_appends(benchmark, stream):
+    """T4.5-BV: append throughput of the Section 4.1 bitvector."""
+    bits = STREAMS[stream]()
+
+    def build():
+        vector = AppendOnlyBitVector(block_size=1024)
+        for bit in bits:
+            vector.append(bit)
+        return vector
+
+    vector = benchmark.pedantic(build, rounds=1, iterations=1)
+    ones = sum(bits)
+    entropy = N * binary_entropy(ones / N)
+    benchmark.extra_info.update(
+        {
+            "experiment": "T4.5-BV/append",
+            "stream": stream,
+            "n": N,
+            "nH0_bits": round(entropy),
+            "payload_bits": vector.payload_bits(),
+            "total_bits": vector.size_in_bits(),
+        }
+    )
+    assert len(vector) == N
+
+
+@pytest.mark.parametrize("stream", sorted(STREAMS))
+def test_dynamic_bitvector_appends(benchmark, stream):
+    """T4.9-BV: append throughput of the Section 4.2 RLE+gamma bitvector."""
+    bits = STREAMS[stream]()
+
+    def build():
+        vector = DynamicBitVector()
+        for bit in bits:
+            vector.append(bit)
+        return vector
+
+    vector = benchmark.pedantic(build, rounds=1, iterations=1)
+    ones = sum(bits)
+    entropy = N * binary_entropy(ones / N)
+    benchmark.extra_info.update(
+        {
+            "experiment": "T4.9-BV/append",
+            "stream": stream,
+            "n": N,
+            "nH0_bits": round(entropy),
+            "runs": vector.run_count,
+            "payload_bits": vector.size_in_bits(),
+        }
+    )
+    assert len(vector) == N
+
+
+@pytest.mark.parametrize("stream", sorted(STREAMS))
+def test_append_only_bitvector_queries(benchmark, stream):
+    bits = STREAMS[stream]()
+    vector = AppendOnlyBitVector(bits, block_size=1024)
+    rng = random.Random(3)
+    positions = [rng.randint(0, N) for _ in range(500)]
+    ones = vector.ones
+
+    def run():
+        total = 0
+        for pos in positions:
+            total += vector.rank(1, pos)
+        for idx in range(0, ones, max(1, ones // 200)):
+            total += vector.select(1, idx)
+        return total
+
+    benchmark.extra_info.update({"experiment": "T4.5-BV/query", "stream": stream})
+    assert benchmark(run) > 0
+
+
+@pytest.mark.parametrize("stream", sorted(STREAMS))
+def test_dynamic_bitvector_mixed_updates(benchmark, stream):
+    """T4.9-BV: random insert/delete/rank mix (the dynamic Wavelet Trie's diet)."""
+    bits = STREAMS[stream]()
+    vector = DynamicBitVector(bits)
+    rng = random.Random(4)
+
+    def run():
+        for _ in range(300):
+            action = rng.random()
+            if action < 0.4:
+                vector.insert(rng.randint(0, len(vector)), rng.randint(0, 1))
+            elif action < 0.8:
+                vector.delete(rng.randrange(len(vector)))
+            else:
+                vector.rank(1, rng.randint(0, len(vector)))
+
+    benchmark.extra_info.update({"experiment": "T4.9-BV/updates", "stream": stream})
+    benchmark(run)
+    assert len(vector) > 0
+
+
+def test_dynamic_bitvector_init(benchmark):
+    """T4.9-BV: Init(b, n) must not depend on n (Remark 4.2)."""
+
+    def run():
+        total = 0
+        for exponent in (10, 20, 30, 40):
+            vector = DynamicBitVector.init_run(1, 1 << exponent)
+            total += vector.rank(1, 1 << (exponent - 1))
+        return total
+
+    benchmark.extra_info["experiment"] = "T4.9-BV/init"
+    assert benchmark(run) > 0
+
+
+def test_append_only_bitvector_init(benchmark):
+    """Theorem 4.3's Init-as-offset on the append-only bitvector."""
+
+    def run():
+        total = 0
+        for exponent in (10, 20, 30, 40):
+            vector = AppendOnlyBitVector.init_run(0, 1 << exponent)
+            vector.append(1)
+            total += vector.select(1, 0)
+        return total
+
+    benchmark.extra_info["experiment"] = "T4.5-BV/init"
+    assert benchmark(run) > 0
+
+
+@pytest.mark.parametrize("kind", ["plain", "rrr", "rle"])
+@pytest.mark.parametrize("stream", sorted(STREAMS))
+def test_static_bitvector_rank(benchmark, kind, stream):
+    """Reference points for the static encodings used inside the tries."""
+    bits = STREAMS[stream]()
+    factory = {"plain": PlainBitVector, "rrr": RRRBitVector, "rle": RLEBitVector}[kind]
+    vector = factory(bits)
+    rng = random.Random(5)
+    positions = [rng.randint(0, N) for _ in range(1000)]
+
+    def run():
+        total = 0
+        for pos in positions:
+            total += vector.rank(1, pos)
+        return total
+
+    benchmark.extra_info.update(
+        {
+            "experiment": "BV-STATIC/rank",
+            "kind": kind,
+            "stream": stream,
+            "size_bits": vector.size_in_bits(),
+        }
+    )
+    assert benchmark(run) > 0

@@ -1,0 +1,61 @@
+"""Experiments FIG1 / FIG2 (the paper's worked examples).
+
+Figure 1 -- the Wavelet Tree of ``abracadabra`` over ``{a, b, c, d, r}``.
+Figure 2 -- the Wavelet Trie of ``<0001, 0011, 0100, 00100, 0100, 00100, 0100>``.
+
+Correctness of the exact node labels/bitvectors is asserted in the unit tests
+(tests/wavelet/test_wavelet_tree.py, tests/core/test_figure2.py); here the
+examples are used as micro-benchmarks of construction plus a full query sweep,
+so regressions in the small-input code paths are caught.
+"""
+
+import pytest
+
+from repro.bits.bitstring import Bits
+from repro.core.static import WaveletTrie
+from repro.wavelet import WaveletTree
+
+FIGURE1_TEXT = "abracadabra"
+FIGURE1_SYMBOLS = {"a": 0, "b": 1, "c": 2, "d": 3, "r": 4}
+FIGURE2_SEQUENCE = ["0001", "0011", "0100", "00100", "0100", "00100", "0100"]
+
+
+def figure1_roundtrip():
+    data = [FIGURE1_SYMBOLS[c] for c in FIGURE1_TEXT]
+    tree = WaveletTree(data, alphabet_size=5)
+    total = 0
+    for position in range(len(data)):
+        total += tree.access(position)
+    for symbol in range(5):
+        total += tree.rank(symbol, len(data))
+        if tree.count(symbol):
+            total += tree.select(symbol, tree.count(symbol) - 1)
+    return total
+
+
+def figure2_roundtrip():
+    encoded = [Bits.from_string(s) for s in FIGURE2_SEQUENCE]
+    trie = WaveletTrie.from_bits_sequence(encoded)
+    total = 0
+    for position in range(len(encoded)):
+        total += len(trie.access_bits(position))
+    for value in set(FIGURE2_SEQUENCE):
+        bits = Bits.from_string(value)
+        total += trie.rank_bits(bits, len(encoded))
+        total += trie.select_bits(bits, 0)
+    total += trie.rank_prefix_bits(Bits.from_string("01"), len(encoded))
+    return total
+
+
+def test_figure1_wavelet_tree(benchmark):
+    """FIG1: build + full query sweep of the abracadabra Wavelet Tree."""
+    benchmark.extra_info["experiment"] = "FIG1"
+    result = benchmark(figure1_roundtrip)
+    assert result > 0
+
+
+def test_figure2_wavelet_trie(benchmark):
+    """FIG2: build + full query sweep of the Figure 2 Wavelet Trie."""
+    benchmark.extra_info["experiment"] = "FIG2"
+    result = benchmark(figure2_roundtrip)
+    assert result > 0

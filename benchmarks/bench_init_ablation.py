@@ -1,0 +1,41 @@
+"""Experiment ABL-INIT (Remark 4.2): why the dynamic bitvector must be RLE.
+
+The paper's Section 4.2 argues that gap-encoded dynamic bitvectors (the prior
+state of the art) cannot support ``Init(b, n)`` -- creating a constant
+bitvector of arbitrary length -- in sub-linear time, because their encoding
+size is proportional to the number of 1s.  The RLE+gamma bitvector fixes this
+with a single run node.
+
+The benchmarks time ``Init(1, n)`` on both encodings for growing ``n``; the
+RLE version must stay flat while the gap version grows linearly.
+"""
+
+import pytest
+
+from repro.bitvector import DynamicBitVector, GapEncodedBitVector
+
+SIZES = [1_000, 4_000, 16_000]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_init_rle_bitvector(benchmark, n):
+    """Init(1, n) on the Section 4.2 RLE+gamma bitvector: O(1) nodes."""
+
+    def run():
+        vector = DynamicBitVector.init_run(1, n)
+        return vector.rank(1, n // 2)
+
+    benchmark.extra_info.update({"experiment": "ABL-INIT/rle", "n": n})
+    assert benchmark(run) == n // 2
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_init_gap_bitvector(benchmark, n):
+    """Init(1, n) on the gap-encoded baseline: one code per 1 bit (linear)."""
+
+    def run():
+        vector = GapEncodedBitVector.init_run(1, n)
+        return vector.rank(1, n // 2)
+
+    benchmark.extra_info.update({"experiment": "ABL-INIT/gap", "n": n})
+    assert benchmark(run) == n // 2

@@ -1,0 +1,100 @@
+"""Experiment S5-RANGE (paper Section 5: range analytics).
+
+Claims under test:
+
+* sequential range access via per-node iterators costs one rank per traversed
+  node (instead of one rank per element), so it beats pos-by-pos Access;
+* distinct-values-in-range touches only the branches that occur in the range;
+* range majority and the frequent-elements heuristic prune aggressively.
+
+Benchmarks run the Section 5 algorithms on a pre-built append-only trie over
+a 4000-entry URL log and, for contrast, the same analytics computed naively by
+scanning the decoded range.
+"""
+
+import pytest
+
+from repro.baselines import NaiveIndexedSequence
+from repro.core.append_only import AppendOnlyWaveletTrie
+
+from benchmarks.conftest import make_url_log
+
+N = 4000
+WINDOW = (1000, 3000)
+
+
+@pytest.fixture(scope="module")
+def log_values():
+    return make_url_log(N)
+
+
+@pytest.fixture(scope="module")
+def trie(log_values):
+    return AppendOnlyWaveletTrie(log_values)
+
+
+@pytest.fixture(scope="module")
+def naive(log_values):
+    return NaiveIndexedSequence(log_values)
+
+
+def test_sequential_range_iteration(benchmark, trie):
+    """S5-RANGE: enumerate 2000 consecutive elements with node iterators."""
+    benchmark.extra_info.update({"experiment": "S5-RANGE/iter", "window": WINDOW})
+    result = benchmark(lambda: sum(len(v) for v in trie.iter_range(*WINDOW)))
+    assert result > 0
+
+
+def test_sequential_range_via_repeated_access(benchmark, trie):
+    """Baseline for the iterator: the same range decoded with one Access per position."""
+    benchmark.extra_info.update({"experiment": "S5-RANGE/access-loop", "window": WINDOW})
+
+    def run():
+        return sum(len(trie.access(pos)) for pos in range(*WINDOW))
+
+    assert benchmark(run) > 0
+
+
+def test_distinct_values_in_range(benchmark, trie):
+    benchmark.extra_info["experiment"] = "S5-RANGE/distinct"
+    result = benchmark(lambda: trie.distinct_in_range(*WINDOW))
+    assert len(result) > 0
+
+
+def test_distinct_values_under_prefix(benchmark, trie, log_values):
+    domain = log_values[0].split("/")[2]
+    prefix = f"http://{domain}/"
+    benchmark.extra_info.update({"experiment": "S5-RANGE/distinct-prefix", "prefix": prefix})
+    result = benchmark(lambda: trie.distinct_in_range(*WINDOW, prefix=prefix))
+    assert isinstance(result, list)
+
+
+def test_range_majority(benchmark, trie):
+    benchmark.extra_info["experiment"] = "S5-RANGE/majority"
+    benchmark(lambda: trie.range_majority(*WINDOW))
+
+
+def test_frequent_elements(benchmark, trie):
+    threshold = (WINDOW[1] - WINDOW[0]) // 50
+    benchmark.extra_info.update({"experiment": "S5-RANGE/frequent", "threshold": threshold})
+    result = benchmark(lambda: trie.frequent_in_range(*WINDOW, threshold))
+    assert all(count >= threshold for _, count in result)
+
+
+def test_top_k(benchmark, trie):
+    benchmark.extra_info["experiment"] = "S5-RANGE/top-k"
+    result = benchmark(lambda: trie.top_k_in_range(*WINDOW, 10))
+    assert len(result) == 10
+
+
+def test_naive_distinct_for_contrast(benchmark, naive):
+    """The scan-based version of the distinct-in-range analytic."""
+    benchmark.extra_info["experiment"] = "S5-RANGE/distinct-naive"
+    result = benchmark(lambda: naive.distinct_in_range(*WINDOW))
+    assert len(result) > 0
+
+
+def test_naive_top_k_for_contrast(benchmark, naive):
+    benchmark.extra_info["experiment"] = "S5-RANGE/top-k-naive"
+    result = benchmark(lambda: naive.top_k_in_range(*WINDOW, 10))
+    assert len(result) == 10

@@ -1,0 +1,134 @@
+"""Experiment S6-BALANCED (paper Section 6, Theorem 6.2).
+
+Claim under test: hashing values with a random odd multiplier and storing the
+hashes LSB-first keeps the dynamic Wavelet Trie balanced around
+``(alpha + 2) log2 |Sigma|`` with high probability, even when the universe is
+``2^64`` and the alphabet is *pathological* -- whereas the unhashed binary
+encoding degenerates towards a height proportional to ``|Sigma|`` on such
+alphabets (a caterpillar of powers of two: every value branches off the
+all-zeros spine at a different depth, so path compression cannot help).  The
+benchmarks measure append and query throughput for both and attach the
+observed heights.
+"""
+
+import random
+
+import pytest
+
+from repro.core.dynamic import DynamicWaveletTrie
+from repro.tries.binarize import FixedWidthIntCodec
+from repro.wavelet import BalancedDynamicWaveletTree
+from repro.workloads import IntegerSequenceGenerator
+
+UNIVERSE = 2 ** 64
+N = 2000
+ALPHABET = 128
+PATHOLOGICAL_ALPHABET = 60  # powers of two 2^0 .. 2^59
+
+
+@pytest.fixture(scope="module")
+def integer_values():
+    generator = IntegerSequenceGenerator(
+        universe=UNIVERSE, alphabet_size=ALPHABET, clustered=True, seed=42
+    )
+    return generator.generate(N)
+
+
+@pytest.fixture(scope="module")
+def pathological_values():
+    """A caterpillar alphabet: {2^k}, the worst case for the unhashed trie."""
+    rng = random.Random(4242)
+    alphabet = [1 << k for k in range(PATHOLOGICAL_ALPHABET)]
+    return [rng.choice(alphabet) for _ in range(N)]
+
+
+def _raw_height(trie: DynamicWaveletTrie) -> int:
+    best = 0
+    stack = [(trie.root, 0)]
+    while stack:
+        node, depth = stack.pop()
+        if node is None:
+            continue
+        if node.is_leaf:
+            best = max(best, depth)
+            continue
+        stack.append((node.children[0], depth + 1))
+        stack.append((node.children[1], depth + 1))
+    return best
+
+
+def test_append_hashed_balanced(benchmark, pathological_values):
+    """S6-BALANCED: appends of a pathological alphabet into the hashed (balanced) tree."""
+
+    def build():
+        return BalancedDynamicWaveletTree(universe=UNIVERSE, values=pathological_values, seed=7)
+
+    tree = benchmark.pedantic(build, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "experiment": "S6-BALANCED/hashed",
+            "n": N,
+            "distinct": tree.distinct_count(),
+            "max_height": tree.max_height(),
+            "avg_height": round(tree.average_height(), 2),
+            "theorem_bound_alpha1": round(tree.theoretical_height_bound(1.0), 1),
+            "log2_universe": 64,
+        }
+    )
+    assert tree.max_height() <= tree.theoretical_height_bound(alpha=2.0)
+
+
+def test_append_raw_unbalanced(benchmark, pathological_values):
+    """The contrast: raw fixed-width encoding of the same pathological alphabet."""
+
+    def build():
+        trie = DynamicWaveletTrie(codec=FixedWidthIntCodec(64))
+        for value in pathological_values:
+            trie.append(value)
+        return trie
+
+    trie = benchmark.pedantic(build, rounds=1, iterations=1)
+    height = _raw_height(trie)
+    benchmark.extra_info.update(
+        {
+            "experiment": "S6-BALANCED/raw",
+            "n": N,
+            "distinct": trie.distinct_count(),
+            "max_height": height,
+            "avg_height": round(trie.average_height(), 2),
+        }
+    )
+    # Every power of two branches off the all-zeros spine at its own depth, so
+    # the unhashed trie degenerates to a height ~ |Sigma| (vs ~ log2 |Sigma|
+    # for the hashed tree above).
+    assert height >= trie.distinct_count() - 1
+
+
+def test_query_hashed(benchmark, integer_values):
+    tree = BalancedDynamicWaveletTree(universe=UNIVERSE, values=integer_values, seed=7)
+    probes = integer_values[:100]
+
+    def run():
+        total = 0
+        for value in probes:
+            total += tree.rank(value, N)
+        return total
+
+    benchmark.extra_info["experiment"] = "S6-BALANCED/query-hashed"
+    assert benchmark(run) > 0
+
+
+def test_query_raw(benchmark, integer_values):
+    trie = DynamicWaveletTrie(codec=FixedWidthIntCodec(64))
+    for value in integer_values:
+        trie.append(value)
+    probes = integer_values[:100]
+
+    def run():
+        total = 0
+        for value in probes:
+            total += trie.rank(value, N)
+        return total
+
+    benchmark.extra_info["experiment"] = "S6-BALANCED/query-raw"
+    assert benchmark(run) > 0

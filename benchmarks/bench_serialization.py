@@ -1,0 +1,69 @@
+"""Experiment STORAGE: on-disk size and (de)serialisation speed of the index.
+
+Not a paper table -- the paper has no persistence section -- but the storage
+layer is part of the engineered system, so its costs are tracked here: how
+long dumping/loading a compressed index takes compared to rebuilding it from
+the raw values, and how the on-disk size compares to the raw text and to the
+measured in-memory size.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_url_log
+from repro.core.append_only import AppendOnlyWaveletTrie
+from repro.core.static import WaveletTrie
+from repro.storage import dumps, loads
+
+N = 4000
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_url_log(N)
+
+
+@pytest.fixture(scope="module")
+def static_trie(workload):
+    return WaveletTrie(workload)
+
+
+@pytest.fixture(scope="module")
+def serialized(static_trie):
+    return dumps(static_trie)
+
+
+def test_serialize_static(benchmark, static_trie, workload):
+    """dumps() of a static trie vs. the raw text size."""
+    raw_bytes = sum(len(value.encode()) + 1 for value in workload)
+    data = benchmark(dumps, static_trie)
+    benchmark.extra_info["experiment"] = "STORAGE-dump"
+    benchmark.extra_info["n"] = N
+    benchmark.extra_info["raw_bytes"] = raw_bytes
+    benchmark.extra_info["stored_bytes"] = len(data)
+    benchmark.extra_info["ratio_vs_raw"] = round(len(data) / raw_bytes, 3)
+    assert len(data) < raw_bytes
+
+
+def test_deserialize_static(benchmark, serialized, workload):
+    """loads() must be much cheaper than rebuilding the trie from raw values."""
+    benchmark.extra_info["experiment"] = "STORAGE-load"
+    benchmark.extra_info["n"] = N
+    restored = benchmark(loads, serialized)
+    assert len(restored) == len(workload)
+
+
+def test_rebuild_from_raw(benchmark, workload):
+    """Baseline for STORAGE-load: building the static trie from the value list."""
+    benchmark.extra_info["experiment"] = "STORAGE-rebuild-baseline"
+    benchmark.extra_info["n"] = N
+    trie = benchmark(WaveletTrie, workload)
+    assert len(trie) == N
+
+
+def test_serialize_append_only(benchmark, workload):
+    """dumps() of the append-only variant (RLE payloads of its node bitvectors)."""
+    trie = AppendOnlyWaveletTrie(workload)
+    benchmark.extra_info["experiment"] = "STORAGE-dump-append-only"
+    benchmark.extra_info["n"] = N
+    data = benchmark(dumps, trie)
+    assert loads(data).access(0) == workload[0]

@@ -1,0 +1,72 @@
+"""Experiments T1-Q-static / T1-Q-append / T1-Q-dyn (paper Table 1, Query column).
+
+Claim under test: Access, Rank, Select, RankPrefix and SelectPrefix cost
+``O(|s| + h_s)`` on the static and append-only Wavelet Tries -- i.e. the
+per-query time is *independent of n* -- and ``O(|s| + h_s log n)`` on the
+fully dynamic variant, i.e. it grows slowly (logarithmically) with n.
+
+Each benchmark executes a fixed batch of 50 queries of each kind against a
+pre-built trie of n elements; compare the per-batch times across the n sweep
+(500 / 2000 / 8000) to see the shape.
+"""
+
+import pytest
+
+from benchmarks.conftest import SIZES, make_query_batch
+
+QUERIES_PER_KIND = 50
+
+
+def run_query_batch(trie, batch):
+    """The measured unit: 50 queries of each of the five primitives."""
+    total = 0
+    size = len(trie)
+    for value, position, prefix in batch:
+        total += trie.rank(value, position)
+        total += trie.rank_prefix(prefix, position)
+        occurrences = trie.count(value)
+        if occurrences:
+            total += trie.select(value, occurrences - 1)
+        with_prefix = trie.count_prefix(prefix)
+        if with_prefix:
+            total += trie.select_prefix(prefix, with_prefix - 1)
+        total += len(trie.access(position % size))
+    return total
+
+
+def _attach_info(benchmark, trie, n, variant):
+    benchmark.extra_info["experiment"] = f"T1-Q-{variant}"
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["distinct"] = trie.distinct_count()
+    benchmark.extra_info["avg_height"] = round(trie.average_height(), 2)
+    benchmark.extra_info["queries_per_round"] = QUERIES_PER_KIND * 5
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_query_static(benchmark, static_tries, url_logs, n):
+    """T1-Q-static: query time should stay flat as n grows."""
+    trie = static_tries[n]
+    batch = make_query_batch(url_logs[n], QUERIES_PER_KIND)
+    _attach_info(benchmark, trie, n, "static")
+    result = benchmark(run_query_batch, trie, batch)
+    assert result >= 0
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_query_append_only(benchmark, append_only_tries, url_logs, n):
+    """T1-Q-append: same flat shape on the append-only variant."""
+    trie = append_only_tries[n]
+    batch = make_query_batch(url_logs[n], QUERIES_PER_KIND)
+    _attach_info(benchmark, trie, n, "append-only")
+    result = benchmark(run_query_batch, trie, batch)
+    assert result >= 0
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_query_dynamic(benchmark, dynamic_tries, url_logs, n):
+    """T1-Q-dyn: the dynamic variant pays an extra log n factor."""
+    trie = dynamic_tries[n]
+    batch = make_query_batch(url_logs[n], QUERIES_PER_KIND)
+    _attach_info(benchmark, trie, n, "dynamic")
+    result = benchmark(run_query_batch, trie, batch)
+    assert result >= 0

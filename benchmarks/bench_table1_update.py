@@ -1,0 +1,125 @@
+"""Experiments T1-APPEND / T1-INSERT / T1-DELETE (paper Table 1, update columns).
+
+Claims under test:
+
+* ``Append`` on the append-only Wavelet Trie costs ``O(|s| + h_s)`` --
+  independent of the current sequence length n;
+* ``Append``/``Insert``/``Delete`` on the fully dynamic Wavelet Trie cost
+  ``O(|s| + h_s log n)`` -- growing only logarithmically with n.
+
+Each benchmark performs a fixed batch of 100 updates against a pre-built trie
+of n elements.  Insert/delete batches are paired so the structure size stays
+(asymptotically) constant across rounds.
+"""
+
+import random
+
+import pytest
+
+from repro.core.append_only import AppendOnlyWaveletTrie
+from repro.core.dynamic import DynamicWaveletTrie
+
+from benchmarks.conftest import SIZES, make_url_log
+
+UPDATES_PER_ROUND = 100
+
+
+def _new_values(seed: int) -> list:
+    rng = random.Random(seed)
+    base = make_url_log(200, seed=seed)
+    # Mix in some never-seen strings so Init/split paths are exercised too.
+    return [
+        value if rng.random() < 0.8 else f"{value}/new-{rng.randrange(10)}"
+        for value in base
+    ]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_append_append_only(benchmark, url_logs, n):
+    """T1-APPEND (append-only): per-append cost must not grow with n."""
+    trie = AppendOnlyWaveletTrie(url_logs[n])
+    payload = _new_values(seed=n)
+
+    def run():
+        for value in payload[:UPDATES_PER_ROUND]:
+            trie.append(value)
+
+    benchmark.extra_info.update(
+        {"experiment": "T1-APPEND/append-only", "n": n, "updates_per_round": UPDATES_PER_ROUND}
+    )
+    benchmark(run)
+    assert len(trie) > n
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_append_dynamic(benchmark, url_logs, n):
+    """T1-APPEND (dynamic): pays the extra log n of the dynamic bitvectors."""
+    trie = DynamicWaveletTrie(url_logs[n])
+    payload = _new_values(seed=n + 1)
+
+    def run():
+        for value in payload[:UPDATES_PER_ROUND]:
+            trie.append(value)
+
+    benchmark.extra_info.update(
+        {"experiment": "T1-APPEND/dynamic", "n": n, "updates_per_round": UPDATES_PER_ROUND}
+    )
+    benchmark(run)
+    assert len(trie) > n
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_insert_dynamic(benchmark, url_logs, n):
+    """T1-INSERT: insertions at random positions, O(|s| + h_s log n) each."""
+    trie = DynamicWaveletTrie(url_logs[n])
+    payload = _new_values(seed=n + 2)
+    rng = random.Random(n)
+
+    def run():
+        for value in payload[:UPDATES_PER_ROUND]:
+            trie.insert(value, rng.randint(0, len(trie)))
+
+    benchmark.extra_info.update(
+        {"experiment": "T1-INSERT/dynamic", "n": n, "updates_per_round": UPDATES_PER_ROUND}
+    )
+    benchmark(run)
+    assert len(trie) > n
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_delete_dynamic(benchmark, url_logs, n):
+    """T1-DELETE: deletions at random positions (including last occurrences)."""
+    # Over-provision so repeated rounds never drain the structure.
+    values = url_logs[n] + make_url_log(4000, seed=n + 3)
+    trie = DynamicWaveletTrie(values)
+    rng = random.Random(n)
+
+    def run():
+        for _ in range(UPDATES_PER_ROUND):
+            trie.delete(rng.randrange(len(trie)))
+
+    benchmark.extra_info.update(
+        {"experiment": "T1-DELETE/dynamic", "n": n, "updates_per_round": UPDATES_PER_ROUND}
+    )
+    benchmark(run)
+    assert len(trie) > 0
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_insert_delete_churn_dynamic(benchmark, url_logs, n):
+    """T1-INSERT+DELETE: paired churn keeps the size stable across rounds."""
+    trie = DynamicWaveletTrie(url_logs[n])
+    payload = _new_values(seed=n + 4)
+    rng = random.Random(n + 5)
+
+    def run():
+        for value in payload[: UPDATES_PER_ROUND // 2]:
+            trie.insert(value, rng.randint(0, len(trie)))
+        for _ in range(UPDATES_PER_ROUND // 2):
+            trie.delete(rng.randrange(len(trie)))
+
+    benchmark.extra_info.update(
+        {"experiment": "T1-CHURN/dynamic", "n": n, "updates_per_round": UPDATES_PER_ROUND}
+    )
+    benchmark(run)
+    assert abs(len(trie) - n) <= UPDATES_PER_ROUND * 200

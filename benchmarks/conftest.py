@@ -1,0 +1,68 @@
+"""Shared fixtures for the benchmark harness.
+
+Workloads are deliberately in the regime the paper targets (many repetitions
+per distinct string) and sized so the whole harness runs in minutes on pure
+Python.  Every benchmark attaches the relevant sizes/bounds through
+``benchmark.extra_info`` so the numbers can be copied into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+import pytest
+
+from repro.core.append_only import AppendOnlyWaveletTrie
+from repro.core.dynamic import DynamicWaveletTrie
+from repro.core.static import WaveletTrie
+from repro.workloads import ColumnGenerator, UrlLogGenerator
+
+# The n-sweep used by the Table 1 scaling experiments.
+SIZES = [500, 2000, 8000]
+
+
+def make_url_log(n: int, seed: int = 1234) -> List[str]:
+    """A URL log with ~60 distinct URLs (n >> |Sset|, the paper's regime)."""
+    return UrlLogGenerator(domains=10, depth=2, branching=2, seed=seed).generate(n)
+
+
+def make_column(n: int, seed: int = 99) -> List[str]:
+    """A hierarchical column with 32 distinct values."""
+    return ColumnGenerator(cardinality=32, zipf_exponent=1.1, seed=seed).generate(n)
+
+
+def make_query_batch(values: List[str], count: int, seed: int = 7):
+    """A deterministic batch of (value, position, prefix) query arguments."""
+    rng = random.Random(seed)
+    batch = []
+    for _ in range(count):
+        value = rng.choice(values)
+        position = rng.randint(0, len(values))
+        prefix = value[: rng.randint(7, min(18, len(value)))]
+        batch.append((value, position, prefix))
+    return batch
+
+
+@pytest.fixture(scope="session")
+def url_logs() -> Dict[int, List[str]]:
+    """URL logs for every size in the sweep."""
+    return {n: make_url_log(n) for n in SIZES}
+
+
+@pytest.fixture(scope="session")
+def static_tries(url_logs) -> Dict[int, WaveletTrie]:
+    """Pre-built static Wavelet Tries (construction excluded from query timings)."""
+    return {n: WaveletTrie(values) for n, values in url_logs.items()}
+
+
+@pytest.fixture(scope="session")
+def append_only_tries(url_logs) -> Dict[int, AppendOnlyWaveletTrie]:
+    """Pre-built append-only Wavelet Tries."""
+    return {n: AppendOnlyWaveletTrie(values) for n, values in url_logs.items()}
+
+
+@pytest.fixture(scope="session")
+def dynamic_tries(url_logs) -> Dict[int, DynamicWaveletTrie]:
+    """Pre-built fully dynamic Wavelet Tries."""
+    return {n: DynamicWaveletTrie(values) for n, values in url_logs.items()}

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: the Wavelet Trie in five minutes.
+
+Builds the three Wavelet Trie variants over a tiny path sequence and walks
+through every primitive of the paper -- Access, Rank, Select, RankPrefix,
+SelectPrefix, Append, Insert, Delete -- plus the range analytics of Section 5
+and the space accounting against the information-theoretic lower bound.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import AppendOnlyWaveletTrie, DynamicWaveletTrie, WaveletTrie
+from repro.analysis import compute_bounds
+
+
+def main() -> None:
+    paths = [
+        "/home", "/cart", "/home", "/cart/checkout", "/home",
+        "/api/v1/items", "/api/v1/items", "/home", "/cart", "/api/v2/items",
+    ]
+
+    print("=== Static Wavelet Trie (bulk load) ===")
+    trie = WaveletTrie(paths)
+    print(f"sequence length      : {len(trie)}")
+    print(f"distinct values      : {trie.distinct_count()}")
+    print(f"access(3)            : {trie.access(3)!r}")
+    print(f"rank('/home', 8)     : {trie.rank('/home', 8)}  (occurrences before position 8)")
+    print(f"select('/cart', 1)   : {trie.select('/cart', 1)}  (position of the 2nd '/cart')")
+    print(f"rank_prefix('/api',10): {trie.rank_prefix('/api', 10)}")
+    print(f"select_prefix('/api',2): {trie.select_prefix('/api', 2)}")
+    print()
+
+    print("=== Section 5 range analytics ===")
+    print(f"distinct in [2, 9)   : {trie.distinct_in_range(2, 9)}")
+    print(f"majority in [0, 10)  : {trie.range_majority(0, 10)}")
+    print(f"top-2 in [0, 10)     : {trie.top_k_in_range(0, 10, 2)}")
+    print(f"frequent >=3 in range: {trie.frequent_in_range(0, 10, 3)}")
+    print()
+
+    print("=== Append-only Wavelet Trie (log ingestion) ===")
+    log = AppendOnlyWaveletTrie()
+    for path in paths:
+        log.append(path)
+    log.append("/totally/new/path")  # a never-seen string: the alphabet grows
+    print(f"after appends, length: {len(log)}")
+    print(f"count('/home')       : {log.count('/home')}")
+    print(f"count_prefix('/cart'): {log.count_prefix('/cart')}")
+    print()
+
+    print("=== Fully dynamic Wavelet Trie (insert / delete anywhere) ===")
+    dyn = DynamicWaveletTrie(paths)
+    dyn.insert("/promo", 5)
+    removed = dyn.delete(0)
+    print(f"inserted '/promo' at 5, deleted position 0 (was {removed!r})")
+    print(f"sequence now         : {dyn.to_list()}")
+    print()
+
+    print("=== Space vs. the information-theoretic lower bound ===")
+    bounds = compute_bounds(paths)
+    print(f"LB  = LT + nH0       : {bounds.lb_bits:8.1f} bits")
+    print(f"  LT(Sset)           : {bounds.lt_bits:8.1f} bits")
+    print(f"  nH0(S)             : {bounds.entropy_bits:8.1f} bits")
+    print(f"static measured      : {trie.size_in_bits():8d} bits "
+          f"(bitvectors only: {trie.bitvector_bits()} bits)")
+    print(f"raw input            : {bounds.total_input_bits:8d} bits")
+
+
+if __name__ == "__main__":
+    main()

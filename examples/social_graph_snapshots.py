@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Evolving social-graph edges: adjacency snapshots from an edge stream.
+
+The paper's introduction suggests storing a changing binary relation (e.g.
+friendship links) as a chronological sequence of edge strings and answering
+"how did the adjacency list of vertex v change during this time frame?" with
+prefix queries.  The fully dynamic Wavelet Trie additionally lets us *retract*
+edges (delete) anywhere in the history.
+
+Run with:  python examples/social_graph_snapshots.py
+"""
+
+from repro.core.dynamic import DynamicWaveletTrie
+from repro.workloads import EdgeStreamGenerator
+
+
+def main() -> None:
+    generator = EdgeStreamGenerator(initial_vertices=6, seed=31)
+    edges = generator.generate(3000)
+
+    history = DynamicWaveletTrie()
+    for edge in edges:
+        history.append(edge)
+    print(f"edge events stored         : {len(history)}")
+    print(f"distinct edges             : {history.distinct_count()}")
+    print(f"compressed history         : {history.size_in_bits() / 8 / 1024:.1f} KiB")
+    print()
+
+    # Adjacency changes of one vertex inside a "month" (an event range).
+    vertex = generator.vertex_uri(0)
+    prefix = f"{vertex} ->"
+    window = (1000, 2000)
+    changed = history.distinct_in_range(*window, prefix=prefix)
+    total = history.range_count_prefix(prefix, *window)
+    print(f"=== adjacency changes of {vertex} in events [{window[0]}, {window[1]}) ===")
+    print(f"edge events touching it    : {total}")
+    print(f"distinct neighbours touched: {len(changed)}")
+    for edge, count in changed[:5]:
+        print(f"  {count:4d}x  {edge}")
+    print()
+
+    # Point-in-time snapshot: every edge of the vertex seen up to event 1500.
+    upto = 1500
+    snapshot = [
+        edge for edge, _ in history.distinct_in_range(0, upto, prefix=prefix)
+    ]
+    print(f"snapshot at event {upto}: {vertex} has {len(snapshot)} distinct outgoing edges")
+    print()
+
+    # Retract the first recorded occurrence of the most frequent edge.
+    (top_edge, top_count), = history.top_k_in_range(0, len(history), 1)
+    position = history.select(top_edge, 0)
+    history.delete(position)
+    print(f"retracted one occurrence of the most frequent edge:")
+    print(f"  {top_edge}  ({top_count} -> {history.count(top_edge)} occurrences)")
+    print(f"history length now         : {len(history)}")
+
+
+if __name__ == "__main__":
+    main()

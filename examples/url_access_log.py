@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Access-log analytics: "what was the most accessed domain during the window?"
+
+This is the paper's flagship motivating scenario (Section 1): URLs are
+appended chronologically to an append-only Wavelet Trie; a time window is a
+position range; and the analytics -- per-domain counts, top URLs, distinct
+hosts, majority element -- run directly on the compressed index through
+RankPrefix / SelectPrefix and the Section 5 range algorithms.
+
+Run with:  python examples/url_access_log.py
+"""
+
+from repro.analysis import compute_bounds
+from repro.db import AccessLogStore
+from repro.workloads import UrlLogGenerator
+
+
+def main() -> None:
+    generator = UrlLogGenerator(domains=40, depth=4, branching=5, seed=2024)
+    entries = generator.generate(5000)
+
+    store = AccessLogStore()
+    for tick, url in enumerate(entries):
+        store.append(url, timestamp=tick)
+
+    print(f"log size            : {len(store)} accesses")
+    print(f"compressed index    : {store.size_in_bits() / 8 / 1024:.1f} KiB")
+    raw_bytes = sum(len(url) for url in entries)
+    print(f"raw log             : {raw_bytes / 1024:.1f} KiB")
+    bounds = compute_bounds(entries)
+    print(f"lower bound LB      : {bounds.lb_bits / 8 / 1024:.1f} KiB")
+    print()
+
+    # "Winter vacation" = the middle 40% of the log.
+    start_time, end_time = 1500, 3500
+    print(f"=== window [{start_time}, {end_time}) ===")
+
+    top_domains = {}
+    for domain in generator.domains()[:10]:
+        prefix = f"http://{domain}/"
+        top_domains[domain] = store.count_prefix(prefix, start_time, end_time)
+    ranked = sorted(top_domains.items(), key=lambda item: -item[1])[:5]
+    print("accesses per domain (top 5 by RankPrefix):")
+    for domain, count in ranked:
+        print(f"  {domain:<28} {count:5d}")
+    print()
+
+    print("top 5 individual URLs in the window (best-first top-k):")
+    for url, count in store.top_urls(5, start_time, end_time):
+        print(f"  {count:5d}  {url}")
+    print()
+
+    busiest_domain = ranked[0][0]
+    prefix = f"http://{busiest_domain}/"
+    distinct = store.distinct_urls(start_time, end_time, prefix=prefix)
+    print(f"distinct URLs under {busiest_domain}: {len(distinct)}")
+    majority = store.majority_url(start_time, end_time, prefix=prefix)
+    print(f"majority URL under that domain      : {majority}")
+    print()
+
+    first_hits = store.accesses_under(prefix, start_time, end_time, limit=3)
+    print("first three accesses under that domain in the window:")
+    for timestamp, url in first_hits:
+        print(f"  t={timestamp:5d}  {url}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim so `pip install -e .` works in offline environments
+without the `wheel` package (metadata lives in pyproject.toml)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""Entropy measures, information-theoretic lower bounds and space accounting.
+
+These helpers turn the space column of the paper's Table 1 into numbers that
+can be measured and compared:
+
+* :mod:`repro.analysis.entropy` -- ``H0``, ``H(p)``, ``B(m, n)``;
+* :mod:`repro.analysis.bounds` -- ``LT(Sset)``, ``LB(S) = LT + n H0``,
+  ``PT(Sset)``, the average height ``h̃`` (Definition 3.4);
+* :mod:`repro.analysis.space` -- measured space reports for every structure
+  in the package.
+"""
+
+from repro.analysis.entropy import (
+    binary_entropy,
+    binomial_lower_bound,
+    empirical_entropy,
+    empirical_entropy_bits,
+)
+from repro.analysis.bounds import SequenceBounds, compute_bounds
+from repro.analysis.space import SpaceReport, wavelet_trie_space_report
+
+__all__ = [
+    "SequenceBounds",
+    "SpaceReport",
+    "binary_entropy",
+    "binomial_lower_bound",
+    "compute_bounds",
+    "empirical_entropy",
+    "empirical_entropy_bits",
+    "wavelet_trie_space_report",
+]

@@ -1,0 +1,68 @@
+"""Information-theoretic quantities used throughout the paper.
+
+* ``H0(s)`` -- zero-order empirical entropy of a sequence (paper Section 2);
+* ``H(p)`` -- binary entropy of a bit fraction;
+* ``B(m, n) = ceil(log2 C(n, m))`` -- the lower bound for storing an
+  ``m``-subset of an ``n``-universe, used in the RRR and trie-delimiter
+  bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Hashable, Iterable, Sequence
+
+__all__ = [
+    "binary_entropy",
+    "binomial_lower_bound",
+    "empirical_entropy",
+    "empirical_entropy_bits",
+    "symbol_counts",
+]
+
+
+def symbol_counts(sequence: Iterable[Hashable]) -> Counter:
+    """Multiplicity of each distinct symbol in ``sequence``."""
+    return Counter(sequence)
+
+
+def empirical_entropy(sequence: Iterable[Hashable]) -> float:
+    """Zero-order empirical entropy ``H0`` in bits per symbol.
+
+    ``H0(s) = -sum_c (n_c / n) log2(n_c / n)``; the entropy of the empty
+    sequence is defined as 0.
+    """
+    counts = symbol_counts(sequence)
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for count in counts.values():
+        fraction = count / total
+        entropy -= fraction * math.log2(fraction)
+    return entropy
+
+
+def empirical_entropy_bits(sequence: Sequence[Hashable]) -> float:
+    """Total zero-order entropy ``n * H0(s)`` in bits."""
+    return len(sequence) * empirical_entropy(sequence)
+
+
+def binary_entropy(p: float) -> float:
+    """Binary entropy ``H(p)`` in bits; ``H(0) = H(1) = 0``."""
+    if p < 0.0 or p > 1.0:
+        raise ValueError(f"probability {p} outside [0, 1]")
+    if p == 0.0 or p == 1.0:
+        return 0.0
+    return -p * math.log2(p) - (1.0 - p) * math.log2(1.0 - p)
+
+
+def binomial_lower_bound(m: int, n: int) -> int:
+    """``B(m, n) = ceil(log2 C(n, m))`` bits, the subset storage lower bound."""
+    if m < 0 or n < 0 or m > n:
+        raise ValueError(f"invalid arguments B({m}, {n})")
+    combinations = math.comb(n, m)
+    if combinations <= 1:
+        return 0
+    return math.ceil(math.log2(combinations))

@@ -1,0 +1,116 @@
+"""Baseline 1: alphabet mapping + integer Wavelet Tree.
+
+The strings are mapped to integer identifiers through a dictionary and the
+resulting integer sequence is indexed with a classic Wavelet Tree.  This is
+the approach used implicitly by most Rank/Select sequence literature (paper
+Section 1, "Related work", approach (1)) and it has exactly the two
+limitations the paper points out:
+
+* the alphabet is frozen at construction time -- appending a string that was
+  never seen raises, because the mapping (and the tree shape) cannot change;
+* the string structure is lost.  With a *lexicographic* mapping, prefixes map
+  to contiguous identifier ranges, so ``RankPrefix`` can still be answered
+  through two-dimensional range counting (as the paper notes, citing
+  Makinen & Navarro's RangeCount), but ``SelectPrefix`` has no efficient
+  counterpart and is not supported.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Iterable, List, Optional
+
+from repro.core.interface import IndexedStringSequence
+from repro.exceptions import (
+    InvalidOperationError,
+    OutOfBoundsError,
+    ValueNotFoundError,
+)
+from repro.wavelet.wavelet_tree import WaveletTree
+
+__all__ = ["DictWaveletSequence"]
+
+
+class DictWaveletSequence(IndexedStringSequence):
+    """Dictionary-mapped integer sequence indexed by a Wavelet Tree (static alphabet)."""
+
+    def __init__(self, values: Iterable[str] = (), bitvector: str = "rrr") -> None:
+        values = list(values)
+        # Lexicographic mapping so prefix ranges are contiguous.
+        self._alphabet: List[str] = sorted(set(values))
+        self._ids = {value: index for index, value in enumerate(self._alphabet)}
+        self._tree = WaveletTree(
+            [self._ids[value] for value in values],
+            alphabet_size=max(1, len(self._alphabet)),
+            bitvector=bitvector,
+        )
+        self._size = len(values)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def alphabet(self) -> List[str]:
+        """The frozen, lexicographically sorted alphabet."""
+        return list(self._alphabet)
+
+    def _id_of(self, value: str) -> Optional[int]:
+        return self._ids.get(value)
+
+    def _prefix_id_range(self, prefix: str) -> tuple:
+        """The contiguous identifier range of strings starting with ``prefix``."""
+        low = bisect_left(self._alphabet, prefix)
+        high = low
+        while high < len(self._alphabet) and self._alphabet[high].startswith(prefix):
+            high += 1
+        return low, high
+
+    # ------------------------------------------------------------------
+    def access(self, pos: int) -> str:
+        if not 0 <= pos < self._size:
+            raise OutOfBoundsError(f"position {pos} out of range")
+        return self._alphabet[self._tree.access(pos)]
+
+    def rank(self, value: str, pos: int) -> int:
+        if not 0 <= pos <= self._size:
+            raise OutOfBoundsError(f"position {pos} out of range")
+        symbol = self._id_of(value)
+        if symbol is None:
+            return 0
+        return self._tree.rank(symbol, pos)
+
+    def select(self, value: str, idx: int) -> int:
+        symbol = self._id_of(value)
+        if symbol is None:
+            raise ValueNotFoundError(f"value {value!r} does not occur")
+        return self._tree.select(symbol, idx)
+
+    def rank_prefix(self, prefix: str, pos: int) -> int:
+        """Supported thanks to the lexicographic mapping: a 2D range count."""
+        if not 0 <= pos <= self._size:
+            raise OutOfBoundsError(f"position {pos} out of range")
+        low, high = self._prefix_id_range(prefix)
+        if low >= high:
+            return 0
+        return self._tree.range_count(0, pos, low, high)
+
+    def select_prefix(self, prefix: str, idx: int) -> int:
+        raise InvalidOperationError(
+            "the alphabet-mapping baseline cannot answer SelectPrefix "
+            "(see the paper's Related Work discussion); use the Wavelet Trie"
+        )
+
+    # ------------------------------------------------------------------
+    def append(self, value: str) -> None:
+        raise InvalidOperationError(
+            "the alphabet of a dictionary-mapped Wavelet Tree is fixed at "
+            "construction time; appending (possibly unseen) values requires "
+            "the Wavelet Trie"
+        )
+
+    # ------------------------------------------------------------------
+    def size_in_bits(self) -> int:
+        """Wavelet Tree space plus the explicit dictionary."""
+        dictionary = sum(len(value.encode("utf-8")) * 8 + 64 for value in self._alphabet)
+        return self._tree.size_in_bits() + dictionary

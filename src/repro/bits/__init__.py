@@ -1,0 +1,41 @@
+"""Bit-level primitives used by every succinct structure in the package.
+
+The module exposes:
+
+* :class:`~repro.bits.bitstring.Bits` -- an immutable bit-string value type
+  used to represent binarised strings, trie labels and bitvector payloads;
+* :class:`~repro.bits.bitbuffer.BitBuffer` -- an appendable, mutable bit
+  buffer used while constructing encodings;
+* :class:`~repro.bits.codes.BitWriter` / :class:`~repro.bits.codes.BitReader`
+  and the Elias unary/gamma/delta and fixed-width codecs;
+* :class:`~repro.bits.packed.PackedIntVector` -- a fixed-width packed integer
+  array with O(1) random access.
+"""
+
+from repro.bits.bitbuffer import BitBuffer
+from repro.bits.bitstring import Bits
+from repro.bits.codes import (
+    BitReader,
+    BitWriter,
+    decode_delta,
+    decode_gamma,
+    decode_unary,
+    encode_delta,
+    encode_gamma,
+    encode_unary,
+)
+from repro.bits.packed import PackedIntVector
+
+__all__ = [
+    "BitBuffer",
+    "BitReader",
+    "BitWriter",
+    "Bits",
+    "PackedIntVector",
+    "decode_delta",
+    "decode_gamma",
+    "decode_unary",
+    "encode_delta",
+    "encode_gamma",
+    "encode_unary",
+]

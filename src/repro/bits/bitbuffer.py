@@ -1,0 +1,172 @@
+"""A mutable, appendable bit buffer.
+
+:class:`BitBuffer` is used wherever an encoding is built incrementally: RRR
+block streams, concatenated trie labels, the tail buffer of the append-only
+bitvector.  It stores bits in the same MSB-first order as
+:class:`~repro.bits.bitstring.Bits` and can be frozen into one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from repro.bits.bitstring import Bits
+from repro.exceptions import OutOfBoundsError
+
+__all__ = ["BitBuffer"]
+
+
+class BitBuffer:
+    """A growable sequence of bits supporting append, random access and freeze.
+
+    The buffer is backed by a Python integer (``_value``) holding the bits
+    appended so far, most-significant-first, mirroring :class:`Bits`.  Append
+    of a single bit is O(1) amortised; appending a :class:`Bits` payload of
+    ``k`` bits costs one shift of the backing integer.
+    """
+
+    __slots__ = ("_value", "_length", "_ones")
+
+    def __init__(self, initial: Iterable[int] = ()) -> None:
+        self._value = 0
+        self._length = 0
+        self._ones = 0
+        for bit in initial:
+            self.append(bit)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def append(self, bit: int) -> None:
+        """Append a single bit (any truthy value counts as 1)."""
+        bit = 1 if bit else 0
+        self._value = (self._value << 1) | bit
+        self._length += 1
+        self._ones += bit
+
+    def extend(self, bits: Iterable[int]) -> None:
+        """Append each bit of an iterable."""
+        if isinstance(bits, Bits):
+            self.append_bits(bits)
+            return
+        for bit in bits:
+            self.append(bit)
+
+    def append_bits(self, bits: Bits) -> None:
+        """Append a whole :class:`Bits` payload in one big-int operation."""
+        self._value = (self._value << len(bits)) | bits.value
+        self._length += len(bits)
+        self._ones += bits.popcount()
+
+    def append_run(self, bit: int, count: int) -> None:
+        """Append ``count`` copies of ``bit``."""
+        if count < 0:
+            raise ValueError("run length must be non-negative")
+        if count == 0:
+            return
+        if bit:
+            self._value = (self._value << count) | ((1 << count) - 1)
+            self._ones += count
+        else:
+            self._value <<= count
+        self._length += count
+
+    def append_int(self, value: int, width: int) -> None:
+        """Append the ``width``-bit big-endian representation of ``value``."""
+        if value < 0 or (width and value >> width):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        self._value = (self._value << width) | value
+        self._length += width
+        self._ones += value.bit_count()
+
+    def clear(self) -> None:
+        """Remove all bits."""
+        self._value = 0
+        self._length = 0
+        self._ones = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def ones(self) -> int:
+        """Number of 1 bits currently in the buffer."""
+        return self._ones
+
+    @property
+    def zeros(self) -> int:
+        """Number of 0 bits currently in the buffer."""
+        return self._length - self._ones
+
+    def __getitem__(self, index: int) -> int:
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise OutOfBoundsError(
+                f"bit index {index} out of range for length {self._length}"
+            )
+        return (self._value >> (self._length - 1 - index)) & 1
+
+    def __iter__(self) -> Iterator[int]:
+        value, length = self._value, self._length
+        for shift in range(length - 1, -1, -1):
+            yield (value >> shift) & 1
+
+    def rank(self, bit: int, pos: int) -> int:
+        """Number of occurrences of ``bit`` among the first ``pos`` bits.
+
+        This is a linear-ish (big-int) operation; the buffer is meant to stay
+        small (poly-logarithmic) as in Lemma 4.6 of the paper.
+        """
+        if pos < 0 or pos > self._length:
+            raise OutOfBoundsError(f"rank position {pos} out of range")
+        if pos == 0:
+            return 0
+        prefix_value = self._value >> (self._length - pos)
+        ones = prefix_value.bit_count()
+        return ones if bit else pos - ones
+
+    def select(self, bit: int, idx: int) -> int:
+        """Position of the ``idx``-th (0-based) occurrence of ``bit``."""
+        total = self._ones if bit else self.zeros
+        if idx < 0 or idx >= total:
+            raise OutOfBoundsError(
+                f"select index {idx} out of range ({total} occurrences)"
+            )
+        # Scan 64-bit chunks (MSB-first) counting occurrences, then finish the
+        # chunk containing the answer bit by bit.
+        remaining = idx
+        position = 0
+        while position < self._length:
+            width = min(64, self._length - position)
+            chunk = (self._value >> (self._length - position - width)) & ((1 << width) - 1)
+            in_chunk = chunk.bit_count() if bit else width - chunk.bit_count()
+            if remaining >= in_chunk:
+                remaining -= in_chunk
+                position += width
+                continue
+            for offset in range(width):
+                value = (chunk >> (width - 1 - offset)) & 1
+                if value == bit:
+                    if remaining == 0:
+                        return position + offset
+                    remaining -= 1
+            raise AssertionError("unreachable")  # pragma: no cover
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def to_bits(self) -> Bits:
+        """Freeze into an immutable :class:`Bits` value."""
+        return Bits(self._value, self._length)
+
+    def to_list(self) -> List[int]:
+        """Render as a list of integers."""
+        return list(self)
+
+    def __repr__(self) -> str:
+        shown = self.to_bits().to01()
+        if len(shown) > 64:
+            shown = shown[:61] + "..."
+        return f"BitBuffer('{shown}', length={self._length})"

@@ -1,0 +1,314 @@
+"""Bit-level integer codecs: unary, Elias gamma, Elias delta, fixed width.
+
+The fully dynamic bitvector of the paper (Section 4.2) encodes run lengths
+with Elias gamma codes; the related-work gap-encoded bitvector of Makinen &
+Navarro uses Elias delta codes.  Both are provided here, together with a
+:class:`BitWriter`/:class:`BitReader` pair that streams codes into and out of
+a compact bit payload.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.bits.bitstring import Bits
+from repro.exceptions import EncodingError, OutOfBoundsError
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "decode_delta",
+    "decode_gamma",
+    "decode_unary",
+    "delta_code_length",
+    "encode_delta",
+    "encode_gamma",
+    "encode_unary",
+    "gamma_code_length",
+    "unary_code_length",
+]
+
+
+# ----------------------------------------------------------------------
+# Stream writer / reader
+# ----------------------------------------------------------------------
+class BitWriter:
+    """Append-only writer producing a compact bit payload.
+
+    Bits are written MSB-first, consistent with :class:`Bits`.
+    """
+
+    __slots__ = ("_value", "_length")
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._length = 0
+
+    def __len__(self) -> int:
+        return self._length
+
+    def write_bit(self, bit: int) -> None:
+        """Write a single bit."""
+        self._value = (self._value << 1) | (1 if bit else 0)
+        self._length += 1
+
+    def write_int(self, value: int, width: int) -> None:
+        """Write ``value`` using exactly ``width`` bits (big-endian)."""
+        if width < 0:
+            raise EncodingError("width must be non-negative")
+        if value < 0 or (width < value.bit_length()):
+            raise EncodingError(f"value {value} does not fit in {width} bits")
+        self._value = (self._value << width) | value
+        self._length += width
+
+    def write_unary(self, value: int) -> None:
+        """Write ``value`` in unary: ``value`` zeros followed by a one."""
+        if value < 0:
+            raise EncodingError("unary code requires a non-negative value")
+        self._value = (self._value << (value + 1)) | 1
+        self._length += value + 1
+
+    def write_gamma(self, value: int) -> None:
+        """Write ``value >= 1`` with an Elias gamma code."""
+        if value < 1:
+            raise EncodingError("gamma code requires value >= 1")
+        width = value.bit_length()
+        self.write_unary(width - 1)
+        if width > 1:
+            self.write_int(value - (1 << (width - 1)), width - 1)
+
+    def write_delta(self, value: int) -> None:
+        """Write ``value >= 1`` with an Elias delta code."""
+        if value < 1:
+            raise EncodingError("delta code requires value >= 1")
+        width = value.bit_length()
+        self.write_gamma(width)
+        if width > 1:
+            self.write_int(value - (1 << (width - 1)), width - 1)
+
+    def to_bits(self) -> Bits:
+        """Freeze the written stream into a :class:`Bits` payload."""
+        return Bits(self._value, self._length)
+
+
+class BitReader:
+    """Sequential reader over a :class:`Bits` payload written by :class:`BitWriter`."""
+
+    __slots__ = ("_bits", "_pos")
+
+    def __init__(self, bits: Bits, start: int = 0) -> None:
+        self._bits = bits
+        self._pos = start
+
+    @property
+    def position(self) -> int:
+        """Current read position in bits."""
+        return self._pos
+
+    def seek(self, position: int) -> None:
+        """Move the read cursor."""
+        if position < 0 or position > len(self._bits):
+            raise OutOfBoundsError(f"seek position {position} out of range")
+        self._pos = position
+
+    def remaining(self) -> int:
+        """Bits left to read."""
+        return len(self._bits) - self._pos
+
+    def read_bit(self) -> int:
+        """Read one bit."""
+        if self._pos >= len(self._bits):
+            raise OutOfBoundsError("read past end of bit stream")
+        bit = self._bits[self._pos]
+        self._pos += 1
+        return bit
+
+    def read_int(self, width: int) -> int:
+        """Read a ``width``-bit big-endian integer."""
+        if width == 0:
+            return 0
+        if self._pos + width > len(self._bits):
+            raise OutOfBoundsError("read past end of bit stream")
+        chunk = self._bits.slice(self._pos, self._pos + width)
+        self._pos += width
+        return chunk.value
+
+    def read_unary(self) -> int:
+        """Read a unary code; returns the number of leading zeros."""
+        count = 0
+        while self.read_bit() == 0:
+            count += 1
+        return count
+
+    def read_gamma(self) -> int:
+        """Read an Elias gamma code."""
+        width = self.read_unary() + 1
+        if width == 1:
+            return 1
+        return (1 << (width - 1)) | self.read_int(width - 1)
+
+    def read_delta(self) -> int:
+        """Read an Elias delta code."""
+        width = self.read_gamma()
+        if width == 1:
+            return 1
+        return (1 << (width - 1)) | self.read_int(width - 1)
+
+
+# ----------------------------------------------------------------------
+# One-shot helpers
+# ----------------------------------------------------------------------
+def encode_unary(values: Iterable[int]) -> Bits:
+    """Encode an iterable of non-negative integers in unary."""
+    writer = BitWriter()
+    for value in values:
+        writer.write_unary(value)
+    return writer.to_bits()
+
+
+def decode_unary(bits: Bits, count: int) -> List[int]:
+    """Decode ``count`` unary codes from ``bits``."""
+    reader = BitReader(bits)
+    return [reader.read_unary() for _ in range(count)]
+
+
+def encode_gamma(values: Iterable[int]) -> Bits:
+    """Encode an iterable of integers (each >= 1) with Elias gamma codes."""
+    writer = BitWriter()
+    for value in values:
+        writer.write_gamma(value)
+    return writer.to_bits()
+
+
+def decode_gamma(bits: Bits, count: int) -> List[int]:
+    """Decode ``count`` gamma codes from ``bits``."""
+    reader = BitReader(bits)
+    return [reader.read_gamma() for _ in range(count)]
+
+
+def encode_delta(values: Iterable[int]) -> Bits:
+    """Encode an iterable of integers (each >= 1) with Elias delta codes."""
+    writer = BitWriter()
+    for value in values:
+        writer.write_delta(value)
+    return writer.to_bits()
+
+
+def decode_delta(bits: Bits, count: int) -> List[int]:
+    """Decode ``count`` delta codes from ``bits``."""
+    reader = BitReader(bits)
+    return [reader.read_delta() for _ in range(count)]
+
+
+def unary_code_length(value: int) -> int:
+    """Length in bits of the unary code of ``value``."""
+    if value < 0:
+        raise EncodingError("unary code requires a non-negative value")
+    return value + 1
+
+
+def gamma_code_length(value: int) -> int:
+    """Length in bits of the Elias gamma code of ``value`` (>= 1)."""
+    if value < 1:
+        raise EncodingError("gamma code requires value >= 1")
+    width = value.bit_length()
+    return 2 * width - 1
+
+
+def delta_code_length(value: int) -> int:
+    """Length in bits of the Elias delta code of ``value`` (>= 1)."""
+    if value < 1:
+        raise EncodingError("delta code requires value >= 1")
+    width = value.bit_length()
+    return gamma_code_length(width) + width - 1
+
+
+def _build_binomial_table(limit: int) -> list:
+    """Pascal's triangle up to ``limit`` rows (inclusive)."""
+    table = [[1]]
+    for n in range(1, limit + 1):
+        row = [1] * (n + 1)
+        previous = table[n - 1]
+        for k in range(1, n):
+            row[k] = previous[k - 1] + previous[k]
+        table.append(row)
+    return table
+
+
+# The RRR block size never exceeds 63 bits, so a 64-row Pascal triangle covers
+# every (class, offset) computation with plain list lookups -- this table is
+# the pure-Python stand-in for the four-Russians lookup tables of the paper.
+_BINOMIAL_TABLE = _build_binomial_table(64)
+_OFFSET_WIDTH_CACHE: dict = {}
+
+
+def binomial(n: int, k: int) -> int:
+    """Binomial coefficient with the usual out-of-range conventions."""
+    if k < 0 or k > n or n < 0:
+        return 0
+    if n <= 64:
+        return _BINOMIAL_TABLE[n][k]
+    from math import comb
+
+    return comb(n, k)
+
+
+def combinatorial_rank(bits_value: int, width: int, ones: int) -> int:
+    """Rank of a ``width``-bit block with ``ones`` one-bits in the
+    lexicographic enumeration of all such blocks (RRR offset encoding).
+
+    The block is interpreted MSB-first, i.e. the same order as :class:`Bits`.
+    """
+    table = _BINOMIAL_TABLE
+    rank = 0
+    remaining_ones = ones
+    for position in range(width):
+        if remaining_ones == 0:
+            break
+        if (bits_value >> (width - 1 - position)) & 1:
+            remaining_ones -= 1
+        else:
+            # All blocks that have a 1 here and agree on the prefix come first.
+            remaining_width = width - position - 1
+            if remaining_ones - 1 <= remaining_width:
+                rank += table[remaining_width][remaining_ones - 1]
+    return rank
+
+
+def combinatorial_unrank(rank: int, width: int, ones: int) -> int:
+    """Inverse of :func:`combinatorial_rank`: rebuild the block value."""
+    table = _BINOMIAL_TABLE
+    value = 0
+    remaining_ones = ones
+    remaining_rank = rank
+    for position in range(width):
+        if remaining_ones == 0:
+            break
+        remaining_width = width - position - 1
+        skip = (
+            table[remaining_width][remaining_ones - 1]
+            if remaining_ones - 1 <= remaining_width
+            else 0
+        )
+        if remaining_rank < skip:
+            value |= 1 << (width - 1 - position)
+            remaining_ones -= 1
+        else:
+            remaining_rank -= skip
+    return value
+
+
+def offset_width(width: int, ones: int) -> int:
+    """Number of bits needed to store the RRR offset of a block class."""
+    cached = _OFFSET_WIDTH_CACHE.get((width, ones))
+    if cached is not None:
+        return cached
+    total = binomial(width, ones)
+    result = max(total - 1, 0).bit_length() if total > 1 else 0
+    _OFFSET_WIDTH_CACHE[(width, ones)] = result
+    return result
+
+
+def offset_width_table(width: int) -> List[int]:
+    """Offset widths for every class of a ``width``-bit block (hot-path table)."""
+    return [offset_width(width, ones) for ones in range(width + 1)]

@@ -1,0 +1,260 @@
+"""Append-only compressed bitvector (paper Section 4.1, Theorem 4.5).
+
+The paper's construction keeps a small mutable tail (Lemma 4.6), a collection
+of frozen RRR-compressed blocks, and partial-sum directories over the block
+lengths and popcounts; appends are O(1) (amortised in Lemma 4.7, worst-case
+after de-amortisation) and queries are O(1).
+
+This implementation follows the same decomposition:
+
+* a :class:`~repro.bits.bitbuffer.BitBuffer` tail of at most ``block_size``
+  bits (the paper's ``B'`` / ``F1``);
+* a list of frozen :class:`~repro.bitvector.rrr.RRRBitVector` blocks
+  (the paper's ``F_i``);
+* append-only cumulative arrays of block lengths and block popcounts, queried
+  with binary search (the engineered stand-in for the constant-time partial
+  sum structures; the log factor is over the number of blocks only).
+
+It additionally supports the ``Init`` operation needed by the *append-only
+Wavelet Trie* (Theorem 4.3): a constant run of bits can be prepended as a pure
+offset (``offset_bit``/``offset_length``), exactly as the paper prescribes
+("Init can be implemented simply by adding a left offset in each bitvector").
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, Iterator, List
+
+from repro.bits.bitbuffer import BitBuffer
+from repro.bits.bitstring import Bits
+from repro.bitvector.base import BitVector
+from repro.bitvector.rrr import RRRBitVector
+from repro.exceptions import OutOfBoundsError
+
+__all__ = ["AppendOnlyBitVector"]
+
+_DEFAULT_BLOCK = 1024
+
+
+class AppendOnlyBitVector(BitVector):
+    """Compressed bitvector supporting ``Append`` plus O(1)-style queries.
+
+    Parameters
+    ----------
+    initial:
+        Optional iterable of bits appended at construction time.
+    block_size:
+        Number of tail bits accumulated before freezing them into an RRR
+        block (the paper's ``L = Theta(polylog n)``).
+    offset_bit, offset_length:
+        Implements ``Init(b, n)``: the bitvector behaves as if it started with
+        ``offset_length`` copies of ``offset_bit`` (paper Theorem 4.3).
+    """
+
+    __slots__ = (
+        "_block_size",
+        "_blocks",
+        "_cum_length",
+        "_cum_ones",
+        "_tail",
+        "_offset_bit",
+        "_offset_length",
+    )
+
+    def __init__(
+        self,
+        initial: Iterable[int] = (),
+        block_size: int = _DEFAULT_BLOCK,
+        offset_bit: int = 0,
+        offset_length: int = 0,
+    ) -> None:
+        if block_size < 64:
+            raise ValueError("block_size must be at least 64 bits")
+        if offset_length < 0:
+            raise ValueError("offset_length must be non-negative")
+        self._block_size = block_size
+        self._blocks: List[RRRBitVector] = []
+        # _cum_length[i] / _cum_ones[i] = bits / ones in blocks[0..i-1]
+        self._cum_length: List[int] = [0]
+        self._cum_ones: List[int] = [0]
+        self._tail = BitBuffer()
+        self._offset_bit = 1 if offset_bit else 0
+        self._offset_length = offset_length
+        for bit in initial:
+            self.append(bit)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def init_run(cls, bit: int, length: int, block_size: int = _DEFAULT_BLOCK) -> "AppendOnlyBitVector":
+        """``Init(b, n)``: a bitvector equal to ``length`` copies of ``bit``.
+
+        Runs in O(1) regardless of ``length`` -- the property (Remark 4.2)
+        required by the append-only Wavelet Trie.
+        """
+        return cls(block_size=block_size, offset_bit=bit, offset_length=length)
+
+    # ------------------------------------------------------------------
+    # Size / structure
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._offset_length + self._cum_length[-1] + len(self._tail)
+
+    @property
+    def ones(self) -> int:
+        offset_ones = self._offset_length if self._offset_bit else 0
+        return offset_ones + self._cum_ones[-1] + self._tail.ones
+
+    @property
+    def block_count(self) -> int:
+        """Number of frozen RRR blocks."""
+        return len(self._blocks)
+
+    @property
+    def offset_length(self) -> int:
+        """Length of the implicit constant prefix installed by ``Init``."""
+        return self._offset_length
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def append(self, bit: int) -> None:
+        """Append one bit at the end of the bitvector."""
+        self._tail.append(1 if bit else 0)
+        if len(self._tail) >= self._block_size:
+            self._freeze_tail()
+
+    def extend(self, bits: Iterable[int]) -> None:
+        """Append every bit of ``bits`` in order."""
+        for bit in bits:
+            self.append(bit)
+
+    def _freeze_tail(self) -> None:
+        """Freeze the tail buffer into a static RRR block."""
+        block = RRRBitVector(self._tail.to_bits())
+        self._blocks.append(block)
+        self._cum_length.append(self._cum_length[-1] + len(block))
+        self._cum_ones.append(self._cum_ones[-1] + block.ones)
+        self._tail = BitBuffer()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def access(self, pos: int) -> int:
+        self._check_pos(pos)
+        if pos < self._offset_length:
+            return self._offset_bit
+        pos -= self._offset_length
+        frozen = self._cum_length[-1]
+        if pos < frozen:
+            block_index = bisect_right(self._cum_length, pos) - 1
+            return self._blocks[block_index].access(pos - self._cum_length[block_index])
+        return self._tail[pos - frozen]
+
+    def rank(self, bit: int, pos: int) -> int:
+        self._check_bit(bit)
+        self._check_rank_pos(pos)
+        # Ones contributed by the Init offset prefix.
+        in_offset = min(pos, self._offset_length)
+        ones = in_offset if self._offset_bit else 0
+        rest = pos - in_offset
+        if rest > 0:
+            frozen = self._cum_length[-1]
+            if rest > frozen:
+                ones += self._cum_ones[-1] + self._tail.rank(1, rest - frozen)
+            else:
+                block_index = bisect_right(self._cum_length, rest - 1) - 1
+                ones += self._cum_ones[block_index]
+                ones += self._blocks[block_index].rank(
+                    1, rest - self._cum_length[block_index]
+                )
+        return ones if bit else pos - ones
+
+    def select(self, bit: int, idx: int) -> int:
+        self._check_bit(bit)
+        total = self.count(bit)
+        if not 0 <= idx < total:
+            raise OutOfBoundsError(
+                f"select({bit}, {idx}) out of range: only {total} occurrences"
+            )
+        # Offset prefix.
+        offset_count = self._offset_length if self._offset_bit == bit else 0
+        if idx < offset_count:
+            return idx
+        idx -= offset_count
+        # Frozen blocks: binary search the cumulative counts of `bit` (for
+        # zeros the count is derived on the fly as length - ones, so the
+        # search stays O(log blocks) without materialising an array).
+        if bit:
+            cum = self._cum_ones
+            block_index = bisect_right(cum, idx) - 1
+            before = cum[block_index]
+            frozen_total = cum[-1]
+        else:
+            lo, hi = 0, len(self._cum_length) - 1
+            while lo < hi:
+                mid = (lo + hi + 1) // 2
+                if self._cum_length[mid] - self._cum_ones[mid] <= idx:
+                    lo = mid
+                else:
+                    hi = mid - 1
+            block_index = lo
+            before = self._cum_length[block_index] - self._cum_ones[block_index]
+            frozen_total = self._cum_length[-1] - self._cum_ones[-1]
+        if block_index < len(self._blocks):
+            in_block = self._blocks[block_index].count(bit)
+            if idx - before < in_block:
+                return (
+                    self._offset_length
+                    + self._cum_length[block_index]
+                    + self._blocks[block_index].select(bit, idx - before)
+                )
+        # Otherwise the occurrence is in the tail.
+        idx -= frozen_total
+        return (
+            self._offset_length
+            + self._cum_length[-1]
+            + self._tail.select(bit, idx)
+        )
+
+    def iter_range(self, start: int, stop: int) -> Iterator[int]:
+        self._check_range(start, stop)
+        pos = start
+        # Offset segment.
+        while pos < stop and pos < self._offset_length:
+            yield self._offset_bit
+            pos += 1
+        if pos >= stop:
+            return
+        frozen_end = self._offset_length + self._cum_length[-1]
+        while pos < stop and pos < frozen_end:
+            local = pos - self._offset_length
+            block_index = bisect_right(self._cum_length, local) - 1
+            block = self._blocks[block_index]
+            block_start = self._offset_length + self._cum_length[block_index]
+            upper = min(stop, block_start + len(block))
+            yield from block.iter_range(pos - block_start, upper - block_start)
+            pos = upper
+        if pos < stop:
+            tail_start = frozen_end
+            for local in range(pos - tail_start, stop - tail_start):
+                yield self._tail[local]
+
+    # ------------------------------------------------------------------
+    # Space accounting
+    # ------------------------------------------------------------------
+    def size_in_bits(self) -> int:
+        """Encoded size: frozen blocks + tail + directories + offset metadata."""
+        blocks = sum(block.size_in_bits() for block in self._blocks)
+        directories = (len(self._cum_length) + len(self._cum_ones)) * 64
+        tail = len(self._tail) + 2 * 64
+        return blocks + directories + tail + 2 * 64
+
+    def payload_bits(self) -> int:
+        """Compressed payload only (RRR payloads + raw tail)."""
+        return sum(block.payload_bits() for block in self._blocks) + len(self._tail)
+
+    def to_list(self) -> List[int]:
+        return list(self.iter_range(0, len(self)))

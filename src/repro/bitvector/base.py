@@ -1,0 +1,151 @@
+"""Common interface for all rank/select bitvectors.
+
+Every bitvector in the package -- static or dynamic -- implements the
+*Fully Indexable Dictionary* interface of the paper's Section 2:
+
+* ``access(pos)`` -- the bit at position ``pos``;
+* ``rank(bit, pos)`` -- occurrences of ``bit`` in positions ``[0, pos)``;
+* ``select(bit, idx)`` -- position of the ``idx``-th (0-based) occurrence of
+  ``bit``.
+
+The base class provides argument validation, convenience wrappers
+(``rank1``, ``select0``, iteration, equality against a list of bits) and a
+uniform ``size_in_bits()`` space-accounting hook used by
+:mod:`repro.analysis.space`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, List
+
+from repro.exceptions import OutOfBoundsError
+
+__all__ = ["BitVector", "StaticBitVector"]
+
+
+class BitVector(ABC):
+    """Abstract rank/select bitvector."""
+
+    # ------------------------------------------------------------------
+    # Abstract core
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of bits stored."""
+
+    @abstractmethod
+    def access(self, pos: int) -> int:
+        """Return the bit at position ``pos`` (0-based)."""
+
+    @abstractmethod
+    def rank(self, bit: int, pos: int) -> int:
+        """Number of occurrences of ``bit`` in positions ``[0, pos)``."""
+
+    @abstractmethod
+    def select(self, bit: int, idx: int) -> int:
+        """Position of the ``idx``-th (0-based) occurrence of ``bit``."""
+
+    @abstractmethod
+    def size_in_bits(self) -> int:
+        """Space used by the encoding, in bits (payload + directories)."""
+
+    # ------------------------------------------------------------------
+    # Derived conveniences
+    # ------------------------------------------------------------------
+    @property
+    def ones(self) -> int:
+        """Total number of 1 bits."""
+        return self.rank(1, len(self))
+
+    @property
+    def zeros(self) -> int:
+        """Total number of 0 bits."""
+        return len(self) - self.ones
+
+    def count(self, bit: int) -> int:
+        """Total number of occurrences of ``bit``."""
+        return self.ones if bit else self.zeros
+
+    def rank0(self, pos: int) -> int:
+        """Occurrences of 0 in ``[0, pos)``."""
+        return self.rank(0, pos)
+
+    def rank1(self, pos: int) -> int:
+        """Occurrences of 1 in ``[0, pos)``."""
+        return self.rank(1, pos)
+
+    def select0(self, idx: int) -> int:
+        """Position of the ``idx``-th 0."""
+        return self.select(0, idx)
+
+    def select1(self, idx: int) -> int:
+        """Position of the ``idx``-th 1."""
+        return self.select(1, idx)
+
+    def rank_range(self, bit: int, start: int, stop: int) -> int:
+        """Occurrences of ``bit`` in ``[start, stop)``."""
+        if start > stop:
+            raise OutOfBoundsError(f"invalid range [{start}, {stop})")
+        return self.rank(bit, stop) - self.rank(bit, start)
+
+    def __getitem__(self, pos: int) -> int:
+        if pos < 0:
+            pos += len(self)
+        return self.access(pos)
+
+    def __iter__(self) -> Iterator[int]:
+        for pos in range(len(self)):
+            yield self.access(pos)
+
+    def iter_range(self, start: int, stop: int) -> Iterator[int]:
+        """Iterate over the bits in ``[start, stop)``.
+
+        Subclasses with cheaper sequential decoding override this; it is the
+        building block of the Section 5 sequential-access algorithm.
+        """
+        self._check_range(start, stop)
+        for pos in range(start, stop):
+            yield self.access(pos)
+
+    def to_list(self) -> List[int]:
+        """Materialise the bits as a Python list (testing helper)."""
+        return list(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(length={len(self)}, ones={self.ones})"
+
+    # ------------------------------------------------------------------
+    # Validation helpers for subclasses
+    # ------------------------------------------------------------------
+    def _check_pos(self, pos: int) -> None:
+        if not 0 <= pos < len(self):
+            raise OutOfBoundsError(
+                f"position {pos} out of range for length {len(self)}"
+            )
+
+    def _check_rank_pos(self, pos: int) -> None:
+        if not 0 <= pos <= len(self):
+            raise OutOfBoundsError(
+                f"rank position {pos} out of range for length {len(self)}"
+            )
+
+    def _check_range(self, start: int, stop: int) -> None:
+        if not (0 <= start <= stop <= len(self)):
+            raise OutOfBoundsError(
+                f"range [{start}, {stop}) invalid for length {len(self)}"
+            )
+
+    @staticmethod
+    def _check_bit(bit: int) -> int:
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+        return bit
+
+
+class StaticBitVector(BitVector):
+    """Marker base class for immutable bitvectors built once from their bits."""
+
+    def is_static(self) -> bool:
+        """Static bitvectors never change after construction."""
+        return True

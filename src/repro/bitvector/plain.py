@@ -1,0 +1,144 @@
+"""Uncompressed bitvector with a sampled rank directory.
+
+:class:`PlainBitVector` stores the raw bits packed into 64-bit words plus a
+cumulative-popcount directory with one entry per word, giving O(1) ``rank``
+and O(log n) ``select`` (binary search over the directory followed by an
+in-word scan).  It is the uncompressed baseline for the ablation benchmark
+(``ABL-BV`` in DESIGN.md) and the workhorse inside other encodings.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, Iterator, List, Union
+
+from repro.bits.bitstring import Bits
+from repro.bitvector.base import StaticBitVector
+from repro.exceptions import OutOfBoundsError
+
+__all__ = ["PlainBitVector"]
+
+_WORD = 64
+_WORD_MASK = (1 << _WORD) - 1
+
+
+class PlainBitVector(StaticBitVector):
+    """Packed, uncompressed bits with a per-word cumulative rank directory."""
+
+    __slots__ = ("_words", "_length", "_cum_ones")
+
+    def __init__(self, bits: Union[Bits, Iterable[int]] = ()) -> None:
+        if not isinstance(bits, Bits):
+            bits = Bits.from_iterable(bits)
+        self._length = len(bits)
+        self._words: List[int] = []
+        # Pack MSB-first bit order into words where word w holds bits
+        # [w*64, (w+1)*64), left-aligned within the word.
+        value = bits.value
+        remaining = self._length
+        chunks: List[int] = []
+        while remaining >= _WORD:
+            remaining -= _WORD
+            chunks.append((value >> remaining) & _WORD_MASK)
+        if remaining:
+            chunks.append((value & ((1 << remaining) - 1)) << (_WORD - remaining))
+        self._words = chunks
+        # Cumulative ones *before* each word.
+        cum = 0
+        self._cum_ones: List[int] = []
+        for word in self._words:
+            self._cum_ones.append(cum)
+            cum += word.bit_count()
+        self._cum_ones.append(cum)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_bits(cls, bits: Bits) -> "PlainBitVector":
+        """Build directly from a :class:`Bits` payload."""
+        return cls(bits)
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def ones(self) -> int:
+        return self._cum_ones[-1]
+
+    def access(self, pos: int) -> int:
+        self._check_pos(pos)
+        word_index, offset = divmod(pos, _WORD)
+        return (self._words[word_index] >> (_WORD - 1 - offset)) & 1
+
+    def rank(self, bit: int, pos: int) -> int:
+        self._check_bit(bit)
+        self._check_rank_pos(pos)
+        word_index, offset = divmod(pos, _WORD)
+        ones = self._cum_ones[word_index]
+        if offset:
+            word = self._words[word_index]
+            ones += (word >> (_WORD - offset)).bit_count()
+        return ones if bit else pos - ones
+
+    def select(self, bit: int, idx: int) -> int:
+        self._check_bit(bit)
+        total = self.count(bit)
+        if not 0 <= idx < total:
+            raise OutOfBoundsError(
+                f"select({bit}, {idx}) out of range: only {total} occurrences"
+            )
+        # Binary search the word containing the idx-th occurrence.
+        if bit:
+            word_index = bisect_right(self._cum_ones, idx) - 1
+            seen = self._cum_ones[word_index]
+        else:
+            # cumulative zeros before word w = w*64 - cum_ones[w] (clamped at n)
+            lo, hi = 0, len(self._words)
+            while lo < hi:
+                mid = (lo + hi + 1) // 2
+                zeros_before = min(mid * _WORD, self._length) - self._cum_ones[mid]
+                if zeros_before <= idx:
+                    lo = mid
+                else:
+                    hi = mid - 1
+            word_index = lo
+            seen = word_index * _WORD - self._cum_ones[word_index]
+        word = self._words[word_index]
+        base = word_index * _WORD
+        limit = min(_WORD, self._length - base)
+        for offset in range(limit):
+            value = (word >> (_WORD - 1 - offset)) & 1
+            if value == bit:
+                if seen == idx:
+                    return base + offset
+                seen += 1
+        raise AssertionError("select directory inconsistent")  # pragma: no cover
+
+    def iter_range(self, start: int, stop: int) -> Iterator[int]:
+        self._check_range(start, stop)
+        pos = start
+        while pos < stop:
+            word_index, offset = divmod(pos, _WORD)
+            word = self._words[word_index]
+            upper = min(stop, (word_index + 1) * _WORD)
+            for local in range(offset, offset + (upper - pos)):
+                yield (word >> (_WORD - 1 - local)) & 1
+            pos = upper
+
+    def size_in_bits(self) -> int:
+        payload = len(self._words) * _WORD
+        directory = len(self._cum_ones) * _WORD
+        return payload + directory
+
+    def payload_bits(self) -> int:
+        """Bits used by the raw payload only (no rank directory)."""
+        return len(self._words) * _WORD
+
+    def to_bits(self) -> Bits:
+        """Reconstruct the original :class:`Bits` payload."""
+        value = 0
+        for word in self._words:
+            value = (value << _WORD) | word
+        extra = len(self._words) * _WORD - self._length
+        if extra:
+            value >>= extra
+        return Bits(value, self._length)

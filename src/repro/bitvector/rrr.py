@@ -1,0 +1,265 @@
+"""RRR compressed bitvector (Raman, Raman & Rao).
+
+The encoding splits the input into fixed-size blocks; each block is stored as
+a pair ``(class, offset)`` where ``class`` is the block popcount and ``offset``
+is the index of the block in the lexicographic enumeration of all blocks with
+that popcount.  The total payload is ``B(m, n) + o(n)`` bits (paper Section 2),
+and with sampled superblock directories ``rank``/``select``/``access`` run in
+time proportional to the sampling rate (a constant).
+
+This is the static bitvector used inside the static Wavelet Trie
+(Theorem 3.7) and as the frozen-block representation inside the append-only
+bitvector (Theorem 4.5).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, Iterator, List, Union
+
+from repro.bits.bitstring import Bits
+from repro.bits.codes import (
+    BitWriter,
+    combinatorial_rank,
+    combinatorial_unrank,
+    offset_width,
+    offset_width_table,
+)
+from repro.bits.packed import PackedIntVector
+from repro.bitvector.base import StaticBitVector
+from repro.exceptions import OutOfBoundsError
+
+__all__ = ["RRRBitVector"]
+
+_DEFAULT_BLOCK = 63
+_DEFAULT_SAMPLE = 8
+
+
+class RRRBitVector(StaticBitVector):
+    """Static compressed bitvector with (class, offset) block encoding.
+
+    Parameters
+    ----------
+    bits:
+        The payload, as a :class:`Bits` value or any iterable of 0/1.
+    block_size:
+        Bits per block; 63 keeps every offset within a machine word.
+    sample_rate:
+        Number of blocks per superblock sample.  Larger values compress the
+        directory further at the cost of a longer sequential scan per query.
+    """
+
+    __slots__ = (
+        "_length",
+        "_block_size",
+        "_sample_rate",
+        "_classes",
+        "_offsets",
+        "_offset_starts",
+        "_sample_rank",
+        "_sample_offset_pos",
+        "_ones",
+        "_width_by_class",
+    )
+
+    def __init__(
+        self,
+        bits: Union[Bits, Iterable[int]] = (),
+        block_size: int = _DEFAULT_BLOCK,
+        sample_rate: int = _DEFAULT_SAMPLE,
+    ) -> None:
+        if not isinstance(bits, Bits):
+            bits = Bits.from_iterable(bits)
+        if block_size < 1 or block_size > 63:
+            raise ValueError("block_size must be between 1 and 63")
+        if sample_rate < 1:
+            raise ValueError("sample_rate must be positive")
+        self._length = len(bits)
+        self._block_size = block_size
+        self._sample_rate = sample_rate
+        # Per-class offset widths: the pure-Python stand-in for the
+        # four-Russians tables, kept per instance for hot-path list lookups.
+        self._width_by_class = offset_width_table(block_size)
+
+        classes: List[int] = []
+        writer = BitWriter()
+        sample_rank: List[int] = []
+        sample_offset_pos: List[int] = []
+        ones_so_far = 0
+
+        n_blocks = (self._length + block_size - 1) // block_size
+        for block_index in range(n_blocks):
+            if block_index % sample_rate == 0:
+                sample_rank.append(ones_so_far)
+                sample_offset_pos.append(len(writer))
+            start = block_index * block_size
+            stop = min(start + block_size, self._length)
+            width = stop - start
+            block = bits.slice(start, stop)
+            # Right-pad the final partial block with zeros to full width so the
+            # class/offset maths always works on `block_size`-bit blocks.
+            value = block.value << (block_size - width)
+            cls = value.bit_count()
+            classes.append(cls)
+            ones_so_far += cls
+            off_w = self._width_by_class[cls]
+            if off_w:
+                writer.write_int(
+                    combinatorial_rank(value, block_size, cls), off_w
+                )
+        self._classes = PackedIntVector(
+            max(1, block_size.bit_length()), classes
+        )
+        self._offsets = writer.to_bits()
+        self._sample_rank = sample_rank
+        self._sample_offset_pos = sample_offset_pos
+        self._ones = ones_so_far
+        self._offset_starts = None  # computed lazily only for repr/debug
+
+    # ------------------------------------------------------------------
+    @property
+    def block_size(self) -> int:
+        """Bits per block."""
+        return self._block_size
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def ones(self) -> int:
+        return self._ones
+
+    # ------------------------------------------------------------------
+    def _decode_block(self, block_index: int, offset_pos: int) -> int:
+        """Decode block ``block_index`` given the bit position of its offset."""
+        cls = self._classes[block_index]
+        off_w = self._width_by_class[cls]
+        if off_w == 0:
+            # The block is all zeros or all ones.
+            return ((1 << self._block_size) - 1) if cls == self._block_size else 0
+        offset_value = self._offsets.slice(offset_pos, offset_pos + off_w).value
+        return combinatorial_unrank(offset_value, self._block_size, cls)
+
+    def _walk_to_block(self, block_index: int):
+        """Return ``(rank_before, offset_pos)`` for the given block."""
+        sample_index = block_index // self._sample_rate
+        rank_before = self._sample_rank[sample_index]
+        offset_pos = self._sample_offset_pos[sample_index]
+        widths = self._width_by_class
+        classes = self._classes
+        current = sample_index * self._sample_rate
+        while current < block_index:
+            cls = classes[current]
+            rank_before += cls
+            offset_pos += widths[cls]
+            current += 1
+        return rank_before, offset_pos
+
+    # ------------------------------------------------------------------
+    def access(self, pos: int) -> int:
+        self._check_pos(pos)
+        block_index, offset = divmod(pos, self._block_size)
+        _, offset_pos = self._walk_to_block(block_index)
+        value = self._decode_block(block_index, offset_pos)
+        return (value >> (self._block_size - 1 - offset)) & 1
+
+    def rank(self, bit: int, pos: int) -> int:
+        self._check_bit(bit)
+        self._check_rank_pos(pos)
+        if pos == 0:
+            return 0
+        block_index, offset = divmod(pos, self._block_size)
+        if block_index >= len(self._classes):
+            # pos == length and length is a multiple of block_size
+            ones = self._ones
+            return ones if bit else pos - ones
+        rank_before, offset_pos = self._walk_to_block(block_index)
+        ones = rank_before
+        if offset:
+            value = self._decode_block(block_index, offset_pos)
+            ones += (value >> (self._block_size - offset)).bit_count()
+        return ones if bit else pos - ones
+
+    def select(self, bit: int, idx: int) -> int:
+        self._check_bit(bit)
+        total = self._ones if bit else self._length - self._ones
+        if not 0 <= idx < total:
+            raise OutOfBoundsError(
+                f"select({bit}, {idx}) out of range: only {total} occurrences"
+            )
+        # Binary search the superblock sample, then scan blocks.
+        if bit:
+            sample_index = bisect_right(self._sample_rank, idx) - 1
+            seen = self._sample_rank[sample_index]
+        else:
+            lo, hi = 0, len(self._sample_rank) - 1
+            while lo < hi:
+                mid = (lo + hi + 1) // 2
+                zeros_before = (
+                    mid * self._sample_rate * self._block_size
+                    - self._sample_rank[mid]
+                )
+                if zeros_before <= idx:
+                    lo = mid
+                else:
+                    hi = mid - 1
+            sample_index = lo
+            seen = (
+                sample_index * self._sample_rate * self._block_size
+                - self._sample_rank[sample_index]
+            )
+        block_index = sample_index * self._sample_rate
+        offset_pos = self._sample_offset_pos[sample_index]
+        n_blocks = len(self._classes)
+        while block_index < n_blocks:
+            cls = self._classes[block_index]
+            block_start = block_index * self._block_size
+            block_len = min(self._block_size, self._length - block_start)
+            in_block = cls if bit else block_len - cls
+            if seen + in_block > idx:
+                value = self._decode_block(block_index, offset_pos)
+                for offset in range(block_len):
+                    bit_value = (value >> (self._block_size - 1 - offset)) & 1
+                    if bit_value == bit:
+                        if seen == idx:
+                            return block_start + offset
+                        seen += 1
+                raise AssertionError("block scan inconsistent")  # pragma: no cover
+            seen += in_block
+            offset_pos += self._width_by_class[cls]
+            block_index += 1
+        raise AssertionError("select directory inconsistent")  # pragma: no cover
+
+    def iter_range(self, start: int, stop: int) -> Iterator[int]:
+        self._check_range(start, stop)
+        if start >= stop:
+            return
+        block_index, offset = divmod(start, self._block_size)
+        _, offset_pos = self._walk_to_block(block_index)
+        pos = start
+        while pos < stop:
+            value = self._decode_block(block_index, offset_pos)
+            block_start = block_index * self._block_size
+            block_len = min(self._block_size, self._length - block_start)
+            upper = min(stop - block_start, block_len)
+            for local in range(pos - block_start, upper):
+                yield (value >> (self._block_size - 1 - local)) & 1
+            pos = block_start + upper
+            offset_pos += self._width_by_class[self._classes[block_index]]
+            block_index += 1
+
+    # ------------------------------------------------------------------
+    def size_in_bits(self) -> int:
+        """Total encoded size: classes + offsets + sampled directories."""
+        classes = self._classes.size_in_bits()
+        offsets = len(self._offsets)
+        samples = (len(self._sample_rank) + len(self._sample_offset_pos)) * 64
+        return classes + offsets + samples
+
+    def payload_bits(self) -> int:
+        """Bits of the (class, offset) payload only, the ``B(m, n)`` part."""
+        return self._classes.size_in_bits() + len(self._offsets)
+
+    def compressed_payload_bits(self) -> int:
+        """The offset stream alone (the entropy-proportional part)."""
+        return len(self._offsets)

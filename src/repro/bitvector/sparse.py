@@ -1,0 +1,201 @@
+"""Elias-Fano monotone sequences and sparse bitvectors.
+
+The static Wavelet Trie (paper Section 3) delimits the concatenated node
+labels ``L`` and the concatenated RRR encodings with the partial-sum structure
+of Raman, Raman & Rao, which costs ``B(e, |L| + e) + o(...)`` bits.  The
+quasi-succinct Elias-Fano representation achieves the same bound up to lower
+order terms and is the standard engineering choice, so it is what we build
+here:
+
+* :class:`EliasFanoSequence` stores a non-decreasing sequence of integers with
+  ``n (2 + log(u / n))`` bits and O(1) ``select`` (access by index);
+* :class:`SparseBitVector` exposes the positions of the 1s of a sparse
+  bitvector through the same machinery, with full rank/select support.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence
+
+from repro.bits.bitbuffer import BitBuffer
+from repro.bits.packed import PackedIntVector
+from repro.bitvector.base import StaticBitVector
+from repro.bitvector.plain import PlainBitVector
+from repro.exceptions import OutOfBoundsError
+
+__all__ = ["EliasFanoSequence", "SparseBitVector"]
+
+
+class EliasFanoSequence:
+    """Quasi-succinct encoding of a monotone non-decreasing integer sequence.
+
+    Each value is split into ``low_width`` low-order bits, stored verbatim in a
+    packed array, and high-order bits, stored as a unary-coded sequence of
+    bucket gaps in a plain bitvector with rank/select support.
+    """
+
+    __slots__ = ("_n", "_universe", "_low_width", "_low", "_high")
+
+    def __init__(self, values: Sequence[int], universe: int | None = None) -> None:
+        values = list(values)
+        for earlier, later in zip(values, values[1:]):
+            if later < earlier:
+                raise ValueError("EliasFanoSequence requires a non-decreasing input")
+        if values and values[0] < 0:
+            raise ValueError("values must be non-negative")
+        self._n = len(values)
+        self._universe = universe if universe is not None else (values[-1] + 1 if values else 1)
+        if values and values[-1] >= self._universe:
+            raise ValueError("universe must exceed the largest value")
+        if self._n == 0:
+            self._low_width = 0
+            self._low = PackedIntVector(0)
+            self._high = PlainBitVector()
+            return
+        # Choose the textbook low-part width floor(log2(u / n)).
+        ratio = max(1, self._universe // self._n)
+        self._low_width = max(0, ratio.bit_length() - 1)
+        low = PackedIntVector(self._low_width)
+        high_bits = BitBuffer()
+        previous_bucket = 0
+        mask = (1 << self._low_width) - 1
+        for value in values:
+            low.append(value & mask if self._low_width else 0)
+            bucket = value >> self._low_width
+            high_bits.append_run(0, bucket - previous_bucket)
+            high_bits.append(1)
+            previous_bucket = bucket
+        self._low = low
+        self._high = PlainBitVector(high_bits.to_bits())
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def universe(self) -> int:
+        """Exclusive upper bound on the stored values."""
+        return self._universe
+
+    def __getitem__(self, index: int) -> int:
+        return self.select(index)
+
+    def select(self, index: int) -> int:
+        """The ``index``-th value (0-based)."""
+        if not 0 <= index < self._n:
+            raise OutOfBoundsError(f"index {index} out of range for {self._n} values")
+        high = self._high.select1(index) - index
+        low = self._low[index] if self._low_width else 0
+        return (high << self._low_width) | low
+
+    def rank(self, value: int) -> int:
+        """Number of stored values strictly smaller than ``value``."""
+        if value <= 0:
+            return 0
+        if self._n == 0:
+            return 0
+        # Binary search; the sequence is monotone.
+        lo, hi = 0, self._n
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.select(mid) < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def predecessor(self, value: int) -> int:
+        """Largest index ``i`` with ``self[i] <= value``; raises if none exists."""
+        count = self.rank(value + 1)
+        if count == 0:
+            raise OutOfBoundsError(f"no value <= {value}")
+        return count - 1
+
+    def __iter__(self) -> Iterator[int]:
+        for index in range(self._n):
+            yield self.select(index)
+
+    def to_list(self) -> List[int]:
+        """Materialise the sequence."""
+        return list(self)
+
+    def size_in_bits(self) -> int:
+        """Total encoded size in bits."""
+        return self._low.size_in_bits() + self._high.size_in_bits() + 2 * 64
+
+
+class SparseBitVector(StaticBitVector):
+    """A bitvector represented by the Elias-Fano encoding of its 1 positions.
+
+    Efficient when the density of 1s is low, e.g. block delimiters; supports
+    the full FID interface.
+    """
+
+    __slots__ = ("_length", "_positions")
+
+    def __init__(self, length: int, one_positions: Iterable[int]) -> None:
+        positions = sorted(one_positions)
+        if positions and (positions[0] < 0 or positions[-1] >= length):
+            raise OutOfBoundsError("a 1-position is outside [0, length)")
+        for earlier, later in zip(positions, positions[1:]):
+            if earlier == later:
+                raise ValueError("duplicate 1-position")
+        self._length = length
+        self._positions = EliasFanoSequence(positions, universe=max(length, 1))
+
+    @classmethod
+    def from_bits(cls, bits: Iterable[int]) -> "SparseBitVector":
+        """Build from an explicit iterable of bits."""
+        ones = []
+        length = 0
+        for position, bit in enumerate(bits):
+            if bit:
+                ones.append(position)
+            length += 1
+        return cls(length, ones)
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def ones(self) -> int:
+        return len(self._positions)
+
+    def access(self, pos: int) -> int:
+        self._check_pos(pos)
+        rank_after = self._positions.rank(pos + 1)
+        rank_before = self._positions.rank(pos)
+        return rank_after - rank_before
+
+    def rank(self, bit: int, pos: int) -> int:
+        self._check_bit(bit)
+        self._check_rank_pos(pos)
+        ones = self._positions.rank(pos)
+        return ones if bit else pos - ones
+
+    def select(self, bit: int, idx: int) -> int:
+        self._check_bit(bit)
+        if bit:
+            if not 0 <= idx < len(self._positions):
+                raise OutOfBoundsError(
+                    f"select(1, {idx}) out of range: only {len(self._positions)} ones"
+                )
+            return self._positions.select(idx)
+        zeros = self._length - len(self._positions)
+        if not 0 <= idx < zeros:
+            raise OutOfBoundsError(
+                f"select(0, {idx}) out of range: only {zeros} zeros"
+            )
+        # Binary search over positions: zeros before position p = p - rank1(p).
+        lo, hi = 0, self._length - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            zeros_through_mid = (mid + 1) - self._positions.rank(mid + 1)
+            if zeros_through_mid <= idx:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def size_in_bits(self) -> int:
+        return self._positions.size_in_bits() + 64

@@ -1,0 +1,353 @@
+"""Command-line interface for building and querying compressed string indexes.
+
+The CLI covers the end-to-end workflow of the paper's motivating scenario --
+compress a log of strings once, then answer access/rank/select, prefix and
+range-analytics queries against the compressed file:
+
+.. code-block:: console
+
+   $ wavelet-trie build access.log -o access.wt --variant append-only
+   $ wavelet-trie info access.wt
+   $ wavelet-trie access access.wt 0 17 42
+   $ wavelet-trie rank access.wt "http://example.com/" --prefix
+   $ wavelet-trie top access.wt -k 5 --prefix "http://ads."
+   $ wavelet-trie distinct access.wt --start 1000 --stop 2000
+   $ wavelet-trie append access.wt "http://example.com/new" --save
+
+Input files are plain text, one string per line (the empty string is a valid
+value; trailing newlines are stripped).  Indexes are stored in the
+:mod:`repro.storage` container format.  Every command accepts ``--json`` for
+machine-readable output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.bounds import compute_bounds
+from repro.analysis.space import wavelet_trie_space_report
+from repro.core.append_only import AppendOnlyWaveletTrie
+from repro.core.dynamic import DynamicWaveletTrie
+from repro.core.static import WaveletTrie
+from repro.exceptions import ReproError
+from repro.storage import load, save
+
+__all__ = ["main", "build_parser"]
+
+_VARIANTS = {
+    "static": WaveletTrie,
+    "append-only": AppendOnlyWaveletTrie,
+    "dynamic": DynamicWaveletTrie,
+}
+
+
+# ----------------------------------------------------------------------
+# Input helpers
+# ----------------------------------------------------------------------
+def _read_lines(path: str) -> List[str]:
+    """Read one value per line (newline stripped, other whitespace kept)."""
+    if path == "-":
+        return [line.rstrip("\n") for line in sys.stdin]
+    with open(path, "r", encoding="utf-8") as handle:
+        return [line.rstrip("\n") for line in handle]
+
+
+def _emit(payload: Dict[str, Any], as_json: bool, lines: Optional[List[str]] = None) -> None:
+    """Print either the JSON payload or the human-readable lines."""
+    if as_json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for line in lines if lines is not None else [f"{k}: {v}" for k, v in payload.items()]:
+            print(line)
+
+
+# ----------------------------------------------------------------------
+# Sub-command implementations
+# ----------------------------------------------------------------------
+def _cmd_build(args: argparse.Namespace) -> int:
+    values = _read_lines(args.input)
+    variant_cls = _VARIANTS[args.variant]
+    if args.variant == "static":
+        index = variant_cls(values, bitvector=args.bitvector)
+    else:
+        index = variant_cls(values)
+    written = save(index, args.output)
+    raw_bytes = sum(len(value.encode("utf-8")) + 1 for value in values)
+    payload = {
+        "input": args.input,
+        "output": args.output,
+        "variant": args.variant,
+        "elements": len(index),
+        "distinct": index.distinct_count(),
+        "raw_bytes": raw_bytes,
+        "stored_bytes": written,
+        "compression_ratio": round(written / raw_bytes, 3) if raw_bytes else None,
+    }
+    _emit(
+        payload,
+        args.json,
+        [
+            f"indexed {len(index):,} values ({index.distinct_count():,} distinct) "
+            f"from {args.input}",
+            f"wrote {written:,} bytes to {args.output} "
+            f"({payload['compression_ratio']}x of the raw text)"
+            if raw_bytes
+            else f"wrote {written:,} bytes to {args.output}",
+        ],
+    )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    index = load(args.index)
+    _require_trie(index)
+    values = index.to_list() if args.bounds else None
+    report = wavelet_trie_space_report(index)
+    payload: Dict[str, Any] = {
+        "variant": type(index).__name__,
+        "elements": len(index),
+        "distinct": index.distinct_count(),
+        "nodes": index.node_count(),
+        "average_height": round(index.average_height(), 2),
+        "measured_bits": report.total_bits,
+        "bits_per_element": round(report.bits_per_element(len(index)), 2),
+        "space_components": report.components,
+    }
+    lines = [
+        f"variant          : {payload['variant']}",
+        f"elements         : {payload['elements']:,}",
+        f"distinct values  : {payload['distinct']:,}",
+        f"trie nodes       : {payload['nodes']:,}",
+        f"average height h̃ : {payload['average_height']}",
+        f"measured size    : {payload['measured_bits']:,} bits "
+        f"({payload['bits_per_element']} bits/element)",
+    ]
+    if args.bounds and values is not None:
+        bounds = compute_bounds(values)
+        payload["bounds"] = bounds.as_dict()
+        lines += [
+            f"nH0(S)           : {bounds.entropy_bits:,.0f} bits",
+            f"LT(Sset)         : {bounds.lt_bits:,.0f} bits",
+            f"LB = LT + nH0    : {bounds.lb_bits:,.0f} bits",
+            f"measured / LB    : {report.total_bits / bounds.lb_bits:.2f}x"
+            if bounds.lb_bits
+            else "measured / LB    : n/a",
+        ]
+    _emit(payload, args.json, lines)
+    return 0
+
+
+def _cmd_access(args: argparse.Namespace) -> int:
+    index = load(args.index)
+    _require_trie(index)
+    results = [{"position": position, "value": index.access(position)} for position in args.positions]
+    _emit({"results": results}, args.json, [f"{r['position']}\t{r['value']}" for r in results])
+    return 0
+
+
+def _cmd_rank(args: argparse.Namespace) -> int:
+    index = load(args.index)
+    _require_trie(index)
+    position = len(index) if args.pos is None else args.pos
+    if args.prefix:
+        count = index.rank_prefix(args.value, position)
+    else:
+        count = index.rank(args.value, position)
+    payload = {"value": args.value, "pos": position, "prefix": args.prefix, "count": count}
+    _emit(payload, args.json, [str(count)])
+    return 0
+
+
+def _cmd_select(args: argparse.Namespace) -> int:
+    index = load(args.index)
+    _require_trie(index)
+    if args.prefix:
+        position = index.select_prefix(args.value, args.occurrence)
+    else:
+        position = index.select(args.value, args.occurrence)
+    payload = {
+        "value": args.value,
+        "occurrence": args.occurrence,
+        "prefix": args.prefix,
+        "position": position,
+    }
+    _emit(payload, args.json, [str(position)])
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    index = load(args.index)
+    _require_trie(index)
+    start = args.start
+    stop = len(index) if args.stop is None else args.stop
+    results = index.top_k_in_range(start, stop, args.k, args.prefix)
+    payload = {
+        "start": start,
+        "stop": stop,
+        "k": args.k,
+        "prefix": args.prefix,
+        "results": [{"value": value, "count": count} for value, count in results],
+    }
+    _emit(payload, args.json, [f"{count:8,}  {value}" for value, count in results])
+    return 0
+
+
+def _cmd_distinct(args: argparse.Namespace) -> int:
+    index = load(args.index)
+    _require_trie(index)
+    start = args.start
+    stop = len(index) if args.stop is None else args.stop
+    results = index.distinct_in_range(start, stop, args.prefix)
+    payload = {
+        "start": start,
+        "stop": stop,
+        "prefix": args.prefix,
+        "distinct": len(results),
+        "results": [{"value": value, "count": count} for value, count in results],
+    }
+    lines = [f"{len(results)} distinct values in [{start}, {stop})"]
+    lines += [f"{count:8,}  {value}" for value, count in results]
+    _emit(payload, args.json, lines)
+    return 0
+
+
+def _cmd_append(args: argparse.Namespace) -> int:
+    index = load(args.index)
+    _require_trie(index)
+    if isinstance(index, WaveletTrie):
+        raise ReproError(
+            "this index is static; rebuild it with --variant append-only or dynamic"
+        )
+    for value in args.values:
+        index.append(value)
+    payload = {"appended": len(args.values), "elements": len(index), "saved": bool(args.save)}
+    if args.save:
+        save(index, args.index)
+    _emit(
+        payload,
+        args.json,
+        [
+            f"appended {len(args.values)} values; the index now holds {len(index):,} elements"
+            + ("" if args.save else "  (not saved; pass --save to persist)")
+        ],
+    )
+    return 0
+
+
+def _require_trie(index: Any) -> None:
+    if not isinstance(index, (WaveletTrie, AppendOnlyWaveletTrie, DynamicWaveletTrie)):
+        raise ReproError(
+            f"the file holds a {type(index).__name__}, not a Wavelet Trie index"
+        )
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """The :mod:`argparse` parser for the ``wavelet-trie`` command."""
+    parser = argparse.ArgumentParser(
+        prog="wavelet-trie",
+        description="Build and query compressed indexed sequences of strings (Wavelet Trie).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+    build = subparsers.add_parser("build", help="index a text file (one value per line)")
+    build.add_argument("input", help="input text file, or - for stdin")
+    build.add_argument("-o", "--output", required=True, help="output index file")
+    build.add_argument(
+        "--variant",
+        choices=sorted(_VARIANTS),
+        default="append-only",
+        help="which Wavelet Trie variant to build (default: append-only)",
+    )
+    build.add_argument(
+        "--bitvector",
+        choices=["rrr", "plain", "rle"],
+        default="rrr",
+        help="node bitvector for the static variant (default: rrr)",
+    )
+    add_common(build)
+    build.set_defaults(handler=_cmd_build)
+
+    info = subparsers.add_parser("info", help="show size, entropy and space breakdown")
+    info.add_argument("index", help="index file produced by `build`")
+    info.add_argument(
+        "--bounds",
+        action="store_true",
+        help="also compute the Table 1 information-theoretic bounds (decodes the sequence)",
+    )
+    add_common(info)
+    info.set_defaults(handler=_cmd_info)
+
+    access = subparsers.add_parser("access", help="retrieve the values at given positions")
+    access.add_argument("index")
+    access.add_argument("positions", nargs="+", type=int)
+    add_common(access)
+    access.set_defaults(handler=_cmd_access)
+
+    rank = subparsers.add_parser("rank", help="count occurrences of a value (or prefix)")
+    rank.add_argument("index")
+    rank.add_argument("value")
+    rank.add_argument("--pos", type=int, default=None, help="count within the first POS elements")
+    rank.add_argument("--prefix", action="store_true", help="treat VALUE as a prefix")
+    add_common(rank)
+    rank.set_defaults(handler=_cmd_rank)
+
+    select = subparsers.add_parser("select", help="position of the i-th occurrence")
+    select.add_argument("index")
+    select.add_argument("value")
+    select.add_argument("occurrence", type=int)
+    select.add_argument("--prefix", action="store_true", help="treat VALUE as a prefix")
+    add_common(select)
+    select.set_defaults(handler=_cmd_select)
+
+    top = subparsers.add_parser("top", help="most frequent values in a position range")
+    top.add_argument("index")
+    top.add_argument("-k", type=int, default=10)
+    top.add_argument("--start", type=int, default=0)
+    top.add_argument("--stop", type=int, default=None)
+    top.add_argument("--prefix", default=None)
+    add_common(top)
+    top.set_defaults(handler=_cmd_top)
+
+    distinct = subparsers.add_parser("distinct", help="distinct values in a position range")
+    distinct.add_argument("index")
+    distinct.add_argument("--start", type=int, default=0)
+    distinct.add_argument("--stop", type=int, default=None)
+    distinct.add_argument("--prefix", default=None)
+    add_common(distinct)
+    distinct.set_defaults(handler=_cmd_distinct)
+
+    append = subparsers.add_parser("append", help="append values to a dynamic index")
+    append.add_argument("index")
+    append.add_argument("values", nargs="+")
+    append.add_argument("--save", action="store_true", help="write the grown index back to disk")
+    add_common(append)
+    append.set_defaults(handler=_cmd_append)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""The Wavelet Trie: compressed indexed sequences of strings.
+
+Three variants, matching the paper's Table 1:
+
+* :class:`~repro.core.static.WaveletTrie` -- static (Theorem 3.7);
+* :class:`~repro.core.append_only.AppendOnlyWaveletTrie` -- supports
+  ``append`` (Theorem 4.3);
+* :class:`~repro.core.dynamic.DynamicWaveletTrie` -- fully dynamic
+  ``insert``/``append``/``delete`` with a dynamic alphabet (Theorem 4.4).
+
+All variants share the query interface of
+:class:`~repro.core.interface.IndexedStringSequence` (``access``, ``rank``,
+``select``, ``rank_prefix``, ``select_prefix``) and the Section 5 range
+analytics implemented in :mod:`repro.core.range_queries`.
+"""
+
+from repro.core.append_only import AppendOnlyWaveletTrie
+from repro.core.dynamic import DynamicWaveletTrie
+from repro.core.interface import IndexedStringSequence
+from repro.core.node import WaveletTrieNode
+from repro.core.static import WaveletTrie
+from repro.core.succinct_static import SuccinctWaveletTrie
+
+__all__ = [
+    "AppendOnlyWaveletTrie",
+    "SuccinctWaveletTrie",
+    "DynamicWaveletTrie",
+    "IndexedStringSequence",
+    "WaveletTrie",
+    "WaveletTrieNode",
+]

@@ -1,0 +1,89 @@
+"""Bulk construction of a Wavelet Trie from a sequence (Definition 3.1).
+
+The builder follows the recursive definition: the root label is the longest
+common prefix of the sequence, the root bitvector records the bit following
+the prefix in each element, and the two children are built on the projected
+subsequences.  The implementation is iterative (explicit work stack), so deep
+tries -- long URLs produce paths hundreds of bits deep -- never hit Python's
+recursion limit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.bits.bitstring import Bits
+from repro.core.node import WaveletTrieNode
+from repro.exceptions import BinarizationError
+
+__all__ = ["build_wavelet_trie_nodes"]
+
+BitvectorFactory = Callable[[Sequence[int]], object]
+
+
+def _longest_common_prefix(sequence: Sequence[Bits]) -> int:
+    """Length of the longest common prefix of all elements."""
+    first = sequence[0]
+    lcp = len(first)
+    for item in sequence[1:]:
+        lcp = min(lcp, first.lcp_length(item))
+        if lcp == 0:
+            break
+    return lcp
+
+
+def build_wavelet_trie_nodes(
+    encoded: Sequence[Bits],
+    bitvector_factory: BitvectorFactory,
+) -> Optional[WaveletTrieNode]:
+    """Build the node tree of ``WT(S)`` for the binarised sequence ``encoded``.
+
+    ``bitvector_factory`` receives the list of branching bits of one node and
+    returns the bitvector object stored there (RRR for the static trie, a
+    dynamic bitvector for bulk-loading the dynamic variants).
+
+    Raises :class:`BinarizationError` if the underlying string set is not
+    prefix-free (which the codecs guarantee by construction).
+    """
+    if not encoded:
+        return None
+
+    root_holder: List[Optional[WaveletTrieNode]] = [None]
+    # Work items: (subsequence, parent node, branching bit under the parent).
+    stack: List[tuple] = [(list(encoded), None, 0)]
+    while stack:
+        sequence, parent, parent_bit = stack.pop()
+        first = sequence[0]
+        lcp = _longest_common_prefix(sequence)
+        if lcp == len(first):
+            # `first` is a prefix of every element; with a prefix-free set
+            # this means the subsequence is constant -> leaf node.
+            for item in sequence:
+                if len(item) != len(first):
+                    raise BinarizationError(
+                        "the binarised string set is not prefix-free"
+                    )
+            node = WaveletTrieNode(label=first)
+        else:
+            alpha = first.prefix(lcp)
+            branch_bits = [item[lcp] for item in sequence]
+            node = WaveletTrieNode(
+                label=alpha, bitvector=bitvector_factory(branch_bits)
+            )
+            left: List[Bits] = []
+            right: List[Bits] = []
+            for item, bit in zip(sequence, branch_bits):
+                suffix = item.suffix_from(lcp + 1)
+                if bit:
+                    right.append(suffix)
+                else:
+                    left.append(suffix)
+            if not left or not right:  # pragma: no cover - lcp is maximal
+                raise AssertionError("both children of a split must be non-empty")
+            stack.append((right, node, 1))
+            stack.append((left, node, 0))
+        if parent is None:
+            root_holder[0] = node
+        else:
+            parent.attach(parent_bit, node)
+    return root_holder[0]

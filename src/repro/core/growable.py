@@ -1,0 +1,137 @@
+"""Shared topology-update machinery for the growable Wavelet Trie variants.
+
+Both the append-only and the fully dynamic Wavelet Trie change the underlying
+Patricia trie when a *previously unseen* string arrives: exactly one node is
+split, a new internal node with a constant bitvector is created via ``Init``
+and a new leaf is added (paper Section 4, Figure 3).  Symmetrically, deleting
+the last occurrence of a string removes its leaf and merges its parent with
+the sibling.
+
+This mixin implements those structural changes once; subclasses only supply
+``_new_constant_bitvector`` (the ``Init`` of their bitvector type).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro.bits.bitstring import Bits
+from repro.core.node import WaveletTrieNode
+from repro.exceptions import BinarizationError
+
+__all__ = ["GrowableTopologyMixin"]
+
+
+class GrowableTopologyMixin:
+    """Patricia-trie split/merge operations shared by the dynamic variants."""
+
+    # Subclasses provide _root, _size and this factory.
+    def _new_constant_bitvector(self, bit: int, length: int):
+        """``Init(b, n)`` for the bitvector type of this variant."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _ensure_key(self, key: Bits) -> bool:
+        """Make sure ``key`` has a root-to-leaf path, splitting a node if needed.
+
+        Returns True if the topology changed (the key was new).  Must be
+        called *before* the per-node bit updates of the enclosing
+        insert/append, so that the new constant bitvector is initialised with
+        the sequence length prior to the update (paper Figure 3).
+        """
+        if self._root is None:
+            self._root = WaveletTrieNode(label=key)
+            return True
+        node = self._root
+        depth = 0
+        while True:
+            label = node.label
+            remaining = key.suffix_from(depth)
+            lcp = remaining.lcp_length(label)
+            if node.is_leaf:
+                if lcp == len(label) and lcp == len(remaining):
+                    return False  # key already stored
+                if lcp == len(label) or lcp == len(remaining):
+                    raise BinarizationError(
+                        "inserting this value would violate prefix-freeness"
+                    )
+                self._split_node(node, lcp, remaining)
+                return True
+            if lcp == len(label):
+                if lcp == len(remaining):
+                    raise BinarizationError(
+                        "inserting this value would violate prefix-freeness"
+                    )
+                depth += len(label)
+                bit = key[depth]
+                depth += 1
+                node = node.children[bit]
+                continue
+            if lcp == len(remaining):
+                raise BinarizationError(
+                    "inserting this value would violate prefix-freeness"
+                )
+            self._split_node(node, lcp, remaining)
+            return True
+
+    def _split_node(self, node: WaveletTrieNode, lcp: int, remaining: Bits) -> WaveletTrieNode:
+        """Split ``node`` at label offset ``lcp``; add a new leaf for ``remaining``.
+
+        The new internal node receives a constant bitvector of the length of
+        the split node's subsequence (``Init``), exactly as in Figure 3 of the
+        paper.  Returns the new internal node.
+        """
+        old_bit = node.label[lcp]
+        new_bit = remaining[lcp]
+        count = node.sequence_length(self._size)
+        new_internal = WaveletTrieNode(
+            label=node.label.prefix(lcp),
+            bitvector=self._new_constant_bitvector(old_bit, count),
+        )
+        parent = node.parent
+        parent_bit = node.parent_bit
+        node.label = node.label.suffix_from(lcp + 1)
+        new_leaf = WaveletTrieNode(label=remaining.suffix_from(lcp + 1))
+        new_internal.attach(old_bit, node)
+        new_internal.attach(new_bit, new_leaf)
+        if parent is None:
+            self._root = new_internal
+            new_internal.parent = None
+            new_internal.parent_bit = 0
+        else:
+            parent.attach(parent_bit, new_internal)
+        return new_internal
+
+    # ------------------------------------------------------------------
+    def _remove_leaf_if_last(self, parent: WaveletTrieNode, leaf_bit: int) -> bool:
+        """After a delete: drop the leaf and merge if it held the last occurrence.
+
+        ``parent`` is the leaf's parent and ``leaf_bit`` its branching bit.
+        Returns True if the topology changed.
+        """
+        if parent.bitvector.count(leaf_bit) > 0:
+            return False
+        sibling = parent.children[1 - leaf_bit]
+        sibling.label = parent.label.appended(1 - leaf_bit) + sibling.label
+        grandparent = parent.parent
+        if grandparent is None:
+            self._root = sibling
+            sibling.parent = None
+            sibling.parent_bit = 0
+        else:
+            grandparent.attach(parent.parent_bit, sibling)
+        return True
+
+    # ------------------------------------------------------------------
+    def _walk_for_update(self, key: Bits):
+        """Iterate ``(node, branching_bit)`` over the internal nodes of ``key``'s path.
+
+        Used by the bit-update phase of append/insert after ``_ensure_key``.
+        """
+        node = self._root
+        depth = 0
+        while not node.is_leaf:
+            bit = key[depth + len(node.label)]
+            yield node, bit
+            depth += len(node.label) + 1
+            node = node.children[bit]

@@ -1,0 +1,120 @@
+"""The abstract interface of an indexed sequence of strings.
+
+This is the problem statement of the paper's introduction: a sequence
+``S = <s_0, ..., s_{n-1}>`` supporting random access, counting and searching,
+both exact and by prefix, and optionally updates.  Every implementation in
+this package -- the three Wavelet Trie variants and the related-work
+baselines -- implements this interface, which is what makes the benchmark
+harness able to compare them uniformly.
+
+Positions, ranks and indices are 0-based throughout:
+
+* ``access(pos)`` returns ``s_pos``;
+* ``rank(s, pos)`` counts occurrences of ``s`` in ``s_0 .. s_{pos-1}``;
+* ``select(s, idx)`` returns the position of the ``idx``-th occurrence
+  (``idx = 0`` is the first one);
+* ``rank_prefix`` / ``select_prefix`` are the same over all strings starting
+  with the given prefix.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterator, List
+
+from repro.exceptions import InvalidOperationError
+
+__all__ = ["IndexedStringSequence"]
+
+
+class IndexedStringSequence(ABC):
+    """Abstract indexed sequence of strings (paper Section 1 primitives)."""
+
+    # ------------------------------------------------------------------
+    # Core queries
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of elements currently in the sequence."""
+
+    @abstractmethod
+    def access(self, pos: int) -> Any:
+        """Return the element at position ``pos``."""
+
+    @abstractmethod
+    def rank(self, value: Any, pos: int) -> int:
+        """Occurrences of ``value`` among the first ``pos`` elements."""
+
+    @abstractmethod
+    def select(self, value: Any, idx: int) -> int:
+        """Position of the ``idx``-th (0-based) occurrence of ``value``."""
+
+    @abstractmethod
+    def rank_prefix(self, prefix: Any, pos: int) -> int:
+        """Elements among the first ``pos`` whose value starts with ``prefix``."""
+
+    @abstractmethod
+    def select_prefix(self, prefix: Any, idx: int) -> int:
+        """Position of the ``idx``-th element whose value starts with ``prefix``."""
+
+    # ------------------------------------------------------------------
+    # Updates (optional; static structures raise)
+    # ------------------------------------------------------------------
+    def append(self, value: Any) -> None:
+        """Append ``value`` at the end of the sequence."""
+        raise InvalidOperationError(
+            f"{type(self).__name__} does not support append"
+        )
+
+    def insert(self, value: Any, pos: int) -> None:
+        """Insert ``value`` immediately before position ``pos``."""
+        raise InvalidOperationError(
+            f"{type(self).__name__} does not support insert"
+        )
+
+    def delete(self, pos: int) -> Any:
+        """Delete and return the element at position ``pos``."""
+        raise InvalidOperationError(
+            f"{type(self).__name__} does not support delete"
+        )
+
+    # ------------------------------------------------------------------
+    # Derived operations
+    # ------------------------------------------------------------------
+    def count(self, value: Any) -> int:
+        """Total occurrences of ``value``."""
+        return self.rank(value, len(self))
+
+    def count_prefix(self, prefix: Any) -> int:
+        """Total elements whose value starts with ``prefix``."""
+        return self.rank_prefix(prefix, len(self))
+
+    def contains(self, value: Any) -> bool:
+        """True if ``value`` occurs at least once."""
+        return self.count(value) > 0
+
+    def __contains__(self, value: Any) -> bool:
+        return self.contains(value)
+
+    def __getitem__(self, pos: int) -> Any:
+        if pos < 0:
+            pos += len(self)
+        return self.access(pos)
+
+    def __iter__(self) -> Iterator[Any]:
+        for pos in range(len(self)):
+            yield self.access(pos)
+
+    def to_list(self) -> List[Any]:
+        """Materialise the whole sequence (testing helper)."""
+        return list(self)
+
+    def positions(self, value: Any) -> Iterator[int]:
+        """All positions holding ``value``, in increasing order."""
+        for idx in range(self.count(value)):
+            yield self.select(value, idx)
+
+    def positions_prefix(self, prefix: Any) -> Iterator[int]:
+        """All positions whose value starts with ``prefix``, in increasing order."""
+        for idx in range(self.count_prefix(prefix)):
+            yield self.select_prefix(prefix, idx)

@@ -1,0 +1,58 @@
+"""The node of a Wavelet Trie.
+
+Following Definition 3.1 of the paper, each node carries a label ``alpha``
+(the longest common prefix of its subsequence); internal nodes additionally
+carry the discriminating bitvector ``beta`` and exactly two children, while
+leaves carry only the label.
+
+The node class is shared by the static, append-only and dynamic variants --
+they differ only in the type of bitvector stored and in whether the topology
+is allowed to change.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.bits.bitstring import Bits
+
+__all__ = ["WaveletTrieNode"]
+
+
+class WaveletTrieNode:
+    """One node of a Wavelet Trie (label + optional bitvector + children)."""
+
+    __slots__ = ("label", "bitvector", "children", "parent", "parent_bit")
+
+    def __init__(self, label: Bits, bitvector=None) -> None:
+        self.label = label
+        self.bitvector = bitvector
+        self.children: List[Optional["WaveletTrieNode"]] = [None, None]
+        self.parent: Optional["WaveletTrieNode"] = None
+        self.parent_bit: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        """True for leaves (no bitvector, no children)."""
+        return self.bitvector is None
+
+    def attach(self, bit: int, child: "WaveletTrieNode") -> None:
+        """Attach ``child`` as the ``bit``-labelled child and set back-links."""
+        self.children[bit] = child
+        child.parent = self
+        child.parent_bit = bit
+
+    def sequence_length(self, total_size: int) -> int:
+        """Length of the subsequence represented by this node.
+
+        For the root this is the full sequence length; for any other node it
+        is the number of occurrences of its branching bit in the parent's
+        bitvector (the 0s/1s correspondence of the Wavelet Tree).
+        """
+        if self.parent is None:
+            return total_size
+        return self.parent.bitvector.count(self.parent_bit)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "leaf" if self.is_leaf else "internal"
+        return f"WaveletTrieNode({kind}, label='{self.label.to01()}')"

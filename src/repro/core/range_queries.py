@@ -1,0 +1,307 @@
+"""Range analytics on the Wavelet Trie (paper Section 5).
+
+The mixin implements, over any Wavelet Trie variant (the node interface of
+:class:`~repro.core.node.WaveletTrieNode` is all it needs):
+
+* ``iter_range(l, r)`` -- sequential access, one amortised rank per traversed
+  node instead of one per element;
+* ``distinct_in_range(l, r)`` -- the distinct values (with their counts)
+  occurring in a position range, optionally restricted to a prefix;
+* ``range_majority(l, r)`` -- the majority element of a range, if any;
+* ``frequent_in_range(l, r, threshold)`` -- the heuristic enumeration of all
+  values occurring at least ``threshold`` times in the range;
+* ``top_k_in_range(l, r, k)`` -- best-first enumeration of the ``k`` most
+  frequent values of the range;
+* ``range_count(value, l, r)`` / ``range_count_prefix(prefix, l, r)`` --
+  counting within a range via two ranks.
+
+Every method takes and returns application-level values (decoded through the
+codec), so the analytics read naturally in the database-style examples.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.bits.bitstring import Bits
+from repro.exceptions import OutOfBoundsError
+
+__all__ = ["RangeQueryMixin"]
+
+
+class RangeQueryMixin:
+    """Section 5 algorithms; mixed into the Wavelet Trie base class."""
+
+    # The host class provides these attributes / methods.
+    _root = None
+    _size = 0
+    _codec = None
+
+    # ------------------------------------------------------------------
+    # Sequential access (paper Section 5, "Sequential access")
+    # ------------------------------------------------------------------
+    def iter_range(self, start: int, stop: int) -> Iterator[Any]:
+        """Yield the elements at positions ``[start, stop)`` in order.
+
+        Uses one iterator per traversed node, so extracting ``r - l`` strings
+        costs one rank per traversed node plus O(1) amortised work per output
+        bit, as in the paper's analysis.
+        """
+        self._check_range(start, stop)
+        if start >= stop or self._root is None:
+            return
+        for bits in self._iter_range_bits(self._root, start, stop, Bits.empty()):
+            yield self._codec.from_bits(bits)
+
+    def _iter_range_bits(
+        self, node, start: int, stop: int, prefix: Bits
+    ) -> Iterator[Bits]:
+        current = prefix + node.label
+        if node.is_leaf:
+            for _ in range(stop - start):
+                yield current
+            return
+        vector = node.bitvector
+        left_lo = vector.rank(0, start)
+        left_hi = vector.rank(0, stop)
+        right_lo = start - left_lo
+        right_hi = stop - left_hi
+        left_iter: Optional[Iterator[Bits]] = None
+        right_iter: Optional[Iterator[Bits]] = None
+        for bit in vector.iter_range(start, stop):
+            if bit == 0:
+                if left_iter is None:
+                    left_iter = self._iter_range_bits(
+                        node.children[0], left_lo, left_hi, current.appended(0)
+                    )
+                yield next(left_iter)
+            else:
+                if right_iter is None:
+                    right_iter = self._iter_range_bits(
+                        node.children[1], right_lo, right_hi, current.appended(1)
+                    )
+                yield next(right_iter)
+
+    # ------------------------------------------------------------------
+    # Distinct values in range
+    # ------------------------------------------------------------------
+    def distinct_in_range(
+        self, start: int, stop: int, prefix: Any = None
+    ) -> List[Tuple[Any, int]]:
+        """Distinct values occurring in ``[start, stop)`` with their counts.
+
+        If ``prefix`` is given, only values starting with it are reported
+        (the traversal starts at the prefix node, e.g. "distinct hostnames in
+        a time range" from the paper).  Values are returned in lexicographic
+        (trie DFS) order of their binarised form.
+        """
+        self._check_range(start, stop)
+        if start >= stop or self._root is None:
+            return []
+        node, lo, hi, accumulated = self._range_at_prefix(start, stop, prefix)
+        if node is None or lo >= hi:
+            return []
+        results: List[Tuple[Any, int]] = []
+        self._collect_distinct(node, lo, hi, accumulated, results)
+        return results
+
+    def _range_at_prefix(self, start: int, stop: int, prefix: Any):
+        """Map a position range at the root to the node of ``prefix``.
+
+        Returns ``(node, lo, hi, accumulated_bits)``; ``node`` is None when no
+        element of the sequence has the prefix.
+        """
+        if prefix is None:
+            return self._root, start, stop, Bits.empty()
+        prefix_bits = self._codec.prefix_to_bits(prefix)
+        node = self._root
+        lo, hi = start, stop
+        accumulated = Bits.empty()
+        remaining = prefix_bits
+        while True:
+            label = node.label
+            lcp = remaining.lcp_length(label)
+            if lcp == len(remaining):
+                return node, lo, hi, accumulated
+            if lcp < len(label) or node.is_leaf:
+                return None, 0, 0, accumulated
+            bit = remaining[len(label)]
+            vector = node.bitvector
+            lo, hi = vector.rank(bit, lo), vector.rank(bit, hi)
+            accumulated = (accumulated + label).appended(bit)
+            remaining = remaining.suffix_from(len(label) + 1)
+            node = node.children[bit]
+
+    def _collect_distinct(
+        self, node, lo: int, hi: int, prefix: Bits, out: List[Tuple[Any, int]]
+    ) -> None:
+        current = prefix + node.label
+        if node.is_leaf:
+            out.append((self._codec.from_bits(current), hi - lo))
+            return
+        vector = node.bitvector
+        left_lo, left_hi = vector.rank(0, lo), vector.rank(0, hi)
+        right_lo, right_hi = lo - left_lo, hi - left_hi
+        if left_hi > left_lo:
+            self._collect_distinct(
+                node.children[0], left_lo, left_hi, current.appended(0), out
+            )
+        if right_hi > right_lo:
+            self._collect_distinct(
+                node.children[1], right_lo, right_hi, current.appended(1), out
+            )
+
+    def count_distinct_in_range(self, start: int, stop: int, prefix: Any = None) -> int:
+        """Number of distinct values in ``[start, stop)`` (optionally under a prefix)."""
+        return len(self.distinct_in_range(start, stop, prefix))
+
+    # ------------------------------------------------------------------
+    # Range majority
+    # ------------------------------------------------------------------
+    def range_majority(
+        self, start: int, stop: int, prefix: Any = None
+    ) -> Optional[Tuple[Any, int]]:
+        """The value occurring more than ``(stop - start) / 2`` times, if any.
+
+        Returns ``(value, count)`` or None.  With ``prefix`` the search is
+        restricted to (and the threshold computed over) the elements carrying
+        the prefix.
+        """
+        self._check_range(start, stop)
+        if start >= stop or self._root is None:
+            return None
+        node, lo, hi, accumulated = self._range_at_prefix(start, stop, prefix)
+        if node is None or lo >= hi:
+            return None
+        threshold = (hi - lo) / 2
+        current = accumulated
+        while True:
+            current = current + node.label
+            if node.is_leaf:
+                count = hi - lo
+                if count > threshold:
+                    return self._codec.from_bits(current), count
+                return None
+            vector = node.bitvector
+            left_lo, left_hi = vector.rank(0, lo), vector.rank(0, hi)
+            zeros = left_hi - left_lo
+            ones = (hi - lo) - zeros
+            if zeros > threshold:
+                node, lo, hi = node.children[0], left_lo, left_hi
+                current = current.appended(0)
+            elif ones > threshold:
+                node, lo, hi = node.children[1], lo - left_lo, hi - left_hi
+                current = current.appended(1)
+            else:
+                return None
+
+    # ------------------------------------------------------------------
+    # Frequent elements (threshold heuristic) and top-k
+    # ------------------------------------------------------------------
+    def frequent_in_range(
+        self, start: int, stop: int, threshold: int, prefix: Any = None
+    ) -> List[Tuple[Any, int]]:
+        """Values occurring at least ``threshold`` times in ``[start, stop)``.
+
+        Implements the paper's branch-pruning heuristic: a subtree is explored
+        only while its range still holds at least ``threshold`` elements.
+        """
+        self._check_range(start, stop)
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if start >= stop or self._root is None:
+            return []
+        node, lo, hi, accumulated = self._range_at_prefix(start, stop, prefix)
+        if node is None or hi - lo < threshold:
+            return []
+        results: List[Tuple[Any, int]] = []
+        self._collect_frequent(node, lo, hi, accumulated, threshold, results)
+        return results
+
+    def _collect_frequent(
+        self, node, lo: int, hi: int, prefix: Bits, threshold: int,
+        out: List[Tuple[Any, int]],
+    ) -> None:
+        current = prefix + node.label
+        if node.is_leaf:
+            if hi - lo >= threshold:
+                out.append((self._codec.from_bits(current), hi - lo))
+            return
+        vector = node.bitvector
+        left_lo, left_hi = vector.rank(0, lo), vector.rank(0, hi)
+        right_lo, right_hi = lo - left_lo, hi - left_hi
+        if left_hi - left_lo >= threshold:
+            self._collect_frequent(
+                node.children[0], left_lo, left_hi, current.appended(0), threshold, out
+            )
+        if right_hi - right_lo >= threshold:
+            self._collect_frequent(
+                node.children[1], right_lo, right_hi, current.appended(1), threshold, out
+            )
+
+    def top_k_in_range(
+        self, start: int, stop: int, k: int, prefix: Any = None
+    ) -> List[Tuple[Any, int]]:
+        """The ``k`` most frequent values in ``[start, stop)``, most frequent first.
+
+        Best-first traversal: subtrees are expanded in decreasing order of
+        their element count, so only the branches needed to certify the top-k
+        are visited.  Ties are broken by trie (lexicographic) order.
+        """
+        self._check_range(start, stop)
+        if k <= 0:
+            return []
+        if start >= stop or self._root is None:
+            return []
+        node, lo, hi, accumulated = self._range_at_prefix(start, stop, prefix)
+        if node is None or lo >= hi:
+            return []
+        counter = 0
+        heap: List[Tuple[int, int, Any, int, int, Bits]] = []
+        heapq.heappush(heap, (-(hi - lo), counter, node, lo, hi, accumulated))
+        results: List[Tuple[Any, int]] = []
+        while heap and len(results) < k:
+            negative_count, _, node, lo, hi, prefix_bits = heapq.heappop(heap)
+            current = prefix_bits + node.label
+            if node.is_leaf:
+                results.append((self._codec.from_bits(current), -negative_count))
+                continue
+            vector = node.bitvector
+            left_lo, left_hi = vector.rank(0, lo), vector.rank(0, hi)
+            right_lo, right_hi = lo - left_lo, hi - left_hi
+            if left_hi > left_lo:
+                counter += 1
+                heapq.heappush(
+                    heap,
+                    (-(left_hi - left_lo), counter, node.children[0],
+                     left_lo, left_hi, current.appended(0)),
+                )
+            if right_hi > right_lo:
+                counter += 1
+                heapq.heappush(
+                    heap,
+                    (-(right_hi - right_lo), counter, node.children[1],
+                     right_lo, right_hi, current.appended(1)),
+                )
+        return results
+
+    # ------------------------------------------------------------------
+    # Range counting
+    # ------------------------------------------------------------------
+    def range_count(self, value: Any, start: int, stop: int) -> int:
+        """Occurrences of ``value`` within positions ``[start, stop)``."""
+        self._check_range(start, stop)
+        return self.rank(value, stop) - self.rank(value, start)
+
+    def range_count_prefix(self, prefix: Any, start: int, stop: int) -> int:
+        """Elements with ``prefix`` within positions ``[start, stop)``."""
+        self._check_range(start, stop)
+        return self.rank_prefix(prefix, stop) - self.rank_prefix(prefix, start)
+
+    # ------------------------------------------------------------------
+    def _check_range(self, start: int, stop: int) -> None:
+        if not (0 <= start <= stop <= self._size):
+            raise OutOfBoundsError(
+                f"range [{start}, {stop}) invalid for sequence of length {self._size}"
+            )

@@ -1,0 +1,173 @@
+"""The static Wavelet Trie (paper Section 3, Theorem 3.7).
+
+Built once from a sequence of values; supports ``Access``, ``Rank``,
+``Select``, ``RankPrefix``, ``SelectPrefix`` and the Section 5 range
+analytics in ``O(|s| + h_s)`` time, with node bitvectors stored in RRR
+compressed form so the total space is ``LT(Sset) + n H0(S)`` plus lower-order
+terms.
+
+The default in-memory layout is pointer-based (one Python object per trie
+node); :meth:`WaveletTrie.succinct_space_breakdown` additionally *measures*
+the Theorem 3.7 succinct layout -- DFUDS topology, concatenated labels with
+Elias-Fano delimiters, concatenated RRR encodings with their delimiters -- so
+the space experiments can report both the engineered and the succinct
+accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Sequence
+
+from repro.bits.bitstring import Bits
+from repro.bitvector.plain import PlainBitVector
+from repro.bitvector.rle import RLEBitVector
+from repro.bitvector.rrr import RRRBitVector
+from repro.core.base import WaveletTrieBase
+from repro.core.builder import build_wavelet_trie_nodes
+from repro.exceptions import ImmutableStructureError
+from repro.succinct.dfuds import DFUDSTree
+from repro.succinct.partial_sums import StaticPartialSums
+from repro.tries.binarize import StringCodec
+
+__all__ = ["WaveletTrie"]
+
+_BITVECTOR_FACTORIES = {
+    "rrr": RRRBitVector,
+    "plain": PlainBitVector,
+    "rle": RLEBitVector,
+}
+
+
+class WaveletTrie(WaveletTrieBase):
+    """Static compressed indexed sequence of strings.
+
+    Parameters
+    ----------
+    values:
+        The sequence to index.  Strings by default; other types need a
+        matching ``codec``.
+    codec:
+        Binarisation codec (defaults to UTF-8 + NUL terminator).
+    bitvector:
+        Which static bitvector to store in the internal nodes: ``"rrr"``
+        (default, the paper's choice), ``"plain"`` or ``"rle"`` -- the knob
+        used by the ablation benchmark.
+
+    Examples
+    --------
+    >>> wt = WaveletTrie(["/a/x", "/a/y", "/b", "/a/x"])
+    >>> wt.access(0)
+    '/a/x'
+    >>> wt.rank("/a/x", 4)
+    2
+    >>> wt.select_prefix("/a", 2)
+    3
+    """
+
+    def __init__(
+        self,
+        values: Iterable[Any] = (),
+        codec: Optional[StringCodec] = None,
+        bitvector: str = "rrr",
+    ) -> None:
+        super().__init__(codec)
+        if bitvector not in _BITVECTOR_FACTORIES:
+            raise ValueError(
+                f"unknown bitvector kind {bitvector!r}; "
+                f"expected one of {sorted(_BITVECTOR_FACTORIES)}"
+            )
+        self._bitvector_kind = bitvector
+        factory = _BITVECTOR_FACTORIES[bitvector]
+        values = list(values)
+        encoded = [self._codec.to_bits(value) for value in values]
+        self._root = build_wavelet_trie_nodes(encoded, factory)
+        self._size = len(encoded)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_bits_sequence(
+        cls,
+        encoded: Sequence[Bits],
+        codec: Optional[StringCodec] = None,
+        bitvector: str = "rrr",
+    ) -> "WaveletTrie":
+        """Build directly from already-binarised values (testing/benchmarks)."""
+        trie = cls([], codec=codec, bitvector=bitvector)
+        trie._root = build_wavelet_trie_nodes(
+            list(encoded), _BITVECTOR_FACTORIES[bitvector]
+        )
+        trie._size = len(encoded)
+        return trie
+
+    @property
+    def bitvector_kind(self) -> str:
+        """Which static bitvector the internal nodes use."""
+        return self._bitvector_kind
+
+    # ------------------------------------------------------------------
+    # Updates are rejected: the structure is static.
+    # ------------------------------------------------------------------
+    def append(self, value: Any) -> None:
+        raise ImmutableStructureError(
+            "WaveletTrie is static; use AppendOnlyWaveletTrie or DynamicWaveletTrie"
+        )
+
+    def insert(self, value: Any, pos: int) -> None:
+        raise ImmutableStructureError(
+            "WaveletTrie is static; use DynamicWaveletTrie"
+        )
+
+    def delete(self, pos: int) -> Any:
+        raise ImmutableStructureError(
+            "WaveletTrie is static; use DynamicWaveletTrie"
+        )
+
+    # ------------------------------------------------------------------
+    # Succinct space accounting (Theorem 3.7)
+    # ------------------------------------------------------------------
+    def succinct_topology_bits(self) -> int:
+        """Measured size of a DFUDS encoding of the trie topology."""
+        if self._root is None:
+            return 0
+        dfuds = DFUDSTree.from_tree(
+            self._root,
+            lambda node: [] if node.is_leaf else
+            [node.children[0], node.children[1]],
+        )
+        return dfuds.size_in_bits()
+
+    def succinct_space_breakdown(self) -> Dict[str, float]:
+        """The Theorem 3.7 decomposition, measured on this instance.
+
+        Components: DFUDS topology, concatenated labels ``L``, label
+        delimiters, concatenated node-bitvector encodings, encoding
+        delimiters.  All in bits.
+        """
+        if self._root is None:
+            return {
+                "topology": 0, "labels": 0, "label_delimiters": 0,
+                "bitvectors": 0, "bitvector_delimiters": 0, "total": 0,
+            }
+        label_lengths = []
+        bitvector_sizes = []
+        for node in self.nodes():
+            label_lengths.append(len(node.label))
+            if node.bitvector is not None:
+                bitvector_sizes.append(node.bitvector.size_in_bits())
+        topology = self.succinct_topology_bits()
+        labels = sum(label_lengths)
+        label_delimiters = StaticPartialSums(label_lengths).size_in_bits()
+        bitvectors = sum(bitvector_sizes)
+        bitvector_delimiters = (
+            StaticPartialSums(bitvector_sizes).size_in_bits()
+            if bitvector_sizes else 0
+        )
+        total = topology + labels + label_delimiters + bitvectors + bitvector_delimiters
+        return {
+            "topology": topology,
+            "labels": labels,
+            "label_delimiters": label_delimiters,
+            "bitvectors": bitvectors,
+            "bitvector_delimiters": bitvector_delimiters,
+            "total": total,
+        }

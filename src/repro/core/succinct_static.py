@@ -1,0 +1,269 @@
+"""A fully succinct static Wavelet Trie (the literal Theorem 3.7 layout).
+
+The default :class:`~repro.core.static.WaveletTrie` keeps one Python object
+per node, which is convenient for navigation but charges pointer space.  This
+module provides :class:`SuccinctWaveletTrie`, which stores exactly the
+components of the paper's static representation and *navigates through them*:
+
+* the trie topology as a DFUDS parenthesis sequence (``2k + o(k)`` bits);
+* the node labels concatenated in preorder in one bitvector ``L``, delimited
+  by an Elias-Fano partial-sum structure;
+* one RRR bitvector per internal node, indexed by the node's *internal rank*
+  (the equivalent of concatenating the encodings and delimiting them);
+* a small indicator bitvector marking which preorder nodes are internal.
+
+Queries descend the DFUDS topology, so no Python node objects exist at query
+time; the pointer-based and succinct variants are cross-checked against each
+other in the test suite.  Updates are not supported (the structure is static
+by construction).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from repro.bits.bitbuffer import BitBuffer
+from repro.bits.bitstring import Bits
+from repro.bitvector.plain import PlainBitVector
+from repro.bitvector.rrr import RRRBitVector
+from repro.core.interface import IndexedStringSequence
+from repro.core.static import WaveletTrie
+from repro.exceptions import (
+    ImmutableStructureError,
+    OutOfBoundsError,
+    ValueNotFoundError,
+)
+from repro.succinct.dfuds import DFUDSTree
+from repro.succinct.partial_sums import StaticPartialSums
+from repro.tries.binarize import StringCodec, default_codec
+
+__all__ = ["SuccinctWaveletTrie"]
+
+
+class SuccinctWaveletTrie(IndexedStringSequence):
+    """Static Wavelet Trie stored in the Theorem 3.7 succinct layout."""
+
+    def __init__(
+        self,
+        values: Iterable[Any] = (),
+        codec: Optional[StringCodec] = None,
+    ) -> None:
+        self._codec = codec or default_codec()
+        values = list(values)
+        self._size = len(values)
+        if not values:
+            self._dfuds = None
+            self._labels = None
+            self._label_offsets = None
+            self._is_internal = None
+            self._bitvectors: List[RRRBitVector] = []
+            return
+        # Build the pointer version once, then flatten it in preorder
+        # (children visited 0 then 1, matching the DFUDS child order).
+        pointer_trie = WaveletTrie(values, codec=self._codec, bitvector="rrr")
+        degrees: List[int] = []
+        labels: List[Bits] = []
+        internal_flags: List[int] = []
+        bitvectors: List[RRRBitVector] = []
+        stack = [pointer_trie.root]
+        while stack:
+            node = stack.pop()
+            labels.append(node.label)
+            if node.is_leaf:
+                degrees.append(0)
+                internal_flags.append(0)
+            else:
+                degrees.append(2)
+                internal_flags.append(1)
+                bitvectors.append(node.bitvector)
+                stack.append(node.children[1])
+                stack.append(node.children[0])
+        self._dfuds = DFUDSTree.from_degrees(degrees)
+        buffer = BitBuffer()
+        for label in labels:
+            buffer.append_bits(label)
+        self._labels = PlainBitVector(buffer.to_bits())
+        self._label_offsets = StaticPartialSums(len(label) for label in labels)
+        self._is_internal = PlainBitVector(internal_flags)
+        self._bitvectors = bitvectors
+
+    # ------------------------------------------------------------------
+    # Succinct navigation helpers
+    # ------------------------------------------------------------------
+    def _label(self, node: int) -> Bits:
+        start = self._label_offsets.start(node)
+        length = self._label_offsets.length(node)
+        if length == 0:
+            return Bits.empty()
+        buffer = BitBuffer()
+        for bit in self._labels.iter_range(start, start + length):
+            buffer.append(bit)
+        return buffer.to_bits()
+
+    def _is_leaf(self, node: int) -> bool:
+        return self._is_internal.access(node) == 0
+
+    def _node_bitvector(self, node: int) -> RRRBitVector:
+        internal_rank = self._is_internal.rank(1, node)
+        return self._bitvectors[internal_rank]
+
+    def _child(self, node: int, bit: int) -> int:
+        return self._dfuds.child(node, bit)
+
+    # ------------------------------------------------------------------
+    # IndexedStringSequence interface
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def access(self, pos: int) -> Any:
+        """The element at position ``pos`` (Lemma 3.2 over the succinct layout)."""
+        if not 0 <= pos < self._size:
+            raise OutOfBoundsError(
+                f"position {pos} out of range for length {self._size}"
+            )
+        node = 0
+        out = self._label(node)
+        while not self._is_leaf(node):
+            vector = self._node_bitvector(node)
+            bit = vector.access(pos)
+            pos = vector.rank(bit, pos)
+            node = self._child(node, bit)
+            out = out.appended(bit) + self._label(node)
+        return self._codec.from_bits(out)
+
+    def rank(self, value: Any, pos: int) -> int:
+        """Occurrences of ``value`` in the first ``pos`` positions."""
+        return self._rank_bits(self._codec.to_bits(value), pos, full_match=True)
+
+    def rank_prefix(self, prefix: Any, pos: int) -> int:
+        """Elements with ``prefix`` among the first ``pos`` positions."""
+        return self._rank_bits(self._codec.prefix_to_bits(prefix), pos, full_match=False)
+
+    def _rank_bits(self, key: Bits, pos: int, full_match: bool) -> int:
+        if not 0 <= pos <= self._size:
+            raise OutOfBoundsError(
+                f"position {pos} out of range for length {self._size}"
+            )
+        if self._size == 0 or pos == 0:
+            return 0
+        node = 0
+        remaining = key
+        while True:
+            label = self._label(node)
+            lcp = remaining.lcp_length(label)
+            if not full_match and lcp == len(remaining):
+                return pos
+            if self._is_leaf(node):
+                if full_match and remaining == label:
+                    return pos
+                return 0
+            if lcp < len(label) or len(remaining) == len(label):
+                return 0
+            bit = remaining[len(label)]
+            vector = self._node_bitvector(node)
+            pos = vector.rank(bit, pos)
+            if pos == 0:
+                return 0
+            remaining = remaining.suffix_from(len(label) + 1)
+            node = self._child(node, bit)
+
+    def select(self, value: Any, idx: int) -> int:
+        """Position of the ``idx``-th occurrence of ``value``."""
+        return self._select_bits(self._codec.to_bits(value), idx, full_match=True)
+
+    def select_prefix(self, prefix: Any, idx: int) -> int:
+        """Position of the ``idx``-th element whose value starts with ``prefix``."""
+        return self._select_bits(self._codec.prefix_to_bits(prefix), idx, full_match=False)
+
+    def _select_bits(self, key: Bits, idx: int, full_match: bool) -> int:
+        if idx < 0:
+            raise OutOfBoundsError("select index must be non-negative")
+        if self._size == 0:
+            raise ValueNotFoundError("the sequence is empty")
+        # Descend recording (internal node, branching bit) pairs.
+        node = 0
+        remaining = key
+        path: List[Tuple[int, int]] = []
+        while True:
+            label = self._label(node)
+            lcp = remaining.lcp_length(label)
+            if not full_match and lcp == len(remaining):
+                break
+            if self._is_leaf(node):
+                if full_match and remaining == label:
+                    break
+                raise ValueNotFoundError(f"value {key!r} does not occur")
+            if lcp < len(label) or len(remaining) == len(label):
+                raise ValueNotFoundError(f"value {key!r} does not occur")
+            bit = remaining[len(label)]
+            path.append((node, bit))
+            remaining = remaining.suffix_from(len(label) + 1)
+            node = self._child(node, bit)
+        available = self._subsequence_length(node, path)
+        if idx >= available:
+            raise OutOfBoundsError(
+                f"select index {idx} out of range: only {available} matches"
+            )
+        for ancestor, bit in reversed(path):
+            idx = self._node_bitvector(ancestor).select(bit, idx)
+        return idx
+
+    def _subsequence_length(self, node: int, path: List[Tuple[int, int]]) -> int:
+        if not path:
+            return self._size
+        parent, bit = path[-1]
+        return self._node_bitvector(parent).count(bit)
+
+    # ------------------------------------------------------------------
+    # Updates are rejected
+    # ------------------------------------------------------------------
+    def append(self, value: Any) -> None:
+        raise ImmutableStructureError("SuccinctWaveletTrie is static")
+
+    def insert(self, value: Any, pos: int) -> None:
+        raise ImmutableStructureError("SuccinctWaveletTrie is static")
+
+    def delete(self, pos: int) -> Any:
+        raise ImmutableStructureError("SuccinctWaveletTrie is static")
+
+    # ------------------------------------------------------------------
+    # Statistics and space accounting (the Theorem 3.7 decomposition)
+    # ------------------------------------------------------------------
+    def node_count(self) -> int:
+        """Number of trie nodes."""
+        return self._dfuds.node_count if self._dfuds is not None else 0
+
+    def distinct_count(self) -> int:
+        """Number of distinct values (= leaves)."""
+        if self._is_internal is None:
+            return 0
+        return self._is_internal.count(0)
+
+    def size_in_bits(self) -> int:
+        """Total measured size of the succinct layout."""
+        return sum(self.space_breakdown().values())
+
+    def space_breakdown(self) -> dict:
+        """Sizes of the Theorem 3.7 components, in bits."""
+        if self._dfuds is None:
+            return {
+                "topology_dfuds": 0,
+                "labels": 0,
+                "label_delimiters": 0,
+                "internal_flags": 0,
+                "bitvectors": 0,
+                "bitvector_delimiters": 0,
+            }
+        bitvector_sizes = [vector.size_in_bits() for vector in self._bitvectors]
+        return {
+            "topology_dfuds": self._dfuds.size_in_bits(),
+            "labels": self._labels.size_in_bits(),
+            "label_delimiters": self._label_offsets.size_in_bits(),
+            "internal_flags": self._is_internal.size_in_bits(),
+            "bitvectors": sum(bitvector_sizes),
+            "bitvector_delimiters": (
+                StaticPartialSums(bitvector_sizes).size_in_bits()
+                if bitvector_sizes else 0
+            ),
+        }

@@ -1,0 +1,35 @@
+"""Column-store and log-analytics layer built on the Wavelet Trie.
+
+The paper motivates the compressed indexed sequence of strings with
+column-oriented databases and log processing.  This package provides the thin
+application layer that turns the Wavelet Trie primitives into those use
+cases:
+
+* :class:`~repro.db.column.CompressedColumn` -- one column, static or
+  append-only, with equality/prefix filters and per-range statistics;
+* :class:`~repro.db.table.ColumnStore` -- a table of named columns with
+  row-level append and multi-column filters;
+* :class:`~repro.db.query.Query` / :class:`~repro.db.query.Predicate` -- a
+  fluent conjunctive query layer (selectivity-ordered plans, limit pushdown,
+  EXPLAIN) over a :class:`ColumnStore`;
+* :class:`~repro.db.log_store.AccessLogStore` -- an append-only access log
+  with time-window analytics (top domains, counts per prefix, majority);
+* :class:`~repro.db.graph_store.TemporalGraphStore` -- an evolving binary
+  relation (the paper's social-network example) with on-the-fly adjacency
+  snapshots and per-window deltas.
+"""
+
+from repro.db.column import CompressedColumn
+from repro.db.graph_store import TemporalGraphStore
+from repro.db.log_store import AccessLogStore
+from repro.db.query import Predicate, Query
+from repro.db.table import ColumnStore
+
+__all__ = [
+    "AccessLogStore",
+    "ColumnStore",
+    "CompressedColumn",
+    "Predicate",
+    "Query",
+    "TemporalGraphStore",
+]

@@ -1,0 +1,129 @@
+"""A single compressed, indexed column.
+
+``CompressedColumn`` wraps one Wavelet Trie and exposes the vocabulary a
+database developer expects: value access, equality and prefix filters
+(returning row positions), counts, distinct values and per-range group-by.
+The column can be *static* (bulk loaded, most compact) or *appendable*
+(rows arrive over time, the log/OLTP case); both support the same reads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.append_only import AppendOnlyWaveletTrie
+from repro.core.static import WaveletTrie
+from repro.exceptions import InvalidOperationError
+from repro.tries.binarize import StringCodec
+
+__all__ = ["CompressedColumn"]
+
+
+class CompressedColumn:
+    """One named, compressed, indexed column of string values."""
+
+    def __init__(
+        self,
+        name: str,
+        values: Iterable[Any] = (),
+        appendable: bool = True,
+        codec: Optional[StringCodec] = None,
+    ) -> None:
+        self.name = name
+        self._appendable = appendable
+        if appendable:
+            self._index = AppendOnlyWaveletTrie(values, codec=codec)
+        else:
+            self._index = WaveletTrie(values, codec=codec)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._index)
+
+    @property
+    def appendable(self) -> bool:
+        """True if rows can still be appended."""
+        return self._appendable
+
+    @property
+    def index(self):
+        """The underlying Wavelet Trie (for advanced queries)."""
+        return self._index
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def append(self, value: Any) -> None:
+        """Append one value (one new row) at the end of the column."""
+        if not self._appendable:
+            raise InvalidOperationError(
+                f"column {self.name!r} was loaded statically and cannot grow"
+            )
+        self._index.append(value)
+
+    def extend(self, values: Iterable[Any]) -> None:
+        """Append many values."""
+        for value in values:
+            self.append(value)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def value_at(self, row: int) -> Any:
+        """The value stored at row ``row``."""
+        return self._index.access(row)
+
+    def count_eq(self, value: Any, end_row: Optional[int] = None) -> int:
+        """Rows equal to ``value`` among the first ``end_row`` rows (default all)."""
+        end_row = len(self._index) if end_row is None else end_row
+        return self._index.rank(value, end_row)
+
+    def count_prefix(self, prefix: Any, end_row: Optional[int] = None) -> int:
+        """Rows whose value starts with ``prefix`` among the first ``end_row`` rows."""
+        end_row = len(self._index) if end_row is None else end_row
+        return self._index.rank_prefix(prefix, end_row)
+
+    def rows_eq(self, value: Any, limit: Optional[int] = None) -> Iterator[int]:
+        """Row positions holding exactly ``value`` (ascending), up to ``limit``."""
+        total = self._index.count(value)
+        if limit is not None:
+            total = min(total, limit)
+        for idx in range(total):
+            yield self._index.select(value, idx)
+
+    def rows_prefix(self, prefix: Any, limit: Optional[int] = None) -> Iterator[int]:
+        """Row positions whose value starts with ``prefix`` (ascending)."""
+        total = self._index.count_prefix(prefix)
+        if limit is not None:
+            total = min(total, limit)
+        for idx in range(total):
+            yield self._index.select_prefix(prefix, idx)
+
+    def distinct(self, start: int = 0, stop: Optional[int] = None) -> List[Tuple[Any, int]]:
+        """Distinct values (with counts) in the row range ``[start, stop)``."""
+        stop = len(self._index) if stop is None else stop
+        return self._index.distinct_in_range(start, stop)
+
+    def group_by_count(
+        self, start: int = 0, stop: Optional[int] = None, prefix: Any = None
+    ) -> List[Tuple[Any, int]]:
+        """GROUP BY value with COUNT(*), restricted to a row range and optional prefix."""
+        stop = len(self._index) if stop is None else stop
+        return self._index.distinct_in_range(start, stop, prefix)
+
+    def top_values(
+        self, k: int, start: int = 0, stop: Optional[int] = None, prefix: Any = None
+    ) -> List[Tuple[Any, int]]:
+        """The ``k`` most frequent values in a row range."""
+        stop = len(self._index) if stop is None else stop
+        return self._index.top_k_in_range(start, stop, k, prefix)
+
+    def values(self, start: int = 0, stop: Optional[int] = None) -> Iterator[Any]:
+        """Scan the column values in row order."""
+        stop = len(self._index) if stop is None else stop
+        return self._index.iter_range(start, stop)
+
+    # ------------------------------------------------------------------
+    def size_in_bits(self) -> int:
+        """Measured size of the column's compressed index."""
+        return self._index.size_in_bits()

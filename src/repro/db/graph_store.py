@@ -1,0 +1,255 @@
+"""Temporal graph store: an evolving binary relation indexed by the Wavelet Trie.
+
+The paper's introduction motivates the data structure with web graphs and
+social networks: "edges can change over time, so we can report what changed in
+the adjacency list of a given vertex in a given time frame, allowing us to
+produce snapshots on the fly".  This module turns that paragraph into an
+application-level store:
+
+* edge *additions* and *removals* are appended chronologically to two
+  append-only Wavelet Tries, each edge rendered as the string
+  ``"<source> -> <target>"``;
+* a time window maps to a position range in each log (binary search over the
+  non-decreasing timestamps);
+* adjacency snapshots, adjacency deltas, degrees and per-window activity are
+  all answered with ``RankPrefix`` and the Section 5 range analytics over the
+  vertex prefix ``"<source> ->"`` -- no adjacency lists are ever materialised.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.append_only import AppendOnlyWaveletTrie
+from repro.exceptions import InvalidOperationError
+from repro.tries.binarize import StringCodec
+
+__all__ = ["TemporalGraphStore"]
+
+_SEPARATOR = " -> "
+
+
+class TemporalGraphStore:
+    """Chronological store of edge additions/removals with on-the-fly snapshots.
+
+    Parameters
+    ----------
+    check_consistency:
+        When True (default), removing an edge that is not currently present
+        raises :class:`~repro.exceptions.InvalidOperationError`; when False
+        the removal is recorded anyway (useful when replaying possibly noisy
+        logs).
+    codec:
+        Codec for the edge strings (UTF-8 by default).
+
+    Examples
+    --------
+    >>> graph = TemporalGraphStore()
+    >>> graph.add_edge("alice", "bob", timestamp=1)
+    >>> graph.add_edge("alice", "carol", timestamp=2)
+    >>> graph.remove_edge("alice", "bob", timestamp=5)
+    >>> graph.neighbors_at("alice", 3)
+    ['bob', 'carol']
+    >>> graph.neighbors_at("alice", 10)
+    ['carol']
+    """
+
+    def __init__(
+        self,
+        check_consistency: bool = True,
+        codec: Optional[StringCodec] = None,
+    ) -> None:
+        self._additions = AppendOnlyWaveletTrie(codec=codec)
+        self._removals = AppendOnlyWaveletTrie(codec=codec)
+        self._addition_times: List[int] = []
+        self._removal_times: List[int] = []
+        self._check_consistency = check_consistency
+        self._last_timestamp: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Encoding helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def edge_key(source: str, target: str) -> str:
+        """The string under which an edge is indexed."""
+        return f"{source}{_SEPARATOR}{target}"
+
+    @staticmethod
+    def vertex_prefix(source: str) -> str:
+        """The prefix matching every edge leaving ``source``."""
+        return f"{source}{_SEPARATOR}"
+
+    @staticmethod
+    def split_edge_key(key: str) -> Tuple[str, str]:
+        """Inverse of :meth:`edge_key`."""
+        source, _, target = key.partition(_SEPARATOR)
+        return source, target
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Total number of recorded events (additions plus removals)."""
+        return len(self._additions) + len(self._removals)
+
+    @property
+    def addition_count(self) -> int:
+        """Number of edge-addition events."""
+        return len(self._additions)
+
+    @property
+    def removal_count(self) -> int:
+        """Number of edge-removal events."""
+        return len(self._removals)
+
+    def add_edge(self, source: str, target: str, timestamp: Optional[int] = None) -> None:
+        """Record that the edge ``source -> target`` was added at ``timestamp``."""
+        timestamp = self._next_timestamp(timestamp)
+        self._additions.append(self.edge_key(source, target))
+        self._addition_times.append(timestamp)
+
+    def remove_edge(self, source: str, target: str, timestamp: Optional[int] = None) -> None:
+        """Record that the edge ``source -> target`` was removed at ``timestamp``."""
+        timestamp = self._next_timestamp(timestamp)
+        if self._check_consistency:
+            if self.edge_multiplicity(source, target, timestamp + 1) <= 0:
+                raise InvalidOperationError(
+                    f"edge {source!r} -> {target!r} is not present at time {timestamp}"
+                )
+        self._removals.append(self.edge_key(source, target))
+        self._removal_times.append(timestamp)
+
+    def _next_timestamp(self, timestamp: Optional[int]) -> int:
+        if timestamp is None:
+            timestamp = 0 if self._last_timestamp is None else self._last_timestamp + 1
+        if self._last_timestamp is not None and timestamp < self._last_timestamp:
+            raise ValueError("timestamps must be non-decreasing")
+        self._last_timestamp = timestamp
+        return timestamp
+
+    # ------------------------------------------------------------------
+    # Time windows
+    # ------------------------------------------------------------------
+    def _addition_window(self, start_time: int, end_time: int) -> Tuple[int, int]:
+        return (
+            bisect_left(self._addition_times, start_time),
+            bisect_left(self._addition_times, end_time),
+        )
+
+    def _removal_window(self, start_time: int, end_time: int) -> Tuple[int, int]:
+        return (
+            bisect_left(self._removal_times, start_time),
+            bisect_left(self._removal_times, end_time),
+        )
+
+    # ------------------------------------------------------------------
+    # Snapshots and deltas
+    # ------------------------------------------------------------------
+    def edge_multiplicity(self, source: str, target: str, as_of: int) -> int:
+        """Additions minus removals of the edge strictly before time ``as_of``.
+
+        For a simple graph this is 0 or 1; multigraphs may return larger
+        values.
+        """
+        key = self.edge_key(source, target)
+        _, add_hi = self._addition_window(0, as_of)
+        _, remove_hi = self._removal_window(0, as_of)
+        added = self._additions.rank(key, add_hi)
+        removed = self._removals.rank(key, remove_hi)
+        return added - removed
+
+    def has_edge(self, source: str, target: str, as_of: int) -> bool:
+        """True if the edge is present in the snapshot at time ``as_of``."""
+        return self.edge_multiplicity(source, target, as_of) > 0
+
+    def neighbors_at(self, source: str, as_of: int) -> List[str]:
+        """The adjacency list of ``source`` in the snapshot at time ``as_of``."""
+        return sorted(self._live_neighbor_counts(source, as_of))
+
+    def degree_at(self, source: str, as_of: int) -> int:
+        """Out-degree of ``source`` in the snapshot at time ``as_of``."""
+        return len(self._live_neighbor_counts(source, as_of))
+
+    def _live_neighbor_counts(self, source: str, as_of: int) -> Dict[str, int]:
+        """Net multiplicity per neighbour (only strictly positive entries)."""
+        prefix = self.vertex_prefix(source)
+        counts: Dict[str, int] = {}
+        add_lo, add_hi = self._addition_window(0, as_of)
+        if add_hi > add_lo:
+            for key, count in self._additions.distinct_in_range(add_lo, add_hi, prefix):
+                _, target = self.split_edge_key(key)
+                counts[target] = counts.get(target, 0) + count
+        remove_lo, remove_hi = self._removal_window(0, as_of)
+        if remove_hi > remove_lo:
+            for key, count in self._removals.distinct_in_range(remove_lo, remove_hi, prefix):
+                _, target = self.split_edge_key(key)
+                counts[target] = counts.get(target, 0) - count
+        return {target: count for target, count in counts.items() if count > 0}
+
+    def adjacency_changes(
+        self, source: str, start_time: int, end_time: int
+    ) -> Dict[str, int]:
+        """Net adjacency change of ``source`` during ``[start_time, end_time)``.
+
+        Returns ``{target: delta}`` where ``delta > 0`` means the edge gained
+        multiplicity during the window and ``delta < 0`` means it lost;
+        neighbours whose additions and removals cancel out are omitted.  This
+        is the paper's "how did friendship links change during winter
+        vacation" query.
+        """
+        prefix = self.vertex_prefix(source)
+        deltas: Dict[str, int] = {}
+        add_lo, add_hi = self._addition_window(start_time, end_time)
+        if add_hi > add_lo:
+            for key, count in self._additions.distinct_in_range(add_lo, add_hi, prefix):
+                _, target = self.split_edge_key(key)
+                deltas[target] = deltas.get(target, 0) + count
+        remove_lo, remove_hi = self._removal_window(start_time, end_time)
+        if remove_hi > remove_lo:
+            for key, count in self._removals.distinct_in_range(remove_lo, remove_hi, prefix):
+                _, target = self.split_edge_key(key)
+                deltas[target] = deltas.get(target, 0) - count
+        return {target: delta for target, delta in deltas.items() if delta != 0}
+
+    def activity(self, source: str, start_time: int, end_time: int) -> int:
+        """Number of events (additions + removals) touching ``source`` in the window."""
+        prefix = self.vertex_prefix(source)
+        add_lo, add_hi = self._addition_window(start_time, end_time)
+        remove_lo, remove_hi = self._removal_window(start_time, end_time)
+        return (
+            self._additions.range_count_prefix(prefix, add_lo, add_hi)
+            + self._removals.range_count_prefix(prefix, remove_lo, remove_hi)
+        )
+
+    def top_edges(
+        self, k: int, start_time: int, end_time: int, source: Optional[str] = None
+    ) -> List[Tuple[str, int]]:
+        """The ``k`` most frequently added edges during the window.
+
+        With ``source`` the search is restricted to edges leaving that vertex
+        (using the prefix-restricted top-k of Section 5).
+        """
+        lo, hi = self._addition_window(start_time, end_time)
+        if lo >= hi:
+            return []
+        prefix = self.vertex_prefix(source) if source is not None else None
+        return self._additions.top_k_in_range(lo, hi, k, prefix)
+
+    def active_vertices(
+        self, start_time: int, end_time: int
+    ) -> List[Tuple[str, int]]:
+        """Vertices ordered by number of addition events they originate in the window."""
+        lo, hi = self._addition_window(start_time, end_time)
+        if lo >= hi:
+            return []
+        totals: Dict[str, int] = {}
+        for key, count in self._additions.distinct_in_range(lo, hi):
+            source, _ = self.split_edge_key(key)
+            totals[source] = totals.get(source, 0) + count
+        return sorted(totals.items(), key=lambda item: (-item[1], item[0]))
+
+    # ------------------------------------------------------------------
+    def size_in_bits(self) -> int:
+        """Measured size of the two compressed event logs (timestamps excluded)."""
+        return self._additions.size_in_bits() + self._removals.size_in_bits()

@@ -1,0 +1,115 @@
+"""Append-only access-log store with time-window analytics.
+
+This is the paper's flagship scenario: URLs (or any hierarchical references)
+are appended in chronological order; a time window corresponds to a position
+range; and the analytics -- "most accessed domain during winter vacation",
+per-prefix counts, distinct hosts -- map directly onto the Wavelet Trie's
+``RankPrefix``/``SelectPrefix`` and the Section 5 range algorithms.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Any, Iterable, List, Optional, Tuple
+
+from repro.core.append_only import AppendOnlyWaveletTrie
+from repro.exceptions import OutOfBoundsError
+
+__all__ = ["AccessLogStore"]
+
+
+class AccessLogStore:
+    """Chronological log of accessed URLs/paths with windowed analytics.
+
+    Entries are appended with a non-decreasing integer timestamp (epoch
+    seconds, a tick counter, ...).  Time windows are translated to position
+    ranges with a sorted timestamp array, and every analytic runs on the
+    compressed index.
+    """
+
+    def __init__(self) -> None:
+        self._index = AppendOnlyWaveletTrie()
+        self._timestamps: List[int] = []
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def append(self, url: str, timestamp: Optional[int] = None) -> None:
+        """Record one access; ``timestamp`` must be non-decreasing (defaults to a tick)."""
+        if timestamp is None:
+            timestamp = self._timestamps[-1] + 1 if self._timestamps else 0
+        if self._timestamps and timestamp < self._timestamps[-1]:
+            raise ValueError("timestamps must be non-decreasing")
+        self._index.append(url)
+        self._timestamps.append(timestamp)
+
+    def extend(self, entries: Iterable[Tuple[int, str]]) -> None:
+        """Append ``(timestamp, url)`` pairs in order."""
+        for timestamp, url in entries:
+            self.append(url, timestamp)
+
+    # ------------------------------------------------------------------
+    def window(self, start_time: int, end_time: int) -> Tuple[int, int]:
+        """Translate a time window ``[start_time, end_time)`` into a position range."""
+        low = bisect_left(self._timestamps, start_time)
+        high = bisect_left(self._timestamps, end_time)
+        return low, high
+
+    def entry(self, position: int) -> Tuple[int, str]:
+        """The ``(timestamp, url)`` pair at a log position."""
+        if not 0 <= position < len(self._timestamps):
+            raise OutOfBoundsError(f"position {position} out of range")
+        return self._timestamps[position], self._index.access(position)
+
+    # ------------------------------------------------------------------
+    # Analytics (all windowed)
+    # ------------------------------------------------------------------
+    def count_prefix(self, prefix: str, start_time: int, end_time: int) -> int:
+        """Accesses under ``prefix`` (domain, folder, ...) during the window."""
+        low, high = self.window(start_time, end_time)
+        return self._index.range_count_prefix(prefix, low, high)
+
+    def count_url(self, url: str, start_time: int, end_time: int) -> int:
+        """Accesses to exactly ``url`` during the window."""
+        low, high = self.window(start_time, end_time)
+        return self._index.range_count(url, low, high)
+
+    def top_urls(self, k: int, start_time: int, end_time: int, prefix: Optional[str] = None) -> List[Tuple[str, int]]:
+        """The ``k`` most accessed URLs during the window (optionally under a prefix)."""
+        low, high = self.window(start_time, end_time)
+        if low >= high:
+            return []
+        return self._index.top_k_in_range(low, high, k, prefix)
+
+    def distinct_urls(self, start_time: int, end_time: int, prefix: Optional[str] = None) -> List[Tuple[str, int]]:
+        """Distinct URLs (with counts) accessed during the window."""
+        low, high = self.window(start_time, end_time)
+        if low >= high:
+            return []
+        return self._index.distinct_in_range(low, high, prefix)
+
+    def majority_url(self, start_time: int, end_time: int, prefix: Optional[str] = None) -> Optional[Tuple[str, int]]:
+        """The URL accounting for more than half the window's accesses, if any."""
+        low, high = self.window(start_time, end_time)
+        if low >= high:
+            return None
+        return self._index.range_majority(low, high, prefix)
+
+    def accesses_under(self, prefix: str, start_time: int, end_time: int, limit: Optional[int] = None) -> List[Tuple[int, str]]:
+        """The individual accesses under ``prefix`` during the window (time, url)."""
+        low, high = self.window(start_time, end_time)
+        total = self._index.rank_prefix(prefix, high) - self._index.rank_prefix(prefix, low)
+        if limit is not None:
+            total = min(total, limit)
+        out: List[Tuple[int, str]] = []
+        skip = self._index.rank_prefix(prefix, low)
+        for idx in range(total):
+            position = self._index.select_prefix(prefix, skip + idx)
+            out.append((self._timestamps[position], self._index.access(position)))
+        return out
+
+    # ------------------------------------------------------------------
+    def size_in_bits(self) -> int:
+        """Measured size of the compressed index (timestamps excluded)."""
+        return self._index.size_in_bits()

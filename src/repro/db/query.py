@@ -1,0 +1,312 @@
+"""A small declarative query layer over :class:`~repro.db.table.ColumnStore`.
+
+``ColumnStore.filter`` answers one-shot conjunctive filters; this module adds
+the pieces a database developer reaches for next -- composable predicates, a
+fluent builder, row-range (time-window) restriction, limit pushdown, grouping
+and a textual ``EXPLAIN`` -- while still executing everything on the
+compressed column indexes:
+
+>>> from repro.db import ColumnStore
+>>> from repro.db.query import Query
+>>> store = ColumnStore(["url", "status"])
+>>> _ = store.append_row({"url": "/cart", "status": "200"})
+>>> _ = store.append_row({"url": "/admin/panel", "status": "403"})
+>>> _ = store.append_row({"url": "/cart", "status": "200"})
+>>> Query(store).where_eq("url", "/cart").count()
+2
+>>> Query(store).where_prefix("url", "/admin").rows()
+[{'url': '/admin/panel', 'status': '403'}]
+
+Evaluation strategy (the classic column-store plan): the most selective
+predicate drives the scan through ``Select``/``SelectPrefix`` on its column,
+the remaining predicates are verified with per-row ``Access`` lookups, and the
+limit stops the scan as soon as enough rows survive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.db.table import ColumnStore
+from repro.exceptions import InvalidOperationError
+
+__all__ = ["Predicate", "Query", "QueryPlan"]
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One predicate on one column; build with the class methods."""
+
+    column: str
+    kind: str  # "eq", "prefix" or "in"
+    value: Any
+
+    @classmethod
+    def eq(cls, column: str, value: Any) -> "Predicate":
+        """``column == value``."""
+        return cls(column, "eq", value)
+
+    @classmethod
+    def prefix(cls, column: str, value: Any) -> "Predicate":
+        """``column`` starts with ``value``."""
+        return cls(column, "prefix", value)
+
+    @classmethod
+    def is_in(cls, column: str, values: Sequence[Any]) -> "Predicate":
+        """``column`` is one of ``values``."""
+        return cls(column, "in", tuple(values))
+
+    # ------------------------------------------------------------------
+    def selectivity(self, store: ColumnStore, start: int, stop: int) -> int:
+        """Estimated number of matching rows in ``[start, stop)`` (exact for this index)."""
+        column = store.column(self.column)
+        if self.kind == "eq":
+            return column.index.rank(self.value, stop) - column.index.rank(self.value, start)
+        if self.kind == "prefix":
+            return (
+                column.index.rank_prefix(self.value, stop)
+                - column.index.rank_prefix(self.value, start)
+            )
+        return sum(
+            column.index.rank(value, stop) - column.index.rank(value, start)
+            for value in self.value
+        )
+
+    def matches(self, value: Any) -> bool:
+        """Verify the predicate against a materialised value."""
+        if self.kind == "eq":
+            return value == self.value
+        if self.kind == "prefix":
+            return value.startswith(self.value)
+        return value in self.value
+
+    def scan(self, store: ColumnStore, start: int, stop: int) -> Iterator[int]:
+        """Yield matching row positions in ``[start, stop)`` in ascending order."""
+        index = store.column(self.column).index
+        if self.kind == "eq":
+            yield from self._scan_one(index, self.value, start, stop, prefix=False)
+        elif self.kind == "prefix":
+            yield from self._scan_one(index, self.value, start, stop, prefix=True)
+        else:
+            streams = [
+                self._scan_one(index, value, start, stop, prefix=False)
+                for value in self.value
+            ]
+            yield from _merge_ascending(streams)
+
+    @staticmethod
+    def _scan_one(index, value, start: int, stop: int, prefix: bool) -> Iterator[int]:
+        if prefix:
+            first = index.rank_prefix(value, start)
+            last = index.rank_prefix(value, stop)
+            for occurrence in range(first, last):
+                yield index.select_prefix(value, occurrence)
+        else:
+            first = index.rank(value, start)
+            last = index.rank(value, stop)
+            for occurrence in range(first, last):
+                yield index.select(value, occurrence)
+
+    def describe(self) -> str:
+        """Human-readable rendering used by EXPLAIN."""
+        if self.kind == "eq":
+            return f"{self.column} = {self.value!r}"
+        if self.kind == "prefix":
+            return f"{self.column} LIKE {self.value!r}%"
+        return f"{self.column} IN {list(self.value)!r}"
+
+
+def _merge_ascending(streams: List[Iterator[int]]) -> Iterator[int]:
+    """Merge ascending position streams, dropping duplicates."""
+    import heapq
+
+    heap: List[Tuple[int, int]] = []
+    for stream_id, stream in enumerate(streams):
+        first = next(stream, None)
+        if first is not None:
+            heap.append((first, stream_id))
+    heapq.heapify(heap)
+    previous = None
+    iterators = streams
+    while heap:
+        position, stream_id = heapq.heappop(heap)
+        if position != previous:
+            yield position
+            previous = position
+        following = next(iterators[stream_id], None)
+        if following is not None:
+            heapq.heappush(heap, (following, stream_id))
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The plan chosen for a query: driving predicate plus verified residuals."""
+
+    driver: Optional[Predicate]
+    residual: Tuple[Predicate, ...]
+    row_range: Tuple[int, int]
+    estimated_rows: int
+
+    def describe(self) -> str:
+        """Textual EXPLAIN output."""
+        lines = [f"scan rows [{self.row_range[0]}, {self.row_range[1]})"]
+        if self.driver is None:
+            lines.append("full scan (no predicates)")
+        else:
+            lines.append(
+                f"drive with {self.driver.describe()} "
+                f"(~{self.estimated_rows} candidate rows via Select)"
+            )
+        for predicate in self.residual:
+            lines.append(f"verify {predicate.describe()} via Access")
+        return "\n".join(lines)
+
+
+class Query:
+    """Fluent conjunctive query over a :class:`ColumnStore`."""
+
+    def __init__(self, store: ColumnStore) -> None:
+        self._store = store
+        self._predicates: List[Predicate] = []
+        self._range: Tuple[int, Optional[int]] = (0, None)
+        self._limit: Optional[int] = None
+        self._projection: Optional[List[str]] = None
+
+    # ------------------------------------------------------------------
+    # Builder methods (each returns self for chaining)
+    # ------------------------------------------------------------------
+    def where(self, predicate: Predicate) -> "Query":
+        """Add a predicate (conjunctive)."""
+        self._store.column(predicate.column)  # validate the column exists now
+        self._predicates.append(predicate)
+        return self
+
+    def where_eq(self, column: str, value: Any) -> "Query":
+        """Add ``column == value``."""
+        return self.where(Predicate.eq(column, value))
+
+    def where_prefix(self, column: str, prefix: Any) -> "Query":
+        """Add ``column`` starts-with ``prefix``."""
+        return self.where(Predicate.prefix(column, prefix))
+
+    def where_in(self, column: str, values: Sequence[Any]) -> "Query":
+        """Add ``column IN values``."""
+        return self.where(Predicate.is_in(column, values))
+
+    def in_rows(self, start: int, stop: Optional[int] = None) -> "Query":
+        """Restrict to the row range ``[start, stop)`` (e.g. a time window)."""
+        if start < 0 or (stop is not None and stop < start):
+            raise InvalidOperationError(f"invalid row range [{start}, {stop})")
+        self._range = (start, stop)
+        return self
+
+    def limit(self, count: int) -> "Query":
+        """Stop after ``count`` matching rows."""
+        if count < 0:
+            raise InvalidOperationError("limit must be non-negative")
+        self._limit = count
+        return self
+
+    def select(self, *columns: str) -> "Query":
+        """Project only the given columns when materialising rows."""
+        for column in columns:
+            self._store.column(column)
+        self._projection = list(columns)
+        return self
+
+    # ------------------------------------------------------------------
+    # Planning and execution
+    # ------------------------------------------------------------------
+    def plan(self) -> QueryPlan:
+        """Choose the driving predicate by exact selectivity."""
+        start, stop = self._resolved_range()
+        if not self._predicates:
+            return QueryPlan(None, (), (start, stop), stop - start)
+        ranked = sorted(
+            self._predicates,
+            key=lambda predicate: predicate.selectivity(self._store, start, stop),
+        )
+        driver, residual = ranked[0], tuple(ranked[1:])
+        return QueryPlan(
+            driver,
+            residual,
+            (start, stop),
+            driver.selectivity(self._store, start, stop),
+        )
+
+    def explain(self) -> str:
+        """The textual plan (EXPLAIN)."""
+        return self.plan().describe()
+
+    def positions(self) -> List[int]:
+        """Row positions of the matching rows, ascending."""
+        return list(self._execute())
+
+    def count(self) -> int:
+        """Number of matching rows (honours the limit if one is set)."""
+        plan = self.plan()
+        # Pure counting fast paths: no residual verification needed.
+        if self._limit is None and plan.driver is not None and not plan.residual:
+            return plan.estimated_rows
+        if self._limit is None and plan.driver is None:
+            return plan.row_range[1] - plan.row_range[0]
+        return sum(1 for _ in self._execute())
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """Materialise the matching rows (respecting the projection)."""
+        columns = self._projection or self._store.column_names
+        return [
+            {name: self._store.column(name).value_at(position) for name in columns}
+            for position in self._execute()
+        ]
+
+    def first(self) -> Optional[Dict[str, Any]]:
+        """The first matching row, or None."""
+        for position in self._execute():
+            columns = self._projection or self._store.column_names
+            return {name: self._store.column(name).value_at(position) for name in columns}
+        return None
+
+    def group_by_count(self, column: str) -> List[Tuple[Any, int]]:
+        """GROUP BY ``column`` with COUNT(*) over the matching rows.
+
+        When there are no predicates this runs entirely on the index (the
+        Section 5 distinct-values-in-range algorithm); otherwise the matching
+        rows are counted per value.
+        """
+        start, stop = self._resolved_range()
+        if not self._predicates and self._limit is None:
+            return self._store.column(column).group_by_count(start, stop)
+        counts: Dict[Any, int] = {}
+        for position in self._execute():
+            value = self._store.column(column).value_at(position)
+            counts[value] = counts.get(value, 0) + 1
+        return sorted(counts.items(), key=lambda item: (-item[1], str(item[0])))
+
+    # ------------------------------------------------------------------
+    def _resolved_range(self) -> Tuple[int, int]:
+        start, stop = self._range
+        total = len(self._store)
+        stop = total if stop is None else min(stop, total)
+        start = min(start, stop)
+        return start, stop
+
+    def _execute(self) -> Iterator[int]:
+        plan = self.plan()
+        start, stop = plan.row_range
+        emitted = 0
+        if plan.driver is None:
+            candidates: Iterator[int] = iter(range(start, stop))
+        else:
+            candidates = plan.driver.scan(self._store, start, stop)
+        for position in candidates:
+            if self._limit is not None and emitted >= self._limit:
+                return
+            if all(
+                predicate.matches(self._store.column(predicate.column).value_at(position))
+                for predicate in plan.residual
+            ):
+                yield position
+                emitted += 1
+        return

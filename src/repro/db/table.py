@@ -1,0 +1,155 @@
+"""A minimal column-store table.
+
+``ColumnStore`` keeps one :class:`~repro.db.column.CompressedColumn` per
+attribute, rows are appended as dictionaries, and filters are expressed per
+column (equality or prefix) and combined by intersecting row-position sets --
+the textbook column-store evaluation strategy, here running entirely on
+compressed indexes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.db.column import CompressedColumn
+from repro.exceptions import InvalidOperationError, OutOfBoundsError
+
+__all__ = ["ColumnStore"]
+
+
+class ColumnStore:
+    """A table of compressed columns with append and filter operations."""
+
+    def __init__(self, column_names: Sequence[str]) -> None:
+        if not column_names:
+            raise ValueError("a table needs at least one column")
+        if len(set(column_names)) != len(column_names):
+            raise ValueError("duplicate column names")
+        self._columns: Dict[str, CompressedColumn] = {
+            name: CompressedColumn(name) for name in column_names
+        }
+        self._row_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def column_names(self) -> List[str]:
+        """The table schema, in declaration order."""
+        return list(self._columns)
+
+    def column(self, name: str) -> CompressedColumn:
+        """The column object for ``name``."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise InvalidOperationError(f"no column named {name!r}") from None
+
+    def __len__(self) -> int:
+        return self._row_count
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def append_row(self, row: Dict[str, Any]) -> int:
+        """Append one row (a dict with a value for every column); returns its position."""
+        missing = set(self._columns) - set(row)
+        if missing:
+            raise InvalidOperationError(
+                f"row is missing values for columns: {sorted(missing)}"
+            )
+        for name, column in self._columns.items():
+            column.append(row[name])
+        position = self._row_count
+        self._row_count += 1
+        return position
+
+    def extend(self, rows: Iterable[Dict[str, Any]]) -> None:
+        """Append many rows."""
+        for row in rows:
+            self.append_row(row)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def row(self, position: int) -> Dict[str, Any]:
+        """Materialise the row at ``position``."""
+        if not 0 <= position < self._row_count:
+            raise OutOfBoundsError(f"row {position} out of range")
+        return {name: column.value_at(position) for name, column in self._columns.items()}
+
+    def filter_eq(self, column: str, value: Any) -> List[int]:
+        """Row positions where ``column == value``."""
+        return list(self.column(column).rows_eq(value))
+
+    def filter_prefix(self, column: str, prefix: Any) -> List[int]:
+        """Row positions where ``column`` starts with ``prefix``."""
+        return list(self.column(column).rows_prefix(prefix))
+
+    def filter(self, conditions: Dict[str, Any], prefixes: Optional[Dict[str, Any]] = None) -> List[int]:
+        """Row positions satisfying all equality ``conditions`` and prefix ``prefixes``.
+
+        Evaluation starts from the most selective column (smallest count) and
+        verifies the remaining predicates by point lookups -- the standard
+        column-store strategy.
+        """
+        prefixes = prefixes or {}
+        if not conditions and not prefixes:
+            return list(range(self._row_count))
+        # Estimate selectivity of every predicate.
+        candidates: List[tuple] = []
+        for name, value in conditions.items():
+            candidates.append((self.column(name).count_eq(value), "eq", name, value))
+        for name, prefix in prefixes.items():
+            candidates.append((self.column(name).count_prefix(prefix), "prefix", name, prefix))
+        candidates.sort()
+        count, kind, name, value = candidates[0]
+        if count == 0:
+            return []
+        if kind == "eq":
+            positions: Iterable[int] = self.column(name).rows_eq(value)
+        else:
+            positions = self.column(name).rows_prefix(value)
+        survivors: List[int] = []
+        for position in positions:
+            keep = True
+            for other_name, other_value in conditions.items():
+                if other_name == name and kind == "eq":
+                    continue
+                if self.column(other_name).value_at(position) != other_value:
+                    keep = False
+                    break
+            if keep:
+                for other_name, other_prefix in prefixes.items():
+                    if other_name == name and kind == "prefix":
+                        continue
+                    if not self.column(other_name).value_at(position).startswith(other_prefix):
+                        keep = False
+                        break
+            if keep:
+                survivors.append(position)
+        return survivors
+
+    def count_where(self, conditions: Dict[str, Any], prefixes: Optional[Dict[str, Any]] = None) -> int:
+        """COUNT(*) under the same predicate semantics as :meth:`filter`."""
+        if conditions or (prefixes and len(prefixes) > 1):
+            return len(self.filter(conditions, prefixes))
+        if prefixes:
+            (name, prefix), = prefixes.items()
+            return self.column(name).count_prefix(prefix)
+        return self._row_count
+
+    def project(self, positions: Iterable[int], columns: Optional[Sequence[str]] = None) -> List[Dict[str, Any]]:
+        """Materialise the given rows, optionally restricted to some columns."""
+        columns = list(columns) if columns is not None else self.column_names
+        rows = []
+        for position in positions:
+            rows.append({name: self.column(name).value_at(position) for name in columns})
+        return rows
+
+    def group_by_count(self, column: str, start: int = 0, stop: Optional[int] = None) -> List[tuple]:
+        """GROUP BY ``column`` with COUNT(*) over a row range."""
+        return self.column(column).group_by_count(start, stop)
+
+    # ------------------------------------------------------------------
+    def size_in_bits(self) -> int:
+        """Total measured size of all column indexes."""
+        return sum(column.size_in_bits() for column in self._columns.values())

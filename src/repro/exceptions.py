@@ -1,0 +1,38 @@
+"""Exception hierarchy shared by the whole package.
+
+All exceptions raised on purpose by :mod:`repro` derive from
+:class:`ReproError`, so callers can catch library errors without also
+catching programming errors such as :class:`TypeError`.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class OutOfBoundsError(ReproError, IndexError):
+    """A position, rank or index argument is outside the valid range."""
+
+
+class ValueNotFoundError(ReproError, KeyError):
+    """A queried string/symbol does not occur (enough times) in the sequence."""
+
+
+class ImmutableStructureError(ReproError):
+    """An update operation was attempted on a static (frozen) structure."""
+
+
+class InvalidOperationError(ReproError):
+    """The operation is not supported by this structure variant."""
+
+
+class EncodingError(ReproError, ValueError):
+    """A value cannot be encoded/decoded (e.g. gamma code of zero)."""
+
+
+class BinarizationError(ReproError, ValueError):
+    """A string/value cannot be binarised under the chosen codec."""
+
+
+class SerializationError(ReproError, ValueError):
+    """An object cannot be serialised, or a stored payload is malformed."""

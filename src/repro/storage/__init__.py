@@ -1,0 +1,35 @@
+"""On-disk persistence for the Wavelet Trie and the database layer.
+
+The paper's motivating applications (column stores, access-log analytics) need
+indexes that survive a process restart.  This package provides a compact,
+versioned, checksummed binary format together with four entry points:
+
+>>> from repro import WaveletTrie
+>>> from repro.storage import dumps, loads
+>>> trie = WaveletTrie(["/a/x", "/a/y", "/a/x"])
+>>> restored = loads(dumps(trie))
+>>> restored.rank("/a/x", 3)
+2
+
+* :func:`~repro.storage.format.dumps` / :func:`~repro.storage.format.loads`
+  -- bytes in, bytes out;
+* :func:`~repro.storage.format.save` / :func:`~repro.storage.format.load`
+  -- atomic write to / read from a file path.
+
+The serialised form stores the *logical* structure (codec, trie topology,
+node bitvector contents in run-length form), not the in-memory layout, so it
+is stable across internal tuning of block sizes and rebuild policies.
+"""
+
+from repro.storage.format import FORMAT_VERSION, MAGIC, dumps, load, loads, save
+from repro.storage.serializers import TYPE_TAGS
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MAGIC",
+    "TYPE_TAGS",
+    "dumps",
+    "load",
+    "loads",
+    "save",
+]

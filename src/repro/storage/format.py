@@ -1,0 +1,102 @@
+"""The container file format: header, type tag, checksum.
+
+Layout of a stored object (all integers little-endian / LEB128):
+
+====================  =======================================================
+field                 content
+====================  =======================================================
+magic                 4 bytes, ``b"RWT1"``
+format version        1 byte, currently ``1``
+type tag              varint, see :data:`repro.storage.serializers.TYPE_TAGS`
+payload length        varint
+payload               the serialised object
+checksum              4 bytes, CRC-32 of the payload
+====================  =======================================================
+
+The checksum makes truncation and bit rot detectable: :func:`loads` verifies
+it before handing the payload to the object reader and raises
+:class:`~repro.exceptions.SerializationError` on any mismatch.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from typing import Any, Union
+
+from repro.exceptions import SerializationError
+from repro.storage.serializers import read_object, write_object
+from repro.storage.varint import ByteReader, ByteWriter
+
+__all__ = ["FORMAT_VERSION", "MAGIC", "dumps", "loads", "save", "load"]
+
+MAGIC = b"RWT1"
+FORMAT_VERSION = 1
+
+
+def dumps(obj: Any) -> bytes:
+    """Serialise ``obj`` to bytes.
+
+    Supported types are the three Wavelet Trie variants,
+    :class:`~repro.db.column.CompressedColumn`,
+    :class:`~repro.db.table.ColumnStore` and
+    :class:`~repro.db.log_store.AccessLogStore`.
+    """
+    type_tag, payload = write_object(obj)
+    writer = ByteWriter()
+    writer.write_raw(MAGIC)
+    writer.write_u8(FORMAT_VERSION)
+    writer.write_uvarint(type_tag)
+    writer.write_uvarint(len(payload))
+    writer.write_raw(payload)
+    writer.write_u32(zlib.crc32(payload) & 0xFFFFFFFF)
+    return writer.getvalue()
+
+
+def loads(data: bytes) -> Any:
+    """Rebuild the object stored in ``data`` (inverse of :func:`dumps`)."""
+    reader = ByteReader(data)
+    magic = reader.read_raw(len(MAGIC))
+    if magic != MAGIC:
+        raise SerializationError(
+            f"not a wavelet-trie file (bad magic {magic!r}, expected {MAGIC!r})"
+        )
+    version = reader.read_u8()
+    if version != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported format version {version} (this build reads version {FORMAT_VERSION})"
+        )
+    type_tag = reader.read_uvarint()
+    payload_length = reader.read_uvarint()
+    payload = reader.read_raw(payload_length)
+    stored_checksum = reader.read_u32()
+    reader.expect_end()
+    actual_checksum = zlib.crc32(payload) & 0xFFFFFFFF
+    if stored_checksum != actual_checksum:
+        raise SerializationError(
+            f"checksum mismatch: stored {stored_checksum:#010x}, "
+            f"computed {actual_checksum:#010x} (corrupted file?)"
+        )
+    return read_object(type_tag, payload)
+
+
+def save(obj: Any, path: Union[str, os.PathLike]) -> int:
+    """Serialise ``obj`` to ``path``; returns the number of bytes written.
+
+    The file is written atomically: the data goes to a temporary sibling file
+    which is renamed over the target only after a successful write, so a
+    crash cannot leave a half-written index behind.
+    """
+    data = dumps(obj)
+    path = os.fspath(path)
+    temporary = f"{path}.tmp"
+    with open(temporary, "wb") as handle:
+        handle.write(data)
+    os.replace(temporary, path)
+    return len(data)
+
+
+def load(path: Union[str, os.PathLike]) -> Any:
+    """Load the object stored at ``path`` (inverse of :func:`save`)."""
+    with open(path, "rb") as handle:
+        return loads(handle.read())

@@ -1,0 +1,380 @@
+"""Per-structure serialisers for the on-disk format.
+
+Every serialiser writes a *logical* description of the structure -- the codec,
+the trie topology (labels in preorder) and the node bitvector contents -- and
+the loader rebuilds the in-memory representation from it.  This keeps the
+format independent of internal layout details (RRR block sizes, frozen-block
+boundaries, treap priorities), so files written by one version of the library
+remain readable after the internals are tuned.
+
+The node bitvector contents are written with the RAW/RLE payload encoding of
+:mod:`repro.storage.varint`, so an on-disk Wavelet Trie is roughly the size of
+its compressed in-memory form (the RLE mode captures the same skew the RRR
+encoding exploits), not the size of the raw value list.
+
+Supported types (see :data:`TYPE_TAGS`): the three Wavelet Trie variants,
+:class:`~repro.db.column.CompressedColumn`, :class:`~repro.db.table.ColumnStore`
+and :class:`~repro.db.log_store.AccessLogStore`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.bits.bitstring import Bits
+from repro.bitvector.append_only import AppendOnlyBitVector
+from repro.bitvector.dynamic import DynamicBitVector
+from repro.bitvector.plain import PlainBitVector
+from repro.bitvector.rle import RLEBitVector
+from repro.bitvector.rrr import RRRBitVector
+from repro.core.append_only import AppendOnlyWaveletTrie
+from repro.core.dynamic import DynamicWaveletTrie
+from repro.core.node import WaveletTrieNode
+from repro.core.static import WaveletTrie
+from repro.db.column import CompressedColumn
+from repro.db.log_store import AccessLogStore
+from repro.db.table import ColumnStore
+from repro.exceptions import SerializationError
+from repro.storage.varint import ByteReader, ByteWriter, bits_to_runs
+from repro.tries.binarize import (
+    BytesCodec,
+    FixedWidthIntCodec,
+    StringCodec,
+    Utf8Codec,
+)
+
+__all__ = [
+    "TYPE_TAGS",
+    "read_object",
+    "write_object",
+]
+
+# ----------------------------------------------------------------------
+# Codec (de)serialisation
+# ----------------------------------------------------------------------
+_CODEC_UTF8 = 1
+_CODEC_BYTES = 2
+_CODEC_FIXED_INT = 3
+
+
+def _write_codec(writer: ByteWriter, codec: StringCodec) -> None:
+    if isinstance(codec, Utf8Codec):
+        writer.write_u8(_CODEC_UTF8)
+    elif isinstance(codec, BytesCodec):
+        writer.write_u8(_CODEC_BYTES)
+    elif isinstance(codec, FixedWidthIntCodec):
+        writer.write_u8(_CODEC_FIXED_INT)
+        writer.write_uvarint(codec.width)
+        writer.write_bool(codec.lsb_first)
+    else:
+        raise SerializationError(
+            f"codec {type(codec).__name__} has no registered serialiser"
+        )
+
+
+def _read_codec(reader: ByteReader) -> StringCodec:
+    tag = reader.read_u8()
+    if tag == _CODEC_UTF8:
+        return Utf8Codec()
+    if tag == _CODEC_BYTES:
+        return BytesCodec()
+    if tag == _CODEC_FIXED_INT:
+        width = reader.read_uvarint()
+        lsb_first = reader.read_bool()
+        return FixedWidthIntCodec(width, lsb_first=lsb_first)
+    raise SerializationError(f"unknown codec tag {tag}")
+
+
+# ----------------------------------------------------------------------
+# Trie topology (labels + node bitvector contents, preorder)
+# ----------------------------------------------------------------------
+_NODE_ABSENT = 0
+_NODE_LEAF = 1
+_NODE_INTERNAL = 2
+
+# A factory takes the decoded bitvector content and returns the node bitvector.
+BitvectorFactory = Callable[[Bits], Any]
+
+
+def _bitvector_content(bitvector) -> Bits:
+    """The logical bit content of a node bitvector, as a :class:`Bits` value."""
+    return Bits.from_iterable(bitvector.iter_range(0, len(bitvector)))
+
+
+def _write_node(writer: ByteWriter, node: Optional[WaveletTrieNode]) -> None:
+    if node is None:
+        writer.write_u8(_NODE_ABSENT)
+        return
+    if node.is_leaf:
+        writer.write_u8(_NODE_LEAF)
+        writer.write_bits(node.label)
+        return
+    writer.write_u8(_NODE_INTERNAL)
+    writer.write_bits(node.label)
+    writer.write_bits(_bitvector_content(node.bitvector))
+    _write_node(writer, node.children[0])
+    _write_node(writer, node.children[1])
+
+
+def _read_node(
+    reader: ByteReader, factory: BitvectorFactory
+) -> Optional[WaveletTrieNode]:
+    kind = reader.read_u8()
+    if kind == _NODE_ABSENT:
+        return None
+    label = reader.read_bits()
+    if kind == _NODE_LEAF:
+        return WaveletTrieNode(label=label)
+    if kind != _NODE_INTERNAL:
+        raise SerializationError(f"unknown node kind {kind}")
+    content = reader.read_bits()
+    node = WaveletTrieNode(label=label, bitvector=factory(content))
+    left = _read_node(reader, factory)
+    right = _read_node(reader, factory)
+    if left is None or right is None:
+        raise SerializationError("internal node with a missing child")
+    node.attach(0, left)
+    node.attach(1, right)
+    return node
+
+
+# ----------------------------------------------------------------------
+# Wavelet Trie variants
+# ----------------------------------------------------------------------
+def _write_static_trie(writer: ByteWriter, trie: WaveletTrie) -> None:
+    _write_codec(writer, trie.codec)
+    writer.write_text(trie.bitvector_kind)
+    writer.write_uvarint(len(trie))
+    _write_node(writer, trie.root)
+
+
+def _read_static_trie(reader: ByteReader) -> WaveletTrie:
+    codec = _read_codec(reader)
+    kind = reader.read_text()
+    size = reader.read_uvarint()
+    factories: Dict[str, BitvectorFactory] = {
+        "rrr": RRRBitVector,
+        "plain": PlainBitVector,
+        "rle": RLEBitVector,
+    }
+    if kind not in factories:
+        raise SerializationError(f"unknown static bitvector kind {kind!r}")
+    trie = WaveletTrie([], codec=codec, bitvector=kind)
+    trie._root = _read_node(reader, factories[kind])
+    trie._size = size
+    _validate_size(trie, size)
+    return trie
+
+
+def _write_append_only_trie(writer: ByteWriter, trie: AppendOnlyWaveletTrie) -> None:
+    _write_codec(writer, trie.codec)
+    writer.write_uvarint(trie._block_size)
+    writer.write_uvarint(len(trie))
+    _write_node(writer, trie.root)
+
+
+def _read_append_only_trie(reader: ByteReader) -> AppendOnlyWaveletTrie:
+    codec = _read_codec(reader)
+    block_size = reader.read_uvarint()
+    size = reader.read_uvarint()
+
+    def factory(content: Bits) -> AppendOnlyBitVector:
+        vector = AppendOnlyBitVector(block_size=block_size)
+        vector.extend(content)
+        return vector
+
+    trie = AppendOnlyWaveletTrie([], codec=codec, block_size=block_size)
+    trie._root = _read_node(reader, factory)
+    trie._size = size
+    _validate_size(trie, size)
+    return trie
+
+
+def _write_dynamic_trie(writer: ByteWriter, trie: DynamicWaveletTrie) -> None:
+    _write_codec(writer, trie.codec)
+    writer.write_uvarint(trie._seed)
+    writer.write_uvarint(len(trie))
+    _write_node(writer, trie.root)
+
+
+def _read_dynamic_trie(reader: ByteReader) -> DynamicWaveletTrie:
+    codec = _read_codec(reader)
+    seed = reader.read_uvarint()
+    size = reader.read_uvarint()
+    trie = DynamicWaveletTrie([], codec=codec, seed=seed)
+
+    def factory(content: Bits) -> DynamicBitVector:
+        trie._next_seed = (trie._next_seed * 6364136223846793005 + 1) % (1 << 63)
+        return DynamicBitVector.from_runs(bits_to_runs(content), seed=trie._next_seed)
+
+    trie._root = _read_node(reader, factory)
+    trie._size = size
+    _validate_size(trie, size)
+    return trie
+
+
+def _validate_size(trie, size: int) -> None:
+    """Cross-check the stored element count against the root bitvector."""
+    root = trie.root
+    if root is None:
+        if size != 0:
+            raise SerializationError("non-zero size stored for an empty trie")
+        return
+    if root.is_leaf:
+        return  # constant sequences carry no bitvector; size cannot be checked
+    if len(root.bitvector) != size:
+        raise SerializationError(
+            f"stored size {size} does not match root bitvector length "
+            f"{len(root.bitvector)}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Database layer
+# ----------------------------------------------------------------------
+def _write_column(writer: ByteWriter, column: CompressedColumn) -> None:
+    writer.write_text(column.name)
+    writer.write_bool(column.appendable)
+    index = column.index
+    if isinstance(index, AppendOnlyWaveletTrie):
+        writer.write_u8(TYPE_TAGS[AppendOnlyWaveletTrie])
+        _write_append_only_trie(writer, index)
+    elif isinstance(index, WaveletTrie):
+        writer.write_u8(TYPE_TAGS[WaveletTrie])
+        _write_static_trie(writer, index)
+    else:
+        raise SerializationError(
+            f"column index of type {type(index).__name__} cannot be serialised"
+        )
+
+
+def _read_column(reader: ByteReader) -> CompressedColumn:
+    name = reader.read_text()
+    appendable = reader.read_bool()
+    tag = reader.read_u8()
+    if tag == TYPE_TAGS[AppendOnlyWaveletTrie]:
+        index = _read_append_only_trie(reader)
+    elif tag == TYPE_TAGS[WaveletTrie]:
+        index = _read_static_trie(reader)
+    else:
+        raise SerializationError(f"unexpected column index tag {tag}")
+    column = CompressedColumn(name, appendable=appendable)
+    column._index = index
+    column._appendable = appendable
+    return column
+
+
+def _write_column_store(writer: ByteWriter, store: ColumnStore) -> None:
+    writer.write_uvarint(len(store))
+    writer.write_uvarint(len(store.column_names))
+    for name in store.column_names:
+        _write_column(writer, store.column(name))
+
+
+def _read_column_store(reader: ByteReader) -> ColumnStore:
+    row_count = reader.read_uvarint()
+    column_count = reader.read_uvarint()
+    if column_count == 0:
+        raise SerializationError("a serialised ColumnStore must have columns")
+    columns = [_read_column(reader) for _ in range(column_count)]
+    store = ColumnStore([column.name for column in columns])
+    store._columns = {column.name: column for column in columns}
+    store._row_count = row_count
+    for column in columns:
+        if len(column) != row_count:
+            raise SerializationError(
+                f"column {column.name!r} has {len(column)} rows, table header says {row_count}"
+            )
+    return store
+
+
+def _write_access_log(writer: ByteWriter, log: AccessLogStore) -> None:
+    writer.write_u8(TYPE_TAGS[AppendOnlyWaveletTrie])
+    _write_append_only_trie(writer, log._index)
+    writer.write_uvarint(len(log._timestamps))
+    previous = 0
+    for timestamp in log._timestamps:
+        writer.write_uvarint(timestamp - previous)  # delta coding; non-decreasing
+        previous = timestamp
+
+
+def _read_access_log(reader: ByteReader) -> AccessLogStore:
+    tag = reader.read_u8()
+    if tag != TYPE_TAGS[AppendOnlyWaveletTrie]:
+        raise SerializationError(f"unexpected access-log index tag {tag}")
+    index = _read_append_only_trie(reader)
+    count = reader.read_uvarint()
+    if count != len(index):
+        raise SerializationError(
+            f"access log has {len(index)} entries but {count} timestamps"
+        )
+    timestamps = []
+    current = 0
+    for _ in range(count):
+        current += reader.read_uvarint()
+        timestamps.append(current)
+    log = AccessLogStore()
+    log._index = index
+    log._timestamps = timestamps
+    return log
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+#: Stable numeric tag of every serialisable type (written into the container
+#: header; never reuse a retired number).
+TYPE_TAGS: Dict[type, int] = {
+    WaveletTrie: 1,
+    AppendOnlyWaveletTrie: 2,
+    DynamicWaveletTrie: 3,
+    CompressedColumn: 4,
+    ColumnStore: 5,
+    AccessLogStore: 6,
+}
+
+_WRITERS: Dict[type, Callable[[ByteWriter, Any], None]] = {
+    WaveletTrie: _write_static_trie,
+    AppendOnlyWaveletTrie: _write_append_only_trie,
+    DynamicWaveletTrie: _write_dynamic_trie,
+    CompressedColumn: _write_column,
+    ColumnStore: _write_column_store,
+    AccessLogStore: _write_access_log,
+}
+
+_READERS: Dict[int, Callable[[ByteReader], Any]] = {
+    TYPE_TAGS[WaveletTrie]: _read_static_trie,
+    TYPE_TAGS[AppendOnlyWaveletTrie]: _read_append_only_trie,
+    TYPE_TAGS[DynamicWaveletTrie]: _read_dynamic_trie,
+    TYPE_TAGS[CompressedColumn]: _read_column,
+    TYPE_TAGS[ColumnStore]: _read_column_store,
+    TYPE_TAGS[AccessLogStore]: _read_access_log,
+}
+
+
+def write_object(obj: Any) -> Tuple[int, bytes]:
+    """Serialise ``obj``; returns ``(type_tag, payload_bytes)``.
+
+    Subclasses are matched on their exact type first and then on their bases,
+    so e.g. the dynamic trie (which inherits the static query machinery) is
+    dispatched to its own serialiser.
+    """
+    for klass in type(obj).__mro__:
+        if klass in _WRITERS:
+            writer = ByteWriter()
+            _WRITERS[klass](writer, obj)
+            return TYPE_TAGS[klass], writer.getvalue()
+    raise SerializationError(
+        f"objects of type {type(obj).__name__} cannot be serialised; "
+        f"supported types: {sorted(c.__name__ for c in TYPE_TAGS)}"
+    )
+
+
+def read_object(type_tag: int, payload: bytes) -> Any:
+    """Rebuild the object stored with ``type_tag`` from ``payload``."""
+    if type_tag not in _READERS:
+        raise SerializationError(f"unknown type tag {type_tag}")
+    reader = ByteReader(payload)
+    obj = _READERS[type_tag](reader)
+    reader.expect_end()
+    return obj

@@ -1,0 +1,274 @@
+"""Low-level byte stream primitives for the on-disk format.
+
+The serialisers in :mod:`repro.storage.serializers` are written against two
+small classes:
+
+* :class:`ByteWriter` -- accumulates bytes; provides unsigned LEB128 varints,
+  fixed-width integers, length-prefixed byte strings and a compact encoding
+  for :class:`~repro.bits.bitstring.Bits` payloads;
+* :class:`ByteReader` -- the exact inverse, with explicit end-of-data and
+  bounds checking so that a truncated or corrupted file raises
+  :class:`~repro.exceptions.SerializationError` instead of producing garbage.
+
+Bit payloads are written in whichever of two encodings is smaller:
+
+* ``RAW`` -- the bits packed eight per byte, first bit in the high-order
+  position of the first byte (the natural ``Bits.to_bytes`` layout);
+* ``RLE`` -- the first bit followed by the varint-coded run lengths, which is
+  much smaller for the long constant runs produced by ``Init`` and for the
+  skewed node bitvectors of real logs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.bits.bitstring import Bits
+from repro.exceptions import SerializationError
+
+__all__ = ["ByteReader", "ByteWriter", "bits_to_runs", "runs_to_bits"]
+
+_RAW_MODE = 0
+_RLE_MODE = 1
+
+
+def bits_to_runs(bits: Bits) -> List[Tuple[int, int]]:
+    """Decompose ``bits`` into maximal runs ``[(bit, length), ...]``."""
+    runs: List[Tuple[int, int]] = []
+    current_bit = -1
+    current_length = 0
+    for bit in bits:
+        if bit == current_bit:
+            current_length += 1
+        else:
+            if current_length:
+                runs.append((current_bit, current_length))
+            current_bit = bit
+            current_length = 1
+    if current_length:
+        runs.append((current_bit, current_length))
+    return runs
+
+
+def runs_to_bits(runs: List[Tuple[int, int]]) -> Bits:
+    """Inverse of :func:`bits_to_runs`."""
+    out = Bits.empty()
+    for bit, length in runs:
+        out = out + (Bits.ones(length) if bit else Bits.zeros(length))
+    return out
+
+
+class ByteWriter:
+    """Accumulates the bytes of one serialised payload."""
+
+    def __init__(self) -> None:
+        self._chunks = bytearray()
+
+    def __len__(self) -> int:
+        return len(self._chunks)
+
+    def getvalue(self) -> bytes:
+        """The bytes written so far."""
+        return bytes(self._chunks)
+
+    # ------------------------------------------------------------------
+    # Primitive writers
+    # ------------------------------------------------------------------
+    def write_raw(self, data: bytes) -> None:
+        """Append raw bytes with no framing."""
+        self._chunks.extend(data)
+
+    def write_u8(self, value: int) -> None:
+        """Append one unsigned byte."""
+        if not 0 <= value <= 0xFF:
+            raise SerializationError(f"u8 out of range: {value}")
+        self._chunks.append(value)
+
+    def write_u32(self, value: int) -> None:
+        """Append a fixed 32-bit little-endian unsigned integer."""
+        if not 0 <= value < (1 << 32):
+            raise SerializationError(f"u32 out of range: {value}")
+        self._chunks.extend(value.to_bytes(4, "little"))
+
+    def write_uvarint(self, value: int) -> None:
+        """Append an unsigned LEB128 varint."""
+        if value < 0:
+            raise SerializationError(f"varint must be non-negative, got {value}")
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                self._chunks.append(byte | 0x80)
+            else:
+                self._chunks.append(byte)
+                return
+
+    def write_bool(self, value: bool) -> None:
+        """Append a boolean as one byte."""
+        self.write_u8(1 if value else 0)
+
+    def write_bytes(self, data: bytes) -> None:
+        """Append a length-prefixed byte string."""
+        self.write_uvarint(len(data))
+        self._chunks.extend(data)
+
+    def write_text(self, text: str) -> None:
+        """Append a length-prefixed UTF-8 string."""
+        self.write_bytes(text.encode("utf-8"))
+
+    # ------------------------------------------------------------------
+    # Bit payloads
+    # ------------------------------------------------------------------
+    def write_bits(self, bits: Bits) -> None:
+        """Append a :class:`Bits` payload, choosing RAW or RLE (whichever is smaller)."""
+        raw = _encode_raw(bits)
+        rle = _encode_rle(bits)
+        if len(rle) < len(raw):
+            self.write_u8(_RLE_MODE)
+            self.write_uvarint(len(bits))
+            self._chunks.extend(rle)
+        else:
+            self.write_u8(_RAW_MODE)
+            self.write_uvarint(len(bits))
+            self._chunks.extend(raw)
+
+
+class ByteReader:
+    """Reads back a payload produced by :class:`ByteWriter`."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    @property
+    def position(self) -> int:
+        """Current read offset."""
+        return self._pos
+
+    def remaining(self) -> int:
+        """Bytes left to read."""
+        return len(self._data) - self._pos
+
+    def expect_end(self) -> None:
+        """Raise unless the payload has been consumed entirely."""
+        if self.remaining():
+            raise SerializationError(
+                f"{self.remaining()} trailing bytes after the end of the payload"
+            )
+
+    # ------------------------------------------------------------------
+    # Primitive readers
+    # ------------------------------------------------------------------
+    def read_raw(self, count: int) -> bytes:
+        """Read exactly ``count`` raw bytes."""
+        if count < 0 or self._pos + count > len(self._data):
+            raise SerializationError("unexpected end of payload")
+        out = self._data[self._pos:self._pos + count]
+        self._pos += count
+        return out
+
+    def read_u8(self) -> int:
+        """Read one unsigned byte."""
+        return self.read_raw(1)[0]
+
+    def read_u32(self) -> int:
+        """Read a fixed 32-bit little-endian unsigned integer."""
+        return int.from_bytes(self.read_raw(4), "little")
+
+    def read_uvarint(self) -> int:
+        """Read an unsigned LEB128 varint."""
+        result = 0
+        shift = 0
+        while True:
+            byte = self.read_u8()
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result
+            shift += 7
+            if shift > 63:
+                raise SerializationError("varint is too long (corrupted payload?)")
+
+    def read_bool(self) -> bool:
+        """Read a boolean."""
+        value = self.read_u8()
+        if value not in (0, 1):
+            raise SerializationError(f"invalid boolean byte {value}")
+        return bool(value)
+
+    def read_bytes(self) -> bytes:
+        """Read a length-prefixed byte string."""
+        return self.read_raw(self.read_uvarint())
+
+    def read_text(self) -> str:
+        """Read a length-prefixed UTF-8 string."""
+        try:
+            return self.read_bytes().decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise SerializationError(f"invalid UTF-8 in payload: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # Bit payloads
+    # ------------------------------------------------------------------
+    def read_bits(self) -> Bits:
+        """Read a :class:`Bits` payload written by :meth:`ByteWriter.write_bits`."""
+        mode = self.read_u8()
+        length = self.read_uvarint()
+        if mode == _RAW_MODE:
+            return _decode_raw(self, length)
+        if mode == _RLE_MODE:
+            return _decode_rle(self, length)
+        raise SerializationError(f"unknown bit payload mode {mode}")
+
+
+# ----------------------------------------------------------------------
+# Bit payload encodings
+# ----------------------------------------------------------------------
+def _encode_raw(bits: Bits) -> bytes:
+    if len(bits) == 0:
+        return b""
+    padded = len(bits) + (-len(bits)) % 8
+    return (bits.value << (padded - len(bits))).to_bytes(padded // 8, "big")
+
+
+def _decode_raw(reader: ByteReader, length: int) -> Bits:
+    byte_count = (length + 7) // 8
+    raw = reader.read_raw(byte_count)
+    if length == 0:
+        return Bits.empty()
+    value = int.from_bytes(raw, "big") >> (8 * byte_count - length)
+    return Bits(value, length)
+
+
+def _encode_rle(bits: Bits) -> bytes:
+    writer = ByteWriter()
+    runs = bits_to_runs(bits)
+    writer.write_uvarint(len(runs))
+    if runs:
+        writer.write_u8(runs[0][0])
+        for _, run_length in runs:
+            writer.write_uvarint(run_length)
+    return writer.getvalue()
+
+
+def _decode_rle(reader: ByteReader, length: int) -> Bits:
+    run_count = reader.read_uvarint()
+    if run_count == 0:
+        if length:
+            raise SerializationError("RLE payload with no runs but non-zero length")
+        return Bits.empty()
+    first_bit = reader.read_u8()
+    if first_bit not in (0, 1):
+        raise SerializationError(f"invalid first bit {first_bit} in RLE payload")
+    bit = first_bit
+    out = Bits.empty()
+    total = 0
+    for _ in range(run_count):
+        run_length = reader.read_uvarint()
+        total += run_length
+        out = out + (Bits.ones(run_length) if bit else Bits.zeros(run_length))
+        bit = 1 - bit
+    if total != length:
+        raise SerializationError(
+            f"RLE payload length mismatch: runs add to {total}, header says {length}"
+        )
+    return out

@@ -1,0 +1,100 @@
+"""Fenwick (binary indexed) trees for dynamic prefix sums.
+
+The paper's constructions use constant-time partial-sum structures (fusion
+trees over O(log n) entries, Lemma 4.7(c)); in this pure-Python engineering
+we use Fenwick trees, which give O(log n) ``prefix_sum``/``add`` and
+O(log n) ``search`` (find the first prefix exceeding a target).  They back the
+dynamic partial sums in :mod:`repro.succinct.partial_sums` and a few internal
+directories.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.exceptions import OutOfBoundsError
+
+__all__ = ["FenwickTree"]
+
+
+class FenwickTree:
+    """Dynamic prefix sums over a fixed-length array of non-negative integers."""
+
+    __slots__ = ("_tree", "_size", "_total")
+
+    def __init__(self, values: Iterable[int] = ()) -> None:
+        values = list(values)
+        self._size = len(values)
+        self._tree = [0] * (self._size + 1)
+        self._total = 0
+        for index, value in enumerate(values):
+            if value:
+                self.add(index, value)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def total(self) -> int:
+        """Sum of all values."""
+        return self._total
+
+    def add(self, index: int, delta: int) -> None:
+        """Add ``delta`` (possibly negative) to the value at ``index``."""
+        if not 0 <= index < self._size:
+            raise OutOfBoundsError(f"index {index} out of range for size {self._size}")
+        self._total += delta
+        index += 1
+        while index <= self._size:
+            self._tree[index] += delta
+            index += index & (-index)
+
+    def prefix_sum(self, count: int) -> int:
+        """Sum of the first ``count`` values."""
+        if not 0 <= count <= self._size:
+            raise OutOfBoundsError(f"count {count} out of range for size {self._size}")
+        result = 0
+        while count > 0:
+            result += self._tree[count]
+            count -= count & (-count)
+        return result
+
+    def range_sum(self, start: int, stop: int) -> int:
+        """Sum of values in ``[start, stop)``."""
+        if start > stop:
+            raise OutOfBoundsError(f"invalid range [{start}, {stop})")
+        return self.prefix_sum(stop) - self.prefix_sum(start)
+
+    def value_at(self, index: int) -> int:
+        """The current value at ``index``."""
+        return self.range_sum(index, index + 1)
+
+    def search(self, target: int) -> int:
+        """Smallest ``i`` such that ``prefix_sum(i + 1) > target``.
+
+        Requires all values to be non-negative.  Raises if ``target`` is not
+        smaller than the total sum.
+        """
+        if target < 0 or target >= self._total:
+            raise OutOfBoundsError(
+                f"target {target} out of range for total {self._total}"
+            )
+        position = 0
+        remaining = target
+        bit_mask = 1 << (self._size.bit_length())
+        while bit_mask:
+            next_position = position + bit_mask
+            if next_position <= self._size and self._tree[next_position] <= remaining:
+                position = next_position
+                remaining -= self._tree[next_position]
+            bit_mask >>= 1
+        return position
+
+    def to_list(self) -> List[int]:
+        """Materialise the underlying values."""
+        return [self.value_at(index) for index in range(self._size)]
+
+    def size_in_bits(self, word: int = 64) -> int:
+        """Space used, counting one word per tree slot."""
+        return (len(self._tree) + 2) * word

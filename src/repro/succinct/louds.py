@@ -1,0 +1,129 @@
+"""LOUDS (Level-Order Unary Degree Sequence) succinct tree encoding.
+
+LOUDS encodes an ordinal tree in ``2k + o(k)`` bits with navigation by
+rank/select.  It is included as an alternative topology encoding for the
+ablation study (DFUDS vs. LOUDS for the static Patricia trie) and as a
+self-contained, well-tested succinct tree primitive.
+
+Encoding: a virtual super-root is encoded as ``10``; then every node in BFS
+(level) order contributes ``degree`` one-bits followed by a zero-bit.  Nodes
+are identified by their level-order rank (the root is 0).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterator, List, Sequence, TypeVar
+
+from repro.bitvector.plain import PlainBitVector
+from repro.exceptions import OutOfBoundsError
+
+__all__ = ["LOUDSTree"]
+
+NodeT = TypeVar("NodeT")
+
+
+class LOUDSTree:
+    """Succinct ordinal tree with LOUDS navigation (nodes = level-order ranks)."""
+
+    __slots__ = ("_bits", "_node_count")
+
+    def __init__(self, bits: Sequence[int], node_count: int) -> None:
+        self._bits = PlainBitVector(bits)
+        self._node_count = node_count
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tree(
+        cls, root: NodeT, children: Callable[[NodeT], Sequence[NodeT]]
+    ) -> "LOUDSTree":
+        """Encode the tree rooted at ``root``; ``children`` lists ordered children."""
+        bits: List[int] = [1, 0]  # super-root
+        count = 0
+        queue = deque([root])
+        while queue:
+            node = queue.popleft()
+            count += 1
+            kids = list(children(node))
+            bits.extend([1] * len(kids))
+            bits.append(0)
+            queue.extend(kids)
+        return cls(bits, count)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._node_count
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes."""
+        return self._node_count
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self._node_count:
+            raise OutOfBoundsError(
+                f"node {node} out of range for {self._node_count} nodes"
+            )
+
+    # ------------------------------------------------------------------
+    # Navigation (standard LOUDS formulas, 0-based nodes)
+    # ------------------------------------------------------------------
+    def degree(self, node: int) -> int:
+        """Number of children of ``node``."""
+        self._check_node(node)
+        start = self._bits.select0(node) + 1
+        end = self._bits.select0(node + 1)
+        return end - start
+
+    def is_leaf(self, node: int) -> bool:
+        """True if ``node`` has no children."""
+        return self.degree(node) == 0
+
+    def child(self, node: int, index: int) -> int:
+        """The ``index``-th (0-based) child of ``node``."""
+        degree = self.degree(node)
+        if not 0 <= index < degree:
+            raise OutOfBoundsError(
+                f"child index {index} out of range for degree {degree}"
+            )
+        start = self._bits.select0(node) + 1
+        one_rank = self._bits.rank1(start + index)
+        return one_rank  # ranks are 1-based counts; child of rank r is node r (super-root's 1 maps to root 0)
+
+    def children(self, node: int) -> Iterator[int]:
+        """Iterate over the children of ``node``."""
+        for index in range(self.degree(node)):
+            yield self.child(node, index)
+
+    def parent(self, node: int) -> int:
+        """Parent of ``node``; raises for the root."""
+        self._check_node(node)
+        if node == 0:
+            raise OutOfBoundsError("the root has no parent")
+        # The 1-bit that created `node` is the (node)-th 1 (0-based: node-th);
+        # its position p lies inside the parent's degree block.
+        position = self._bits.select1(node)
+        return self._bits.rank0(position) - 1
+
+    def child_rank(self, node: int) -> int:
+        """0-based index of ``node`` among its parent's children."""
+        self._check_node(node)
+        if node == 0:
+            raise OutOfBoundsError("the root has no parent")
+        position = self._bits.select1(node)
+        parent = self._bits.rank0(position) - 1
+        start = self._bits.select0(parent) + 1
+        return position - start
+
+    def leaf_count(self) -> int:
+        """Number of leaves."""
+        return sum(1 for node in range(self._node_count) if self.is_leaf(node))
+
+    def bfs_nodes(self) -> Iterator[int]:
+        """All nodes in level order (simply 0..node_count-1)."""
+        return iter(range(self._node_count))
+
+    # ------------------------------------------------------------------
+    def size_in_bits(self) -> int:
+        """Encoded size of the LOUDS bitvector."""
+        return self._bits.size_in_bits()

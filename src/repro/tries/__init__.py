@@ -1,0 +1,33 @@
+"""Patricia tries and string binarisation.
+
+The Wavelet Trie is a Wavelet Tree shaped like the Patricia trie of the
+distinct strings.  This package provides:
+
+* :mod:`repro.tries.binarize` -- codecs mapping application values
+  (``str``, ``bytes``, ``int``) to the prefix-free binary strings
+  (:class:`~repro.bits.bitstring.Bits`) the data structure operates on;
+* :class:`~repro.tries.patricia.PatriciaTrie` -- the dynamic, pointer-based
+  Patricia trie of the paper's Appendix B;
+* :class:`~repro.tries.static_patricia.SuccinctPatriciaTrie` -- the static
+  DFUDS-encoded trie with concatenated labels of Theorem 3.6.
+"""
+
+from repro.tries.binarize import (
+    BytesCodec,
+    FixedWidthIntCodec,
+    StringCodec,
+    Utf8Codec,
+    default_codec,
+)
+from repro.tries.patricia import PatriciaTrie
+from repro.tries.static_patricia import SuccinctPatriciaTrie
+
+__all__ = [
+    "BytesCodec",
+    "FixedWidthIntCodec",
+    "PatriciaTrie",
+    "StringCodec",
+    "SuccinctPatriciaTrie",
+    "Utf8Codec",
+    "default_codec",
+]

@@ -1,0 +1,326 @@
+"""Dynamic binary Patricia trie (paper Section 2 and Appendix B).
+
+The trie stores a *prefix-free* set of binary strings (:class:`Bits` values).
+Each node carries a label; internal nodes have exactly two children, reached
+by the bit following the label (0 to the left, 1 to the right).  The
+concatenation of labels and branching bits along a root-to-leaf path spells a
+stored string.
+
+Supported operations match Lemma 4.1 / Appendix B of the paper:
+
+* navigation and lookups in ``O(|s|)`` bit comparisons (big-int accelerated);
+* ``insert`` of a new string in ``O(|s|)``, splitting one node and adding one
+  leaf;
+* ``delete`` of a stored string in ``O(l̂)``, removing one leaf and merging
+  its parent with the sibling;
+* statistics needed by the space analysis: number of nodes/edges, total label
+  length ``|L|`` and per-string path height ``h_s``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.bits.bitstring import Bits
+from repro.exceptions import ValueNotFoundError
+
+__all__ = ["PatriciaNode", "PatriciaTrie"]
+
+
+@dataclass
+class PatriciaNode:
+    """A node of the Patricia trie.
+
+    ``children`` is ``[left, right]`` for internal nodes and ``[None, None]``
+    for leaves.  The label is the longest common prefix of all strings below
+    the node, relative to the parent's position (paper Definition of the
+    Patricia trie, Section 2).
+    """
+
+    label: Bits
+    children: List[Optional["PatriciaNode"]] = field(
+        default_factory=lambda: [None, None]
+    )
+    parent: Optional["PatriciaNode"] = None
+    parent_bit: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        """True if the node has no children."""
+        return self.children[0] is None and self.children[1] is None
+
+    def attach(self, bit: int, child: "PatriciaNode") -> None:
+        """Attach ``child`` as the ``bit``-labelled child."""
+        self.children[bit] = child
+        child.parent = self
+        child.parent_bit = bit
+
+
+class PatriciaTrie:
+    """A dynamic Patricia trie over a prefix-free set of :class:`Bits` keys."""
+
+    def __init__(self, keys: Iterable[Bits] = ()) -> None:
+        self._root: Optional[PatriciaNode] = None
+        self._size = 0
+        for key in keys:
+            self.insert(key)
+
+    # ------------------------------------------------------------------
+    # Size and iteration
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    @property
+    def root(self) -> Optional[PatriciaNode]:
+        """The root node (None when the trie is empty)."""
+        return self._root
+
+    def __iter__(self) -> Iterator[Bits]:
+        return self.keys()
+
+    def keys(self) -> Iterator[Bits]:
+        """Iterate over all stored keys in lexicographic (DFS) order."""
+        def walk(node: PatriciaNode, prefix: Bits) -> Iterator[Bits]:
+            current = prefix + node.label
+            if node.is_leaf:
+                yield current
+                return
+            for bit in (0, 1):
+                child = node.children[bit]
+                if child is not None:
+                    yield from walk(child, current.appended(bit))
+
+        if self._root is not None:
+            yield from walk(self._root, Bits.empty())
+
+    def nodes(self) -> Iterator[PatriciaNode]:
+        """Iterate over all nodes in preorder."""
+        stack = [self._root] if self._root is not None else []
+        while stack:
+            node = stack.pop()
+            yield node
+            for bit in (1, 0):
+                child = node.children[bit]
+                if child is not None:
+                    stack.append(child)
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def __contains__(self, key: Bits) -> bool:
+        return self.contains(key)
+
+    def contains(self, key: Bits) -> bool:
+        """True if ``key`` is stored in the trie."""
+        try:
+            self._locate_leaf(key)
+        except ValueNotFoundError:
+            return False
+        return True
+
+    def find_prefix(self, prefix: Bits) -> Optional[Tuple[PatriciaNode, int]]:
+        """Locate the highest node whose subtree holds exactly the keys with ``prefix``.
+
+        Returns ``(node, depth)`` where ``depth`` is the number of prefix bits
+        consumed before the node's label, or None if no stored key has the
+        prefix.  This is the ``n_p`` node used by RankPrefix/SelectPrefix
+        (paper Lemma 3.3).
+        """
+        if self._root is None:
+            return None
+        node = self._root
+        depth = 0
+        while True:
+            remaining = prefix.suffix_from(depth)
+            if len(remaining) == 0:
+                return node, depth
+            label = node.label
+            lcp = remaining.lcp_length(label)
+            if lcp == len(remaining):
+                return node, depth
+            if lcp < len(label):
+                return None
+            depth += len(label)
+            bit = prefix[depth]
+            depth += 1
+            child = node.children[bit]
+            if child is None:
+                return None
+            node = child
+
+    def height_of(self, key: Bits) -> int:
+        """Number of internal nodes on the root-to-leaf path of ``key`` (h_s)."""
+        if self._root is None:
+            raise ValueNotFoundError(f"key {key!r} not in trie")
+        node = self._root
+        depth = 0
+        internal = 0
+        while True:
+            label = node.label
+            remaining = key.suffix_from(depth)
+            if node.is_leaf:
+                if remaining != label:
+                    raise ValueNotFoundError(f"key {key!r} not in trie")
+                return internal
+            if not remaining.startswith(label):
+                raise ValueNotFoundError(f"key {key!r} not in trie")
+            internal += 1
+            depth += len(label)
+            bit = key[depth]
+            depth += 1
+            child = node.children[bit]
+            if child is None:
+                raise ValueNotFoundError(f"key {key!r} not in trie")
+            node = child
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert(self, key: Bits) -> bool:
+        """Insert ``key``; returns True if it was new, False if already present.
+
+        A new key splits exactly one existing node and adds one leaf
+        (paper Appendix B), in ``O(|key|)`` time.
+        """
+        if self._root is None:
+            self._root = PatriciaNode(label=key)
+            self._size = 1
+            return True
+        node = self._root
+        depth = 0
+        while True:
+            label = node.label
+            remaining = key.suffix_from(depth)
+            lcp = remaining.lcp_length(label)
+            if lcp == len(label) and not node.is_leaf:
+                depth += len(label)
+                if depth >= len(key):
+                    raise ValueError(
+                        "insertion would violate prefix-freeness (key is a "
+                        "proper prefix of a stored key)"
+                    )
+                bit = key[depth]
+                depth += 1
+                node = node.children[bit]
+                continue
+            if node.is_leaf and lcp == len(label) and lcp == len(remaining):
+                return False  # already stored
+            if lcp == len(remaining) or (node.is_leaf and lcp == len(label)):
+                raise ValueError(
+                    "insertion would violate prefix-freeness"
+                )
+            # Split `node`: new internal node with the common prefix.
+            self._split_node(node, lcp, remaining)
+            self._size += 1
+            return True
+
+    def _split_node(self, node: PatriciaNode, lcp: int, remaining: Bits) -> PatriciaNode:
+        """Split ``node`` at label offset ``lcp`` and add a leaf for ``remaining``.
+
+        Returns the newly created internal node.
+        """
+        old_bit = node.label[lcp]
+        new_bit = remaining[lcp]
+        if old_bit == new_bit:  # pragma: no cover - guarded by lcp definition
+            raise AssertionError("split point must separate the two keys")
+        new_internal = PatriciaNode(label=node.label.prefix(lcp))
+        parent = node.parent
+        parent_bit = node.parent_bit
+        # The old node keeps its children/identity but loses the shared prefix
+        # and the branching bit.
+        node.label = node.label.suffix_from(lcp + 1)
+        new_leaf = PatriciaNode(label=remaining.suffix_from(lcp + 1))
+        new_internal.attach(old_bit, node)
+        new_internal.attach(new_bit, new_leaf)
+        if parent is None:
+            self._root = new_internal
+            new_internal.parent = None
+        else:
+            parent.attach(parent_bit, new_internal)
+        return new_internal
+
+    def delete(self, key: Bits) -> None:
+        """Remove ``key``; its leaf and parent are deleted and the sibling merged.
+
+        Raises :class:`ValueNotFoundError` if the key is not stored.
+        """
+        leaf, depth = self._locate_leaf(key)
+        parent = leaf.parent
+        if parent is None:
+            # The key was the only one.
+            self._root = None
+            self._size = 0
+            return
+        sibling = parent.children[1 - leaf.parent_bit]
+        assert sibling is not None
+        merged_label = parent.label.appended(sibling.parent_bit) + sibling.label
+        sibling.label = merged_label
+        grandparent = parent.parent
+        if grandparent is None:
+            self._root = sibling
+            sibling.parent = None
+        else:
+            grandparent.attach(parent.parent_bit, sibling)
+        self._size -= 1
+
+    def _locate_leaf(self, key: Bits) -> Tuple[PatriciaNode, int]:
+        """Find the leaf storing ``key`` or raise."""
+        if self._root is None:
+            raise ValueNotFoundError(f"key {key!r} not in trie")
+        node = self._root
+        depth = 0
+        while True:
+            label = node.label
+            remaining = key.suffix_from(depth)
+            if node.is_leaf:
+                if remaining != label:
+                    raise ValueNotFoundError(f"key {key!r} not in trie")
+                return node, depth
+            if not remaining.startswith(label):
+                raise ValueNotFoundError(f"key {key!r} not in trie")
+            depth += len(label)
+            if depth >= len(key):
+                raise ValueNotFoundError(f"key {key!r} not in trie")
+            bit = key[depth]
+            depth += 1
+            child = node.children[bit]
+            if child is None:
+                raise ValueNotFoundError(f"key {key!r} not in trie")
+            node = child
+
+    # ------------------------------------------------------------------
+    # Statistics for the space analysis (Theorem 3.6 / Lemma 4.1)
+    # ------------------------------------------------------------------
+    def node_count(self) -> int:
+        """Total number of nodes (2|Sset| - 1 for |Sset| >= 1)."""
+        return sum(1 for _ in self.nodes())
+
+    def internal_count(self) -> int:
+        """Number of internal nodes (|Sset| - 1)."""
+        return sum(1 for node in self.nodes() if not node.is_leaf)
+
+    def edge_count(self) -> int:
+        """Number of edges ``e = 2(|Sset| - 1)``."""
+        count = self.node_count()
+        return count - 1 if count else 0
+
+    def label_bits(self) -> int:
+        """Total length ``|L|`` of all node labels, in bits."""
+        return sum(len(node.label) for node in self.nodes())
+
+    def longest_key_bits(self) -> int:
+        """Length in bits of the longest stored key (the paper's l̂)."""
+        return max((len(key) for key in self.keys()), default=0)
+
+    def pointer_bits(self, word: int = 64) -> int:
+        """Pointer-machine space ``O(k w)`` of Lemma 4.1 (4 words per node)."""
+        return self.node_count() * 4 * word
+
+    def size_in_bits(self, word: int = 64) -> int:
+        """Total dynamic-trie space: pointers plus labels (Lemma 4.1)."""
+        return self.pointer_bits(word) + self.label_bits()

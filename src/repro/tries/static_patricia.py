@@ -1,0 +1,207 @@
+"""Succinct static Patricia trie (paper Theorem 3.6).
+
+The static Wavelet Trie stores its trie component as:
+
+* the tree topology in a DFUDS encoding (``2k + o(k)`` bits);
+* the node labels ``alpha`` concatenated in depth-first order in a single
+  bitvector ``L``;
+* a partial-sum structure delimiting the labels inside ``L``
+  (``B(e, |L| + e) + o(...)`` bits).
+
+The total is the information-theoretic lower bound ``LT(Sset)`` of Ferragina
+et al. plus negligible terms.  This module builds that representation from a
+:class:`~repro.tries.patricia.PatriciaTrie` (or directly from a key set),
+supports navigation and prefix search, and reports the exact space breakdown
+used by the ``T1-SPACE`` experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.bits.bitbuffer import BitBuffer
+from repro.bits.bitstring import Bits
+from repro.bitvector.plain import PlainBitVector
+from repro.exceptions import ValueNotFoundError
+from repro.succinct.dfuds import DFUDSTree
+from repro.succinct.partial_sums import StaticPartialSums
+from repro.tries.patricia import PatriciaNode, PatriciaTrie
+from repro.analysis.entropy import binomial_lower_bound
+
+__all__ = ["SuccinctPatriciaTrie"]
+
+
+class SuccinctPatriciaTrie:
+    """DFUDS-encoded Patricia trie with concatenated labels.
+
+    Nodes are identified by their preorder rank (root = 0), matching the
+    DFUDS encoding.  The structure is immutable.
+    """
+
+    def __init__(self, trie: PatriciaTrie) -> None:
+        if trie.root is None:
+            raise ValueError("cannot encode an empty trie")
+        # Collect nodes in preorder, recording labels and degrees.
+        labels: List[Bits] = []
+        degrees: List[int] = []
+        order: List[PatriciaNode] = []
+        stack: List[PatriciaNode] = [trie.root]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            labels.append(node.label)
+            degree = sum(1 for child in node.children if child is not None)
+            degrees.append(degree)
+            for bit in (1, 0):
+                child = node.children[bit]
+                if child is not None:
+                    stack.append(child)
+        self._dfuds = DFUDSTree.from_degrees(degrees)
+        buffer = BitBuffer()
+        for label in labels:
+            buffer.append_bits(label)
+        self._labels = PlainBitVector(buffer.to_bits())
+        self._label_offsets = StaticPartialSums(len(label) for label in labels)
+        self._key_count = sum(1 for degree in degrees if degree == 0)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_keys(cls, keys: Iterable[Bits]) -> "SuccinctPatriciaTrie":
+        """Build from a prefix-free set of keys."""
+        return cls(PatriciaTrie(keys))
+
+    # ------------------------------------------------------------------
+    # Topology / labels
+    # ------------------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        """Number of trie nodes."""
+        return self._dfuds.node_count
+
+    @property
+    def key_count(self) -> int:
+        """Number of stored keys (= leaves)."""
+        return self._key_count
+
+    def degree(self, node: int) -> int:
+        """Number of children of ``node`` (0 or 2 for a Patricia trie)."""
+        return self._dfuds.degree(node)
+
+    def is_leaf(self, node: int) -> bool:
+        """True if ``node`` is a leaf."""
+        return self._dfuds.is_leaf(node)
+
+    def child(self, node: int, bit: int) -> int:
+        """The ``bit``-labelled child of an internal ``node``."""
+        return self._dfuds.child(node, bit)
+
+    def parent(self, node: int) -> int:
+        """Parent of ``node``."""
+        return self._dfuds.parent(node)
+
+    def label(self, node: int) -> Bits:
+        """The label ``alpha`` of ``node``, extracted from ``L``."""
+        start = self._label_offsets.start(node)
+        length = self._label_offsets.length(node)
+        if length == 0:
+            return Bits.empty()
+        buffer = BitBuffer()
+        for bit in self._labels.iter_range(start, start + length):
+            buffer.append(bit)
+        return buffer.to_bits()
+
+    # ------------------------------------------------------------------
+    # Searching
+    # ------------------------------------------------------------------
+    def search(self, key: Bits) -> Tuple[int, int]:
+        """Locate ``key``; returns ``(leaf_node, internal_nodes_on_path)``.
+
+        Raises :class:`ValueNotFoundError` if the key is not stored.
+        """
+        node = 0
+        depth = 0
+        height = 0
+        while True:
+            label = self.label(node)
+            remaining = key.suffix_from(depth)
+            if self.is_leaf(node):
+                if remaining != label:
+                    raise ValueNotFoundError(f"key {key!r} not in trie")
+                return node, height
+            if not remaining.startswith(label):
+                raise ValueNotFoundError(f"key {key!r} not in trie")
+            height += 1
+            depth += len(label)
+            if depth >= len(key):
+                raise ValueNotFoundError(f"key {key!r} not in trie")
+            bit = key[depth]
+            depth += 1
+            node = self.child(node, bit)
+
+    def find_prefix(self, prefix: Bits) -> Optional[Tuple[int, int]]:
+        """Highest node whose subtree holds exactly the keys with ``prefix``.
+
+        Returns ``(node, consumed_bits)`` or None when no key has the prefix.
+        """
+        node = 0
+        depth = 0
+        while True:
+            remaining = prefix.suffix_from(depth)
+            if len(remaining) == 0:
+                return node, depth
+            label = self.label(node)
+            lcp = remaining.lcp_length(label)
+            if lcp == len(remaining):
+                return node, depth
+            if lcp < len(label) or self.is_leaf(node):
+                return None
+            depth += len(label)
+            bit = prefix[depth]
+            depth += 1
+            node = self.child(node, bit)
+
+    def keys(self) -> Iterator[Bits]:
+        """Enumerate the stored keys in DFS order."""
+        def walk(node: int, prefix: Bits) -> Iterator[Bits]:
+            current = prefix + self.label(node)
+            if self.is_leaf(node):
+                yield current
+                return
+            for bit in (0, 1):
+                yield from walk(self.child(node, bit), current.appended(bit))
+
+        yield from walk(0, Bits.empty())
+
+    # ------------------------------------------------------------------
+    # Space accounting (Theorem 3.6)
+    # ------------------------------------------------------------------
+    def label_bits(self) -> int:
+        """``|L|``: total label length in bits."""
+        return self._label_offsets.total
+
+    def edge_count(self) -> int:
+        """``e = 2(|Sset| - 1)``."""
+        return self.node_count - 1
+
+    def lt_lower_bound(self) -> float:
+        """The lower bound ``LT(Sset) = |L| + e + B(e, |L| + e)`` in bits."""
+        label_bits = self.label_bits()
+        edges = self.edge_count()
+        return label_bits + edges + binomial_lower_bound(edges, label_bits + edges)
+
+    def size_in_bits(self) -> int:
+        """Measured size: DFUDS topology + labels + label delimiters."""
+        return (
+            self._dfuds.size_in_bits()
+            + self._labels.size_in_bits()
+            + self._label_offsets.size_in_bits()
+        )
+
+    def space_breakdown(self) -> dict:
+        """Per-component sizes in bits, for EXPERIMENTS.md tables."""
+        return {
+            "topology_dfuds": self._dfuds.size_in_bits(),
+            "labels": self._labels.size_in_bits(),
+            "label_delimiters": self._label_offsets.size_in_bits(),
+            "lt_lower_bound": self.lt_lower_bound(),
+        }

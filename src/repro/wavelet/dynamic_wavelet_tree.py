@@ -1,0 +1,198 @@
+"""Dynamic Wavelet Tree with a *fixed, known-in-advance* alphabet.
+
+This is the state of the art the paper improves on (Section 4, citing
+Lee & Park, Gonzalez & Navarro, Makinen & Navarro): the tree shape is fixed by
+the alphabet given at construction time, node bitvectors are dynamic with
+indels, and insertion/deletion of symbols is supported -- but a symbol outside
+the declared alphabet cannot ever be inserted, and no prefix operations are
+available.  The benchmarks use it to quantify what the dynamic-alphabet
+Wavelet Trie gives up (nothing) and gains (the dynamic alphabet, prefix
+queries).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.bitvector.dynamic import DynamicBitVector
+from repro.exceptions import OutOfBoundsError, ValueNotFoundError
+
+__all__ = ["FixedAlphabetDynamicWaveletTree"]
+
+
+class _Node:
+    __slots__ = ("low", "high", "bitvector", "left", "right")
+
+    def __init__(self, low: int, high: int, seed: int) -> None:
+        self.low = low
+        self.high = high
+        self.bitvector: Optional[DynamicBitVector] = (
+            DynamicBitVector(seed=seed) if high - low > 1 else None
+        )
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.high - self.low <= 1
+
+
+class FixedAlphabetDynamicWaveletTree:
+    """Dynamic rank/select sequence over a fixed alphabet (the pre-Wavelet-Trie design)."""
+
+    def __init__(
+        self,
+        alphabet: Iterable[Hashable],
+        values: Iterable[Hashable] = (),
+        seed: int = 0xA1F,
+    ) -> None:
+        symbols = list(dict.fromkeys(alphabet))
+        if not symbols:
+            raise ValueError("the alphabet must contain at least one symbol")
+        self._symbols: List[Hashable] = symbols
+        self._index: Dict[Hashable, int] = {
+            symbol: index for index, symbol in enumerate(symbols)
+        }
+        self._size = 0
+        self._seed = seed
+        self._root = self._build_shape(0, len(symbols))
+        for value in values:
+            self.append(value)
+
+    def _build_shape(self, low: int, high: int) -> _Node:
+        self._seed = (self._seed * 6364136223846793005 + 1) % (1 << 63)
+        node = _Node(low, high, self._seed)
+        if high - low > 1:
+            mid = (low + high) // 2
+            node.left = self._build_shape(low, mid)
+            node.right = self._build_shape(mid, high)
+        return node
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def alphabet(self) -> List[Hashable]:
+        """The fixed alphabet, in declaration order."""
+        return list(self._symbols)
+
+    def _symbol_index(self, value: Hashable) -> int:
+        try:
+            return self._index[value]
+        except KeyError:
+            raise ValueNotFoundError(
+                f"value {value!r} is not in the fixed alphabet; "
+                "the alphabet of a dynamic Wavelet Tree cannot grow "
+                "(this is the limitation the Wavelet Trie removes)"
+            ) from None
+
+    def _check_pos(self, pos: int, inclusive: bool = False) -> None:
+        upper = self._size if inclusive else self._size - 1
+        if not 0 <= pos <= upper:
+            raise OutOfBoundsError(f"position {pos} out of range for length {self._size}")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def access(self, pos: int) -> Hashable:
+        """The value at position ``pos``."""
+        self._check_pos(pos)
+        node = self._root
+        while not node.is_leaf:
+            bit = node.bitvector.access(pos)
+            pos = node.bitvector.rank(bit, pos)
+            node = node.right if bit else node.left
+        return self._symbols[node.low]
+
+    def rank(self, value: Hashable, pos: int) -> int:
+        """Occurrences of ``value`` in positions ``[0, pos)``."""
+        if not 0 <= pos <= self._size:
+            raise OutOfBoundsError(f"position {pos} out of range for length {self._size}")
+        symbol = self._symbol_index(value)
+        node = self._root
+        while not node.is_leaf and pos > 0:
+            mid = (node.low + node.high) // 2
+            bit = 1 if symbol >= mid else 0
+            pos = node.bitvector.rank(bit, pos)
+            node = node.right if bit else node.left
+        return pos if node.is_leaf else 0
+
+    def select(self, value: Hashable, idx: int) -> int:
+        """Position of the ``idx``-th occurrence of ``value``."""
+        symbol = self._symbol_index(value)
+        total = self.rank(value, self._size)
+        if not 0 <= idx < total:
+            raise OutOfBoundsError(
+                f"select({value!r}, {idx}) out of range: only {total} occurrences"
+            )
+        node = self._root
+        path: List[Tuple[_Node, int]] = []
+        while not node.is_leaf:
+            mid = (node.low + node.high) // 2
+            bit = 1 if symbol >= mid else 0
+            path.append((node, bit))
+            node = node.right if bit else node.left
+        for ancestor, bit in reversed(path):
+            idx = ancestor.bitvector.select(bit, idx)
+        return idx
+
+    def count(self, value: Hashable) -> int:
+        """Total occurrences of ``value``."""
+        return self.rank(value, self._size)
+
+    def to_list(self) -> List[Hashable]:
+        """Materialise the stored sequence."""
+        return [self.access(pos) for pos in range(self._size)]
+
+    # ------------------------------------------------------------------
+    # Updates (positions anywhere, symbols only from the fixed alphabet)
+    # ------------------------------------------------------------------
+    def insert(self, value: Hashable, pos: int) -> None:
+        """Insert ``value`` immediately before position ``pos``."""
+        self._check_pos(pos, inclusive=True)
+        symbol = self._symbol_index(value)
+        node = self._root
+        while not node.is_leaf:
+            mid = (node.low + node.high) // 2
+            bit = 1 if symbol >= mid else 0
+            node.bitvector.insert(pos, bit)
+            pos = node.bitvector.rank(bit, pos)
+            node = node.right if bit else node.left
+        self._size += 1
+
+    def append(self, value: Hashable) -> None:
+        """Append ``value`` at the end."""
+        self.insert(value, self._size)
+
+    def delete(self, pos: int) -> Hashable:
+        """Delete and return the value at position ``pos``."""
+        self._check_pos(pos)
+        node = self._root
+        path: List[Tuple[_Node, int, int]] = []
+        while not node.is_leaf:
+            bit = node.bitvector.access(pos)
+            path.append((node, bit, pos))
+            pos = node.bitvector.rank(bit, pos)
+            node = node.right if bit else node.left
+        for ancestor, _, ancestor_pos in path:
+            ancestor.bitvector.delete(ancestor_pos)
+        self._size -= 1
+        return self._symbols[node.low]
+
+    # ------------------------------------------------------------------
+    def size_in_bits(self) -> int:
+        """Bitvector space plus per-node bookkeeping."""
+        total = 0
+        nodes = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            nodes += 1
+            if node.bitvector is not None:
+                total += node.bitvector.size_in_bits()
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+        return total + nodes * 4 * 64

@@ -1,0 +1,185 @@
+"""Huffman-shaped Wavelet Trees.
+
+The paper notes (after Lemma 3.2) that the popular Huffman-shaped Wavelet Tree
+is a special case of the Wavelet Trie obtained by mapping each symbol to its
+Huffman code.  This module provides the canonical-code construction and a
+static Huffman-shaped tree used by the text-collection baseline: frequent
+symbols sit near the root, so the expected query depth is ``H0 + 1`` instead
+of ``log sigma``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.bits.bitstring import Bits
+from repro.bitvector.rrr import RRRBitVector
+from repro.exceptions import OutOfBoundsError, ValueNotFoundError
+
+__all__ = ["HuffmanWaveletTree", "huffman_codes"]
+
+
+def huffman_codes(frequencies: Dict[Hashable, int]) -> Dict[Hashable, Bits]:
+    """Binary Huffman codes for the given symbol frequencies.
+
+    Ties are broken deterministically by insertion order so tests are stable.
+    A single-symbol alphabet gets the 1-bit code ``0``.
+    """
+    if not frequencies:
+        return {}
+    if len(frequencies) == 1:
+        symbol = next(iter(frequencies))
+        return {symbol: Bits.from_string("0")}
+    heap: List[Tuple[int, int, object]] = []
+    counter = 0
+    for symbol, frequency in frequencies.items():
+        heap.append((frequency, counter, ("leaf", symbol)))
+        counter += 1
+    heapq.heapify(heap)
+    while len(heap) > 1:
+        freq_a, _, node_a = heapq.heappop(heap)
+        freq_b, _, node_b = heapq.heappop(heap)
+        counter += 1
+        heapq.heappush(heap, (freq_a + freq_b, counter, ("internal", node_a, node_b)))
+    _, _, root = heap[0]
+    codes: Dict[Hashable, Bits] = {}
+
+    def assign(node, prefix: Bits) -> None:
+        if node[0] == "leaf":
+            codes[node[1]] = prefix
+            return
+        assign(node[1], prefix.appended(0))
+        assign(node[2], prefix.appended(1))
+
+    assign(root, Bits.empty())
+    return codes
+
+
+class _CodeNode:
+    __slots__ = ("bitvector", "children", "symbol")
+
+    def __init__(self) -> None:
+        self.bitvector = None
+        self.children: List[Optional["_CodeNode"]] = [None, None]
+        self.symbol: Optional[Hashable] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.symbol is not None
+
+
+class HuffmanWaveletTree:
+    """Static Wavelet Tree shaped by the Huffman codes of the input symbols."""
+
+    def __init__(self, sequence: Iterable[Hashable], bitvector_factory=RRRBitVector) -> None:
+        data = list(sequence)
+        self._size = len(data)
+        self._codes = huffman_codes(Counter(data))
+        self._factory = bitvector_factory
+        self._root = self._build(data, 0) if data else None
+
+    def _build(self, data: List[Hashable], depth: int) -> _CodeNode:
+        node = _CodeNode()
+        first = data[0]
+        if all(symbol == first for symbol in data):
+            # All elements carry the same symbol: a leaf of the code trie.
+            node.symbol = first
+            return node
+        # Distinct symbols share the code prefix consumed so far and, the code
+        # being prefix-free, must all have a bit at position `depth`.
+        bits = [self._codes[symbol][depth] for symbol in data]
+        node.bitvector = self._factory(bits)
+        left = [symbol for symbol, bit in zip(data, bits) if bit == 0]
+        right = [symbol for symbol, bit in zip(data, bits) if bit == 1]
+        if left:
+            node.children[0] = self._build(left, depth + 1)
+        if right:
+            node.children[1] = self._build(right, depth + 1)
+        return node
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def codes(self) -> Dict[Hashable, Bits]:
+        """The Huffman code of each distinct symbol."""
+        return dict(self._codes)
+
+    def access(self, pos: int) -> Hashable:
+        """The symbol at position ``pos``."""
+        if not 0 <= pos < self._size:
+            raise OutOfBoundsError(f"position {pos} out of range for length {self._size}")
+        node = self._root
+        while not node.is_leaf:
+            bit = node.bitvector.access(pos)
+            pos = node.bitvector.rank(bit, pos)
+            node = node.children[bit]
+        return node.symbol
+
+    def rank(self, symbol: Hashable, pos: int) -> int:
+        """Occurrences of ``symbol`` in positions ``[0, pos)``."""
+        if not 0 <= pos <= self._size:
+            raise OutOfBoundsError(f"position {pos} out of range for length {self._size}")
+        code = self._codes.get(symbol)
+        if code is None or pos == 0:
+            return 0
+        node = self._root
+        for depth in range(len(code)):
+            if node.is_leaf:
+                break
+            bit = code[depth]
+            pos = node.bitvector.rank(bit, pos)
+            if pos == 0:
+                return 0
+            node = node.children[bit]
+            if node is None:
+                return 0
+        return pos if node is not None and node.is_leaf and node.symbol == symbol else 0
+
+    def select(self, symbol: Hashable, idx: int) -> int:
+        """Position of the ``idx``-th occurrence of ``symbol``."""
+        code = self._codes.get(symbol)
+        if code is None:
+            raise ValueNotFoundError(f"symbol {symbol!r} does not occur")
+        total = self.count(symbol)
+        if not 0 <= idx < total:
+            raise OutOfBoundsError(
+                f"select({symbol!r}, {idx}) out of range: only {total} occurrences"
+            )
+        node = self._root
+        path: List[Tuple[_CodeNode, int]] = []
+        for depth in range(len(code)):
+            if node.is_leaf:
+                break
+            bit = code[depth]
+            path.append((node, bit))
+            node = node.children[bit]
+        for ancestor, bit in reversed(path):
+            idx = ancestor.bitvector.select(bit, idx)
+        return idx
+
+    def count(self, symbol: Hashable) -> int:
+        """Total occurrences of ``symbol``."""
+        return self.rank(symbol, self._size)
+
+    def to_list(self) -> List[Hashable]:
+        """Materialise the stored sequence."""
+        return [self.access(pos) for pos in range(self._size)]
+
+    def size_in_bits(self) -> int:
+        """Bitvector space plus per-node bookkeeping."""
+        total = 0
+        nodes = 0
+        stack = [self._root] if self._root is not None else []
+        while stack:
+            node = stack.pop()
+            nodes += 1
+            if node.bitvector is not None:
+                total += node.bitvector.size_in_bits()
+            for child in node.children:
+                if child is not None:
+                    stack.append(child)
+        return total + nodes * 4 * 64

@@ -1,0 +1,57 @@
+"""Synthetic column-store columns.
+
+A relational column is a sequence of values whose cardinality ranges from a
+handful (country codes) to millions (user identifiers).  The generator
+controls cardinality and skew, which are the two knobs the Wavelet Trie's
+space bound depends on (``LT`` grows with the distinct set, ``nH0`` with the
+skew), and optionally gives values a hierarchical shape (e.g. ``region/city``)
+to exercise the prefix operations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = ["ColumnGenerator"]
+
+_REGIONS = ["emea", "amer", "apac", "latam"]
+_CITIES = [
+    "rome", "pisa", "paris", "berlin", "london", "madrid", "tokyo", "osaka",
+    "sydney", "delhi", "lima", "quito", "austin", "boston", "denver", "miami",
+]
+
+
+class ColumnGenerator:
+    """Generates column values: categorical, hierarchical or identifier-like."""
+
+    def __init__(
+        self,
+        cardinality: int = 64,
+        zipf_exponent: float = 1.0,
+        hierarchical: bool = True,
+        seed: int = 13,
+    ) -> None:
+        if cardinality < 1:
+            raise ValueError("cardinality must be positive")
+        self._rng = random.Random(seed)
+        self._hierarchical = hierarchical
+        values = [self._make_value(index) for index in range(cardinality)]
+        self._sampler = ZipfSampler(values, exponent=zipf_exponent, seed=seed + 1)
+
+    def _make_value(self, index: int) -> str:
+        if self._hierarchical:
+            region = _REGIONS[index % len(_REGIONS)]
+            city = _CITIES[(index // len(_REGIONS)) % len(_CITIES)]
+            return f"{region}/{city}/site-{index}"
+        return f"value-{index:06d}"
+
+    def generate(self, rows: int) -> List[str]:
+        """``rows`` column values drawn with the configured skew."""
+        return self._sampler.sample_many(rows)
+
+    def distinct_values(self) -> List[str]:
+        """The value population (the column dictionary), most frequent first."""
+        return self._sampler.population

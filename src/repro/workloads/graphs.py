@@ -1,0 +1,65 @@
+"""Synthetic social-graph edge streams.
+
+The paper's introduction mentions storing a changing binary relation (e.g.
+friendship links) as a chronological sequence of edges, each edge being a pair
+of URIs.  The generator produces a preferential-attachment edge stream encoded
+as ``"src_uri -> dst_uri"`` strings, so prefix queries over the source URI
+("what changed in the adjacency list of vertex v during this time frame?")
+exercise ``RankPrefix``/``SelectPrefix`` naturally.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Tuple
+
+__all__ = ["EdgeStreamGenerator"]
+
+
+class EdgeStreamGenerator:
+    """Preferential-attachment edge stream rendered as URI-pair strings."""
+
+    def __init__(
+        self,
+        initial_vertices: int = 4,
+        namespace: str = "http://sn.example/user/",
+        seed: int = 23,
+    ) -> None:
+        if initial_vertices < 2:
+            raise ValueError("need at least two initial vertices")
+        self._rng = random.Random(seed)
+        self._namespace = namespace
+        # degree-proportional sampling pool (standard preferential attachment)
+        self._pool: List[int] = list(range(initial_vertices))
+        self._next_vertex = initial_vertices
+
+    def _uri(self, vertex: int) -> str:
+        return f"{self._namespace}{vertex:06d}"
+
+    def generate_edge(self) -> Tuple[str, str]:
+        """One new edge; occasionally a brand-new vertex joins the graph."""
+        if self._rng.random() < 0.15:
+            source = self._next_vertex
+            self._next_vertex += 1
+        else:
+            source = self._rng.choice(self._pool)
+        target = self._rng.choice(self._pool)
+        if target == source:
+            target = self._pool[(self._pool.index(target) + 1) % len(self._pool)]
+        self._pool.append(source)
+        self._pool.append(target)
+        return self._uri(source), self._uri(target)
+
+    def generate(self, count: int) -> List[str]:
+        """``count`` edges as ``"src -> dst"`` strings, in arrival order."""
+        return [f"{src} -> {dst}" for src, dst in (self.generate_edge() for _ in range(count))]
+
+    def stream(self, count: int) -> Iterator[str]:
+        """Lazily generate ``count`` edge strings."""
+        for _ in range(count):
+            src, dst = self.generate_edge()
+            yield f"{src} -> {dst}"
+
+    def vertex_uri(self, vertex: int) -> str:
+        """The URI of a vertex id (useful to build prefix queries)."""
+        return self._uri(vertex)

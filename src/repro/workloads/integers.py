@@ -1,0 +1,63 @@
+"""Synthetic numeric sequences for the Section 6 experiments.
+
+The balanced dynamic Wavelet Tree is motivated by sequences of integers drawn
+from a huge universe (64-bit keys, Unicode code points) but with a small
+working alphabet.  The generator controls the universe, the working-alphabet
+size and the skew, and can produce clustered alphabets (consecutive integers)
+that are the worst case for the unhashed binary trie.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = ["IntegerSequenceGenerator"]
+
+
+class IntegerSequenceGenerator:
+    """Generates integer sequences with a bounded working alphabet inside a huge universe."""
+
+    def __init__(
+        self,
+        universe: int = 2 ** 64,
+        alphabet_size: int = 256,
+        clustered: bool = False,
+        zipf_exponent: float = 1.0,
+        seed: int = 17,
+    ) -> None:
+        if universe < 2 or alphabet_size < 1:
+            raise ValueError("universe and alphabet_size must be positive")
+        if alphabet_size > universe:
+            raise ValueError("alphabet_size cannot exceed the universe")
+        self._universe = universe
+        rng = random.Random(seed)
+        if clustered:
+            base = rng.randrange(universe - alphabet_size)
+            alphabet = [base + offset for offset in range(alphabet_size)]
+        else:
+            # random.sample cannot handle ranges beyond C ssize_t; draw values
+            # one by one and deduplicate (collisions are vanishingly rare for
+            # huge universes and handled explicitly for small ones).
+            seen = set()
+            while len(seen) < alphabet_size:
+                seen.add(rng.randrange(universe))
+            alphabet = sorted(seen)
+        self._alphabet = alphabet
+        self._sampler = ZipfSampler(alphabet, exponent=zipf_exponent, seed=seed + 1)
+
+    @property
+    def universe(self) -> int:
+        """Exclusive upper bound of the values."""
+        return self._universe
+
+    @property
+    def alphabet(self) -> List[int]:
+        """The working alphabet actually used by the sequence."""
+        return list(self._alphabet)
+
+    def generate(self, count: int) -> List[int]:
+        """``count`` values drawn from the working alphabet."""
+        return self._sampler.sample_many(count)

@@ -1,0 +1,57 @@
+"""Synthetic search query logs.
+
+Query logs are sequences of short strings with a heavily skewed frequency
+distribution and a moderate amount of shared prefixes (queries extending other
+queries, common leading terms).  Used by the space experiments as a second,
+less prefix-heavy workload next to the URL logs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List
+
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = ["QueryLogGenerator"]
+
+_TERMS = [
+    "weather", "news", "python", "database", "wavelet", "trie", "compressed",
+    "index", "flight", "hotel", "recipe", "football", "election", "movie",
+    "review", "price", "train", "translate", "map", "near", "open", "best",
+    "cheap", "how", "to", "install", "fix", "error",
+]
+
+
+class QueryLogGenerator:
+    """Generates query-log sequences: 1-4 Zipf-distributed terms per query."""
+
+    def __init__(
+        self,
+        vocabulary: int = 28,
+        max_terms: int = 4,
+        zipf_exponent: float = 1.0,
+        seed: int = 7,
+    ) -> None:
+        if vocabulary < 1 or max_terms < 1:
+            raise ValueError("vocabulary and max_terms must be positive")
+        vocabulary = min(vocabulary, len(_TERMS))
+        self._rng = random.Random(seed)
+        self._max_terms = max_terms
+        self._term_sampler = ZipfSampler(
+            _TERMS[:vocabulary], exponent=zipf_exponent, seed=seed + 1
+        )
+
+    def generate_query(self) -> str:
+        """One query string of 1..max_terms terms."""
+        count = self._rng.randint(1, self._max_terms)
+        return " ".join(self._term_sampler.sample() for _ in range(count))
+
+    def generate(self, count: int) -> List[str]:
+        """A log of ``count`` queries."""
+        return [self.generate_query() for _ in range(count)]
+
+    def stream(self, count: int) -> Iterator[str]:
+        """Lazily generate ``count`` queries."""
+        for _ in range(count):
+            yield self.generate_query()

@@ -1,0 +1,86 @@
+"""Synthetic URL / path access logs.
+
+Models the paper's main motivating workload: a chronological sequence of
+accessed URLs where (a) domain popularity follows a Zipf law, (b) paths are
+hierarchical so long shared prefixes are common, and (c) new URLs keep
+appearing over time (the dynamic-alphabet requirement).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List
+
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = ["UrlLogGenerator"]
+
+_TLDS = ["com", "org", "net", "io", "edu"]
+_WORDS = [
+    "home", "search", "img", "news", "shop", "cart", "api", "v1", "v2",
+    "user", "item", "list", "view", "edit", "doc", "blog", "tag", "feed",
+    "data", "static", "media", "archive", "team", "help", "about",
+]
+
+
+class UrlLogGenerator:
+    """Generates URL access-log sequences with Zipfian domains and shared path prefixes.
+
+    Parameters
+    ----------
+    domains:
+        Number of distinct domains in the population.
+    depth:
+        Maximum number of path segments per URL.
+    branching:
+        Number of distinct segment choices at each path level (smaller values
+        mean longer shared prefixes).
+    zipf_exponent:
+        Skew of the domain popularity distribution.
+    seed:
+        Random seed; two generators with the same parameters produce the same
+        log.
+    """
+
+    def __init__(
+        self,
+        domains: int = 50,
+        depth: int = 4,
+        branching: int = 6,
+        zipf_exponent: float = 1.1,
+        seed: int = 42,
+    ) -> None:
+        if domains < 1 or depth < 1 or branching < 1:
+            raise ValueError("domains, depth and branching must be positive")
+        self._rng = random.Random(seed)
+        self._depth = depth
+        self._branching = branching
+        hosts = [
+            f"www.{_WORDS[index % len(_WORDS)]}{index}.{_TLDS[index % len(_TLDS)]}"
+            for index in range(domains)
+        ]
+        self._domain_sampler = ZipfSampler(hosts, exponent=zipf_exponent, seed=seed + 1)
+
+    # ------------------------------------------------------------------
+    def generate_url(self) -> str:
+        """One URL: ``http://<zipf domain>/<hierarchical path>``."""
+        domain = self._domain_sampler.sample()
+        segments: List[str] = []
+        depth = self._rng.randint(1, self._depth)
+        for level in range(depth):
+            choice = self._rng.randrange(self._branching)
+            segments.append(f"{_WORDS[(choice + level) % len(_WORDS)]}{choice}")
+        return f"http://{domain}/" + "/".join(segments)
+
+    def generate(self, count: int) -> List[str]:
+        """A log of ``count`` URL accesses, in chronological order."""
+        return [self.generate_url() for _ in range(count)]
+
+    def stream(self, count: int) -> Iterator[str]:
+        """Lazily generate ``count`` URL accesses."""
+        for _ in range(count):
+            yield self.generate_url()
+
+    def domains(self) -> List[str]:
+        """The domain population, most popular first."""
+        return self._domain_sampler.population

@@ -1,0 +1,59 @@
+"""Zipfian sampling over a finite population.
+
+Web and log data is heavily skewed: a few domains/queries/values account for
+most of the traffic.  :class:`ZipfSampler` draws items from a fixed population
+with probability proportional to ``1 / rank^exponent``, using an explicit
+cumulative table and a seeded random generator, so every workload built on it
+is deterministic.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import List, Sequence, TypeVar
+
+__all__ = ["ZipfSampler"]
+
+ItemT = TypeVar("ItemT")
+
+
+class ZipfSampler:
+    """Draws items from ``population`` with a Zipf(``exponent``) distribution."""
+
+    def __init__(
+        self,
+        population: Sequence[ItemT],
+        exponent: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if not population:
+            raise ValueError("population must be non-empty")
+        if exponent < 0:
+            raise ValueError("exponent must be non-negative")
+        self._population: List[ItemT] = list(population)
+        self._rng = random.Random(seed)
+        weights = [1.0 / ((rank + 1) ** exponent) for rank in range(len(population))]
+        total = sum(weights)
+        cumulative = []
+        running = 0.0
+        for weight in weights:
+            running += weight / total
+            cumulative.append(running)
+        cumulative[-1] = 1.0
+        self._cumulative = cumulative
+
+    def sample(self) -> ItemT:
+        """Draw one item."""
+        point = self._rng.random()
+        index = bisect.bisect_left(self._cumulative, point)
+        return self._population[min(index, len(self._population) - 1)]
+
+    def sample_many(self, count: int) -> List[ItemT]:
+        """Draw ``count`` items independently."""
+        return [self.sample() for _ in range(count)]
+
+    @property
+    def population(self) -> List[ItemT]:
+        """The underlying population, most probable first."""
+        return list(self._population)

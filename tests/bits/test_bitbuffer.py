@@ -1,0 +1,82 @@
+"""Tests for the mutable BitBuffer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bits.bitbuffer import BitBuffer
+from repro.bits.bitstring import Bits
+from repro.exceptions import OutOfBoundsError
+
+
+class TestAppend:
+    def test_append_single_bits(self):
+        buffer = BitBuffer()
+        for bit in [1, 0, 1, 1]:
+            buffer.append(bit)
+        assert len(buffer) == 4
+        assert buffer.to_list() == [1, 0, 1, 1]
+        assert buffer.ones == 3
+        assert buffer.zeros == 1
+
+    def test_append_bits_payload(self):
+        buffer = BitBuffer([1, 0])
+        buffer.append_bits(Bits.from_string("110"))
+        assert buffer.to_bits().to01() == "10110"
+
+    def test_append_run(self):
+        buffer = BitBuffer()
+        buffer.append_run(1, 3)
+        buffer.append_run(0, 2)
+        buffer.append_run(1, 0)
+        assert buffer.to_bits().to01() == "11100"
+        with pytest.raises(ValueError):
+            buffer.append_run(1, -1)
+
+    def test_append_int(self):
+        buffer = BitBuffer()
+        buffer.append_int(5, 4)
+        assert buffer.to_bits().to01() == "0101"
+        with pytest.raises(ValueError):
+            buffer.append_int(16, 4)
+
+    def test_extend_and_clear(self):
+        buffer = BitBuffer()
+        buffer.extend([1, 1, 0])
+        buffer.extend(Bits.from_string("01"))
+        assert buffer.to_bits().to01() == "11001"
+        buffer.clear()
+        assert len(buffer) == 0 and buffer.ones == 0
+
+
+class TestQueries:
+    def test_getitem(self):
+        buffer = BitBuffer([0, 1, 1, 0])
+        assert buffer[0] == 0 and buffer[1] == 1 and buffer[-1] == 0
+        with pytest.raises(OutOfBoundsError):
+            _ = buffer[4]
+
+    def test_rank(self):
+        bits = [0, 1, 1, 0, 1, 0, 0, 1]
+        buffer = BitBuffer(bits)
+        for pos in range(len(bits) + 1):
+            assert buffer.rank(1, pos) == sum(bits[:pos])
+            assert buffer.rank(0, pos) == pos - sum(bits[:pos])
+        with pytest.raises(OutOfBoundsError):
+            buffer.rank(1, 9)
+
+    def test_select(self):
+        bits = [0, 1, 1, 0, 1]
+        buffer = BitBuffer(bits)
+        assert buffer.select(1, 0) == 1
+        assert buffer.select(1, 2) == 4
+        assert buffer.select(0, 1) == 3
+        with pytest.raises(OutOfBoundsError):
+            buffer.select(1, 3)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), max_size=120))
+    def test_matches_reference(self, bits):
+        buffer = BitBuffer(bits)
+        assert buffer.to_list() == bits
+        assert buffer.ones == sum(bits)
+        for pos in range(0, len(bits) + 1, max(1, len(bits) // 7)):
+            assert buffer.rank(1, pos) == sum(bits[:pos])

@@ -1,0 +1,169 @@
+"""Tests for the immutable Bits value type."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bits.bitstring import Bits
+from repro.exceptions import OutOfBoundsError
+
+
+bit_lists = st.lists(st.integers(min_value=0, max_value=1), max_size=200)
+
+
+class TestConstruction:
+    def test_empty(self):
+        empty = Bits.empty()
+        assert len(empty) == 0
+        assert not empty
+        assert empty.to01() == ""
+
+    def test_from_string(self):
+        bits = Bits.from_string("0100")
+        assert len(bits) == 4
+        assert bits.to01() == "0100"
+        assert bits[0] == 0 and bits[1] == 1 and bits[2] == 0 and bits[3] == 0
+
+    def test_from_string_with_separators(self):
+        assert Bits.from_string("01_00 11") == Bits.from_string("010011")
+
+    def test_from_string_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Bits.from_string("01x0")
+
+    def test_from_iterable(self):
+        assert Bits.from_iterable([1, 0, 1]).to01() == "101"
+        assert Bits.from_iterable([]).to01() == ""
+        assert Bits.from_iterable([True, False]).to01() == "10"
+
+    def test_from_bytes_roundtrip(self):
+        data = b"\x00\xffab"
+        bits = Bits.from_bytes(data)
+        assert len(bits) == 32
+        assert bits.to_bytes() == data
+
+    def test_from_int(self):
+        assert Bits.from_int(5, 4).to01() == "0101"
+
+    def test_zeros_ones(self):
+        assert Bits.zeros(5).to01() == "00000"
+        assert Bits.ones(3).to01() == "111"
+
+    def test_leading_zeros_preserved(self):
+        bits = Bits.from_string("0001")
+        assert len(bits) == 4
+        assert bits != Bits.from_string("001")
+        assert bits != Bits.from_string("1")
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Bits(8, 3)  # 8 does not fit in 3 bits
+        with pytest.raises(ValueError):
+            Bits(-1, 4)
+        with pytest.raises(ValueError):
+            Bits(0, -1)
+
+
+class TestAccess:
+    def test_getitem_and_negative_index(self):
+        bits = Bits.from_string("10110")
+        assert bits[0] == 1
+        assert bits[4] == 0
+        assert bits[-1] == 0
+        assert bits[-2] == 1
+
+    def test_getitem_out_of_range(self):
+        bits = Bits.from_string("101")
+        with pytest.raises(OutOfBoundsError):
+            _ = bits[3]
+
+    def test_slicing(self):
+        bits = Bits.from_string("1011001")
+        assert bits[2:5].to01() == "110"
+        assert bits.slice(0, 0).to01() == ""
+        assert bits.prefix(3).to01() == "101"
+        assert bits.suffix_from(4).to01() == "001"
+        assert bits[:].to01() == "1011001"
+
+    def test_iteration(self):
+        assert list(Bits.from_string("0110")) == [0, 1, 1, 0]
+
+    def test_counts(self):
+        bits = Bits.from_string("0110110")
+        assert bits.popcount() == 4
+        assert bits.count(1) == 4
+        assert bits.count(0) == 3
+
+
+class TestOperations:
+    def test_concatenation(self):
+        assert (Bits.from_string("01") + Bits.from_string("001")).to01() == "01001"
+        assert (Bits.empty() + Bits.from_string("1")).to01() == "1"
+
+    def test_appended(self):
+        assert Bits.from_string("01").appended(1).to01() == "011"
+
+    def test_startswith(self):
+        bits = Bits.from_string("00101")
+        assert bits.startswith(Bits.empty())
+        assert bits.startswith(Bits.from_string("001"))
+        assert not bits.startswith(Bits.from_string("01"))
+        assert not bits.startswith(Bits.from_string("001011"))
+
+    def test_lcp_length(self):
+        a = Bits.from_string("001011")
+        assert a.lcp_length(Bits.from_string("001100")) == 3
+        assert a.lcp_length(Bits.from_string("1")) == 0
+        assert a.lcp_length(a) == 6
+        assert a.lcp_length(Bits.from_string("0010")) == 4
+        assert Bits.empty().lcp_length(a) == 0
+
+    def test_equality_and_hash(self):
+        a = Bits.from_string("0101")
+        b = Bits.from_iterable([0, 1, 0, 1])
+        assert a == b and hash(a) == hash(b)
+        assert a != Bits.from_string("101")
+        assert a != "0101"
+
+    def test_lexicographic_order(self):
+        assert Bits.from_string("0") < Bits.from_string("1")
+        assert Bits.from_string("01") < Bits.from_string("010")
+        assert Bits.from_string("001") < Bits.from_string("01")
+        assert Bits.from_string("1") > Bits.from_string("0111")
+        assert Bits.from_string("01") <= Bits.from_string("01")
+        values = [Bits.from_string(s) for s in ["1", "0", "01", "001", "11"]]
+        assert [v.to01() for v in sorted(values)] == ["0", "001", "01", "1", "11"]
+
+
+class TestProperties:
+    @given(bit_lists)
+    def test_roundtrip_through_iterable(self, bits):
+        value = Bits.from_iterable(bits)
+        assert list(value) == bits
+        assert len(value) == len(bits)
+        assert value.popcount() == sum(bits)
+
+    @given(bit_lists, bit_lists)
+    def test_concatenation_matches_lists(self, left, right):
+        combined = Bits.from_iterable(left) + Bits.from_iterable(right)
+        assert list(combined) == left + right
+
+    @given(bit_lists, st.integers(min_value=0, max_value=220),
+           st.integers(min_value=0, max_value=220))
+    def test_slice_matches_list_slice(self, bits, start, stop):
+        value = Bits.from_iterable(bits)
+        assert list(value.slice(start, stop)) == bits[start:stop] if start <= stop \
+            else list(value.slice(start, stop)) == []
+
+    @given(bit_lists, bit_lists)
+    def test_lcp_is_symmetric_and_correct(self, left, right):
+        a, b = Bits.from_iterable(left), Bits.from_iterable(right)
+        lcp = a.lcp_length(b)
+        assert lcp == b.lcp_length(a)
+        assert left[:lcp] == right[:lcp]
+        if lcp < min(len(left), len(right)):
+            assert left[lcp] != right[lcp]
+
+    @given(bit_lists)
+    def test_string_roundtrip(self, bits):
+        value = Bits.from_iterable(bits)
+        assert Bits.from_string(value.to01()) == value

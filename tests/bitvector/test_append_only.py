@@ -1,0 +1,134 @@
+"""Tests for the append-only compressed bitvector (paper Theorem 4.5)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bitvector.append_only import AppendOnlyBitVector
+from repro.exceptions import OutOfBoundsError
+
+from tests.conftest import reference_rank, reference_select
+
+
+class TestAppendOnlyBitVector:
+    def test_append_and_query(self, random_bits):
+        vector = AppendOnlyBitVector(block_size=256)
+        for bit in random_bits:
+            vector.append(bit)
+        assert len(vector) == len(random_bits)
+        assert vector.ones == sum(random_bits)
+        assert vector.to_list() == random_bits
+        for pos in (0, 255, 256, 257, 1000, len(random_bits)):
+            assert vector.rank(1, pos) == reference_rank(random_bits, 1, pos)
+            assert vector.rank(0, pos) == reference_rank(random_bits, 0, pos)
+        for idx in (0, 100, sum(random_bits) - 1):
+            assert vector.select(1, idx) == reference_select(random_bits, 1, idx)
+        zeros = len(random_bits) - sum(random_bits)
+        assert vector.select(0, zeros - 1) == reference_select(random_bits, 0, zeros - 1)
+
+    def test_interleaved_append_and_query(self, random_bits):
+        """Queries stay correct while the structure is still growing."""
+        vector = AppendOnlyBitVector(block_size=128)
+        for position, bit in enumerate(random_bits[:900]):
+            vector.append(bit)
+            if position % 97 == 0:
+                assert len(vector) == position + 1
+                assert vector.rank(1, position + 1) == reference_rank(
+                    random_bits, 1, position + 1
+                )
+                assert vector.access(position) == bit
+
+    def test_constructor_initial_bits(self, bursty_bits):
+        vector = AppendOnlyBitVector(bursty_bits, block_size=64)
+        assert vector.to_list() == bursty_bits
+        assert vector.block_count == len(bursty_bits) // 64
+
+    def test_extend(self):
+        vector = AppendOnlyBitVector(block_size=64)
+        vector.extend([1, 0, 1])
+        assert vector.to_list() == [1, 0, 1]
+
+    def test_block_size_validation(self):
+        with pytest.raises(ValueError):
+            AppendOnlyBitVector(block_size=32)
+
+    def test_bounds(self):
+        vector = AppendOnlyBitVector([1, 0, 1], block_size=64)
+        with pytest.raises(OutOfBoundsError):
+            vector.access(3)
+        with pytest.raises(OutOfBoundsError):
+            vector.rank(1, 4)
+        with pytest.raises(OutOfBoundsError):
+            vector.select(1, 2)
+
+    def test_iter_range_spans_blocks_and_tail(self, random_bits):
+        vector = AppendOnlyBitVector(random_bits[:700], block_size=128)
+        assert list(vector.iter_range(100, 650)) == random_bits[100:650]
+
+
+class TestInit:
+    """``Init(b, n)`` as a left offset (used by the append-only Wavelet Trie)."""
+
+    def test_init_run_behaves_as_constant_prefix(self):
+        vector = AppendOnlyBitVector.init_run(1, 500, block_size=128)
+        assert len(vector) == 500
+        assert vector.ones == 500
+        assert vector.offset_length == 500
+        assert vector.rank(1, 321) == 321
+        assert vector.select(1, 77) == 77
+        assert vector.access(499) == 1
+
+    def test_init_then_append(self):
+        vector = AppendOnlyBitVector.init_run(0, 100, block_size=64)
+        appended = [1, 1, 0, 1] * 50
+        for bit in appended:
+            vector.append(bit)
+        combined = [0] * 100 + appended
+        assert len(vector) == len(combined)
+        assert vector.to_list() == combined
+        for pos in (0, 50, 100, 101, 250, len(combined)):
+            assert vector.rank(1, pos) == reference_rank(combined, 1, pos)
+        assert vector.select(1, 0) == 100
+        assert vector.select(0, 99) == 99
+        assert vector.select(0, 100) == 102
+
+    def test_init_zero_length(self):
+        vector = AppendOnlyBitVector.init_run(1, 0)
+        assert len(vector) == 0
+        vector.append(0)
+        assert vector.to_list() == [0]
+
+    def test_init_is_constant_time_in_representation(self):
+        """The Remark 4.2 property: a huge Init must not allocate O(n) memory."""
+        vector = AppendOnlyBitVector.init_run(1, 10**9)
+        assert len(vector) == 10**9
+        assert vector.rank(1, 10**9) == 10**9
+        # Encoded size must stay tiny (a few words), not O(n).
+        assert vector.size_in_bits() < 10_000
+
+
+class TestSpace:
+    def test_compressed_space_tracks_entropy(self):
+        rng = random.Random(11)
+        n = 20_000
+        for p, budget_factor in ((0.05, 0.55), (0.5, 1.25)):
+            bits = [1 if rng.random() < p else 0 for _ in range(n)]
+            vector = AppendOnlyBitVector(bits, block_size=1024)
+            from repro.analysis.entropy import binary_entropy
+
+            entropy_bits = n * binary_entropy(sum(bits) / n)
+            assert vector.payload_bits() <= budget_factor * n
+            # Payload should be in the same ballpark as nH0 (generous factor:
+            # 63-bit blocks pay ~6 bits of class per block).
+            assert vector.payload_bits() <= 3.0 * entropy_bits + 2048
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1), max_size=400))
+    def test_property_matches_reference(self, bits):
+        vector = AppendOnlyBitVector(block_size=64)
+        for bit in bits:
+            vector.append(bit)
+        assert vector.to_list() == bits
+        for pos in range(0, len(bits) + 1, 37):
+            assert vector.rank(1, pos) == sum(bits[:pos])

@@ -1,0 +1,174 @@
+"""Tests for the fully dynamic RLE+gamma bitvector (paper Theorem 4.9)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bitvector.dynamic import DynamicBitVector
+from repro.exceptions import OutOfBoundsError
+
+from tests.conftest import reference_rank, reference_select
+
+
+class TestStaticBehaviour:
+    """When used append-only it must agree with the oracle like any bitvector."""
+
+    def test_append_and_query(self, random_bits):
+        vector = DynamicBitVector(random_bits)
+        assert len(vector) == len(random_bits)
+        assert vector.to_list() == random_bits
+        for pos in (0, 1, 64, 1000, len(random_bits)):
+            assert vector.rank(1, pos) == reference_rank(random_bits, 1, pos)
+        for idx in (0, 57, sum(random_bits) - 1):
+            assert vector.select(1, idx) == reference_select(random_bits, 1, idx)
+        zeros = len(random_bits) - sum(random_bits)
+        assert vector.select(0, zeros - 1) == reference_select(random_bits, 0, zeros - 1)
+
+    def test_runs_are_maximal_after_appends(self, bursty_bits):
+        vector = DynamicBitVector(bursty_bits)
+        runs = list(vector.runs())
+        for (bit_a, _), (bit_b, _) in zip(runs, runs[1:]):
+            assert bit_a != bit_b
+        assert sum(length for _, length in runs) == len(bursty_bits)
+
+    def test_append_run(self):
+        vector = DynamicBitVector()
+        vector.append_run(0, 10)
+        vector.append_run(0, 5)
+        vector.append_run(1, 3)
+        assert vector.to_list() == [0] * 15 + [1] * 3
+        assert vector.run_count == 2
+
+    def test_bounds(self):
+        vector = DynamicBitVector([1, 0])
+        with pytest.raises(OutOfBoundsError):
+            vector.access(2)
+        with pytest.raises(OutOfBoundsError):
+            vector.insert(3, 1)
+        with pytest.raises(OutOfBoundsError):
+            vector.delete(2)
+        with pytest.raises(ValueError):
+            vector.insert(0, 2)
+
+
+class TestInit:
+    def test_init_run(self):
+        vector = DynamicBitVector.init_run(1, 10**8)
+        assert len(vector) == 10**8
+        assert vector.ones == 10**8
+        assert vector.rank(1, 12345678) == 12345678
+        assert vector.run_count == 1
+        # Remark 4.2: the representation must be O(1), not O(n).
+        assert vector.size_in_bits() < 1000
+
+    def test_init_then_mutate(self):
+        vector = DynamicBitVector.init_run(0, 1000)
+        vector.insert(500, 1)
+        assert len(vector) == 1001
+        assert vector.rank(1, 1001) == 1
+        assert vector.select(1, 0) == 500
+        assert vector.delete(500) == 1
+        assert vector.rank(1, 1000) == 0
+        assert vector.run_count == 1  # the two zero runs re-coalesce
+
+
+class TestInsertDelete:
+    def test_insert_positions(self):
+        vector = DynamicBitVector()
+        reference = []
+        for position, bit in [(0, 1), (0, 0), (1, 1), (3, 0), (2, 1)]:
+            vector.insert(position, bit)
+            reference.insert(position, bit)
+        assert vector.to_list() == reference
+
+    def test_delete_returns_bit(self):
+        vector = DynamicBitVector([1, 0, 1, 1])
+        assert vector.delete(1) == 0
+        assert vector.delete(0) == 1
+        assert vector.to_list() == [1, 1]
+        assert vector.run_count == 1
+
+    def test_insert_run(self):
+        vector = DynamicBitVector([1, 1, 1, 1])
+        vector.insert_run(2, 0, 5)
+        assert vector.to_list() == [1, 1, 0, 0, 0, 0, 0, 1, 1]
+        vector.insert_run(2, 1, 2)  # extends the surrounding 1-run context
+        assert vector.to_list() == [1, 1, 1, 1, 0, 0, 0, 0, 0, 1, 1]
+
+    def test_randomised_against_list(self):
+        rng = random.Random(77)
+        vector = DynamicBitVector(seed=3)
+        reference = []
+        for step in range(1500):
+            action = rng.random()
+            if action < 0.55 or not reference:
+                position = rng.randint(0, len(reference))
+                bit = rng.randint(0, 1)
+                vector.insert(position, bit)
+                reference.insert(position, bit)
+            elif action < 0.85:
+                position = rng.randrange(len(reference))
+                assert vector.delete(position) == reference.pop(position)
+            else:
+                position = rng.randint(0, len(reference))
+                assert vector.rank(1, position) == sum(reference[:position])
+            if step % 250 == 0:
+                assert vector.to_list() == reference
+        assert vector.to_list() == reference
+        # Runs stay maximal throughout, so the count matches the oracle's.
+        expected_runs = sum(
+            1 for i in range(len(reference)) if i == 0 or reference[i] != reference[i - 1]
+        )
+        assert vector.run_count == expected_runs
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=1),
+                st.integers(min_value=0, max_value=10**6),
+            ),
+            max_size=60,
+        )
+    )
+    def test_property_random_operations(self, operations):
+        vector = DynamicBitVector(seed=9)
+        reference = []
+        for kind, bit, raw_position in operations:
+            if kind == 0 or not reference:
+                position = raw_position % (len(reference) + 1)
+                vector.insert(position, bit)
+                reference.insert(position, bit)
+            elif kind == 1:
+                position = raw_position % len(reference)
+                assert vector.delete(position) == reference.pop(position)
+            elif kind == 2:
+                vector.append(bit)
+                reference.append(bit)
+            else:
+                position = raw_position % (len(reference) + 1)
+                assert vector.rank(bit, position) == sum(
+                    1 for value in reference[:position] if value == bit
+                )
+        assert vector.to_list() == reference
+
+
+class TestSpace:
+    def test_space_tracks_runs_not_length(self):
+        # A long bitvector with few runs must stay tiny (RLE+gamma property).
+        vector = DynamicBitVector.init_run(0, 1_000_000)
+        vector.append_run(1, 1_000_000)
+        vector.append_run(0, 5)
+        assert vector.size_in_bits() < 300
+        assert vector.overhead_bits() < 3 * 6 * 64 + 1
+
+    def test_entropy_ballpark_for_random_bits(self, random_bits):
+        vector = DynamicBitVector(random_bits)
+        from repro.analysis.entropy import binary_entropy
+
+        n = len(random_bits)
+        entropy = n * binary_entropy(sum(random_bits) / n)
+        # RLE+gamma has a constant-factor redundancy (Theorem 4.9: O(nH0)).
+        assert vector.size_in_bits() <= 4 * entropy + 512

@@ -1,0 +1,55 @@
+"""Tests for the gap-encoded dynamic bitvector (the Remark 4.2 comparison point)."""
+
+import pytest
+
+from repro.bitvector import DynamicBitVector, GapEncodedBitVector
+from repro.exceptions import OutOfBoundsError
+
+from tests.conftest import reference_rank, reference_select
+
+
+class TestGapEncodedBitVector:
+    def test_matches_oracle(self, random_bits):
+        bits = random_bits[:800]
+        vector = GapEncodedBitVector(bits)
+        assert vector.to_list() == bits
+        for pos in (0, 17, 400, 800):
+            assert vector.rank(1, pos) == reference_rank(bits, 1, pos)
+            assert vector.rank(0, pos) == reference_rank(bits, 0, pos)
+        assert vector.select(1, 10) == reference_select(bits, 1, 10)
+        assert vector.select(0, 10) == reference_select(bits, 0, 10)
+
+    def test_insert_delete(self):
+        vector = GapEncodedBitVector([0, 1, 0])
+        vector.insert(1, 1)
+        assert vector.to_list() == [0, 1, 1, 0]
+        assert vector.delete(0) == 0
+        assert vector.to_list() == [1, 1, 0]
+        with pytest.raises(OutOfBoundsError):
+            vector.delete(3)
+        with pytest.raises(OutOfBoundsError):
+            vector.insert(5, 1)
+
+    def test_gaps(self):
+        vector = GapEncodedBitVector([0, 0, 1, 0, 1, 1, 0])
+        assert list(vector.gaps()) == [2, 1, 0]
+
+    def test_space_depends_on_ones_not_length(self):
+        sparse = GapEncodedBitVector([0] * 5000 + [1])
+        dense_runs = DynamicBitVector([0] * 5000 + [1])
+        # Gap encoding is tiny for sparse data...
+        assert sparse.size_in_bits() < 128
+        assert dense_runs.size_in_bits() < 128
+
+    def test_init_run_asymmetry(self):
+        """Init(0, n) is cheap, Init(1, n) degrades -- exactly Remark 4.2."""
+        zeros = GapEncodedBitVector.init_run(0, 100_000)
+        assert len(zeros) == 100_000
+        assert zeros.rank(1, 100_000) == 0
+        ones = GapEncodedBitVector.init_run(1, 500)
+        assert len(ones) == 500
+        assert ones.rank(1, 500) == 500
+        # The RLE-based bitvector of Section 4.2 does not pay per-one space.
+        rle = DynamicBitVector.init_run(1, 100_000)
+        assert rle.size_in_bits() < 128
+        assert ones.size_in_bits() > 500  # one delta code per 1 bit

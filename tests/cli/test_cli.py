@@ -1,0 +1,165 @@
+"""End-to-end tests for the ``wavelet-trie`` command-line interface.
+
+Every test drives :func:`repro.cli.main` directly (no subprocess), captures
+stdout with capsys and checks both the human-readable and the ``--json``
+output modes.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.storage import load, save
+from repro.db import ColumnStore
+
+
+@pytest.fixture()
+def log_file(tmp_path, url_log):
+    path = tmp_path / "access.log"
+    path.write_text("\n".join(url_log[:200]) + "\n", encoding="utf-8")
+    return path
+
+
+@pytest.fixture()
+def built_index(tmp_path, log_file):
+    path = tmp_path / "access.wt"
+    assert main(["build", str(log_file), "-o", str(path)]) == 0
+    return path
+
+
+def run_json(capsys, argv):
+    """Run a CLI command with --json and return the parsed payload."""
+    assert main(argv + ["--json"]) == 0
+    return json.loads(capsys.readouterr().out)
+
+
+class TestBuild:
+    def test_build_text_output(self, tmp_path, log_file, capsys):
+        out_path = tmp_path / "index.wt"
+        code = main(["build", str(log_file), "-o", str(out_path)])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert out_path.exists()
+        assert "indexed 200 values" in captured
+        assert "wrote" in captured
+
+    def test_build_json_output(self, tmp_path, log_file, capsys):
+        out_path = tmp_path / "index.wt"
+        payload = run_json(capsys, ["build", str(log_file), "-o", str(out_path)])
+        assert payload["elements"] == 200
+        assert payload["stored_bytes"] == out_path.stat().st_size
+        assert payload["compression_ratio"] < 1.0
+
+    @pytest.mark.parametrize("variant", ["static", "append-only", "dynamic"])
+    def test_build_variants(self, tmp_path, log_file, url_log, variant):
+        out_path = tmp_path / f"{variant}.wt"
+        assert main(["build", str(log_file), "-o", str(out_path), "--variant", variant]) == 0
+        index = load(out_path)
+        assert index.to_list() == url_log[:200]
+
+    def test_build_static_bitvector_choice(self, tmp_path, log_file):
+        out_path = tmp_path / "static-rle.wt"
+        code = main(
+            ["build", str(log_file), "-o", str(out_path), "--variant", "static", "--bitvector", "rle"]
+        )
+        assert code == 0
+        assert load(out_path).bitvector_kind == "rle"
+
+    def test_build_missing_input(self, tmp_path, capsys):
+        code = main(["build", str(tmp_path / "nope.log"), "-o", str(tmp_path / "x.wt")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestInfo:
+    def test_info_text(self, built_index, capsys):
+        assert main(["info", str(built_index)]) == 0
+        out = capsys.readouterr().out
+        assert "elements         : 200" in out
+        assert "AppendOnlyWaveletTrie" in out
+
+    def test_info_json_with_bounds(self, built_index, capsys):
+        payload = run_json(capsys, ["info", str(built_index), "--bounds"])
+        assert payload["elements"] == 200
+        assert payload["bounds"]["n"] == 200
+        assert payload["measured_bits"] > payload["bounds"]["nH0_bits"]
+
+    def test_info_rejects_non_trie_files(self, tmp_path, capsys):
+        store = ColumnStore(["a"])
+        store.append_row({"a": "x"})
+        path = tmp_path / "table.wt"
+        save(store, path)
+        assert main(["info", str(path)]) == 1
+        assert "not a Wavelet Trie" in capsys.readouterr().err
+
+
+class TestQueries:
+    def test_access(self, built_index, url_log, capsys):
+        payload = run_json(capsys, ["access", str(built_index), "0", "5", "199"])
+        values = {entry["position"]: entry["value"] for entry in payload["results"]}
+        assert values == {0: url_log[0], 5: url_log[5], 199: url_log[199]}
+
+    def test_rank_exact_and_prefix(self, built_index, url_log, capsys):
+        target = url_log[0]
+        payload = run_json(capsys, ["rank", str(built_index), target])
+        assert payload["count"] == url_log[:200].count(target)
+        prefix = "http://"
+        payload = run_json(capsys, ["rank", str(built_index), prefix, "--prefix"])
+        assert payload["count"] == 200
+
+    def test_rank_with_pos(self, built_index, url_log, capsys):
+        target = url_log[0]
+        payload = run_json(capsys, ["rank", str(built_index), target, "--pos", "50"])
+        assert payload["count"] == url_log[:50].count(target)
+
+    def test_select(self, built_index, url_log, capsys):
+        target = url_log[3]
+        payload = run_json(capsys, ["select", str(built_index), target, "0"])
+        assert url_log[payload["position"]] == target
+        assert payload["position"] == url_log.index(target)
+
+    def test_top(self, built_index, url_log, capsys):
+        payload = run_json(capsys, ["top", str(built_index), "-k", "3"])
+        counts = [entry["count"] for entry in payload["results"]]
+        assert counts == sorted(counts, reverse=True)
+        window = url_log[:200]
+        top_count = max(window.count(value) for value in set(window))
+        top_entry = payload["results"][0]
+        assert top_entry["count"] == top_count
+        assert window.count(top_entry["value"]) == top_count
+
+    def test_distinct_with_range(self, built_index, url_log, capsys):
+        payload = run_json(capsys, ["distinct", str(built_index), "--start", "10", "--stop", "60"])
+        assert payload["distinct"] == len(set(url_log[10:60]))
+        total = sum(entry["count"] for entry in payload["results"])
+        assert total == 50
+
+    def test_distinct_with_prefix(self, built_index, url_log, capsys):
+        window = url_log[:200]
+        host = sorted({value.split("/")[2] for value in window})[0]
+        prefix = f"http://{host}"
+        payload = run_json(capsys, ["distinct", str(built_index), "--prefix", prefix])
+        expected = {value for value in window if value.startswith(prefix)}
+        assert {entry["value"] for entry in payload["results"]} == expected
+
+
+class TestAppend:
+    def test_append_without_save(self, built_index, capsys):
+        payload = run_json(capsys, ["append", str(built_index), "http://new.example/a"])
+        assert payload["elements"] == 201
+        # Not saved: reloading shows the original length.
+        assert len(load(built_index)) == 200
+
+    def test_append_with_save(self, built_index, capsys):
+        code = main(["append", str(built_index), "http://new.example/a", "http://new.example/b", "--save"])
+        assert code == 0
+        index = load(built_index)
+        assert len(index) == 202
+        assert index.access(201) == "http://new.example/b"
+
+    def test_append_to_static_index_fails(self, tmp_path, log_file, capsys):
+        path = tmp_path / "static.wt"
+        main(["build", str(log_file), "-o", str(path), "--variant", "static"])
+        assert main(["append", str(path), "x"]) == 1
+        assert "static" in capsys.readouterr().err

@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite.
+
+The fixtures provide deterministic workloads (small enough to keep the suite
+fast, varied enough to exercise skew, shared prefixes and dynamic alphabets)
+and reference helpers used to cross-check the succinct structures against
+plain-Python oracles.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+import pytest
+
+from repro.workloads import ColumnGenerator, QueryLogGenerator, UrlLogGenerator
+
+
+@pytest.fixture(scope="session")
+def url_log() -> List[str]:
+    """A deterministic URL access log with skewed domains and shared prefixes."""
+    return UrlLogGenerator(domains=12, depth=3, branching=4, seed=101).generate(400)
+
+
+@pytest.fixture(scope="session")
+def query_log() -> List[str]:
+    """A deterministic query log (short strings, fewer shared prefixes)."""
+    return QueryLogGenerator(seed=202).generate(300)
+
+
+@pytest.fixture(scope="session")
+def column_values() -> List[str]:
+    """A deterministic hierarchical column (region/city/site)."""
+    return ColumnGenerator(cardinality=24, zipf_exponent=1.2, seed=303).generate(350)
+
+
+@pytest.fixture(scope="session")
+def random_bits() -> List[int]:
+    """A deterministic pseudo-random bit sequence (30% ones)."""
+    rng = random.Random(404)
+    return [1 if rng.random() < 0.3 else 0 for _ in range(2500)]
+
+
+@pytest.fixture(scope="session")
+def bursty_bits() -> List[int]:
+    """A deterministic run-heavy bit sequence (favourable to RLE)."""
+    rng = random.Random(505)
+    bits: List[int] = []
+    bit = 0
+    while len(bits) < 2500:
+        run = rng.randint(1, 40)
+        bits.extend([bit] * run)
+        bit ^= 1
+    return bits[:2500]
+
+
+def reference_rank(bits: List[int], bit: int, pos: int) -> int:
+    """Oracle rank for bitvector tests."""
+    return sum(1 for value in bits[:pos] if value == bit)
+
+
+def reference_select(bits: List[int], bit: int, idx: int) -> int:
+    """Oracle select for bitvector tests."""
+    seen = -1
+    for position, value in enumerate(bits):
+        if value == bit:
+            seen += 1
+            if seen == idx:
+                return position
+    raise IndexError("not enough occurrences")

@@ -1,0 +1,125 @@
+"""Tests for the append-only Wavelet Trie (Theorem 4.3)."""
+
+import pytest
+
+from repro.baselines import NaiveIndexedSequence
+from repro.core.append_only import AppendOnlyWaveletTrie
+from repro.core.static import WaveletTrie
+from repro.exceptions import InvalidOperationError, OutOfBoundsError
+
+
+class TestAppend:
+    def test_incremental_growth_matches_static(self, url_log):
+        values = url_log[:200]
+        append_only = AppendOnlyWaveletTrie(block_size=128)
+        for count, value in enumerate(values, start=1):
+            append_only.append(value)
+            assert len(append_only) == count
+        static = WaveletTrie(values)
+        assert append_only.to_list() == values
+        assert append_only.node_count() == static.node_count()
+        assert append_only.distinct_count() == static.distinct_count()
+
+    def test_queries_during_growth(self, query_log):
+        """Rank/select/prefix answers stay correct after every single append."""
+        values = query_log[:120]
+        naive = NaiveIndexedSequence()
+        trie = AppendOnlyWaveletTrie(block_size=64)
+        probes = ["weather", values[0], "py", "nonexistent query"]
+        for value in values:
+            trie.append(value)
+            naive.append(value)
+            size = len(naive)
+            assert trie.access(size - 1) == value
+            for probe in probes:
+                assert trie.rank(probe, size) == naive.rank(probe, size)
+                assert trie.rank_prefix(probe, size) == naive.rank_prefix(probe, size)
+
+    def test_unseen_values_grow_the_alphabet(self):
+        trie = AppendOnlyWaveletTrie(["base"])
+        assert trie.distinct_count() == 1
+        trie.append("base/extended")
+        trie.append("another")
+        trie.append("base")
+        assert trie.distinct_count() == 3
+        assert trie.to_list() == ["base", "base/extended", "another", "base"]
+        assert trie.rank_prefix("base", 4) == 3
+
+    def test_first_append_on_empty(self):
+        trie = AppendOnlyWaveletTrie()
+        trie.append("only")
+        assert trie.to_list() == ["only"]
+        assert trie.count("only") == 1
+
+    def test_extend(self, column_values):
+        trie = AppendOnlyWaveletTrie()
+        trie.extend(column_values[:40])
+        assert trie.to_list() == column_values[:40]
+
+    def test_insert_only_at_end(self):
+        trie = AppendOnlyWaveletTrie(["a"])
+        trie.insert("b", 1)  # same as append
+        assert trie.to_list() == ["a", "b"]
+        with pytest.raises(InvalidOperationError):
+            trie.insert("c", 0)
+
+    def test_delete_rejected(self):
+        trie = AppendOnlyWaveletTrie(["a"])
+        with pytest.raises(InvalidOperationError):
+            trie.delete(0)
+
+    def test_block_size_validation(self):
+        with pytest.raises(ValueError):
+            AppendOnlyWaveletTrie(block_size=16)
+
+
+class TestInitOffsets:
+    def test_split_installs_constant_prefix(self):
+        """Figure 3: splitting a node creates a bitvector whose prefix is constant."""
+        trie = AppendOnlyWaveletTrie(block_size=64)
+        for _ in range(100):
+            trie.append("shared/prefix/alpha")
+        trie.append("shared/prefix/beta")  # forces a split of the single leaf
+        assert trie.distinct_count() == 2
+        assert trie.count("shared/prefix/alpha") == 100
+        assert trie.count("shared/prefix/beta") == 1
+        assert trie.select("shared/prefix/beta", 0) == 100
+        assert trie.rank_prefix("shared/prefix", 101) == 101
+        # The new internal node's bitvector must have an Init offset: its
+        # first 100 bits are constant.
+        deepest = max(
+            (node for node in trie.nodes() if not node.is_leaf),
+            key=lambda node: len(node.label),
+        )
+        first_hundred = list(deepest.bitvector.iter_range(0, 100))
+        assert len(set(first_hundred)) == 1
+
+    def test_split_near_root_with_large_history(self):
+        trie = AppendOnlyWaveletTrie(block_size=64)
+        for index in range(300):
+            trie.append(f"aaa/{index % 3}")
+        trie.append("zzz")  # splits the root: Init over 300 elements
+        assert trie.count_prefix("aaa/") == 300
+        assert trie.count("zzz") == 1
+        assert trie.access(300) == "zzz"
+        assert trie.select_prefix("zzz", 0) == 300
+        root = trie.root
+        assert len(root.bitvector) == 301
+        assert root.bitvector.rank(root.bitvector.access(300), 300) in (0, 300)
+
+
+class TestPrefixQueries:
+    def test_prefix_rank_and_select(self, url_log):
+        values = url_log[:150]
+        trie = AppendOnlyWaveletTrie(values)
+        naive = NaiveIndexedSequence(values)
+        prefixes = ["http://", "http://www.", values[0][:20], values[3], "ftp://"]
+        for prefix in prefixes:
+            for pos in (0, 50, 150):
+                assert trie.rank_prefix(prefix, pos) == naive.rank_prefix(prefix, pos)
+            total = naive.count_prefix(prefix) if hasattr(naive, "count_prefix") else naive.rank_prefix(prefix, len(values))
+            for idx in range(0, total, max(1, total // 5)):
+                assert trie.select_prefix(prefix, idx) == naive.select_prefix(prefix, idx)
+            if total:
+                with pytest.raises(OutOfBoundsError):
+                    trie.select_prefix(prefix, total)

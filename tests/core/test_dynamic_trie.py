@@ -1,0 +1,151 @@
+"""Tests for the fully dynamic Wavelet Trie (Theorem 4.4), including the
+Figure 3 node-splitting insertion and the dagger-case deletions."""
+
+import random
+
+import pytest
+
+from repro.baselines import NaiveIndexedSequence
+from repro.core.dynamic import DynamicWaveletTrie
+from repro.core.static import WaveletTrie
+from repro.exceptions import OutOfBoundsError
+
+
+class TestInsert:
+    def test_insert_at_positions(self):
+        trie = DynamicWaveletTrie(["b", "b"])
+        trie.insert("a", 0)
+        trie.insert("c", 3)
+        trie.insert("b", 2)
+        assert trie.to_list() == ["a", "b", "b", "b", "c"]
+        assert trie.rank("b", 4) == 3
+        assert trie.select("c", 0) == 4
+
+    def test_insert_position_validation(self):
+        trie = DynamicWaveletTrie(["a"])
+        with pytest.raises(OutOfBoundsError):
+            trie.insert("b", 2)
+        with pytest.raises(OutOfBoundsError):
+            trie.insert("b", -1)
+
+    def test_figure3_split_on_insert(self):
+        """Inserting a previously unseen string splits one node (Figure 3).
+
+        The new internal node's bitvector is initialised as a constant run of
+        the split node's branch bit, then receives the new element's bit.
+        """
+        values = ["root/left/x"] * 3 + ["root/left/y"] * 2
+        trie = DynamicWaveletTrie(values)
+        nodes_before = trie.node_count()
+        trie.insert("root/lexicon", 2)  # unseen: splits the "left/" branch
+        assert trie.node_count() == nodes_before + 2  # one internal + one leaf
+        assert trie.to_list() == [
+            "root/left/x", "root/left/x", "root/lexicon",
+            "root/left/x", "root/left/y", "root/left/y",
+        ]
+        assert trie.rank_prefix("root/le", 6) == 6
+        assert trie.rank_prefix("root/left/", 6) == 5
+        assert trie.count("root/lexicon") == 1
+
+    def test_growth_matches_static_structure(self, column_values):
+        values = column_values[:150]
+        dynamic = DynamicWaveletTrie()
+        rng = random.Random(3)
+        reference = []
+        for value in values:
+            position = rng.randint(0, len(reference))
+            dynamic.insert(value, position)
+            reference.insert(position, value)
+        assert dynamic.to_list() == reference
+        static = WaveletTrie(reference)
+        assert dynamic.node_count() == static.node_count()
+        assert dynamic.distinct_count() == static.distinct_count()
+
+
+class TestDelete:
+    def test_delete_returns_value(self):
+        trie = DynamicWaveletTrie(["a", "b", "c", "b"])
+        assert trie.delete(1) == "b"
+        assert trie.to_list() == ["a", "c", "b"]
+        assert trie.count("b") == 1
+
+    def test_delete_last_occurrence_shrinks_alphabet(self):
+        """The dagger case of Table 1: the leaf is removed and nodes merge."""
+        trie = DynamicWaveletTrie(["aa", "ab", "aa", "zz"])
+        assert trie.distinct_count() == 3
+        nodes_before = trie.node_count()
+        position = trie.select("ab", 0)
+        assert trie.delete(position) == "ab"
+        assert trie.distinct_count() == 2
+        assert trie.node_count() == nodes_before - 2
+        assert trie.count("ab") == 0
+        assert trie.rank("ab", len(trie)) == 0
+        assert trie.to_list() == ["aa", "aa", "zz"]
+        # Reinserting the deleted value works (the trie re-splits).
+        trie.append("ab")
+        assert trie.count("ab") == 1
+
+    def test_delete_down_to_empty_and_rebuild(self):
+        trie = DynamicWaveletTrie(["x", "y"])
+        assert trie.delete(0) == "x"
+        assert trie.delete(0) == "y"
+        assert len(trie) == 0
+        assert trie.root is None
+        trie.append("z")
+        assert trie.to_list() == ["z"]
+
+    def test_delete_position_validation(self):
+        trie = DynamicWaveletTrie(["a"])
+        with pytest.raises(OutOfBoundsError):
+            trie.delete(1)
+        with pytest.raises(OutOfBoundsError):
+            trie.delete(-1)
+
+
+class TestRandomisedAgainstOracle:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_mixed_workload(self, seed, url_log):
+        rng = random.Random(seed)
+        population = url_log[:40] + ["extra/one", "extra/two", "x"]
+        trie = DynamicWaveletTrie(seed=seed)
+        naive = NaiveIndexedSequence()
+        for step in range(350):
+            action = rng.random()
+            if action < 0.55 or len(naive) == 0:
+                value = rng.choice(population)
+                position = rng.randint(0, len(naive))
+                trie.insert(value, position)
+                naive.insert(value, position)
+            elif action < 0.8:
+                position = rng.randrange(len(naive))
+                assert trie.delete(position) == naive.delete(position)
+            elif action < 0.9:
+                value = rng.choice(population)
+                position = rng.randint(0, len(naive))
+                assert trie.rank(value, position) == naive.rank(value, position)
+            else:
+                prefix = rng.choice(["http://", "extra/", population[0][:15], "zzz"])
+                position = rng.randint(0, len(naive))
+                assert trie.rank_prefix(prefix, position) == naive.rank_prefix(prefix, position)
+            if step % 70 == 0:
+                assert trie.to_list() == naive.to_list()
+                assert trie.distinct_count() == len(set(naive.to_list()))
+        assert trie.to_list() == naive.to_list()
+
+    def test_select_consistency_after_churn(self, query_log):
+        rng = random.Random(9)
+        trie = DynamicWaveletTrie()
+        naive = NaiveIndexedSequence()
+        for value in query_log[:80]:
+            position = rng.randint(0, len(naive))
+            trie.insert(value, position)
+            naive.insert(value, position)
+        for _ in range(30):
+            position = rng.randrange(len(naive))
+            trie.delete(position)
+            naive.delete(position)
+        snapshot = naive.to_list()
+        for value in set(snapshot):
+            occurrences = [i for i, v in enumerate(snapshot) if v == value]
+            for idx in (0, len(occurrences) - 1):
+                assert trie.select(value, idx) == occurrences[idx]

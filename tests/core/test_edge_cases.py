@@ -1,0 +1,210 @@
+"""Edge-case behaviour shared by all three Wavelet Trie variants.
+
+These tests pin down behaviour at the boundaries of the input domain: empty
+strings, single-character and very long values, non-ASCII text, values that
+differ only in their last bit, and the error paths of the binarisation codecs.
+"""
+
+import pytest
+
+from repro.baselines import NaiveIndexedSequence
+from repro.core.append_only import AppendOnlyWaveletTrie
+from repro.core.dynamic import DynamicWaveletTrie
+from repro.core.static import WaveletTrie
+from repro.exceptions import BinarizationError, OutOfBoundsError, ValueNotFoundError
+from repro.tries.binarize import BytesCodec, Utf8Codec
+
+ALL_VARIANTS = [WaveletTrie, AppendOnlyWaveletTrie, DynamicWaveletTrie]
+
+
+@pytest.mark.parametrize("cls", ALL_VARIANTS)
+class TestBoundaryValues:
+    def test_empty_string_is_a_valid_value(self, cls):
+        values = ["", "a", "", "ab", ""]
+        trie = cls(values)
+        assert trie.to_list() == values
+        assert trie.count("") == 3
+        assert trie.select("", 2) == 4
+        assert trie.rank("", 3) == 2
+
+    def test_single_character_alphabet(self, cls):
+        values = list("abcabcabc")
+        trie = cls(values)
+        assert trie.to_list() == values
+        assert trie.distinct_count() == 3
+        for char in "abc":
+            assert trie.count(char) == 3
+
+    def test_very_long_strings(self, cls):
+        long_a = "x" * 5000 + "a"
+        long_b = "x" * 5000 + "b"
+        values = [long_a, long_b, long_a]
+        trie = cls(values)
+        assert trie.access(2) == long_a
+        assert trie.rank(long_a, 3) == 2
+        # The shared 5000-character prefix collapses into a single trie label.
+        assert trie.node_count() == 3
+        assert trie.rank_prefix("x" * 5000, 3) == 3
+
+    def test_values_differing_only_in_last_character(self, cls):
+        values = ["prefix/a", "prefix/b", "prefix/a", "prefix/c"]
+        trie = cls(values)
+        assert trie.to_list() == values
+        assert trie.rank_prefix("prefix/", 4) == 4
+        assert trie.select_prefix("prefix/", 3) == 3
+
+    def test_non_ascii_text(self, cls):
+        values = ["città/è", "città/à", "日本語/テスト", "città/è", "🦀/🐍"]
+        trie = cls(values)
+        assert trie.to_list() == values
+        assert trie.count("città/è") == 2
+        assert trie.rank_prefix("città/", 5) == 3
+        assert trie.rank_prefix("日本語", 5) == 1
+
+    def test_whitespace_and_punctuation(self, cls):
+        values = ["a b\tc", "a b", " leading", "trailing ", "a b\tc"]
+        trie = cls(values)
+        assert trie.to_list() == values
+        assert trie.count("a b\tc") == 2
+        assert trie.rank_prefix("a b", 5) == 3
+
+    def test_queries_on_absent_values(self, cls, url_log):
+        trie = cls(url_log[:50])
+        assert trie.rank("http://never-seen.example/", 50) == 0
+        assert trie.rank_prefix("ftp://", 50) == 0
+        assert not trie.contains("http://never-seen.example/")
+        with pytest.raises(ValueNotFoundError):
+            trie.select("http://never-seen.example/", 0)
+        with pytest.raises(ValueNotFoundError):
+            trie.select_prefix("ftp://", 0)
+
+    def test_select_beyond_occurrences(self, cls):
+        trie = cls(["x", "y", "x"])
+        with pytest.raises(OutOfBoundsError):
+            trie.select("x", 2)
+        with pytest.raises(OutOfBoundsError):
+            trie.select_prefix("x", 2)
+
+    def test_rank_position_bounds(self, cls):
+        trie = cls(["x", "y"])
+        assert trie.rank("x", 2) == 1
+        with pytest.raises(OutOfBoundsError):
+            trie.rank("x", 3)
+        with pytest.raises(OutOfBoundsError):
+            trie.rank("x", -1)
+
+    def test_codec_rejects_wrong_types(self, cls):
+        trie = cls(["a"])
+        with pytest.raises(BinarizationError):
+            trie.rank(123, 1)
+
+    def test_utf8_codec_rejects_nul(self, cls):
+        with pytest.raises(BinarizationError):
+            cls(["contains\x00nul"])
+
+    def test_bytes_codec_accepts_nul(self, cls):
+        values = [b"\x00", b"\x00\x00", b"\x00", b"a\x00b"]
+        trie = cls(values, codec=BytesCodec())
+        assert trie.to_list() == values
+        assert trie.count(b"\x00") == 2
+        assert trie.rank_prefix(b"\x00", 4) == 3  # b"\x00" and b"\x00\x00" share the prefix
+
+    def test_matches_oracle_on_pathological_prefix_chain(self, cls):
+        # A chain of values where each is one character longer than the last:
+        # the trie degenerates to maximum height relative to |Sset|.
+        values = []
+        for length in range(1, 15):
+            values.extend(["a" * length + "!"] * 2)
+        trie = cls(values)
+        oracle = NaiveIndexedSequence(values)
+        for pos in range(len(values)):
+            assert trie.access(pos) == oracle.access(pos)
+        for length in range(1, 15):
+            prefix = "a" * length
+            assert trie.rank_prefix(prefix, len(values)) == oracle.rank_prefix(
+                prefix, len(values)
+            )
+
+
+class TestStaticSpecific:
+    def test_mixed_length_huge_sequence_digest(self):
+        # A mildly larger build to exercise RRR block boundaries (63-bit blocks).
+        values = [f"k{i % 97:02d}" for i in range(4000)]
+        trie = WaveletTrie(values)
+        assert trie.count("k00") == len([v for v in values if v == "k00"])
+        assert trie.access(3999) == values[3999]
+        assert trie.rank("k42", 2000) == values[:2000].count("k42")
+
+    def test_succinct_breakdown_consistent_across_kinds(self, url_log):
+        values = url_log[:150]
+        for kind in ("rrr", "plain", "rle"):
+            trie = WaveletTrie(values, bitvector=kind)
+            breakdown = trie.succinct_space_breakdown()
+            assert breakdown["total"] == sum(
+                bits for key, bits in breakdown.items() if key != "total"
+            )
+            assert breakdown["labels"] == trie.label_bits()
+
+
+class TestDynamicSpecific:
+    def test_interleaved_empty_string_updates(self):
+        trie = DynamicWaveletTrie()
+        trie.append("a")
+        trie.insert("", 0)
+        trie.insert("", 2)
+        trie.append("b")
+        assert trie.to_list() == ["", "a", "", "b"]
+        assert trie.delete(0) == ""
+        assert trie.to_list() == ["a", "", "b"]
+        assert trie.count("") == 1
+
+    def test_delete_every_other_element(self, url_log):
+        values = url_log[:60]
+        trie = DynamicWaveletTrie(values)
+        expected = list(values)
+        for position in range(len(values) - 2, -1, -2):
+            assert trie.delete(position) == expected.pop(position)
+        assert trie.to_list() == expected
+
+    def test_alphabet_shrinks_and_regrows(self):
+        trie = DynamicWaveletTrie(["aa", "ab", "aa"])
+        trie.delete(1)  # removes the only "ab"
+        assert trie.distinct_count() == 1
+        trie.append("ac")
+        trie.append("ab")
+        assert trie.distinct_count() == 3
+        assert trie.to_list() == ["aa", "aa", "ac", "ab"]
+
+    def test_insert_then_delete_is_identity(self, query_log):
+        values = query_log[:40]
+        trie = DynamicWaveletTrie(values)
+        before = trie.to_list()
+        trie.insert("zzz-unique", 17)
+        assert trie.delete(17) == "zzz-unique"
+        assert trie.to_list() == before
+        assert trie.distinct_count() == len(set(values))
+
+
+class TestAppendOnlySpecific:
+    def test_block_size_boundary(self):
+        # Append exactly around the tail-freeze boundary of the node bitvectors.
+        trie = AppendOnlyWaveletTrie(block_size=64)
+        values = [f"v{i % 3}" for i in range(200)]
+        for value in values:
+            trie.append(value)
+        assert trie.to_list() == values
+        assert trie.count("v0") == len([v for v in values if v == "v0"])
+
+    def test_block_size_validation(self):
+        with pytest.raises(ValueError):
+            AppendOnlyWaveletTrie(block_size=16)
+
+    def test_many_new_distinct_values(self):
+        # Every append introduces a brand-new string (worst case for Init).
+        trie = AppendOnlyWaveletTrie()
+        values = [f"user-{i:05d}" for i in range(300)]
+        for value in values:
+            trie.append(value)
+        assert trie.distinct_count() == 300
+        assert trie.access(299) == "user-00299"
+        assert trie.rank_prefix("user-0000", 300) == 10

@@ -1,0 +1,146 @@
+"""Tests for the Section 5 range analytics, cross-checked against the naive oracle."""
+
+from collections import Counter
+
+import pytest
+
+from repro.baselines import NaiveIndexedSequence
+from repro.core.append_only import AppendOnlyWaveletTrie
+from repro.core.dynamic import DynamicWaveletTrie
+from repro.core.static import WaveletTrie
+from repro.exceptions import OutOfBoundsError
+
+VARIANTS = [
+    ("static", lambda values: WaveletTrie(values)),
+    ("append_only", lambda values: AppendOnlyWaveletTrie(values)),
+    ("dynamic", lambda values: DynamicWaveletTrie(values)),
+]
+
+
+@pytest.fixture(scope="module", params=VARIANTS, ids=[name for name, _ in VARIANTS])
+def trie_and_values(request, url_log):
+    values = url_log[:220]
+    _, factory = request.param
+    return factory(values), NaiveIndexedSequence(values), values
+
+RANGES = [(0, 220), (13, 140), (100, 101), (50, 50), (219, 220)]
+
+
+class TestSequentialAccess:
+    def test_iter_range(self, trie_and_values):
+        trie, _, values = trie_and_values
+        for start, stop in RANGES:
+            assert list(trie.iter_range(start, stop)) == values[start:stop]
+
+    def test_iter_range_bounds(self, trie_and_values):
+        trie, _, _ = trie_and_values
+        with pytest.raises(OutOfBoundsError):
+            list(trie.iter_range(0, 500))
+        with pytest.raises(OutOfBoundsError):
+            list(trie.iter_range(10, 5))
+
+
+class TestDistinct:
+    def test_distinct_in_range(self, trie_and_values):
+        trie, naive, values = trie_and_values
+        for start, stop in RANGES:
+            expected = Counter(values[start:stop])
+            got = dict(trie.distinct_in_range(start, stop))
+            assert got == dict(expected)
+
+    def test_distinct_with_prefix(self, trie_and_values):
+        trie, _, values = trie_and_values
+        prefix = "http://www."
+        for start, stop in [(0, 220), (40, 180)]:
+            expected = Counter(v for v in values[start:stop] if v.startswith(prefix))
+            got = dict(trie.distinct_in_range(start, stop, prefix=prefix))
+            assert got == dict(expected)
+        assert trie.distinct_in_range(0, 220, prefix="ftp://") == []
+
+    def test_count_distinct(self, trie_and_values):
+        trie, _, values = trie_and_values
+        assert trie.count_distinct_in_range(0, 220) == len(set(values))
+
+
+class TestMajorityAndFrequent:
+    def test_range_majority(self, trie_and_values):
+        trie, naive, values = trie_and_values
+        for start, stop in RANGES:
+            assert trie.range_majority(start, stop) == naive.range_majority(start, stop)
+
+    def test_majority_exists_on_constant_range(self, trie_and_values):
+        trie, _, values = trie_and_values
+        # A window of size 1 always has a majority.
+        assert trie.range_majority(7, 8) == (values[7], 1)
+
+    def test_majority_with_prefix(self, trie_and_values):
+        trie, naive, values = trie_and_values
+        prefix = values[0].split("/")[2]
+        prefix = f"http://{prefix}/"
+        assert trie.range_majority(0, 220, prefix=prefix) == naive.range_majority(
+            0, 220, prefix=prefix
+        )
+
+    def test_frequent_in_range(self, trie_and_values):
+        trie, naive, values = trie_and_values
+        for threshold in (1, 3, 10, 50):
+            expected = dict(naive.frequent_in_range(0, 220, threshold))
+            got = dict(trie.frequent_in_range(0, 220, threshold))
+            assert got == expected
+        with pytest.raises(ValueError):
+            trie.frequent_in_range(0, 10, 0)
+
+    def test_top_k(self, trie_and_values):
+        trie, naive, values = trie_and_values
+        for k in (1, 3, 10):
+            got = trie.top_k_in_range(0, 220, k)
+            counts = Counter(values)
+            assert len(got) == min(k, len(counts))
+            # Counts must be correct and non-increasing.
+            for value, count in got:
+                assert counts[value] == count
+            assert all(a[1] >= b[1] for a, b in zip(got, got[1:]))
+            # The returned multiset of counts matches the true top-k counts.
+            expected_counts = sorted(counts.values(), reverse=True)[:k]
+            assert sorted((c for _, c in got), reverse=True) == expected_counts
+
+    def test_top_k_with_prefix(self, trie_and_values):
+        trie, _, values = trie_and_values
+        prefix = "http://www."
+        got = trie.top_k_in_range(0, 220, 5, prefix=prefix)
+        counts = Counter(v for v in values if v.startswith(prefix))
+        for value, count in got:
+            assert counts[value] == count
+
+    def test_top_k_empty_cases(self, trie_and_values):
+        trie, _, _ = trie_and_values
+        assert trie.top_k_in_range(5, 5, 3) == []
+        assert trie.top_k_in_range(0, 10, 0) == []
+
+
+class TestRangeCounts:
+    def test_range_count(self, trie_and_values):
+        trie, naive, values = trie_and_values
+        probes = [values[0], values[50], "http://never.example/"]
+        for value in probes:
+            for start, stop in RANGES:
+                assert trie.range_count(value, start, stop) == naive.range_count(
+                    value, start, stop
+                )
+
+    def test_range_count_prefix(self, trie_and_values):
+        trie, naive, values = trie_and_values
+        for prefix in ["http://", "http://www.s", "nothing"]:
+            for start, stop in RANGES:
+                assert trie.range_count_prefix(
+                    prefix, start, stop
+                ) == naive.range_count_prefix(prefix, start, stop)
+
+
+class TestEmptySequence:
+    def test_empty_range_queries(self):
+        trie = WaveletTrie([])
+        assert list(trie.iter_range(0, 0)) == []
+        assert trie.distinct_in_range(0, 0) == []
+        assert trie.range_majority(0, 0) is None
+        assert trie.top_k_in_range(0, 0, 5) == []

@@ -1,0 +1,101 @@
+"""Tests for the fully succinct static Wavelet Trie (the Theorem 3.7 layout)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import NaiveIndexedSequence
+from repro.core.static import WaveletTrie
+from repro.core.succinct_static import SuccinctWaveletTrie
+from repro.exceptions import (
+    ImmutableStructureError,
+    OutOfBoundsError,
+    ValueNotFoundError,
+)
+
+
+class TestAgainstPointerVariant:
+    @pytest.fixture(scope="class")
+    def pair(self, url_log):
+        values = url_log[:200]
+        return SuccinctWaveletTrie(values), WaveletTrie(values), values
+
+    def test_access(self, pair):
+        succinct, pointer, values = pair
+        for pos in range(0, len(values), 9):
+            assert succinct.access(pos) == pointer.access(pos) == values[pos]
+
+    def test_rank_select(self, pair):
+        succinct, pointer, values = pair
+        for value in set(values):
+            assert succinct.count(value) == pointer.count(value)
+            assert succinct.rank(value, 137) == pointer.rank(value, 137)
+            assert succinct.select(value, 0) == pointer.select(value, 0)
+
+    def test_prefix_operations(self, pair):
+        succinct, pointer, values = pair
+        for prefix in ["http://", "http://www.s", values[0][:24], "zzz"]:
+            assert succinct.rank_prefix(prefix, 180) == pointer.rank_prefix(prefix, 180)
+            total = pointer.rank_prefix(prefix, len(values))
+            if total:
+                assert succinct.select_prefix(prefix, total - 1) == pointer.select_prefix(
+                    prefix, total - 1
+                )
+
+    def test_counts_and_structure(self, pair):
+        succinct, pointer, values = pair
+        assert succinct.node_count() == pointer.node_count()
+        assert succinct.distinct_count() == pointer.distinct_count()
+        assert len(succinct) == len(values)
+
+    def test_space_is_below_pointer_accounting(self, pair):
+        succinct, pointer, _ = pair
+        assert succinct.size_in_bits() < pointer.size_in_bits()
+        breakdown = succinct.space_breakdown()
+        assert breakdown["topology_dfuds"] > 0
+        assert breakdown["bitvectors"] > 0
+
+
+class TestEdgeCases:
+    def test_empty(self):
+        trie = SuccinctWaveletTrie([])
+        assert len(trie) == 0
+        assert trie.rank("x", 0) == 0
+        assert trie.size_in_bits() == 0
+        with pytest.raises(ValueNotFoundError):
+            trie.select("x", 0)
+
+    def test_single_value(self):
+        trie = SuccinctWaveletTrie(["only", "only"])
+        assert trie.access(1) == "only"
+        assert trie.rank("only", 2) == 2
+        assert trie.select("only", 1) == 1
+        assert trie.rank("other", 2) == 0
+
+    def test_errors(self):
+        trie = SuccinctWaveletTrie(["a", "b"])
+        with pytest.raises(OutOfBoundsError):
+            trie.access(2)
+        with pytest.raises(OutOfBoundsError):
+            trie.select("a", 1)
+        with pytest.raises(ValueNotFoundError):
+            trie.select("missing", 0)
+        with pytest.raises(ImmutableStructureError):
+            trie.append("c")
+        with pytest.raises(ImmutableStructureError):
+            trie.insert("c", 0)
+        with pytest.raises(ImmutableStructureError):
+            trie.delete(0)
+
+    @given(st.lists(st.sampled_from(["a", "ab", "b", "ba/x", "c/d/e"]), max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_oracle(self, values):
+        succinct = SuccinctWaveletTrie(values)
+        oracle = NaiveIndexedSequence(values)
+        assert len(succinct) == len(values)
+        for pos in range(len(values)):
+            assert succinct.access(pos) == oracle.access(pos)
+        for value in set(values):
+            assert succinct.count(value) == oracle.count(value)
+            assert succinct.rank_prefix(value[:1], len(values)) == oracle.rank_prefix(
+                value[:1], len(values)
+            )

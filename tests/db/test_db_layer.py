@@ -1,0 +1,164 @@
+"""Tests for the column-store / log-analytics application layer."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.db import AccessLogStore, ColumnStore, CompressedColumn
+from repro.exceptions import InvalidOperationError, OutOfBoundsError
+
+
+class TestCompressedColumn:
+    def test_append_and_reads(self, column_values):
+        column = CompressedColumn("location")
+        column.extend(column_values[:200])
+        assert len(column) == 200
+        assert column.value_at(17) == column_values[17]
+        value = column_values[0]
+        assert column.count_eq(value) == column_values[:200].count(value)
+        assert list(column.rows_eq(value, limit=3)) == [
+            i for i, v in enumerate(column_values[:200]) if v == value
+        ][:3]
+        assert column.count_prefix("emea/") == sum(
+            1 for v in column_values[:200] if v.startswith("emea/")
+        )
+        assert dict(column.distinct()) == dict(Counter(column_values[:200]))
+
+    def test_static_column_rejects_append(self, column_values):
+        column = CompressedColumn("loc", column_values[:50], appendable=False)
+        with pytest.raises(InvalidOperationError):
+            column.append("x")
+        assert column.value_at(0) == column_values[0]
+
+    def test_group_by_and_top_values(self, column_values):
+        column = CompressedColumn("loc", column_values[:300])
+        groups = dict(column.group_by_count(50, 250))
+        assert groups == dict(Counter(column_values[50:250]))
+        top = column.top_values(3)
+        counts = Counter(column_values[:300])
+        assert top[0][1] == counts.most_common(1)[0][1]
+
+    def test_values_scan(self, column_values):
+        column = CompressedColumn("loc", column_values[:80])
+        assert list(column.values(10, 60)) == column_values[10:60]
+
+
+class TestColumnStore:
+    def build(self, rows=150):
+        rng = random.Random(1)
+        table = ColumnStore(["city", "status", "service"])
+        data = []
+        for index in range(rows):
+            row = {
+                "city": rng.choice(["emea/rome", "emea/pisa", "amer/austin"]),
+                "status": rng.choice(["ok", "ok", "err"]),
+                "service": rng.choice(["web", "api"]),
+            }
+            data.append(row)
+            assert table.append_row(row) == index
+        return table, data
+
+    def test_row_roundtrip(self):
+        table, data = self.build()
+        assert len(table) == len(data)
+        for index in (0, 17, len(data) - 1):
+            assert table.row(index) == data[index]
+        with pytest.raises(OutOfBoundsError):
+            table.row(len(data))
+
+    def test_filters(self):
+        table, data = self.build()
+        expected = [i for i, row in enumerate(data) if row["status"] == "err"]
+        assert table.filter_eq("status", "err") == expected
+        expected_prefix = [i for i, row in enumerate(data) if row["city"].startswith("emea/")]
+        assert table.filter_prefix("city", "emea/") == expected_prefix
+        combined = table.filter({"status": "err", "service": "web"}, {"city": "emea/"})
+        expected_combined = [
+            i for i, row in enumerate(data)
+            if row["status"] == "err" and row["service"] == "web"
+            and row["city"].startswith("emea/")
+        ]
+        assert combined == expected_combined
+        assert table.count_where({"status": "err"}) == len(expected)
+        assert table.count_where({}, {"city": "emea/"}) == len(expected_prefix)
+        assert table.count_where({}) == len(data)
+
+    def test_projection_and_groupby(self):
+        table, data = self.build()
+        rows = table.project([0, 5], ["city"])
+        assert rows == [{"city": data[0]["city"]}, {"city": data[5]["city"]}]
+        groups = dict(table.group_by_count("service"))
+        assert groups == dict(Counter(row["service"] for row in data))
+
+    def test_schema_validation(self):
+        with pytest.raises(ValueError):
+            ColumnStore([])
+        with pytest.raises(ValueError):
+            ColumnStore(["a", "a"])
+        table = ColumnStore(["a", "b"])
+        with pytest.raises(InvalidOperationError):
+            table.append_row({"a": "x"})
+        with pytest.raises(InvalidOperationError):
+            table.column("missing")
+
+    def test_size_reporting(self):
+        table, _ = self.build(60)
+        assert table.size_in_bits() > 0
+
+
+class TestAccessLogStore:
+    def build(self, url_log):
+        store = AccessLogStore()
+        for tick, url in enumerate(url_log[:300]):
+            store.append(url, timestamp=tick * 5)
+        return store
+
+    def test_window_translation(self, url_log):
+        store = self.build(url_log)
+        assert store.window(0, 5 * 300) == (0, 300)
+        assert store.window(50, 100) == (10, 20)
+        assert store.window(10_000, 20_000) == (300, 300)
+
+    def test_timestamps_must_be_monotone(self):
+        store = AccessLogStore()
+        store.append("/a", 10)
+        with pytest.raises(ValueError):
+            store.append("/b", 5)
+
+    def test_default_timestamps(self):
+        store = AccessLogStore()
+        store.append("/a")
+        store.append("/b")
+        assert store.entry(1) == (1, "/b")
+
+    def test_windowed_analytics_match_reference(self, url_log):
+        store = self.build(url_log)
+        values = url_log[:300]
+        start_time, end_time = 250, 1000
+        low, high = store.window(start_time, end_time)
+        window_values = values[low:high]
+        domain = values[0].split("/")[2]
+        prefix = f"http://{domain}/"
+        assert store.count_prefix(prefix, start_time, end_time) == sum(
+            1 for v in window_values if v.startswith(prefix)
+        )
+        assert store.count_url(values[0], start_time, end_time) == window_values.count(values[0])
+        counter = Counter(window_values)
+        top = store.top_urls(3, start_time, end_time)
+        assert top[0][1] == counter.most_common(1)[0][1]
+        distinct = dict(store.distinct_urls(start_time, end_time))
+        assert distinct == dict(counter)
+        majority = store.majority_url(start_time, end_time)
+        best, best_count = counter.most_common(1)[0]
+        assert majority == ((best, best_count) if best_count > len(window_values) / 2 else None)
+        accesses = store.accesses_under(prefix, start_time, end_time, limit=5)
+        expected_positions = [i for i in range(low, high) if values[i].startswith(prefix)][:5]
+        assert [url for _, url in accesses] == [values[i] for i in expected_positions]
+        assert [ts for ts, _ in accesses] == [i * 5 for i in expected_positions]
+
+    def test_empty_windows(self, url_log):
+        store = self.build(url_log)
+        assert store.top_urls(3, 5000, 5000) == []
+        assert store.distinct_urls(9999, 10000) == []
+        assert store.majority_url(9999, 10000) is None

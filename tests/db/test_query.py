@@ -1,0 +1,239 @@
+"""Tests for the declarative query layer over ColumnStore."""
+
+import random
+
+import pytest
+
+from repro.db import ColumnStore, Predicate, Query
+from repro.exceptions import InvalidOperationError
+
+
+@pytest.fixture(scope="module")
+def store():
+    """A deterministic three-column access-log table."""
+    rng = random.Random(1234)
+    hosts = ["api.example.com", "api.example.org", "www.example.com", "cdn.other.net"]
+    paths = ["/users", "/users/new", "/orders", "/orders/42", "/health", "/admin"]
+    statuses = ["200", "200", "200", "404", "500"]
+    table = ColumnStore(["host", "path", "status"])
+    for _ in range(500):
+        table.append_row(
+            {
+                "host": rng.choice(hosts),
+                "path": rng.choice(paths),
+                "status": rng.choice(statuses),
+            }
+        )
+    return table
+
+
+def oracle_rows(store):
+    return [store.row(position) for position in range(len(store))]
+
+
+class TestPredicates:
+    def test_eq_matches(self):
+        predicate = Predicate.eq("status", "404")
+        assert predicate.matches("404")
+        assert not predicate.matches("200")
+
+    def test_prefix_matches(self):
+        predicate = Predicate.prefix("path", "/users")
+        assert predicate.matches("/users/new")
+        assert not predicate.matches("/orders")
+
+    def test_in_matches(self):
+        predicate = Predicate.is_in("status", ["404", "500"])
+        assert predicate.matches("500")
+        assert not predicate.matches("200")
+
+    def test_selectivity_is_exact(self, store):
+        rows = oracle_rows(store)
+        predicate = Predicate.eq("status", "404")
+        assert predicate.selectivity(store, 0, len(store)) == sum(
+            1 for row in rows if row["status"] == "404"
+        )
+        prefix = Predicate.prefix("host", "api.")
+        assert prefix.selectivity(store, 100, 400) == sum(
+            1 for row in rows[100:400] if row["host"].startswith("api.")
+        )
+
+    def test_describe(self):
+        assert Predicate.eq("a", "x").describe() == "a = 'x'"
+        assert "LIKE" in Predicate.prefix("a", "x").describe()
+        assert "IN" in Predicate.is_in("a", ["x", "y"]).describe()
+
+
+class TestQueryExecution:
+    def test_no_predicates_returns_everything(self, store):
+        assert Query(store).count() == len(store)
+        assert Query(store).positions() == list(range(len(store)))
+
+    def test_single_eq(self, store):
+        rows = oracle_rows(store)
+        expected = [i for i, row in enumerate(rows) if row["status"] == "500"]
+        assert Query(store).where_eq("status", "500").positions() == expected
+
+    def test_single_prefix(self, store):
+        rows = oracle_rows(store)
+        expected = [i for i, row in enumerate(rows) if row["path"].startswith("/orders")]
+        assert Query(store).where_prefix("path", "/orders").positions() == expected
+
+    def test_conjunction(self, store):
+        rows = oracle_rows(store)
+        expected = [
+            i
+            for i, row in enumerate(rows)
+            if row["status"] == "404" and row["host"].startswith("api.")
+        ]
+        query = Query(store).where_eq("status", "404").where_prefix("host", "api.")
+        assert query.positions() == expected
+        assert query.count() == len(expected)
+
+    def test_three_way_conjunction(self, store):
+        rows = oracle_rows(store)
+        expected = [
+            i
+            for i, row in enumerate(rows)
+            if row["status"] == "200"
+            and row["host"] == "cdn.other.net"
+            and row["path"].startswith("/users")
+        ]
+        query = (
+            Query(store)
+            .where_eq("status", "200")
+            .where_eq("host", "cdn.other.net")
+            .where_prefix("path", "/users")
+        )
+        assert query.positions() == expected
+
+    def test_in_predicate(self, store):
+        rows = oracle_rows(store)
+        expected = [i for i, row in enumerate(rows) if row["status"] in ("404", "500")]
+        assert Query(store).where_in("status", ["404", "500"]).positions() == expected
+
+    def test_in_predicate_positions_are_sorted_unique(self, store):
+        positions = Query(store).where_in("path", ["/users", "/users"]).positions()
+        assert positions == sorted(set(positions))
+
+    def test_row_range_restriction(self, store):
+        rows = oracle_rows(store)
+        expected = [
+            i for i, row in enumerate(rows) if 100 <= i < 300 and row["status"] == "200"
+        ]
+        assert (
+            Query(store).where_eq("status", "200").in_rows(100, 300).positions()
+            == expected
+        )
+
+    def test_row_range_beyond_end_is_clamped(self, store):
+        query = Query(store).in_rows(490, 10_000)
+        assert query.count() == 10
+
+    def test_limit(self, store):
+        rows = oracle_rows(store)
+        expected = [i for i, row in enumerate(rows) if row["status"] == "200"][:7]
+        query = Query(store).where_eq("status", "200").limit(7)
+        assert query.positions() == expected
+        assert query.count() == 7
+
+    def test_limit_zero(self, store):
+        assert Query(store).where_eq("status", "200").limit(0).positions() == []
+
+    def test_rows_and_projection(self, store):
+        result = (
+            Query(store)
+            .where_eq("status", "500")
+            .select("host", "status")
+            .limit(3)
+            .rows()
+        )
+        assert len(result) == 3
+        assert all(set(row) == {"host", "status"} for row in result)
+        assert all(row["status"] == "500" for row in result)
+
+    def test_first(self, store):
+        rows = oracle_rows(store)
+        expected_position = next(
+            i for i, row in enumerate(rows) if row["status"] == "404"
+        )
+        first = Query(store).where_eq("status", "404").first()
+        assert first == rows[expected_position]
+
+    def test_first_no_match(self, store):
+        assert Query(store).where_eq("status", "999").first() is None
+
+    def test_empty_result(self, store):
+        query = Query(store).where_eq("host", "missing.example").where_eq("status", "200")
+        assert query.positions() == []
+        assert query.count() == 0
+        assert query.rows() == []
+
+    def test_group_by_count_without_predicates(self, store):
+        rows = oracle_rows(store)
+        expected = {}
+        for row in rows:
+            expected[row["status"]] = expected.get(row["status"], 0) + 1
+        grouped = dict(Query(store).group_by_count("status"))
+        assert grouped == expected
+
+    def test_group_by_count_with_predicates(self, store):
+        rows = oracle_rows(store)
+        expected = {}
+        for row in rows:
+            if row["host"].startswith("api."):
+                expected[row["status"]] = expected.get(row["status"], 0) + 1
+        grouped = dict(Query(store).where_prefix("host", "api.").group_by_count("status"))
+        assert grouped == expected
+
+    def test_group_by_respects_row_range(self, store):
+        rows = oracle_rows(store)
+        expected = {}
+        for row in rows[50:150]:
+            expected[row["path"]] = expected.get(row["path"], 0) + 1
+        grouped = dict(Query(store).in_rows(50, 150).group_by_count("path"))
+        assert grouped == expected
+
+
+class TestPlanning:
+    def test_most_selective_predicate_drives(self, store):
+        query = Query(store).where_eq("status", "500").where_prefix("path", "/")
+        plan = query.plan()
+        # "/" matches every row; the status filter is far more selective.
+        assert plan.driver.column == "status"
+        assert plan.residual[0].column == "path"
+
+    def test_explain_mentions_driver_and_residual(self, store):
+        text = (
+            Query(store)
+            .where_eq("status", "500")
+            .where_prefix("host", "api.")
+            .explain()
+        )
+        assert "drive with" in text
+        assert "verify" in text
+
+    def test_explain_full_scan(self, store):
+        assert "full scan" in Query(store).explain()
+
+    def test_estimated_rows_matches_count_for_single_predicate(self, store):
+        query = Query(store).where_eq("status", "404")
+        assert query.plan().estimated_rows == query.count()
+
+
+class TestValidation:
+    def test_unknown_column_rejected_eagerly(self, store):
+        with pytest.raises(InvalidOperationError):
+            Query(store).where_eq("nope", "x")
+        with pytest.raises(InvalidOperationError):
+            Query(store).select("nope")
+
+    def test_negative_limit_rejected(self, store):
+        with pytest.raises(InvalidOperationError):
+            Query(store).limit(-1)
+
+    def test_invalid_row_range_rejected(self, store):
+        with pytest.raises(InvalidOperationError):
+            Query(store).in_rows(10, 5)
+        with pytest.raises(InvalidOperationError):
+            Query(store).in_rows(-1)

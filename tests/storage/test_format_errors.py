@@ -1,0 +1,97 @@
+"""Failure injection for the container format: corrupted, truncated, foreign data."""
+
+import pytest
+
+from repro.core.static import WaveletTrie
+from repro.exceptions import SerializationError
+from repro.storage import FORMAT_VERSION, MAGIC, dumps, loads, save, load
+from repro.storage.serializers import read_object, write_object
+
+
+@pytest.fixture(scope="module")
+def stored(url_log):
+    return dumps(WaveletTrie(url_log[:60]))
+
+
+class TestContainerValidation:
+    def test_bad_magic(self, stored):
+        corrupted = b"XXXX" + stored[4:]
+        with pytest.raises(SerializationError, match="magic"):
+            loads(corrupted)
+
+    def test_empty_input(self):
+        with pytest.raises(SerializationError):
+            loads(b"")
+
+    def test_not_a_wavelet_file(self):
+        with pytest.raises(SerializationError):
+            loads(b"PK\x03\x04 this is a zip archive, not an index")
+
+    def test_unsupported_version(self, stored):
+        corrupted = bytearray(stored)
+        corrupted[len(MAGIC)] = FORMAT_VERSION + 1
+        with pytest.raises(SerializationError, match="version"):
+            loads(bytes(corrupted))
+
+    def test_truncated_payload(self, stored):
+        with pytest.raises(SerializationError):
+            loads(stored[: len(stored) // 2])
+
+    def test_truncated_checksum(self, stored):
+        with pytest.raises(SerializationError):
+            loads(stored[:-2])
+
+    def test_flipped_payload_byte_fails_checksum(self, stored):
+        corrupted = bytearray(stored)
+        # Flip a byte in the middle of the payload (well past the header).
+        corrupted[len(stored) // 2] ^= 0xFF
+        with pytest.raises(SerializationError, match="checksum"):
+            loads(bytes(corrupted))
+
+    def test_trailing_garbage_rejected(self, stored):
+        with pytest.raises(SerializationError):
+            loads(stored + b"extra")
+
+
+class TestObjectValidation:
+    def test_unknown_type_tag(self):
+        with pytest.raises(SerializationError, match="type tag"):
+            read_object(250, b"")
+
+    def test_unsupported_object(self):
+        with pytest.raises(SerializationError, match="cannot be serialised"):
+            write_object(object())
+
+    def test_unsupported_builtin(self):
+        with pytest.raises(SerializationError):
+            dumps({"a": 1})
+
+    def test_payload_for_wrong_type(self, stored, url_log):
+        # Take a valid static-trie payload and present it under the dynamic tag.
+        tag, payload = write_object(WaveletTrie(url_log[:20]))
+        from repro.core.dynamic import DynamicWaveletTrie
+        from repro.storage.serializers import TYPE_TAGS
+
+        with pytest.raises(SerializationError):
+            read_object(TYPE_TAGS[DynamicWaveletTrie], payload)
+
+
+class TestFileErrors:
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load(tmp_path / "does-not-exist.wt")
+
+    def test_load_corrupted_file(self, tmp_path, url_log):
+        path = tmp_path / "index.wt"
+        save(WaveletTrie(url_log[:30]), path)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0x55
+        path.write_bytes(bytes(data))
+        with pytest.raises(SerializationError):
+            load(path)
+
+    def test_load_empty_file(self, tmp_path):
+        path = tmp_path / "empty.wt"
+        path.write_bytes(b"")
+        with pytest.raises(SerializationError):
+            load(path)

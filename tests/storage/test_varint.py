@@ -1,0 +1,214 @@
+"""Tests for the byte-stream primitives of the storage format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits.bitstring import Bits
+from repro.exceptions import SerializationError
+from repro.storage.varint import ByteReader, ByteWriter, bits_to_runs, runs_to_bits
+
+
+class TestVarint:
+    @pytest.mark.parametrize(
+        "value", [0, 1, 127, 128, 255, 300, 16383, 16384, 2**32, 2**60]
+    )
+    def test_roundtrip(self, value):
+        writer = ByteWriter()
+        writer.write_uvarint(value)
+        reader = ByteReader(writer.getvalue())
+        assert reader.read_uvarint() == value
+        reader.expect_end()
+
+    def test_negative_rejected(self):
+        writer = ByteWriter()
+        with pytest.raises(SerializationError):
+            writer.write_uvarint(-1)
+
+    def test_small_values_are_one_byte(self):
+        writer = ByteWriter()
+        writer.write_uvarint(100)
+        assert len(writer) == 1
+
+    def test_overlong_varint_rejected(self):
+        # Ten continuation bytes exceed the 64-bit budget.
+        reader = ByteReader(b"\x80" * 12 + b"\x01")
+        with pytest.raises(SerializationError):
+            reader.read_uvarint()
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**62), max_size=30))
+    @settings(max_examples=50)
+    def test_many_values_roundtrip(self, values):
+        writer = ByteWriter()
+        for value in values:
+            writer.write_uvarint(value)
+        reader = ByteReader(writer.getvalue())
+        assert [reader.read_uvarint() for _ in values] == values
+        reader.expect_end()
+
+
+class TestFixedWidth:
+    def test_u8_roundtrip(self):
+        writer = ByteWriter()
+        writer.write_u8(0)
+        writer.write_u8(255)
+        reader = ByteReader(writer.getvalue())
+        assert reader.read_u8() == 0
+        assert reader.read_u8() == 255
+
+    def test_u8_out_of_range(self):
+        writer = ByteWriter()
+        with pytest.raises(SerializationError):
+            writer.write_u8(256)
+        with pytest.raises(SerializationError):
+            writer.write_u8(-1)
+
+    def test_u32_roundtrip(self):
+        writer = ByteWriter()
+        writer.write_u32(0xDEADBEEF)
+        reader = ByteReader(writer.getvalue())
+        assert reader.read_u32() == 0xDEADBEEF
+
+    def test_u32_out_of_range(self):
+        writer = ByteWriter()
+        with pytest.raises(SerializationError):
+            writer.write_u32(1 << 32)
+
+    def test_bool_roundtrip(self):
+        writer = ByteWriter()
+        writer.write_bool(True)
+        writer.write_bool(False)
+        reader = ByteReader(writer.getvalue())
+        assert reader.read_bool() is True
+        assert reader.read_bool() is False
+
+    def test_invalid_bool_byte(self):
+        reader = ByteReader(b"\x07")
+        with pytest.raises(SerializationError):
+            reader.read_bool()
+
+
+class TestBytesAndText:
+    def test_bytes_roundtrip(self):
+        writer = ByteWriter()
+        writer.write_bytes(b"")
+        writer.write_bytes(b"\x00\xff" * 10)
+        reader = ByteReader(writer.getvalue())
+        assert reader.read_bytes() == b""
+        assert reader.read_bytes() == b"\x00\xff" * 10
+
+    def test_text_roundtrip(self):
+        writer = ByteWriter()
+        writer.write_text("héllo wörld / ünïcode")
+        reader = ByteReader(writer.getvalue())
+        assert reader.read_text() == "héllo wörld / ünïcode"
+
+    def test_invalid_utf8_raises(self):
+        writer = ByteWriter()
+        writer.write_bytes(b"\xff\xfe")
+        reader = ByteReader(writer.getvalue())
+        with pytest.raises(SerializationError):
+            reader.read_text()
+
+    def test_truncated_read_raises(self):
+        writer = ByteWriter()
+        writer.write_bytes(b"hello")
+        data = writer.getvalue()[:-2]
+        reader = ByteReader(data)
+        with pytest.raises(SerializationError):
+            reader.read_bytes()
+
+    def test_expect_end_detects_trailing_bytes(self):
+        reader = ByteReader(b"\x01\x02")
+        reader.read_u8()
+        with pytest.raises(SerializationError):
+            reader.expect_end()
+
+
+class TestBitsPayload:
+    @pytest.mark.parametrize(
+        "bits",
+        [
+            Bits.empty(),
+            Bits.from_string("1"),
+            Bits.from_string("0"),
+            Bits.from_string("10110010"),
+            Bits.from_string("1" * 200),
+            Bits.from_string("0" * 1000),
+            Bits.from_string("01" * 77),
+            Bits.from_bytes(bytes(range(64))),
+        ],
+    )
+    def test_roundtrip(self, bits):
+        writer = ByteWriter()
+        writer.write_bits(bits)
+        reader = ByteReader(writer.getvalue())
+        assert reader.read_bits() == bits
+        reader.expect_end()
+
+    def test_constant_run_is_compact(self):
+        # A million-bit constant run must serialise to a handful of bytes
+        # (the RLE mode), not 125 kB.
+        writer = ByteWriter()
+        writer.write_bits(Bits.zeros(1_000_000))
+        assert len(writer) < 16
+
+    def test_dense_random_bits_use_raw_mode(self):
+        import random
+
+        rng = random.Random(99)
+        bits = Bits.from_iterable(rng.randrange(2) for _ in range(800))
+        writer = ByteWriter()
+        writer.write_bits(bits)
+        # RAW mode: about 100 payload bytes plus a few bytes of header.
+        assert len(writer) <= 110
+
+    def test_unknown_mode_rejected(self):
+        writer = ByteWriter()
+        writer.write_u8(7)  # no such payload mode
+        writer.write_uvarint(4)
+        reader = ByteReader(writer.getvalue())
+        with pytest.raises(SerializationError):
+            reader.read_bits()
+
+    def test_rle_length_mismatch_rejected(self):
+        writer = ByteWriter()
+        writer.write_u8(1)  # RLE mode
+        writer.write_uvarint(10)  # declared length
+        writer.write_uvarint(1)  # one run
+        writer.write_u8(0)
+        writer.write_uvarint(3)  # ... of only three bits
+        reader = ByteReader(writer.getvalue())
+        with pytest.raises(SerializationError):
+            reader.read_bits()
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), max_size=400))
+    @settings(max_examples=60)
+    def test_arbitrary_bits_roundtrip(self, bit_list):
+        bits = Bits.from_iterable(bit_list)
+        writer = ByteWriter()
+        writer.write_bits(bits)
+        reader = ByteReader(writer.getvalue())
+        assert reader.read_bits().to_tuple() == tuple(bit_list)
+
+
+class TestRuns:
+    def test_bits_to_runs(self):
+        bits = Bits.from_string("0001101111")
+        assert bits_to_runs(bits) == [(0, 3), (1, 2), (0, 1), (1, 4)]
+
+    def test_empty(self):
+        assert bits_to_runs(Bits.empty()) == []
+        assert runs_to_bits([]) == Bits.empty()
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), max_size=300))
+    @settings(max_examples=60)
+    def test_runs_roundtrip(self, bit_list):
+        bits = Bits.from_iterable(bit_list)
+        assert runs_to_bits(bits_to_runs(bits)) == bits
+
+    def test_runs_alternate(self):
+        bits = Bits.from_string("0101010101")
+        runs = bits_to_runs(bits)
+        assert all(length == 1 for _, length in runs)
+        assert [bit for bit, _ in runs] == [0, 1] * 5

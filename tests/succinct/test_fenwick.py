@@ -1,0 +1,138 @@
+"""Tests for Fenwick trees and partial-sum structures."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import OutOfBoundsError
+from repro.succinct import FenwickTree, PartialSums, StaticPartialSums
+
+
+class TestFenwickTree:
+    def test_prefix_sums(self):
+        values = [3, 0, 7, 1, 4]
+        tree = FenwickTree(values)
+        for count in range(len(values) + 1):
+            assert tree.prefix_sum(count) == sum(values[:count])
+        assert tree.total == 15
+
+    def test_add_and_value_at(self):
+        tree = FenwickTree([1, 1, 1, 1])
+        tree.add(2, 5)
+        assert tree.value_at(2) == 6
+        assert tree.prefix_sum(4) == 9
+        tree.add(2, -6)
+        assert tree.value_at(2) == 0
+
+    def test_range_sum(self):
+        tree = FenwickTree([2, 4, 6, 8])
+        assert tree.range_sum(1, 3) == 10
+        with pytest.raises(OutOfBoundsError):
+            tree.range_sum(3, 1)
+
+    def test_search(self):
+        values = [3, 0, 7, 1, 4]
+        tree = FenwickTree(values)
+        # Cumulative: 3, 3, 10, 11, 15
+        assert tree.search(0) == 0
+        assert tree.search(2) == 0
+        assert tree.search(3) == 2
+        assert tree.search(9) == 2
+        assert tree.search(10) == 3
+        assert tree.search(14) == 4
+        with pytest.raises(OutOfBoundsError):
+            tree.search(15)
+
+    def test_bounds(self):
+        tree = FenwickTree([1, 2])
+        with pytest.raises(OutOfBoundsError):
+            tree.add(2, 1)
+        with pytest.raises(OutOfBoundsError):
+            tree.prefix_sum(3)
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=80), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_random_updates_match_reference(self, values, data):
+        tree = FenwickTree(values)
+        reference = list(values)
+        for _ in range(10):
+            if not reference:
+                break
+            index = data.draw(st.integers(min_value=0, max_value=len(reference) - 1))
+            delta = data.draw(st.integers(min_value=-5, max_value=20))
+            if reference[index] + delta < 0:
+                delta = -reference[index]
+            tree.add(index, delta)
+            reference[index] += delta
+        assert tree.to_list() == reference
+        for count in range(len(reference) + 1):
+            assert tree.prefix_sum(count) == sum(reference[:count])
+
+
+class TestStaticPartialSums:
+    def test_start_length_find(self):
+        sums = StaticPartialSums([5, 0, 3, 7])
+        assert len(sums) == 4
+        assert sums.total == 15
+        assert [sums.start(i) for i in range(5)] == [0, 5, 5, 8, 15]
+        assert sums.length(2) == 3
+        assert sums.find(0) == 0
+        assert sums.find(4) == 0
+        assert sums.find(5) == 2  # the zero-length piece 1 cannot own offsets
+        assert sums.find(7) == 2
+        assert sums.find(8) == 3
+        assert sums.find(14) == 3
+        with pytest.raises(OutOfBoundsError):
+            sums.find(15)
+
+    def test_empty(self):
+        sums = StaticPartialSums([])
+        assert len(sums) == 0
+        assert sums.total == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            StaticPartialSums([3, -1])
+
+
+class TestDynamicPartialSums:
+    def test_append_and_query(self):
+        sums = PartialSums([4, 2])
+        sums.append(9)
+        assert len(sums) == 3
+        assert sums.total == 15
+        assert sums.start(2) == 6
+        assert sums.find(6) == 2
+        assert sums.to_list() == [4, 2, 9]
+
+    def test_add(self):
+        sums = PartialSums([4, 2, 9])
+        sums.add(1, 3)
+        assert sums.length(1) == 5
+        assert sums.start(2) == 9
+
+    def test_growth_beyond_initial_capacity(self):
+        sums = PartialSums()
+        for value in range(1, 40):
+            sums.append(value)
+        assert sums.total == sum(range(1, 40))
+        assert sums.find(sums.total - 1) == 38
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_find_matches_linear_scan(self, lengths):
+        sums = PartialSums(lengths)
+        total = sum(lengths)
+        if total == 0:
+            return
+        probes = {0, total - 1, total // 2, total // 3}
+        for offset in probes:
+            expected = None
+            running = 0
+            for index, length in enumerate(lengths):
+                if running <= offset < running + length:
+                    expected = index
+                    break
+                running += length
+            assert sums.find(offset) == expected

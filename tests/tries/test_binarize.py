@@ -1,0 +1,147 @@
+"""Tests for the binarisation codecs (prefix-freeness is the key invariant)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bits.bitstring import Bits
+from repro.exceptions import BinarizationError
+from repro.tries.binarize import (
+    BytesCodec,
+    FixedWidthIntCodec,
+    Utf8Codec,
+    default_codec,
+)
+
+text_values = st.text(
+    alphabet=st.characters(blacklist_characters="\x00", blacklist_categories=("Cs",)),
+    max_size=30,
+)
+
+
+class TestUtf8Codec:
+    def test_roundtrip(self):
+        codec = Utf8Codec()
+        for value in ["", "a", "hello", "héllo wörld", "日本語", "/path/to/x"]:
+            assert codec.from_bits(codec.to_bits(value)) == value
+
+    def test_terminator_makes_prefix_free(self):
+        codec = Utf8Codec()
+        a = codec.to_bits("ab")
+        b = codec.to_bits("abc")
+        assert not b.startswith(a)
+        assert not a.startswith(b)
+
+    def test_prefix_encoding_is_prefix_of_completions(self):
+        codec = Utf8Codec()
+        prefix = codec.prefix_to_bits("ab")
+        assert codec.to_bits("ab").startswith(prefix)
+        assert codec.to_bits("abc").startswith(prefix)
+        assert not codec.to_bits("ba").startswith(prefix)
+
+    def test_rejects_nul(self):
+        codec = Utf8Codec()
+        with pytest.raises(BinarizationError):
+            codec.to_bits("a\x00b")
+        with pytest.raises(BinarizationError):
+            codec.prefix_to_bits("\x00")
+
+    def test_rejects_non_string(self):
+        codec = Utf8Codec()
+        with pytest.raises(BinarizationError):
+            codec.to_bits(42)
+
+    def test_from_bits_validation(self):
+        codec = Utf8Codec()
+        with pytest.raises(BinarizationError):
+            codec.from_bits(Bits.from_string("101"))
+        with pytest.raises(BinarizationError):
+            codec.from_bits(Bits.from_bytes(b"ab"))  # missing terminator
+
+    @given(text_values)
+    @settings(max_examples=80, deadline=None)
+    def test_property_roundtrip(self, value):
+        codec = Utf8Codec()
+        assert codec.from_bits(codec.to_bits(value)) == value
+
+    @given(text_values, text_values)
+    @settings(max_examples=80, deadline=None)
+    def test_property_prefix_freeness(self, a, b):
+        codec = Utf8Codec()
+        bits_a, bits_b = codec.to_bits(a), codec.to_bits(b)
+        if a != b:
+            assert not bits_a.startswith(bits_b)
+            assert not bits_b.startswith(bits_a)
+
+    def test_default_codec(self):
+        assert isinstance(default_codec(), Utf8Codec)
+
+
+class TestBytesCodec:
+    def test_roundtrip_with_nul_bytes(self):
+        codec = BytesCodec()
+        for value in [b"", b"\x00", b"ab\x00cd", bytes(range(256))]:
+            assert codec.from_bits(codec.to_bits(value)) == value
+
+    def test_prefix_freeness(self):
+        codec = BytesCodec()
+        a, b = codec.to_bits(b"ab"), codec.to_bits(b"abc")
+        assert not b.startswith(a) and not a.startswith(b)
+
+    def test_prefix_to_bits(self):
+        codec = BytesCodec()
+        assert codec.to_bits(b"abc").startswith(codec.prefix_to_bits(b"ab"))
+
+    def test_type_checks(self):
+        codec = BytesCodec()
+        with pytest.raises(BinarizationError):
+            codec.to_bits("not bytes")
+
+    @given(st.binary(max_size=20), st.binary(max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_property_prefix_freeness(self, a, b):
+        codec = BytesCodec()
+        bits_a, bits_b = codec.to_bits(a), codec.to_bits(b)
+        if a != b:
+            assert not bits_a.startswith(bits_b)
+            assert not bits_b.startswith(bits_a)
+
+
+class TestFixedWidthIntCodec:
+    def test_roundtrip(self):
+        codec = FixedWidthIntCodec(16)
+        for value in [0, 1, 255, 65535]:
+            assert codec.from_bits(codec.to_bits(value)) == value
+
+    def test_lsb_first(self):
+        codec = FixedWidthIntCodec(4, lsb_first=True)
+        assert codec.to_bits(1).to01() == "1000"
+        assert codec.to_bits(8).to01() == "0001"
+        assert codec.from_bits(Bits.from_string("1000")) == 1
+
+    def test_out_of_range(self):
+        codec = FixedWidthIntCodec(8)
+        with pytest.raises(BinarizationError):
+            codec.to_bits(256)
+        with pytest.raises(BinarizationError):
+            codec.to_bits(-1)
+        with pytest.raises(BinarizationError):
+            codec.to_bits(True)
+
+    def test_wrong_length_decoding(self):
+        codec = FixedWidthIntCodec(8)
+        with pytest.raises(BinarizationError):
+            codec.from_bits(Bits.from_string("0101"))
+
+    def test_invalid_width(self):
+        with pytest.raises(BinarizationError):
+            FixedWidthIntCodec(0)
+
+    @given(st.integers(min_value=1, max_value=64), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_property_roundtrip_both_orders(self, width, data):
+        value = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+        for lsb_first in (False, True):
+            codec = FixedWidthIntCodec(width, lsb_first=lsb_first)
+            bits = codec.to_bits(value)
+            assert len(bits) == width
+            assert codec.from_bits(bits) == value

@@ -1,0 +1,164 @@
+"""Tests for the dynamic Patricia trie (paper Appendix B)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bits.bitstring import Bits
+from repro.exceptions import ValueNotFoundError
+from repro.tries.binarize import Utf8Codec
+from repro.tries.patricia import PatriciaTrie
+
+
+def encode(values):
+    codec = Utf8Codec()
+    return [codec.to_bits(value) for value in values]
+
+
+class TestBasicOperations:
+    def test_insert_and_contains(self):
+        keys = encode(["a", "ab", "b", "ba", "banana"])
+        trie = PatriciaTrie()
+        for key in keys:
+            assert trie.insert(key) is True
+        assert len(trie) == 5
+        for key in keys:
+            assert key in trie
+        assert Utf8Codec().to_bits("c") not in trie
+        assert Utf8Codec().to_bits("ban") not in trie
+
+    def test_duplicate_insert(self):
+        key = Utf8Codec().to_bits("x")
+        trie = PatriciaTrie([key])
+        assert trie.insert(key) is False
+        assert len(trie) == 1
+
+    def test_keys_enumeration(self):
+        keys = encode(["rome", "pisa", "paris", "park"])
+        trie = PatriciaTrie(keys)
+        assert sorted(k.to01() for k in trie.keys()) == sorted(k.to01() for k in keys)
+
+    def test_delete(self):
+        keys = encode(["rome", "pisa", "paris", "park"])
+        trie = PatriciaTrie(keys)
+        trie.delete(keys[1])
+        assert len(trie) == 3
+        assert keys[1] not in trie
+        assert all(k in trie for k in keys if k != keys[1])
+        with pytest.raises(ValueNotFoundError):
+            trie.delete(keys[1])
+
+    def test_delete_down_to_empty(self):
+        keys = encode(["a", "b"])
+        trie = PatriciaTrie(keys)
+        trie.delete(keys[0])
+        trie.delete(keys[1])
+        assert len(trie) == 0
+        assert not trie
+        # Reinsertion after emptying works.
+        trie.insert(keys[0])
+        assert keys[0] in trie
+
+    def test_single_key_trie(self):
+        key = Utf8Codec().to_bits("solo")
+        trie = PatriciaTrie([key])
+        assert key in trie
+        assert trie.node_count() == 1
+        assert trie.edge_count() == 0
+        assert trie.height_of(key) == 0
+
+    def test_prefix_free_violation_rejected(self):
+        trie = PatriciaTrie([Bits.from_string("0101")])
+        with pytest.raises(ValueError):
+            trie.insert(Bits.from_string("01"))
+        with pytest.raises(ValueError):
+            trie.insert(Bits.from_string("010111"))
+
+
+class TestStructure:
+    def test_node_and_edge_counts(self):
+        keys = encode(["a", "b", "c", "d"])
+        trie = PatriciaTrie(keys)
+        # A binary Patricia trie over k keys has k leaves and k-1 internal nodes.
+        assert trie.node_count() == 2 * len(keys) - 1
+        assert trie.internal_count() == len(keys) - 1
+        assert trie.edge_count() == 2 * (len(keys) - 1)
+
+    def test_internal_nodes_have_two_children(self):
+        keys = encode(["alpha", "beta", "gamma", "delta", "alphabet"])
+        trie = PatriciaTrie(keys)
+        for node in trie.nodes():
+            children = sum(1 for child in node.children if child is not None)
+            assert children in (0, 2)
+
+    def test_label_bits_consistency(self):
+        keys = encode(["aa", "ab"])
+        trie = PatriciaTrie(keys)
+        # Total key bits = labels + one branching bit per internal node on
+        # each root-to-leaf path; check via reconstruction.
+        reconstructed = sorted(k.to01() for k in trie.keys())
+        assert reconstructed == sorted(k.to01() for k in keys)
+
+    def test_height_of(self):
+        keys = encode(["aa", "ab", "b"])
+        trie = PatriciaTrie(keys)
+        heights = {trie.height_of(k) for k in keys}
+        assert max(heights) <= 2
+        with pytest.raises(ValueNotFoundError):
+            trie.height_of(Utf8Codec().to_bits("zz"))
+
+    def test_find_prefix(self):
+        codec = Utf8Codec()
+        keys = encode(["rome", "romeo", "paris"])
+        trie = PatriciaTrie(keys)
+        assert trie.find_prefix(codec.prefix_to_bits("rom")) is not None
+        assert trie.find_prefix(codec.prefix_to_bits("par")) is not None
+        assert trie.find_prefix(codec.prefix_to_bits("x")) is None
+        assert trie.find_prefix(Bits.empty()) is not None
+
+    def test_space_accounting(self):
+        keys = encode(["aaa", "aab", "abc"])
+        trie = PatriciaTrie(keys)
+        assert trie.label_bits() > 0
+        assert trie.pointer_bits() == trie.node_count() * 4 * 64
+        assert trie.size_in_bits() == trie.pointer_bits() + trie.label_bits()
+        assert trie.longest_key_bits() == max(len(k) for k in keys)
+
+
+class TestRandomised:
+    def test_random_insert_delete_against_set(self):
+        rng = random.Random(5)
+        codec = Utf8Codec()
+        population = [
+            "/".join(rng.choice("abcd") for _ in range(rng.randint(1, 4)))
+            for _ in range(60)
+        ]
+        trie = PatriciaTrie()
+        reference = set()
+        for step in range(400):
+            value = rng.choice(population)
+            key = codec.to_bits(value)
+            if value in reference and rng.random() < 0.5:
+                trie.delete(key)
+                reference.discard(value)
+            elif value not in reference:
+                trie.insert(key)
+                reference.add(value)
+            if step % 50 == 0:
+                stored = {codec.from_bits(k) for k in trie.keys()}
+                assert stored == reference
+        stored = {codec.from_bits(k) for k in trie.keys()}
+        assert stored == reference
+        assert len(trie) == len(reference)
+
+    @given(st.sets(st.text(alphabet="abc/", min_size=1, max_size=8), max_size=25))
+    @settings(max_examples=40, deadline=None)
+    def test_property_membership(self, values):
+        codec = Utf8Codec()
+        keys = [codec.to_bits(value) for value in values]
+        trie = PatriciaTrie(keys)
+        assert len(trie) == len(values)
+        for key in keys:
+            assert key in trie
+        assert {codec.from_bits(k) for k in trie.keys()} == set(values)

@@ -1,0 +1,86 @@
+"""Tests for the succinct static Patricia trie (paper Theorem 3.6)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bits.bitstring import Bits
+from repro.exceptions import ValueNotFoundError
+from repro.tries.binarize import Utf8Codec
+from repro.tries.patricia import PatriciaTrie
+from repro.tries.static_patricia import SuccinctPatriciaTrie
+
+
+def build(values):
+    codec = Utf8Codec()
+    keys = [codec.to_bits(value) for value in set(values)]
+    return SuccinctPatriciaTrie.from_keys(keys), codec
+
+
+class TestSuccinctPatriciaTrie:
+    def test_keys_roundtrip(self):
+        values = ["rome", "romeo", "paris", "park", "pisa"]
+        trie, codec = build(values)
+        assert trie.key_count == len(values)
+        stored = {codec.from_bits(key) for key in trie.keys()}
+        assert stored == set(values)
+
+    def test_search(self):
+        values = ["rome", "romeo", "paris"]
+        trie, codec = build(values)
+        for value in values:
+            leaf, height = trie.search(codec.to_bits(value))
+            assert trie.is_leaf(leaf)
+            assert 0 <= height <= len(values) - 1
+        with pytest.raises(ValueNotFoundError):
+            trie.search(codec.to_bits("romulus"))
+
+    def test_find_prefix(self):
+        values = ["rome", "romeo", "paris"]
+        trie, codec = build(values)
+        assert trie.find_prefix(codec.prefix_to_bits("rom")) is not None
+        assert trie.find_prefix(codec.prefix_to_bits("z")) is None
+        node, _ = trie.find_prefix(codec.prefix_to_bits("par"))
+        assert trie.is_leaf(node)
+
+    def test_matches_dynamic_trie_structure(self):
+        values = ["aaa", "aab", "abc", "b"]
+        codec = Utf8Codec()
+        keys = [codec.to_bits(v) for v in values]
+        dynamic = PatriciaTrie(keys)
+        succinct = SuccinctPatriciaTrie(dynamic)
+        assert succinct.node_count == dynamic.node_count()
+        assert succinct.label_bits() == dynamic.label_bits()
+        assert succinct.edge_count() == dynamic.edge_count()
+
+    def test_single_key(self):
+        trie, codec = build(["only"])
+        assert trie.node_count == 1
+        assert trie.key_count == 1
+        leaf, height = trie.search(codec.to_bits("only"))
+        assert leaf == 0 and height == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SuccinctPatriciaTrie(PatriciaTrie())
+
+    def test_space_breakdown_and_lt(self):
+        values = [f"section/{i}/item" for i in range(40)]
+        trie, _ = build(values)
+        breakdown = trie.space_breakdown()
+        assert breakdown["labels"] >= trie.label_bits() - 64
+        assert breakdown["lt_lower_bound"] <= trie.size_in_bits()
+        # The succinct encoding should be well below a pointer representation
+        # of the same trie (4 words per node).
+        pointer_cost = trie.node_count * 4 * 64 + trie.label_bits()
+        assert trie.size_in_bits() < pointer_cost
+
+    @given(st.sets(st.text(alphabet="ab/", min_size=1, max_size=6), min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_property_search_every_key(self, values):
+        codec = Utf8Codec()
+        keys = [codec.to_bits(value) for value in values]
+        trie = SuccinctPatriciaTrie.from_keys(keys)
+        for key in keys:
+            leaf, _ = trie.search(key)
+            assert trie.is_leaf(leaf)
+        assert {codec.from_bits(k) for k in trie.keys()} == set(values)

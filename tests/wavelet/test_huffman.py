@@ -1,0 +1,94 @@
+"""Tests for Huffman codes and the Huffman-shaped Wavelet Tree."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.entropy import empirical_entropy
+from repro.exceptions import OutOfBoundsError, ValueNotFoundError
+from repro.wavelet import HuffmanWaveletTree, huffman_codes
+
+
+class TestHuffmanCodes:
+    def test_empty_and_singleton(self):
+        assert huffman_codes({}) == {}
+        codes = huffman_codes({"a": 10})
+        assert len(codes) == 1 and len(codes["a"]) == 1
+
+    def test_codes_are_prefix_free(self):
+        frequencies = {"a": 45, "b": 13, "c": 12, "d": 16, "e": 9, "f": 5}
+        codes = huffman_codes(frequencies)
+        assert len(codes) == 6
+        for x in codes:
+            for y in codes:
+                if x != y:
+                    assert not codes[x].startswith(codes[y])
+
+    def test_frequent_symbols_get_shorter_codes(self):
+        frequencies = {"rare": 1, "common": 1000, "mid": 50}
+        codes = huffman_codes(frequencies)
+        assert len(codes["common"]) <= len(codes["mid"]) <= len(codes["rare"])
+
+    def test_average_length_close_to_entropy(self):
+        rng = random.Random(1)
+        data = [rng.choice("aaaaabbbccd") for _ in range(2000)]
+        counts = Counter(data)
+        codes = huffman_codes(counts)
+        average = sum(counts[s] * len(codes[s]) for s in counts) / len(data)
+        entropy = empirical_entropy(data)
+        assert entropy <= average < entropy + 1
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=3), st.integers(min_value=1, max_value=1000), min_size=1, max_size=15))
+    @settings(max_examples=50, deadline=None)
+    def test_property_prefix_free_and_complete(self, frequencies):
+        codes = huffman_codes(frequencies)
+        assert set(codes) == set(frequencies)
+        items = list(codes.values())
+        for i, x in enumerate(items):
+            for y in items[i + 1:]:
+                assert not x.startswith(y) and not y.startswith(x)
+
+
+class TestHuffmanWaveletTree:
+    def test_known_sequence(self):
+        data = list("abracadabra")
+        tree = HuffmanWaveletTree(data)
+        assert tree.to_list() == data
+        assert tree.count("a") == 5
+        assert tree.rank("b", 9) == 2
+        assert tree.select("r", 1) == 9
+        assert tree.rank("z", 5) == 0
+        with pytest.raises(ValueNotFoundError):
+            tree.select("z", 0)
+        with pytest.raises(OutOfBoundsError):
+            tree.select("a", 5)
+
+    def test_single_distinct_symbol(self):
+        tree = HuffmanWaveletTree(["x"] * 10)
+        assert tree.access(7) == "x"
+        assert tree.rank("x", 10) == 10
+        assert tree.select("x", 9) == 9
+
+    def test_skewed_tree_is_shallower_than_balanced_for_skewed_data(self):
+        rng = random.Random(6)
+        data = [rng.choice("a" * 90 + "bcdefgh") for _ in range(1500)]
+        tree = HuffmanWaveletTree(data)
+        codes = tree.codes
+        weighted_depth = sum(len(codes[s]) for s in data) / len(data)
+        assert weighted_depth < 3  # balanced over 8 symbols would be 3
+
+    @given(st.lists(st.sampled_from("abcde"), max_size=150))
+    @settings(max_examples=40, deadline=None)
+    def test_property_against_list(self, data):
+        if not data:
+            return
+        tree = HuffmanWaveletTree(data)
+        assert tree.to_list() == data
+        for symbol in set(data):
+            occurrences = [i for i, x in enumerate(data) if x == symbol]
+            assert tree.count(symbol) == len(occurrences)
+            assert tree.select(symbol, len(occurrences) - 1) == occurrences[-1]
+            for pos in (0, len(data) // 2, len(data)):
+                assert tree.rank(symbol, pos) == data[:pos].count(symbol)
