@@ -9,9 +9,39 @@ The module exposes:
 * :class:`~repro.bits.codes.BitWriter` / :class:`~repro.bits.codes.BitReader`
   and the Elias unary/gamma/delta and fixed-width codecs;
 * :class:`~repro.bits.packed.PackedIntVector` -- a fixed-width packed integer
-  array with O(1) random access.
+  array with O(1) random access;
+* :mod:`~repro.bits.kernel` -- the word-level bit-operations kernel.
+
+Performance architecture
+------------------------
+All hot-path bit manipulation funnels through :mod:`repro.bits.kernel`, a
+dependency-free module of word-level primitives:
+
+* **Packing**: payloads move between big integers, iterables and left-aligned
+  64-bit word lists in O(n / 8) via ``int.to_bytes``/``struct`` -- never by
+  repeated big-integer shifts (:func:`~repro.bits.kernel.pack_value`,
+  :func:`~repro.bits.kernel.pack_iterable`).
+* **In-word queries**: ``select`` inside a word descends by ``bit_count``
+  halves and finishes in one lookup of a precomputed 256-entry table
+  (:func:`~repro.bits.kernel.select_in_word`); ranks use a single shifted
+  ``bit_count`` (:func:`~repro.bits.kernel.rank_word_prefix`).  No query path
+  scans bit by bit.
+* **Directories**: :func:`~repro.bits.kernel.build_rank_directory` produces
+  the two-level superblock/word layout every bitvector shares: cumulative
+  counts per 8-word superblock plus per-word popcount bytes.
+* **Sequential decoding**: :func:`~repro.bits.kernel.broadword_iter_words`
+  and :func:`~repro.bits.kernel.iter_word_bits` emit eight bits per step from
+  a byte-decode table; :func:`~repro.bits.kernel.one_positions` and
+  :func:`~repro.bits.kernel.run_lengths_of_value` bulk-extract set-bit
+  positions and maximal runs word-parallel.
+
+Every bitvector encoding, the Wavelet Tree and the Wavelet Trie route their
+rank/select/access/iteration through these primitives, so future acceleration
+(a numpy backend, a C extension, SIMD) plugs into this one module and speeds
+up the whole package.
 """
 
+from repro.bits import kernel
 from repro.bits.bitbuffer import BitBuffer
 from repro.bits.bitstring import Bits
 from repro.bits.codes import (
@@ -38,4 +68,5 @@ __all__ = [
     "encode_delta",
     "encode_gamma",
     "encode_unary",
+    "kernel",
 ]

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Tuple
 
+from repro.bits.kernel import pack_iterable, unpack_value
 from repro.exceptions import OutOfBoundsError
 
 __all__ = ["Bits"]
@@ -60,13 +61,14 @@ class Bits:
 
     @classmethod
     def from_iterable(cls, bits: Iterable[int]) -> "Bits":
-        """Build from an iterable of 0/1 integers (or booleans)."""
-        value = 0
-        length = 0
-        for bit in bits:
-            value = (value << 1) | (1 if bit else 0)
-            length += 1
-        return cls(value, length)
+        """Build from an iterable of 0/1 integers (or booleans).
+
+        Delegates to the kernel's chunked packer, so construction is O(n);
+        the naive approach (shifting one growing big integer per bit) is
+        O(n^2) in big-integer word operations.
+        """
+        words, length = pack_iterable(bits)
+        return cls(unpack_value(words, length), length)
 
     @classmethod
     def from_string(cls, text: str) -> "Bits":

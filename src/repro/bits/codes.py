@@ -275,6 +275,60 @@ def combinatorial_rank(bits_value: int, width: int, ones: int) -> int:
     return rank
 
 
+def combinatorial_prefix_popcount(
+    rank: int, width: int, ones: int, prefix: int
+) -> int:
+    """Ones among the first ``prefix`` bits of the block :func:`combinatorial_unrank`
+    would rebuild -- without materialising the block.
+
+    Walks the same enumeration descent but stops after ``prefix`` steps, so
+    ``rank`` queries on RRR blocks cost O(prefix) instead of O(width).
+    """
+    table = _BINOMIAL_TABLE
+    count = 0
+    remaining_ones = ones
+    remaining_rank = rank
+    for position in range(prefix):
+        if remaining_ones == 0:
+            break
+        remaining_width = width - position - 1
+        skip = (
+            table[remaining_width][remaining_ones - 1]
+            if remaining_ones - 1 <= remaining_width
+            else 0
+        )
+        if remaining_rank < skip:
+            count += 1
+            remaining_ones -= 1
+        else:
+            remaining_rank -= skip
+    return count
+
+
+def combinatorial_bit_at(rank: int, width: int, ones: int, position: int) -> int:
+    """Bit ``position`` (MSB-first) of the block ``combinatorial_unrank`` would
+    rebuild, via the same truncated descent."""
+    table = _BINOMIAL_TABLE
+    remaining_ones = ones
+    remaining_rank = rank
+    for current in range(position + 1):
+        if remaining_ones == 0:
+            return 0
+        remaining_width = width - current - 1
+        skip = (
+            table[remaining_width][remaining_ones - 1]
+            if remaining_ones - 1 <= remaining_width
+            else 0
+        )
+        if remaining_rank < skip:
+            if current == position:
+                return 1
+            remaining_ones -= 1
+        else:
+            remaining_rank -= skip
+    return 0
+
+
 def combinatorial_unrank(rank: int, width: int, ones: int) -> int:
     """Inverse of :func:`combinatorial_rank`: rebuild the block value."""
     table = _BINOMIAL_TABLE

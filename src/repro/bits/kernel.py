@@ -1,0 +1,386 @@
+"""Word-level bit-operations kernel shared by every rank/select structure.
+
+This module is the single place where in-word bit manipulation happens.  All
+bitvector encodings (:mod:`repro.bitvector`), the Wavelet Tree and the Wavelet
+Trie route their hot paths -- packing, rank directories, in-word select,
+sequential decoding -- through these primitives, so future acceleration (a
+numpy backend, a C extension) only needs to replace this module.
+
+Conventions
+-----------
+* Bits are MSB-first, matching :class:`~repro.bits.bitstring.Bits`: position
+  ``i`` of a ``length``-bit payload ``value`` is ``(value >> (length - 1 - i))
+  & 1``.
+* A *packed word list* is a list of 64-bit integers; word ``w`` holds the bits
+  of positions ``[w * 64, (w + 1) * 64)`` **left-aligned** (position
+  ``w * 64`` is the word's most significant bit).  The final word is
+  zero-padded on the right.
+
+The kernel is dependency-free (stdlib only) and never scans bit by bit: the
+in-word ``select`` walks bytes through a precomputed 256-entry table, bulk
+packing goes through ``int.to_bytes``/``struct`` in O(n / 8), and sequential
+iteration emits eight bits per step from a byte-decode table.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_right
+from itertools import chain
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+__all__ = [
+    "WORD",
+    "WORD_MASK",
+    "SUPERBLOCK_WORDS",
+    "SUPERBLOCK_BITS",
+    "pack_value",
+    "pack_iterable",
+    "words_to_int",
+    "unpack_value",
+    "invert_word",
+    "rank_word_prefix",
+    "select_in_word",
+    "select_zero_in_word",
+    "popcount_words",
+    "popcount_range",
+    "iter_word_bits",
+    "broadword_iter_words",
+    "build_rank_directory",
+    "extract_bits_value",
+    "select_one_in_words",
+    "one_positions",
+    "run_lengths_of_value",
+]
+
+WORD = 64
+WORD_MASK = (1 << WORD) - 1
+SUPERBLOCK_WORDS = 8
+SUPERBLOCK_BITS = WORD * SUPERBLOCK_WORDS
+
+_BYTE_SHIFTS = (56, 48, 40, 32, 24, 16, 8, 0)
+
+
+def _build_select_in_byte() -> bytes:
+    """``table[byte * 8 + k]`` = MSB-first offset of the k-th set bit of ``byte``."""
+    table = bytearray(256 * 8)
+    for byte in range(256):
+        k = 0
+        for offset in range(8):
+            if (byte >> (7 - offset)) & 1:
+                table[byte * 8 + k] = offset
+                k += 1
+    return bytes(table)
+
+
+# The 256-entry four-Russians tables: select-in-byte, the byte's bits decoded
+# MSB-first, and the MSB-first offsets of its set bits.
+_SELECT_IN_BYTE = _build_select_in_byte()
+_BYTE_BITS: Tuple[Tuple[int, ...], ...] = tuple(
+    tuple((byte >> (7 - i)) & 1 for i in range(8)) for byte in range(256)
+)
+_BYTE_ONES: Tuple[Tuple[int, ...], ...] = tuple(
+    tuple(i for i in range(8) if (byte >> (7 - i)) & 1) for byte in range(256)
+)
+
+# ----------------------------------------------------------------------
+# Bulk packing (O(n / 8) via bytes, never repeated big-int shifts)
+# ----------------------------------------------------------------------
+def pack_value(value: int, length: int) -> List[int]:
+    """Pack an MSB-first ``(value, length)`` payload into a left-aligned word list."""
+    if length <= 0:
+        return []
+    n_words = (length + WORD - 1) >> 6
+    raw = (value << (n_words * WORD - length)).to_bytes(n_words * 8, "big")
+    return list(struct.unpack(f">{n_words}Q", raw))
+
+
+def pack_iterable(bits: Iterable[int]) -> Tuple[List[int], int]:
+    """Pack an iterable of 0/1 values; returns ``(words, length)``."""
+    words: List[int] = []
+    append = words.append
+    word = 0
+    filled = 0
+    length = 0
+    for bit in bits:
+        word = (word << 1) | (1 if bit else 0)
+        filled += 1
+        if filled == WORD:
+            append(word)
+            length += WORD
+            word = 0
+            filled = 0
+    if filled:
+        append(word << (WORD - filled))
+        length += filled
+    return words, length
+
+
+def words_to_int(words: Sequence[int]) -> int:
+    """Concatenate a word list into one big integer of ``64 * len(words)`` bits."""
+    if not words:
+        return 0
+    return int.from_bytes(struct.pack(f">{len(words)}Q", *words), "big")
+
+
+def unpack_value(words: Sequence[int], length: int) -> int:
+    """Inverse of :func:`pack_value`: recover the MSB-first payload integer."""
+    if length <= 0:
+        return 0
+    return words_to_int(words) >> (len(words) * WORD - length)
+
+
+# ----------------------------------------------------------------------
+# In-word primitives
+# ----------------------------------------------------------------------
+def invert_word(word: int, width: int = WORD) -> int:
+    """Complement of the top ``width`` bits of a left-aligned 64-bit word.
+
+    Bits past ``width`` come out zero, so a padded final word never leaks
+    phantom zeros into ``select(0, .)``.
+    """
+    return (~word) & ((WORD_MASK << (WORD - width)) & WORD_MASK)
+
+
+def rank_word_prefix(word: int, offset: int) -> int:
+    """Ones among the top ``offset`` bits of a left-aligned 64-bit word."""
+    if offset <= 0:
+        return 0
+    return (word >> (WORD - offset)).bit_count()
+
+
+def select_in_word(word: int, k: int) -> int:
+    """MSB-first offset of the ``k``-th (0-based) set bit of a 64-bit word.
+
+    Binary descent by ``bit_count`` halves (64 -> 32 -> 16 -> 8) followed by
+    one lookup in the 256-entry select table -- a fixed three branches plus a
+    table hit, never a per-bit scan.
+    """
+    if not 0 <= k < word.bit_count():
+        raise ValueError(f"word has fewer than {k + 1} set bits")
+    half = word >> 32
+    count = half.bit_count()
+    if k < count:
+        base = 0
+    else:
+        half = word & 0xFFFFFFFF
+        k -= count
+        base = 32
+    quarter = half >> 16
+    count = quarter.bit_count()
+    if k >= count:
+        quarter = half & 0xFFFF
+        k -= count
+        base += 16
+    byte = quarter >> 8
+    count = byte.bit_count()
+    if k >= count:
+        byte = quarter & 0xFF
+        k -= count
+        base += 8
+    return base + _SELECT_IN_BYTE[(byte << 3) | k]
+
+
+def select_zero_in_word(word: int, k: int, width: int = WORD) -> int:
+    """MSB-first offset of the ``k``-th zero among the top ``width`` bits."""
+    return select_in_word(invert_word(word, width), k)
+
+
+# ----------------------------------------------------------------------
+# Ranged popcount and iteration over packed words
+# ----------------------------------------------------------------------
+def popcount_words(words: Sequence[int]) -> int:
+    """Total set bits of a packed word list."""
+    return sum(word.bit_count() for word in words)
+
+
+def popcount_range(words: Sequence[int], start: int, stop: int) -> int:
+    """Set bits among positions ``[start, stop)`` of a packed word list."""
+    if start >= stop:
+        return 0
+    first, head = divmod(start, WORD)
+    last, tail = divmod(stop, WORD)
+    if first == last:
+        chunk = (words[first] >> (WORD - tail)) & ((1 << (tail - head)) - 1)
+        return chunk.bit_count()
+    total = ((words[first] << head) & WORD_MASK).bit_count()
+    for index in range(first + 1, last):
+        total += words[index].bit_count()
+    if tail:
+        total += (words[last] >> (WORD - tail)).bit_count()
+    return total
+
+
+def iter_word_bits(word: int, start: int, stop: int) -> Iterator[int]:
+    """Yield bits ``[start, stop)`` (MSB-first offsets) of one 64-bit word.
+
+    Emits eight bits per step through the byte-decode table once aligned.
+    """
+    decode = _BYTE_BITS
+    pos = start
+    while pos < stop and pos & 7:
+        yield (word >> (WORD - 1 - pos)) & 1
+        pos += 1
+    while stop - pos >= 8:
+        yield from decode[(word >> (56 - pos)) & 0xFF]
+        pos += 8
+    while pos < stop:
+        yield (word >> (WORD - 1 - pos)) & 1
+        pos += 1
+
+
+def broadword_iter_words(
+    words: Sequence[int], start: int, stop: int
+) -> Iterator[int]:
+    """Iterate bits ``[start, stop)`` of a packed word list at C speed.
+
+    The covering words are flattened once into a byte string (O(span / 8) via
+    ``struct``); the result is then ``chain.from_iterable`` over byte-decode
+    table lookups, so per-bit iteration never re-enters a Python frame --
+    only one table lookup runs per *byte*, and the unaligned head and tail
+    are tuple slices.
+    """
+    if start >= stop:
+        return iter(())
+    first_word = start >> 6
+    end_word = (stop + WORD - 1) >> 6
+    raw = struct.pack(
+        f">{end_word - first_word}Q", *words[first_word:end_word]
+    )
+    base = first_word << 6
+    rel_start = start - base
+    rel_stop = stop - base
+    decode = _BYTE_BITS
+    head_stop = min(rel_stop, (rel_start + 7) & ~7)
+    parts = []
+    if rel_start < head_stop:
+        in_byte = rel_start & 7
+        parts.append(
+            decode[raw[rel_start >> 3]][in_byte : in_byte + head_stop - rel_start]
+        )
+    if head_stop < rel_stop:
+        parts.append(
+            chain.from_iterable(
+                map(decode.__getitem__, raw[head_stop >> 3 : rel_stop >> 3])
+            )
+        )
+        if rel_stop & 7:
+            parts.append(decode[raw[rel_stop >> 3]][: rel_stop & 7])
+    return chain.from_iterable(parts)
+
+
+# ----------------------------------------------------------------------
+# Two-level rank directory (superblock cumulative counts + per-word bytes)
+# ----------------------------------------------------------------------
+def build_rank_directory(
+    words: Sequence[int],
+) -> Tuple[List[int], bytes, List[int]]:
+    """Build the two-level rank directory of a packed word list.
+
+    Returns ``(super_cum, word_pop, word_cum)``:
+
+    * ``super_cum[s]`` -- ones before superblock ``s`` (8 words each), with a
+      final sentinel holding the total popcount;
+    * ``word_pop`` -- per-word popcounts as raw bytes (each fits in 6 bits);
+    * ``word_cum[w]`` -- ones within ``w``'s superblock before word ``w``,
+      with one trailing sentinel so ``rank(length)`` needs no special case.
+    """
+    word_pop = bytes(word.bit_count() for word in words)
+    super_cum: List[int] = []
+    word_cum: List[int] = []
+    cum = 0
+    within = 0
+    for index, pop in enumerate(word_pop):
+        if index % SUPERBLOCK_WORDS == 0:
+            super_cum.append(cum)
+            within = 0
+        word_cum.append(within)
+        within += pop
+        cum += pop
+    super_cum.append(cum)
+    word_cum.append(0 if len(words) % SUPERBLOCK_WORDS == 0 else within)
+    return super_cum, word_pop, word_cum
+
+
+def select_one_in_words(
+    words: Sequence[int], super_cum: Sequence[int], word_pop: bytes, idx: int
+) -> int:
+    """Position of the ``idx``-th set bit, via the two-level directory.
+
+    Binary search over superblocks, at most 8 per-word byte skips, then one
+    :func:`select_in_word`.  The caller guarantees ``idx`` is in range.
+    """
+    sb = bisect_right(super_cum, idx) - 1
+    seen = super_cum[sb]
+    index = sb * SUPERBLOCK_WORDS
+    while True:
+        count = word_pop[index]
+        if seen + count > idx:
+            return index * WORD + select_in_word(words[index], idx - seen)
+        seen += count
+        index += 1
+
+
+# ----------------------------------------------------------------------
+# Bulk extraction
+# ----------------------------------------------------------------------
+def extract_bits_value(words: Sequence[int], start: int, stop: int) -> int:
+    """The bits ``[start, stop)`` of a packed word list as an MSB-first integer.
+
+    Spans of up to two words (every fixed-size block extraction) cost O(1)
+    small-int operations; longer spans fall back to one bulk conversion.
+    """
+    width = stop - start
+    if width <= 0:
+        return 0
+    first, offset = divmod(start, WORD)
+    end_word = (stop + WORD - 1) >> 6
+    if end_word - first <= 2:
+        span = words[first] << WORD
+        if end_word - first == 2:
+            span |= words[first + 1]
+        return (span >> (2 * WORD - offset - width)) & ((1 << width) - 1)
+    span = words_to_int(words[first:end_word])
+    return (span >> ((end_word - first) * WORD - offset - width)) & (
+        (1 << width) - 1
+    )
+
+
+def one_positions(words: Sequence[int]) -> List[int]:
+    """Ascending positions of all set bits, byte-table driven."""
+    out: List[int] = []
+    ones_of = _BYTE_ONES
+    base = 0
+    for word in words:
+        if word:
+            byte_base = base
+            for shift in _BYTE_SHIFTS:
+                byte = (word >> shift) & 0xFF
+                if byte:
+                    for offset in ones_of[byte]:
+                        out.append(byte_base + offset)
+                byte_base += 8
+        base += WORD
+    return out
+
+
+def run_lengths_of_value(value: int, length: int) -> List[int]:
+    """Lengths of the maximal runs of an MSB-first ``(value, length)`` payload.
+
+    Word-parallel: the boundaries between runs are exactly the set bits of
+    ``value ^ (value << 1)`` (each marks a position whose bit differs from its
+    predecessor), extracted bytewise instead of comparing bit by bit.
+    """
+    if length <= 0:
+        return []
+    boundaries = (value ^ (value << 1)) & ((1 << length) - 1)
+    marks = one_positions(pack_value(boundaries, length))
+    lengths: List[int] = []
+    previous = 0
+    for mark in marks:
+        boundary = mark + 1
+        lengths.append(boundary - previous)
+        previous = boundary
+    if previous < length:
+        lengths.append(length - previous)
+    return lengths

@@ -89,6 +89,22 @@ class BitVector(ABC):
             raise OutOfBoundsError(f"invalid range [{start}, {stop})")
         return self.rank(bit, stop) - self.rank(bit, start)
 
+    # ------------------------------------------------------------------
+    # Batch query paths
+    # ------------------------------------------------------------------
+    def access_many(self, positions) -> List[int]:
+        """Bits at each of ``positions``.
+
+        Implementations with a cheaper amortised path (e.g. the word-level
+        kernel of :class:`~repro.bitvector.plain.PlainBitVector`) override
+        this; the default simply loops.
+        """
+        return [self.access(pos) for pos in positions]
+
+    def rank_many(self, bit: int, positions) -> List[int]:
+        """``rank(bit, pos)`` for each of ``positions`` (batch-amortised)."""
+        return [self.rank(bit, pos) for pos in positions]
+
     def __getitem__(self, pos: int) -> int:
         if pos < 0:
             pos += len(self)

@@ -1,55 +1,81 @@
-"""Uncompressed bitvector with a sampled rank directory.
+"""Uncompressed bitvector with a two-level rank directory.
 
-:class:`PlainBitVector` stores the raw bits packed into 64-bit words plus a
-cumulative-popcount directory with one entry per word, giving O(1) ``rank``
-and O(log n) ``select`` (binary search over the directory followed by an
-in-word scan).  It is the uncompressed baseline for the ablation benchmark
-(``ABL-BV`` in DESIGN.md) and the workhorse inside other encodings.
+:class:`PlainBitVector` stores the raw bits packed into 64-bit words plus the
+kernel's two-level rank directory -- cumulative popcounts per 8-word
+superblock and per-word popcount bytes -- giving O(1) ``rank`` and O(log n)
+``select``.  All word-level work is delegated to :mod:`repro.bits.kernel`, so
+no query path ever scans bit by bit.  It is the uncompressed baseline for the
+ablation benchmark (``ABL-BV`` in DESIGN.md) and the workhorse inside other
+encodings.
+
+CPython dispatch note
+---------------------
+The superblock/byte layout is the compact directory of record (it is what a
+C or numpy kernel backend would consume directly), and scalar ``rank`` runs
+on it.  ``select`` and the batch paths additionally use flat per-word
+cumulative lists *derived* from that directory at construction: in CPython a
+single C-level ``bisect``/list index beats any multi-step Python arithmetic,
+and the derived lists cost O(n / 64) integers.  The zeros directories are
+derived from the ones counts (``zeros before w = positions before w - ones
+before w``), so 0- and 1-select share one code path with no independent
+zero structure to keep in sync.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Iterable, Iterator, List, Union
+from typing import Iterable, Iterator, List, Sequence, Union
 
+from repro.bits import kernel
 from repro.bits.bitstring import Bits
+from repro.bits.kernel import WORD, WORD_MASK, invert_word, select_in_word
 from repro.bitvector.base import StaticBitVector
 from repro.exceptions import OutOfBoundsError
 
 __all__ = ["PlainBitVector"]
 
-_WORD = 64
-_WORD_MASK = (1 << _WORD) - 1
-
 
 class PlainBitVector(StaticBitVector):
-    """Packed, uncompressed bits with a per-word cumulative rank directory."""
+    """Packed, uncompressed bits with a superblock/word rank directory."""
 
-    __slots__ = ("_words", "_length", "_cum_ones")
+    __slots__ = (
+        "_words",
+        "_pad_words",
+        "_length",
+        "_super_cum",
+        "_word_pop",
+        "_word_cum",
+        "_word_abs_cum",
+        "_word_abs_zero_cum",
+    )
 
     def __init__(self, bits: Union[Bits, Iterable[int]] = ()) -> None:
-        if not isinstance(bits, Bits):
-            bits = Bits.from_iterable(bits)
-        self._length = len(bits)
-        self._words: List[int] = []
-        # Pack MSB-first bit order into words where word w holds bits
-        # [w*64, (w+1)*64), left-aligned within the word.
-        value = bits.value
-        remaining = self._length
-        chunks: List[int] = []
-        while remaining >= _WORD:
-            remaining -= _WORD
-            chunks.append((value >> remaining) & _WORD_MASK)
-        if remaining:
-            chunks.append((value & ((1 << remaining) - 1)) << (_WORD - remaining))
-        self._words = chunks
-        # Cumulative ones *before* each word.
-        cum = 0
-        self._cum_ones: List[int] = []
-        for word in self._words:
-            self._cum_ones.append(cum)
-            cum += word.bit_count()
-        self._cum_ones.append(cum)
+        if isinstance(bits, Bits):
+            # O(n / 8): one big-int -> bytes conversion, no repeated shifts.
+            self._length = len(bits)
+            self._words: List[int] = kernel.pack_value(bits.value, self._length)
+        else:
+            self._words, self._length = kernel.pack_iterable(bits)
+        self._super_cum, self._word_pop, self._word_cum = (
+            kernel.build_rank_directory(self._words)
+        )
+        # One zero-padded shadow word so rank at pos == length needs no branch
+        # (shifting by a full word yields 0).
+        self._pad_words = self._words + [0]
+        # Flat per-word absolute cumulatives derived from the two-level
+        # directory (see the module docstring): ones before each word, and
+        # zeros before each word computed from it.
+        super_cum = self._super_cum
+        self._word_abs_cum = [
+            super_cum[index >> 3] + ones
+            for index, ones in enumerate(self._word_cum)
+        ]
+        zero_cum = [
+            (index << 6) - ones
+            for index, ones in enumerate(self._word_abs_cum)
+        ]
+        zero_cum[-1] = self._length - self._word_abs_cum[-1]
+        self._word_abs_zero_cum = zero_cum
 
     # ------------------------------------------------------------------
     @classmethod
@@ -62,83 +88,135 @@ class PlainBitVector(StaticBitVector):
 
     @property
     def ones(self) -> int:
-        return self._cum_ones[-1]
+        return self._super_cum[-1]
 
     def access(self, pos: int) -> int:
         self._check_pos(pos)
-        word_index, offset = divmod(pos, _WORD)
-        return (self._words[word_index] >> (_WORD - 1 - offset)) & 1
+        return (self._words[pos >> 6] >> (WORD - 1 - (pos & 63))) & 1
 
     def rank(self, bit: int, pos: int) -> int:
         self._check_bit(bit)
         self._check_rank_pos(pos)
-        word_index, offset = divmod(pos, _WORD)
-        ones = self._cum_ones[word_index]
+        index = pos >> 6
+        offset = pos & 63
+        # Two-level directory: superblock sample + in-superblock byte + one
+        # shifted popcount.
+        ones = self._super_cum[index >> 3] + self._word_cum[index]
         if offset:
-            word = self._words[word_index]
-            ones += (word >> (_WORD - offset)).bit_count()
+            ones += (self._words[index] >> (WORD - offset)).bit_count()
         return ones if bit else pos - ones
 
-    def select(self, bit: int, idx: int) -> int:
-        self._check_bit(bit)
-        total = self.count(bit)
+    def select(
+        self,
+        bit: int,
+        idx: int,
+        _bisect=bisect_right,
+        _select_in_word=select_in_word,
+    ) -> int:
+        """Word-skipping select; 0 and 1 share one directory-driven code path.
+
+        One C-speed binary search over the flat per-word cumulative (ones, or
+        the zeros list derived from it) locates the word; the kernel's
+        table-driven ``select_in_word`` finishes inside it.  No per-bit
+        scanning anywhere.
+        """
+        if bit == 1:
+            cum = self._word_abs_cum
+        elif bit == 0:
+            cum = self._word_abs_zero_cum
+        else:
+            raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+        total = cum[-1]
         if not 0 <= idx < total:
             raise OutOfBoundsError(
                 f"select({bit}, {idx}) out of range: only {total} occurrences"
             )
-        # Binary search the word containing the idx-th occurrence.
-        if bit:
-            word_index = bisect_right(self._cum_ones, idx) - 1
-            seen = self._cum_ones[word_index]
-        else:
-            # cumulative zeros before word w = w*64 - cum_ones[w] (clamped at n)
-            lo, hi = 0, len(self._words)
-            while lo < hi:
-                mid = (lo + hi + 1) // 2
-                zeros_before = min(mid * _WORD, self._length) - self._cum_ones[mid]
-                if zeros_before <= idx:
-                    lo = mid
-                else:
-                    hi = mid - 1
-            word_index = lo
-            seen = word_index * _WORD - self._cum_ones[word_index]
-        word = self._words[word_index]
-        base = word_index * _WORD
-        limit = min(_WORD, self._length - base)
-        for offset in range(limit):
-            value = (word >> (_WORD - 1 - offset)) & 1
-            if value == bit:
-                if seen == idx:
-                    return base + offset
-                seen += 1
-        raise AssertionError("select directory inconsistent")  # pragma: no cover
+        index = _bisect(cum, idx) - 1
+        rel = idx - cum[index]
+        words = self._words
+        word = words[index]
+        if not bit:
+            # Complement within the word's valid width; the padded tail of
+            # the final word must not surface as zeros.
+            if index != len(words) - 1:
+                word = ~word & WORD_MASK
+            else:
+                word = invert_word(word, self._length - (index << 6))
+        return (index << 6) + _select_in_word(word, rel)
 
     def iter_range(self, start: int, stop: int) -> Iterator[int]:
         self._check_range(start, stop)
-        pos = start
-        while pos < stop:
-            word_index, offset = divmod(pos, _WORD)
-            word = self._words[word_index]
-            upper = min(stop, (word_index + 1) * _WORD)
-            for local in range(offset, offset + (upper - pos)):
-                yield (word >> (_WORD - 1 - local)) & 1
-            pos = upper
+        return kernel.broadword_iter_words(self._words, start, stop)
+
+    # ------------------------------------------------------------------
+    # Batch query paths (amortise attribute lookups and validation)
+    # ------------------------------------------------------------------
+    def access_many(self, positions: Sequence[int]) -> List[int]:
+        if not isinstance(positions, (list, tuple)):
+            positions = list(positions)
+        if not positions:
+            return []
+        length = self._length
+        if min(positions) < 0 or max(positions) >= length:
+            bad = next(p for p in positions if not 0 <= p < length)
+            raise OutOfBoundsError(
+                f"position {bad} out of range for length {length}"
+            )
+        words = self._words
+        return [
+            (words[pos >> 6] >> (WORD - 1 - (pos & 63))) & 1 for pos in positions
+        ]
+
+    def rank_many(self, bit: int, positions: Sequence[int]) -> List[int]:
+        self._check_bit(bit)
+        if not isinstance(positions, (list, tuple)):
+            positions = list(positions)
+        if not positions:
+            return []
+        length = self._length
+        if min(positions) < 0 or max(positions) > length:
+            bad = next(p for p in positions if not 0 <= p <= length)
+            raise OutOfBoundsError(
+                f"rank position {bad} out of range for length {length}"
+            )
+        words = self._pad_words
+        abs_cum = self._word_abs_cum
+        if bit:
+            return [
+                abs_cum[index := pos >> 6]
+                + (words[index] >> (WORD - (pos & 63))).bit_count()
+                for pos in positions
+            ]
+        return [
+            pos
+            - abs_cum[index := pos >> 6]
+            - (words[index] >> (WORD - (pos & 63))).bit_count()
+            for pos in positions
+        ]
+
+    # ------------------------------------------------------------------
+    def extract_bits(self, start: int, stop: int) -> Bits:
+        """The sub-payload ``[start, stop)`` as :class:`Bits`, word-sliced."""
+        self._check_range(start, stop)
+        width = stop - start
+        if width == 0:
+            return Bits.empty()
+        return Bits(kernel.extract_bits_value(self._words, start, stop), width)
 
     def size_in_bits(self) -> int:
-        payload = len(self._words) * _WORD
-        directory = len(self._cum_ones) * _WORD
-        return payload + directory
+        payload = len(self._words) * WORD
+        directory = (
+            len(self._super_cum) * WORD
+            + len(self._word_pop) * 8
+            + len(self._word_cum) * 16
+            + (len(self._word_abs_cum) + len(self._word_abs_zero_cum)) * WORD
+        )
+        return payload + directory + WORD  # + the rank shadow sentinel word
 
     def payload_bits(self) -> int:
         """Bits used by the raw payload only (no rank directory)."""
-        return len(self._words) * _WORD
+        return len(self._words) * WORD
 
     def to_bits(self) -> Bits:
         """Reconstruct the original :class:`Bits` payload."""
-        value = 0
-        for word in self._words:
-            value = (value << _WORD) | word
-        extra = len(self._words) * _WORD - self._length
-        if extra:
-            value >>= extra
-        return Bits(value, self._length)
+        return Bits(kernel.unpack_value(self._words, self._length), self._length)

@@ -16,10 +16,12 @@ the bit offset of its gamma code.
 from __future__ import annotations
 
 from bisect import bisect_right
+from itertools import repeat
 from typing import Iterable, Iterator, List, Tuple, Union
 
 from repro.bits.bitstring import Bits
 from repro.bits.codes import BitReader, BitWriter, gamma_code_length
+from repro.bits.kernel import run_lengths_of_value
 from repro.bitvector.base import StaticBitVector
 from repro.exceptions import OutOfBoundsError
 
@@ -30,6 +32,18 @@ _DEFAULT_SAMPLE = 32
 
 def runs_of(bits: Union[Bits, Iterable[int]]) -> List[Tuple[int, int]]:
     """Return the maximal runs of ``bits`` as a list of ``(bit, length)`` pairs."""
+    if isinstance(bits, Bits):
+        # Word-parallel: run boundaries come from one xor-shift over the
+        # packed payload instead of a per-bit Python scan.
+        if not bits:
+            return []
+        first_bit = (bits.value >> (len(bits) - 1)) & 1
+        runs = []
+        bit = first_bit
+        for length in run_lengths_of_value(bits.value, len(bits)):
+            runs.append((bit, length))
+            bit ^= 1
+        return runs
     runs: List[Tuple[int, int]] = []
     current_bit = None
     current_len = 0
@@ -69,8 +83,11 @@ class RLEBitVector(StaticBitVector):
     ) -> None:
         if sample_rate < 1:
             raise ValueError("sample_rate must be positive")
-        runs = runs_of(bits)
         self._sample_rate = sample_rate
+        self._build_from_runs(runs_of(bits))
+
+    def _build_from_runs(self, runs: List[Tuple[int, int]]) -> None:
+        sample_rate = self._sample_rate
         self._n_runs = len(runs)
         self._first_bit = runs[0][0] if runs else 0
         writer = BitWriter()
@@ -98,13 +115,28 @@ class RLEBitVector(StaticBitVector):
     # ------------------------------------------------------------------
     @classmethod
     def from_runs(cls, runs: Iterable[Tuple[int, int]], sample_rate: int = _DEFAULT_SAMPLE) -> "RLEBitVector":
-        """Build from an iterable of ``(bit, length)`` runs."""
-        def _bits() -> Iterator[int]:
-            for bit, length in runs:
-                for _ in range(length):
-                    yield bit
+        """Build from an iterable of ``(bit, length)`` runs.
 
-        return cls(_bits(), sample_rate=sample_rate)
+        Adjacent same-bit and zero-length runs are normalised away; the runs
+        are encoded directly, never expanded bit by bit.
+        """
+        if sample_rate < 1:
+            raise ValueError("sample_rate must be positive")
+        normalized: List[Tuple[int, int]] = []
+        for bit, length in runs:
+            if length < 0:
+                raise ValueError("run length must be non-negative")
+            if length == 0:
+                continue
+            bit = 1 if bit else 0
+            if normalized and normalized[-1][0] == bit:
+                normalized[-1] = (bit, normalized[-1][1] + length)
+            else:
+                normalized.append((bit, length))
+        vector = cls.__new__(cls)
+        vector._sample_rate = sample_rate
+        vector._build_from_runs(normalized)
+        return vector
 
     def __len__(self) -> int:
         return self._length
@@ -190,10 +222,7 @@ class RLEBitVector(StaticBitVector):
         self._check_range(start, stop)
         if start >= stop:
             return
-        run_index, run_start, _, length = self._locate_position(start)
-        reader = BitReader(self._codes, 0)
-        # Re-create a reader positioned right after the located run's code.
-        # Simpler: walk runs again from the sample point.
+        # Walk runs from the nearest sample point before `start`.
         sample_index = bisect_right(self._sample_pos, start) - 1
         run_index = sample_index * self._sample_rate
         run_start = self._sample_pos[sample_index]
@@ -205,8 +234,8 @@ class RLEBitVector(StaticBitVector):
             if run_end > pos:
                 bit = self._run_bit(run_index)
                 emit_until = min(run_end, stop)
-                for _ in range(pos, emit_until):
-                    yield bit
+                # C-level run emission: one repeat() per run, no per-bit loop.
+                yield from repeat(bit, emit_until - pos)
                 pos = emit_until
             run_start = run_end
             run_index += 1

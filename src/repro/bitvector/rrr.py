@@ -20,10 +20,19 @@ from typing import Iterable, Iterator, List, Union
 from repro.bits.bitstring import Bits
 from repro.bits.codes import (
     BitWriter,
+    combinatorial_bit_at,
+    combinatorial_prefix_popcount,
     combinatorial_rank,
     combinatorial_unrank,
     offset_width,
     offset_width_table,
+)
+from repro.bits.kernel import (
+    extract_bits_value,
+    invert_word,
+    iter_word_bits,
+    pack_value,
+    select_in_word,
 )
 from repro.bits.packed import PackedIntVector
 from repro.bitvector.base import StaticBitVector
@@ -54,7 +63,9 @@ class RRRBitVector(StaticBitVector):
         "_block_size",
         "_sample_rate",
         "_classes",
-        "_offsets",
+        "_class_list",
+        "_offset_words",
+        "_offset_len",
         "_offset_starts",
         "_sample_rank",
         "_sample_offset_pos",
@@ -87,6 +98,9 @@ class RRRBitVector(StaticBitVector):
         sample_offset_pos: List[int] = []
         ones_so_far = 0
 
+        # Pack once into 64-bit words so per-block extraction is O(1) instead
+        # of one O(n / 64) big-int slice per block.
+        words = pack_value(bits.value, self._length)
         n_blocks = (self._length + block_size - 1) // block_size
         for block_index in range(n_blocks):
             if block_index % sample_rate == 0:
@@ -95,10 +109,9 @@ class RRRBitVector(StaticBitVector):
             start = block_index * block_size
             stop = min(start + block_size, self._length)
             width = stop - start
-            block = bits.slice(start, stop)
             # Right-pad the final partial block with zeros to full width so the
             # class/offset maths always works on `block_size`-bit blocks.
-            value = block.value << (block_size - width)
+            value = extract_bits_value(words, start, stop) << (block_size - width)
             cls = value.bit_count()
             classes.append(cls)
             ones_so_far += cls
@@ -110,7 +123,16 @@ class RRRBitVector(StaticBitVector):
         self._classes = PackedIntVector(
             max(1, block_size.bit_length()), classes
         )
-        self._offsets = writer.to_bits()
+        # Plain-list shadow of the classes: block walks index it directly
+        # instead of paying a PackedIntVector method call per block (all
+        # class values are CPython-cached small ints, so this costs one
+        # pointer per block).
+        self._class_list = classes
+        offsets = writer.to_bits()
+        # The offset stream is also kept word-packed: per-query decodes slice
+        # two words in O(1) instead of shifting one huge big-int payload.
+        self._offset_words = pack_value(offsets.value, len(offsets))
+        self._offset_len = len(offsets)
         self._sample_rank = sample_rank
         self._sample_offset_pos = sample_offset_pos
         self._ones = ones_so_far
@@ -132,12 +154,14 @@ class RRRBitVector(StaticBitVector):
     # ------------------------------------------------------------------
     def _decode_block(self, block_index: int, offset_pos: int) -> int:
         """Decode block ``block_index`` given the bit position of its offset."""
-        cls = self._classes[block_index]
+        cls = self._class_list[block_index]
         off_w = self._width_by_class[cls]
         if off_w == 0:
             # The block is all zeros or all ones.
             return ((1 << self._block_size) - 1) if cls == self._block_size else 0
-        offset_value = self._offsets.slice(offset_pos, offset_pos + off_w).value
+        offset_value = extract_bits_value(
+            self._offset_words, offset_pos, offset_pos + off_w
+        )
         return combinatorial_unrank(offset_value, self._block_size, cls)
 
     def _walk_to_block(self, block_index: int):
@@ -146,13 +170,11 @@ class RRRBitVector(StaticBitVector):
         rank_before = self._sample_rank[sample_index]
         offset_pos = self._sample_offset_pos[sample_index]
         widths = self._width_by_class
-        classes = self._classes
-        current = sample_index * self._sample_rate
-        while current < block_index:
+        classes = self._class_list
+        for current in range(sample_index * self._sample_rate, block_index):
             cls = classes[current]
             rank_before += cls
             offset_pos += widths[cls]
-            current += 1
         return rank_before, offset_pos
 
     # ------------------------------------------------------------------
@@ -160,8 +182,16 @@ class RRRBitVector(StaticBitVector):
         self._check_pos(pos)
         block_index, offset = divmod(pos, self._block_size)
         _, offset_pos = self._walk_to_block(block_index)
-        value = self._decode_block(block_index, offset_pos)
-        return (value >> (self._block_size - 1 - offset)) & 1
+        cls = self._class_list[block_index]
+        off_w = self._width_by_class[cls]
+        if off_w == 0:
+            return 1 if cls == self._block_size else 0
+        offset_value = extract_bits_value(
+            self._offset_words, offset_pos, offset_pos + off_w
+        )
+        # Truncated enumeration descent: O(offset) instead of decoding the
+        # whole block.
+        return combinatorial_bit_at(offset_value, self._block_size, cls, offset)
 
     def rank(self, bit: int, pos: int) -> int:
         self._check_bit(bit)
@@ -176,8 +206,18 @@ class RRRBitVector(StaticBitVector):
         rank_before, offset_pos = self._walk_to_block(block_index)
         ones = rank_before
         if offset:
-            value = self._decode_block(block_index, offset_pos)
-            ones += (value >> (self._block_size - offset)).bit_count()
+            cls = self._class_list[block_index]
+            off_w = self._width_by_class[cls]
+            if off_w == 0:
+                # All-zeros or all-ones block: the prefix popcount is free.
+                ones += offset if cls == self._block_size else 0
+            else:
+                offset_value = extract_bits_value(
+                    self._offset_words, offset_pos, offset_pos + off_w
+                )
+                ones += combinatorial_prefix_popcount(
+                    offset_value, self._block_size, cls, offset
+                )
         return ones if bit else pos - ones
 
     def select(self, bit: int, idx: int) -> int:
@@ -210,21 +250,21 @@ class RRRBitVector(StaticBitVector):
             )
         block_index = sample_index * self._sample_rate
         offset_pos = self._sample_offset_pos[sample_index]
-        n_blocks = len(self._classes)
+        classes = self._class_list
+        n_blocks = len(classes)
         while block_index < n_blocks:
-            cls = self._classes[block_index]
+            cls = classes[block_index]
             block_start = block_index * self._block_size
             block_len = min(self._block_size, self._length - block_start)
             in_block = cls if bit else block_len - cls
             if seen + in_block > idx:
                 value = self._decode_block(block_index, offset_pos)
-                for offset in range(block_len):
-                    bit_value = (value >> (self._block_size - 1 - offset)) & 1
-                    if bit_value == bit:
-                        if seen == idx:
-                            return block_start + offset
-                        seen += 1
-                raise AssertionError("block scan inconsistent")  # pragma: no cover
+                # Left-align the block into a 64-bit word and finish with the
+                # kernel's table-driven in-word select (no per-bit scan).
+                word = value << (64 - self._block_size)
+                if not bit:
+                    word = invert_word(word, block_len)
+                return block_start + select_in_word(word, idx - seen)
             seen += in_block
             offset_pos += self._width_by_class[cls]
             block_index += 1
@@ -242,24 +282,25 @@ class RRRBitVector(StaticBitVector):
             block_start = block_index * self._block_size
             block_len = min(self._block_size, self._length - block_start)
             upper = min(stop - block_start, block_len)
-            for local in range(pos - block_start, upper):
-                yield (value >> (self._block_size - 1 - local)) & 1
+            yield from iter_word_bits(
+                value << (64 - self._block_size), pos - block_start, upper
+            )
             pos = block_start + upper
-            offset_pos += self._width_by_class[self._classes[block_index]]
+            offset_pos += self._width_by_class[self._class_list[block_index]]
             block_index += 1
 
     # ------------------------------------------------------------------
     def size_in_bits(self) -> int:
         """Total encoded size: classes + offsets + sampled directories."""
         classes = self._classes.size_in_bits()
-        offsets = len(self._offsets)
+        offsets = self._offset_len
         samples = (len(self._sample_rank) + len(self._sample_offset_pos)) * 64
         return classes + offsets + samples
 
     def payload_bits(self) -> int:
         """Bits of the (class, offset) payload only, the ``B(m, n)`` part."""
-        return self._classes.size_in_bits() + len(self._offsets)
+        return self._classes.size_in_bits() + self._offset_len
 
     def compressed_payload_bits(self) -> int:
         """The offset stream alone (the entropy-proportional part)."""
-        return len(self._offsets)
+        return self._offset_len

@@ -18,6 +18,8 @@ from __future__ import annotations
 from typing import Iterable, Iterator, List, Sequence
 
 from repro.bits.bitbuffer import BitBuffer
+from repro.bits.bitstring import Bits
+from repro.bits.kernel import one_positions, pack_value
 from repro.bits.packed import PackedIntVector
 from repro.bitvector.base import StaticBitVector
 from repro.bitvector.plain import PlainBitVector
@@ -145,7 +147,11 @@ class SparseBitVector(StaticBitVector):
 
     @classmethod
     def from_bits(cls, bits: Iterable[int]) -> "SparseBitVector":
-        """Build from an explicit iterable of bits."""
+        """Build from a :class:`Bits` payload or an explicit iterable of bits."""
+        if isinstance(bits, Bits):
+            # Kernel path: extract the 1-positions bytewise from packed words.
+            words = pack_value(bits.value, len(bits))
+            return cls(len(bits), one_positions(words))
         ones = []
         length = 0
         for position, bit in enumerate(bits):

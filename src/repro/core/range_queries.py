@@ -63,8 +63,7 @@ class RangeQueryMixin:
                 yield current
             return
         vector = node.bitvector
-        left_lo = vector.rank(0, start)
-        left_hi = vector.rank(0, stop)
+        left_lo, left_hi = vector.rank_many(0, (start, stop))
         right_lo = start - left_lo
         right_hi = stop - left_hi
         left_iter: Optional[Iterator[Bits]] = None
@@ -141,7 +140,7 @@ class RangeQueryMixin:
             out.append((self._codec.from_bits(current), hi - lo))
             return
         vector = node.bitvector
-        left_lo, left_hi = vector.rank(0, lo), vector.rank(0, hi)
+        left_lo, left_hi = vector.rank_many(0, (lo, hi))
         right_lo, right_hi = lo - left_lo, hi - left_hi
         if left_hi > left_lo:
             self._collect_distinct(
@@ -184,7 +183,7 @@ class RangeQueryMixin:
                     return self._codec.from_bits(current), count
                 return None
             vector = node.bitvector
-            left_lo, left_hi = vector.rank(0, lo), vector.rank(0, hi)
+            left_lo, left_hi = vector.rank_many(0, (lo, hi))
             zeros = left_hi - left_lo
             ones = (hi - lo) - zeros
             if zeros > threshold:
@@ -229,7 +228,7 @@ class RangeQueryMixin:
                 out.append((self._codec.from_bits(current), hi - lo))
             return
         vector = node.bitvector
-        left_lo, left_hi = vector.rank(0, lo), vector.rank(0, hi)
+        left_lo, left_hi = vector.rank_many(0, (lo, hi))
         right_lo, right_hi = lo - left_lo, hi - left_hi
         if left_hi - left_lo >= threshold:
             self._collect_frequent(
@@ -268,7 +267,7 @@ class RangeQueryMixin:
                 results.append((self._codec.from_bits(current), -negative_count))
                 continue
             vector = node.bitvector
-            left_lo, left_hi = vector.rank(0, lo), vector.rank(0, hi)
+            left_lo, left_hi = vector.rank_many(0, (lo, hi))
             right_lo, right_hi = lo - left_lo, hi - left_hi
             if left_hi > left_lo:
                 counter += 1

@@ -95,10 +95,9 @@ class SuccinctWaveletTrie(IndexedStringSequence):
         length = self._label_offsets.length(node)
         if length == 0:
             return Bits.empty()
-        buffer = BitBuffer()
-        for bit in self._labels.iter_range(start, start + length):
-            buffer.append(bit)
-        return buffer.to_bits()
+        # Word-sliced through the kernel: one two-word extraction for typical
+        # labels instead of a per-bit append loop.
+        return self._labels.extract_bits(start, start + length)
 
     def _is_leaf(self, node: int) -> bool:
         return self._is_internal.access(node) == 0

@@ -14,7 +14,7 @@ positions in ``[l, r)`` hold a symbol in ``[lo, hi)``) and ``quantile``
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.bitvector.plain import PlainBitVector
 from repro.bitvector.rle import RLEBitVector
@@ -74,17 +74,33 @@ class WaveletTree:
 
     # ------------------------------------------------------------------
     def _build(self, data: List[int], low: int, high: int) -> _Node:
-        node = _Node(low, high)
-        if high - low <= 1:
-            return node
-        mid = (low + high) // 2
-        bits = [1 if symbol >= mid else 0 for symbol in data]
-        node.bitvector = self._factory(bits)
-        left_data = [symbol for symbol in data if symbol < mid]
-        right_data = [symbol for symbol in data if symbol >= mid]
-        node.left = self._build(left_data, low, mid) if left_data else _Node(low, mid)
-        node.right = self._build(right_data, mid, high) if right_data else _Node(mid, high)
-        return node
+        """Iterative broadside construction.
+
+        Each node is materialised with one stable partition pass over its
+        subsequence; the branch bits go straight into the bitvector factory
+        (which packs them into 64-bit words through the kernel), and the work
+        stack replaces per-element Python recursion, so arbitrarily skewed
+        alphabets never hit the recursion limit.
+        """
+        root = _Node(low, high)
+        stack: List[Tuple[_Node, List[int]]] = [(root, data)]
+        while stack:
+            node, symbols = stack.pop()
+            if node.high - node.low <= 1:
+                continue
+            mid = (node.low + node.high) // 2
+            node.bitvector = self._factory(
+                [1 if symbol >= mid else 0 for symbol in symbols]
+            )
+            left_data = [symbol for symbol in symbols if symbol < mid]
+            right_data = [symbol for symbol in symbols if symbol >= mid]
+            node.left = _Node(node.low, mid)
+            node.right = _Node(mid, node.high)
+            if left_data:
+                stack.append((node.left, left_data))
+            if right_data:
+                stack.append((node.right, right_data))
+        return root
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -161,6 +177,83 @@ class WaveletTree:
         return self.rank(symbol, self._size)
 
     # ------------------------------------------------------------------
+    # Batch query paths
+    # ------------------------------------------------------------------
+    def access_many(self, positions: Sequence[int]) -> List[int]:
+        """The symbols at each of ``positions``.
+
+        Queries descend the tree in groups: each traversed node is visited
+        once per batch, with one ``access_many``/``rank_many`` call on its
+        bitvector, so node and attribute overhead is amortised over the whole
+        batch instead of paid per query.
+        """
+        for pos in positions:
+            self._check_pos(pos)
+        out: List[Optional[int]] = [None] * len(positions)
+        if not positions:
+            return []
+        stack: List[Tuple[_Node, List[Tuple[int, int]]]] = [
+            (self._root, [(i, pos) for i, pos in enumerate(positions)])
+        ]
+        while stack:
+            node, queries = stack.pop()
+            if node.is_leaf:
+                low = node.low
+                for index, _ in queries:
+                    out[index] = low
+                continue
+            vector = node.bitvector
+            pos_list = [pos for _, pos in queries]
+            bits = vector.access_many(pos_list)
+            # One rank_many(0) pass serves both children: rank(1, pos) is
+            # just pos - rank(0, pos).
+            zero_ranks = vector.rank_many(0, pos_list)
+            lefts = [
+                (i, r)
+                for (i, _), bit, r in zip(queries, bits, zero_ranks)
+                if not bit
+            ]
+            rights = [
+                (i, pos - r)
+                for (i, pos), bit, r in zip(queries, bits, zero_ranks)
+                if bit
+            ]
+            if lefts:
+                stack.append((node.left, lefts))
+            if rights:
+                stack.append((node.right, rights))
+        return out
+
+    def rank_many(self, symbol: int, positions: Sequence[int]) -> List[int]:
+        """``rank(symbol, pos)`` for each of ``positions``.
+
+        One root-to-leaf walk serves the whole batch: the per-node mid/bit
+        computation happens once and the positions are re-mapped together
+        through the node bitvector's ``rank_many``.
+        """
+        self._check_symbol(symbol)
+        for pos in positions:
+            self._check_rank_pos(pos)
+        current = list(positions)
+        if not current:
+            return []
+        node = self._root
+        if node is None:
+            return [0] * len(current)
+        while not node.is_leaf:
+            if node.bitvector is None:
+                return [0] * len(current)
+            mid = (node.low + node.high) // 2
+            bit = 1 if symbol >= mid else 0
+            current = node.bitvector.rank_many(bit, current)
+            node = node.right if bit else node.left
+            if node is None:
+                return [0] * len(current)
+        if node.low != symbol:
+            return [0] * len(current)
+        return current
+
+    # ------------------------------------------------------------------
     # Two-dimensional operations
     # ------------------------------------------------------------------
     def range_count(self, start: int, stop: int, low: int, high: int) -> int:
@@ -186,16 +279,13 @@ class WaveletTree:
                 return stop - start
             return 0
         mid = (node.low + node.high) // 2
+        zeros_lo, zeros_hi = node.bitvector.rank_many(0, (start, stop))
         total = 0
         if low < mid:
-            total += self._range_count(
-                node.left, node.bitvector.rank(0, start), node.bitvector.rank(0, stop),
-                low, high,
-            )
+            total += self._range_count(node.left, zeros_lo, zeros_hi, low, high)
         if high > mid:
             total += self._range_count(
-                node.right, node.bitvector.rank(1, start), node.bitvector.rank(1, stop),
-                low, high,
+                node.right, start - zeros_lo, stop - zeros_hi, low, high
             )
         return total
 
@@ -207,13 +297,14 @@ class WaveletTree:
             raise OutOfBoundsError(f"quantile index {k} out of range")
         node = self._root
         while not node.is_leaf:
-            zeros = node.bitvector.rank(0, stop) - node.bitvector.rank(0, start)
+            zeros_lo, zeros_hi = node.bitvector.rank_many(0, (start, stop))
+            zeros = zeros_hi - zeros_lo
             if k < zeros:
-                start, stop = node.bitvector.rank(0, start), node.bitvector.rank(0, stop)
+                start, stop = zeros_lo, zeros_hi
                 node = node.left
             else:
                 k -= zeros
-                start, stop = node.bitvector.rank(1, start), node.bitvector.rank(1, stop)
+                start, stop = start - zeros_lo, stop - zeros_hi
                 node = node.right
         return node.low
 
