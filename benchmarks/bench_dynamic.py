@@ -1,0 +1,287 @@
+"""Microbenchmarks for the dynamic-layer bulk/batch subsystem -> BENCH_dynamic.json.
+
+Compares the kernel-backed bulk paths of PR 2 against faithful replicas of the
+seed implementation on the growable structures of paper Section 4:
+
+* ``DynamicBitVector`` bulk construction (kernel run extraction + O(r) treap
+  build) vs the seed's one per-bit ``append`` through the right spine;
+* ``DynamicBitVector.iter_range`` near the end of the vector (tree descent to
+  the first overlapping run) vs the seed's scan of every run from position 0;
+* ``DynamicWaveletTrie`` / ``AppendOnlyWaveletTrie`` bulk construction
+  (buffered per-node bits + bulk bitvector extends) vs the seed's one full
+  trie descent and per-bit bitvector append per element;
+* batched ``rank_many`` / ``access_many`` on the dynamic Wavelet Trie vs the
+  seed's per-call query loop.
+
+Every section cross-checks the new answers against the seed replica's, so the
+benchmark doubles as an end-to-end correctness harness.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_dynamic.py            # full, writes BENCH_dynamic.json
+    PYTHONPATH=src python benchmarks/bench_dynamic.py --quick    # small sizes, no file
+
+The quick mode is also invoked from the test suite
+(``tests/integration/test_bench_dynamic_quick.py``) so the harness cannot
+silently break.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:  # allow running without PYTHONPATH
+    sys.path.insert(0, str(SRC))
+
+from repro.bits.bitstring import Bits
+from repro.bitvector.dynamic import DynamicBitVector
+from repro.core.append_only import AppendOnlyWaveletTrie
+from repro.core.dynamic import DynamicWaveletTrie
+
+
+# ----------------------------------------------------------------------
+# Seed replicas (the pre-bulk implementation, verbatim algorithms)
+# ----------------------------------------------------------------------
+def seed_dbv_build(bits: List[int]) -> DynamicBitVector:
+    """The seed construction: ``extend`` looped ``append`` once per bit, each
+    walking the treap's right spine."""
+    vector = DynamicBitVector()
+    append = vector.append
+    for bit in bits:
+        append(bit)
+    return vector
+
+
+def seed_iter_range(
+    vector: DynamicBitVector, start: int, stop: int
+) -> Iterator[int]:
+    """The seed ``iter_range``: scan *every* run from position 0, yielding
+    single bits, regardless of where the requested range starts."""
+    if start >= stop:
+        return
+    emitted = 0
+    needed = stop - start
+    skipped = 0
+    for bit, length in vector.runs():
+        run_start = skipped
+        run_end = skipped + length
+        skipped = run_end
+        if run_end <= start:
+            continue
+        lo = max(run_start, start)
+        hi = min(run_end, stop)
+        for _ in range(hi - lo):
+            yield bit
+            emitted += 1
+        if emitted >= needed:
+            return
+
+
+def seed_trie_build(cls, values: List[str]):
+    """The seed bulk construction of either growable trie: one full descent
+    and one per-bit bitvector append per element."""
+    trie = cls()
+    append = trie.append
+    for value in values:
+        append(value)
+    return trie
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+def bursty_bits(rng: random.Random, n: int, max_run: int = 40) -> List[int]:
+    """Run-compressible bits (the RLE regime Theorem 4.9 targets)."""
+    out: List[int] = []
+    bit = rng.randint(0, 1)
+    while len(out) < n:
+        out.extend([bit] * rng.randint(1, max_run))
+        bit ^= 1
+    return out[:n]
+
+
+def url_log(rng: random.Random, n: int, distinct: int) -> List[str]:
+    """A skewed access log over ``distinct`` URL-like keys."""
+    keys = [f"/host{i % 17}/path/{i}" for i in range(distinct)]
+    # Zipf-ish skew: square the uniform draw to favour low indices.
+    return [keys[int(distinct * rng.random() ** 2)] for _ in range(n)]
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+def _best_time(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _entry(ops: int, seed_seconds: float, new_seconds: float) -> Dict[str, float]:
+    return {
+        "ops": ops,
+        "seed_ops_per_sec": round(ops / seed_seconds, 1),
+        "kernel_ops_per_sec": round(ops / new_seconds, 1),
+        "speedup": round(seed_seconds / new_seconds, 2),
+    }
+
+
+def run(quick: bool = False, repeats: int = 2) -> Dict[str, object]:
+    """Run every microbenchmark; returns the BENCH_dynamic.json payload."""
+    n_bits = 50_000 if quick else 1_000_000
+    n_values = 4_000 if quick else 100_000
+    n_distinct = 50 if quick else 200
+    n_queries = 1_000 if quick else 20_000
+    n_slices = 100 if quick else 400
+
+    rng = random.Random(20260727)
+
+    results: Dict[str, Dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    # DynamicBitVector bulk construction: kernel runs + O(r) treap build vs
+    # one per-bit append (paper Init / bulk Append).
+    # ------------------------------------------------------------------
+    bits = bursty_bits(rng, n_bits)
+    payload = Bits.from_iterable(bits)
+    bulk_vector = DynamicBitVector(payload)
+    seed_vector = seed_dbv_build(bits)
+    assert list(bulk_vector.runs()) == list(seed_vector.runs()), (
+        "bulk construction mismatch vs seed"
+    )
+    seed_time = _best_time(lambda: seed_dbv_build(bits), repeats)
+    bulk_time = _best_time(lambda: DynamicBitVector(payload), repeats)
+    results["dbv_bulk_construction"] = _entry(n_bits, seed_time, bulk_time)
+
+    # ------------------------------------------------------------------
+    # iter_range near the end: tree descent vs scan-all-runs-from-0.
+    # ------------------------------------------------------------------
+    span = 64
+    slice_starts = [
+        rng.randrange(n_bits // 2, n_bits - span) for _ in range(n_slices)
+    ]
+    assert all(
+        list(bulk_vector.iter_range(s, s + span))
+        == list(seed_iter_range(bulk_vector, s, s + span))
+        for s in slice_starts[:20]
+    ), "iter_range mismatch vs seed"
+    seed_time = _best_time(
+        lambda: [sum(seed_iter_range(bulk_vector, s, s + span)) for s in slice_starts],
+        repeats,
+    )
+    new_time = _best_time(
+        lambda: [sum(bulk_vector.iter_range(s, s + span)) for s in slice_starts],
+        repeats,
+    )
+    results["dbv_iter_range_tail"] = _entry(n_slices, seed_time, new_time)
+
+    # ------------------------------------------------------------------
+    # Dynamic Wavelet Trie bulk construction (Theorem 4.4 structure).
+    # ------------------------------------------------------------------
+    values = url_log(rng, n_values, n_distinct)
+    bulk_trie = DynamicWaveletTrie()
+    bulk_trie.extend(values)
+    seed_trie = seed_trie_build(DynamicWaveletTrie, values)
+    assert bulk_trie.to_list() == seed_trie.to_list() == values, (
+        "dynamic trie bulk construction mismatch vs seed"
+    )
+    assert bulk_trie.node_count() == seed_trie.node_count()
+    seed_time = _best_time(
+        lambda: seed_trie_build(DynamicWaveletTrie, values), repeats
+    )
+    bulk_time = _best_time(
+        lambda: DynamicWaveletTrie().extend(values), repeats
+    )
+    results["dwt_bulk_construction"] = _entry(n_values, seed_time, bulk_time)
+
+    # ------------------------------------------------------------------
+    # Batched Rank / Access on the dynamic Wavelet Trie: one descent + one
+    # in-order runs pass per node vs one full walk per query.
+    # ------------------------------------------------------------------
+    rank_probe = values[0]
+    rank_positions = [rng.randrange(n_values + 1) for _ in range(n_queries)]
+    seed_answers = [seed_trie.rank(rank_probe, p) for p in rank_positions]
+    assert bulk_trie.rank_many(rank_probe, rank_positions) == seed_answers, (
+        "batched rank mismatch vs seed"
+    )
+    seed_time = _best_time(
+        lambda: [seed_trie.rank(rank_probe, p) for p in rank_positions], repeats
+    )
+    new_time = _best_time(
+        lambda: bulk_trie.rank_many(rank_probe, rank_positions), repeats
+    )
+    results["dwt_rank_batch"] = _entry(n_queries, seed_time, new_time)
+
+    access_positions = [rng.randrange(n_values) for _ in range(n_queries)]
+    assert bulk_trie.access_many(access_positions) == [
+        seed_trie.access(p) for p in access_positions
+    ], "batched access mismatch vs seed"
+    seed_time = _best_time(
+        lambda: [seed_trie.access(p) for p in access_positions], repeats
+    )
+    new_time = _best_time(
+        lambda: bulk_trie.access_many(access_positions), repeats
+    )
+    results["dwt_access_batch"] = _entry(n_queries, seed_time, new_time)
+
+    # ------------------------------------------------------------------
+    # Append-only Wavelet Trie bulk construction (Theorem 4.3 structure):
+    # buffered bits + word-level block freezes vs per-bit tail appends.
+    # ------------------------------------------------------------------
+    bulk_append_only = AppendOnlyWaveletTrie()
+    bulk_append_only.extend(values)
+    seed_append_only = seed_trie_build(AppendOnlyWaveletTrie, values)
+    assert bulk_append_only.to_list() == seed_append_only.to_list(), (
+        "append-only trie bulk construction mismatch vs seed"
+    )
+    seed_time = _best_time(
+        lambda: seed_trie_build(AppendOnlyWaveletTrie, values), repeats
+    )
+    bulk_time = _best_time(
+        lambda: AppendOnlyWaveletTrie().extend(values), repeats
+    )
+    results["aot_bulk_construction"] = _entry(n_values, seed_time, bulk_time)
+
+    return {
+        "benchmark": "bench_dynamic",
+        "quick": quick,
+        "n_bits": n_bits,
+        "trie": {"n": n_values, "distinct": n_distinct, "queries": n_queries},
+        "python": sys.version.split()[0],
+        "results": results,
+    }
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small sizes, do not write JSON"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_dynamic.json",
+        help="where to write the JSON payload (full mode only)",
+    )
+    args = parser.parse_args(argv)
+    payload = run(quick=args.quick)
+    rendered = json.dumps(payload, indent=2, sort_keys=True)
+    print(rendered)
+    if not args.quick:
+        args.output.write_text(rendered + "\n")
+        print(f"\nwrote {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

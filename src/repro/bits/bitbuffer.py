@@ -20,9 +20,13 @@ class BitBuffer:
     """A growable sequence of bits supporting append, random access and freeze.
 
     The buffer is backed by a Python integer (``_value``) holding the bits
-    appended so far, most-significant-first, mirroring :class:`Bits`.  Append
-    of a single bit is O(1) amortised; appending a :class:`Bits` payload of
-    ``k`` bits costs one shift of the backing integer.
+    appended so far, most-significant-first, mirroring :class:`Bits`.  Every
+    append shifts the whole backing integer, which costs O(length / w) word
+    operations -- *not* O(1) amortised -- so per-bit appends over a buffer of
+    ``n`` bits total O(n^2 / w).  That is acceptable because buffers stay
+    polylogarithmic (Lemma 4.6 of the paper); bulk producers should use
+    ``extend``/``append_bits``, which pack through the word-level kernel and
+    pay the shift once per batch instead of once per bit.
     """
 
     __slots__ = ("_value", "_length", "_ones")
@@ -38,19 +42,27 @@ class BitBuffer:
     # Mutation
     # ------------------------------------------------------------------
     def append(self, bit: int) -> None:
-        """Append a single bit (any truthy value counts as 1)."""
+        """Append a single bit (any truthy value counts as 1).
+
+        Costs one shift of the whole backing integer -- O(length / w) words,
+        not O(1); see the class docstring.  Bulk callers should prefer
+        :meth:`extend` / :meth:`append_bits`.
+        """
         bit = 1 if bit else 0
         self._value = (self._value << 1) | bit
         self._length += 1
         self._ones += bit
 
     def extend(self, bits: Iterable[int]) -> None:
-        """Append each bit of an iterable."""
-        if isinstance(bits, Bits):
-            self.append_bits(bits)
-            return
-        for bit in bits:
-            self.append(bit)
+        """Append each bit of an iterable (bulk ``Append``).
+
+        A :class:`Bits` payload is spliced with one shift; any other iterable
+        is first packed into words by the kernel (O(k / 8)), then spliced with
+        one shift -- never one big-int shift per bit.
+        """
+        if not isinstance(bits, Bits):
+            bits = Bits.from_iterable(bits)
+        self.append_bits(bits)
 
     def append_bits(self, bits: Bits) -> None:
         """Append a whole :class:`Bits` payload in one big-int operation."""

@@ -51,6 +51,7 @@ __all__ = [
     "select_one_in_words",
     "one_positions",
     "run_lengths_of_value",
+    "runs_of_value",
 ]
 
 WORD = 64
@@ -384,3 +385,22 @@ def run_lengths_of_value(value: int, length: int) -> List[int]:
     if previous < length:
         lengths.append(length - previous)
     return lengths
+
+
+def runs_of_value(value: int, length: int) -> List[Tuple[int, int]]:
+    """The maximal ``(bit, length)`` runs of an MSB-first payload, in order.
+
+    Word-parallel companion of :func:`run_lengths_of_value`: runs strictly
+    alternate, so only the first bit needs to be read -- the rest follow.
+    This is the bulk-construction primitive of the dynamic RLE bitvector
+    (paper ``Init``/bulk ``Append``): O(n / 8) byte-table work instead of one
+    Python-level comparison per bit.
+    """
+    if length <= 0:
+        return []
+    bit = (value >> (length - 1)) & 1
+    runs: List[Tuple[int, int]] = []
+    for run_length in run_lengths_of_value(value, length):
+        runs.append((bit, run_length))
+        bit ^= 1
+    return runs

@@ -26,6 +26,7 @@ from __future__ import annotations
 from bisect import bisect_right
 from typing import Iterable, Iterator, List
 
+from repro.bits import kernel
 from repro.bits.bitbuffer import BitBuffer
 from repro.bits.bitstring import Bits
 from repro.bitvector.base import BitVector
@@ -81,8 +82,7 @@ class AppendOnlyBitVector(BitVector):
         self._tail = BitBuffer()
         self._offset_bit = 1 if offset_bit else 0
         self._offset_length = offset_length
-        for bit in initial:
-            self.append(bit)
+        self.extend(initial)
 
     # ------------------------------------------------------------------
     # Constructors
@@ -127,9 +127,37 @@ class AppendOnlyBitVector(BitVector):
             self._freeze_tail()
 
     def extend(self, bits: Iterable[int]) -> None:
-        """Append every bit of ``bits`` in order."""
-        for bit in bits:
-            self.append(bit)
+        """Append every bit of ``bits`` in order (bulk ``Append``).
+
+        The input is packed once through the kernel (O(k / 8)) and spliced
+        into the tail block by block, so freezing happens from whole packed
+        payloads instead of one big-int shift per bit.
+        """
+        if not isinstance(bits, Bits):
+            bits = Bits.from_iterable(bits)
+        self.append_bits(bits)
+
+    def append_bits(self, bits: Bits) -> None:
+        """Append a :class:`Bits` payload via word-level block slices.
+
+        The payload is packed into words once (O(k / 8)); each block is then
+        carved out with :func:`~repro.bits.kernel.extract_bits_value`, which
+        touches only that block's words -- ``Bits.slice`` would shift the
+        whole backing integer per block and make bulk appends quadratic.
+        """
+        total = len(bits)
+        if total == 0:
+            return
+        words = kernel.pack_value(bits.value, total)
+        pos = 0
+        while pos < total:
+            take = min(self._block_size - len(self._tail), total - pos)
+            self._tail.append_int(
+                kernel.extract_bits_value(words, pos, pos + take), take
+            )
+            pos += take
+            if len(self._tail) >= self._block_size:
+                self._freeze_tail()
 
     def _freeze_tail(self) -> None:
         """Freeze the tail buffer into a static RRR block."""

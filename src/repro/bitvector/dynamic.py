@@ -15,15 +15,30 @@ the gamma code lengths of the runs, i.e. O(n H0) bits as in Theorem 4.9.
 
 ``Init(b, n)`` builds a single-node tree, which is exactly the property
 (Remark 4.2) that makes the structure usable inside the dynamic Wavelet Trie.
+
+Bulk paths (PR 2)
+-----------------
+Construction and bulk appends never go bit by bit: ``extend`` (the amortised
+``Append`` of the paper) extracts maximal runs through the word-level kernel
+(:func:`repro.bits.kernel.runs_of_value`) and builds a treap over them in
+O(r) with a right-spine Cartesian construction, then merges it in O(log r).
+``iter_runs(start, stop)`` descends the tree to the first overlapping run, so
+a short slice near the end no longer pays for every run before it, and the
+batch queries ``access_many``/``rank_many`` answer q sorted queries in one
+in-order pass over the runs -- the primitive behind the dynamic Wavelet
+Trie's batched Access/Rank.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Iterable, Iterator, List, Optional, Tuple
+from itertools import repeat
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro.bits.bitstring import Bits
 from repro.bits.codes import gamma_code_length
 from repro.bitvector.base import BitVector
+from repro.bitvector.rle import runs_of
 from repro.exceptions import OutOfBoundsError
 
 __all__ = ["DynamicBitVector"]
@@ -40,6 +55,7 @@ class _RunNode:
         "right",
         "sub_length",
         "sub_ones",
+        "sub_runs",
     )
 
     def __init__(self, bit: int, length: int, priority: float) -> None:
@@ -50,19 +66,24 @@ class _RunNode:
         self.right: Optional["_RunNode"] = None
         self.sub_length = length
         self.sub_ones = length if bit else 0
+        self.sub_runs = 1
 
     def update(self) -> None:
         """Recompute subtree aggregates from children."""
         length = self.length
         ones = self.length if self.bit else 0
+        runs = 1
         if self.left is not None:
             length += self.left.sub_length
             ones += self.left.sub_ones
+            runs += self.left.sub_runs
         if self.right is not None:
             length += self.right.sub_length
             ones += self.right.sub_ones
+            runs += self.right.sub_runs
         self.sub_length = length
         self.sub_ones = ones
+        self.sub_runs = runs
 
 
 def _merge(a: Optional[_RunNode], b: Optional[_RunNode]) -> Optional[_RunNode]:
@@ -81,25 +102,28 @@ def _merge(a: Optional[_RunNode], b: Optional[_RunNode]) -> Optional[_RunNode]:
 
 
 def _split(
-    node: Optional[_RunNode], pos: int, rng: random.Random
+    node: Optional[_RunNode], pos: int
 ) -> Tuple[Optional[_RunNode], Optional[_RunNode]]:
     """Split a treap into (first ``pos`` bits, the rest), cutting runs if needed."""
     if node is None:
         return None, None
     left_len = node.left.sub_length if node.left is not None else 0
     if pos <= left_len:
-        left, right = _split(node.left, pos, rng)
+        left, right = _split(node.left, pos)
         node.left = right
         node.update()
         return left, node
     if pos >= left_len + node.length:
-        left, right = _split(node.right, pos - left_len - node.length, rng)
+        left, right = _split(node.right, pos - left_len - node.length)
         node.right = left
         node.update()
         return node, right
-    # The cut falls inside this node's run: split the run into two nodes.
+    # The cut falls inside this node's run: split the run into two nodes.  The
+    # right half *inherits* the split node's priority -- it takes the node's
+    # place at the root of the right subtree, so a fresh random priority here
+    # would violate the max-heap invariant the O(log r) bounds depend on.
     cut = pos - left_len
-    right_part = _RunNode(node.bit, node.length - cut, rng.random())
+    right_part = _RunNode(node.bit, node.length - cut, node.priority)
     right_part.left = None
     right_part.right = node.right
     right_part.update()
@@ -134,11 +158,20 @@ class DynamicBitVector(BitVector):
 
     @classmethod
     def from_runs(cls, runs: Iterable[Tuple[int, int]], seed: int = 0x5EED) -> "DynamicBitVector":
-        """Build from an iterable of ``(bit, length)`` runs."""
+        """Build from an iterable of ``(bit, length)`` runs in O(r).
+
+        The runs are normalised (zero lengths dropped, adjacent equal bits
+        coalesced) and loaded with the linear treap build -- the bulk
+        counterpart of the paper's ``Init`` for multi-run content.
+        """
         vector = cls(seed=seed)
-        for bit, length in runs:
-            vector.append_run(bit, length)
+        vector._root = vector._build_treap(vector._normalise_runs(runs))
         return vector
+
+    @classmethod
+    def from_bits(cls, bits: Bits, seed: int = 0x5EED) -> "DynamicBitVector":
+        """Build from a :class:`Bits` payload; runs come from the kernel."""
+        return cls(bits, seed=seed)
 
     # ------------------------------------------------------------------
     # Size
@@ -152,8 +185,26 @@ class DynamicBitVector(BitVector):
 
     @property
     def run_count(self) -> int:
-        """Number of run nodes currently in the tree."""
-        return sum(1 for _ in self.runs())
+        """Number of run nodes currently in the tree (O(1), from aggregates)."""
+        return self._root.sub_runs if self._root is not None else 0
+
+    def tree_depth(self) -> int:
+        """Height of the run treap (O(log r) expected when balanced).
+
+        Exposed for the balance regression tests: the heap invariant on
+        priorities is what keeps this logarithmic under update churn.
+        """
+        depth = 0
+        stack: List[Tuple[Optional[_RunNode], int]] = [(self._root, 1)]
+        while stack:
+            node, level = stack.pop()
+            if node is None:
+                continue
+            if level > depth:
+                depth = level
+            stack.append((node.left, level + 1))
+            stack.append((node.right, level + 1))
+        return depth
 
     # ------------------------------------------------------------------
     # Queries
@@ -227,26 +278,135 @@ class DynamicBitVector(BitVector):
             node = node.right
         raise AssertionError("aggregates inconsistent")  # pragma: no cover
 
-    def iter_range(self, start: int, stop: int) -> Iterator[int]:
+    def iter_runs(self, start: int, stop: int) -> Iterator[Tuple[int, int]]:
+        """Yield ``(bit, length)`` pieces covering positions ``[start, stop)``.
+
+        Descends the tree to the run containing ``start`` (O(log r), skipping
+        whole subtrees by their aggregate lengths) and then walks in order,
+        truncating the first and last runs to the range -- so a 1-bit slice at
+        the end costs O(log r), not O(r).
+        """
         self._check_range(start, stop)
-        if start >= stop:
+        remaining = stop - start
+        if remaining <= 0:
             return
-        emitted = 0
-        needed = stop - start
-        skipped = 0
-        for bit, length in self._runs_from(self._root):
-            run_start = skipped
-            run_end = skipped + length
-            skipped = run_end
-            if run_end <= start:
+        stack: List[_RunNode] = []
+        node = self._root
+        skip = start
+        while node is not None:
+            left_len = node.left.sub_length if node.left is not None else 0
+            if skip < left_len:
+                stack.append(node)
+                node = node.left
                 continue
-            lo = max(run_start, start)
-            hi = min(run_end, stop)
-            for _ in range(hi - lo):
-                yield bit
-                emitted += 1
-            if emitted >= needed:
+            skip -= left_len
+            if skip < node.length:
+                take = min(node.length - skip, remaining)
+                yield node.bit, take
+                remaining -= take
+                if remaining <= 0:
+                    return
+                node = node.right
+                break
+            skip -= node.length
+            node = node.right
+        # In-order continuation over the right subtree and stacked ancestors.
+        while True:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            if not stack:
                 return
+            node = stack.pop()
+            take = min(node.length, remaining)
+            yield node.bit, take
+            remaining -= take
+            if remaining <= 0:
+                return
+            node = node.right
+
+    def iter_range(self, start: int, stop: int) -> Iterator[int]:
+        for bit, length in self.iter_runs(start, stop):
+            yield from repeat(bit, length)
+
+    # ------------------------------------------------------------------
+    # Batch query paths (amortise the tree walk over sorted positions)
+    # ------------------------------------------------------------------
+    def _batch_prefers_scalar(self, queries: int) -> bool:
+        """True when q O(log r) tree walks beat one O(r + q log q) runs pass.
+
+        Uses the O(1) ``sub_runs`` aggregate: the runs pass touches up to r
+        nodes, the scalar walks about q * log2(r), so small batches on
+        run-heavy vectors fall back to the scalar loop.
+        """
+        run_count = self._root.sub_runs if self._root is not None else 0
+        return queries * max(1, run_count.bit_length()) < run_count
+
+    def access_many(self, positions: Sequence[int]) -> List[int]:
+        """Bits at each of ``positions`` in one in-order pass over the runs.
+
+        Sorts the positions once and advances a single runs iterator, so q
+        queries cost O(r + q log q) instead of q O(log r) tree walks -- the
+        fast path behind the dynamic Wavelet Trie's batched Access.
+        """
+        if not isinstance(positions, (list, tuple)):
+            positions = list(positions)
+        if not positions:
+            return []
+        length = len(self)
+        if min(positions) < 0 or max(positions) >= length:
+            bad = next(p for p in positions if not 0 <= p < length)
+            raise OutOfBoundsError(
+                f"position {bad} out of range for length {length}"
+            )
+        if self._batch_prefers_scalar(len(positions)):
+            return [self.access(pos) for pos in positions]
+        order = sorted(range(len(positions)), key=positions.__getitem__)
+        out = [0] * len(positions)
+        runs = self.runs()
+        run_bit = 0
+        run_end = 0
+        for index in order:
+            pos = positions[index]
+            while pos >= run_end:
+                run_bit, run_length = next(runs)
+                run_end += run_length
+            out[index] = run_bit
+        return out
+
+    def rank_many(self, bit: int, positions: Sequence[int]) -> List[int]:
+        """``rank(bit, pos)`` for each position, batch-amortised (one runs pass)."""
+        self._check_bit(bit)
+        if not isinstance(positions, (list, tuple)):
+            positions = list(positions)
+        if not positions:
+            return []
+        length = len(self)
+        if min(positions) < 0 or max(positions) > length:
+            bad = next(p for p in positions if not 0 <= p <= length)
+            raise OutOfBoundsError(
+                f"rank position {bad} out of range for length {length}"
+            )
+        if self._batch_prefers_scalar(len(positions)):
+            return [self.rank(bit, pos) for pos in positions]
+        order = sorted(range(len(positions)), key=positions.__getitem__)
+        out = [0] * len(positions)
+        runs = self.runs()
+        run_bit = 0
+        run_start = 0
+        run_end = 0
+        ones_before = 0  # ones strictly before run_start
+        for index in order:
+            pos = positions[index]
+            while pos > run_end:
+                if run_bit:
+                    ones_before += run_end - run_start
+                run_bit, run_length = next(runs)
+                run_start = run_end
+                run_end += run_length
+            ones = ones_before + (pos - run_start if run_bit else 0)
+            out[index] = ones if bit else pos - ones
+        return out
 
     # ------------------------------------------------------------------
     # Updates
@@ -271,7 +431,7 @@ class DynamicBitVector(BitVector):
             raise OutOfBoundsError(
                 f"insert position {pos} out of range for length {len(self)}"
             )
-        left, right = _split(self._root, pos, self._rng)
+        left, right = _split(self._root, pos)
         left = self._absorb_or_append(left, bit, length)
         self._root = self._coalesced_merge(left, right)
 
@@ -291,21 +451,86 @@ class DynamicBitVector(BitVector):
     def delete(self, pos: int) -> int:
         """Delete the bit at position ``pos`` and return its value."""
         self._check_pos(pos)
-        left, rest = _split(self._root, pos, self._rng)
-        middle, right = _split(rest, 1, self._rng)
+        left, rest = _split(self._root, pos)
+        middle, right = _split(rest, 1)
         assert middle is not None
         bit = middle.bit
         self._root = self._coalesced_merge(left, right)
         return bit
 
-    def extend(self, bits: Iterable[int]) -> None:
-        """Append every bit of ``bits``."""
-        for bit in bits:
-            self.append(bit)
+    def extend(self, bits: Union[Bits, Iterable[int]]) -> None:
+        """Append every bit of ``bits`` (bulk ``Append``).
+
+        Never bit by bit: a :class:`Bits` payload is decomposed into maximal
+        runs by the word-level kernel, any other iterable is grouped into
+        runs (truthy values count as 1, as in ``Bits.from_iterable``); either
+        way a treap over the new runs is built in O(r) and merged at the end
+        in O(log r), instead of n per-bit walks down the right spine.
+        """
+        self.append_runs(runs_of(bits))
+
+    def append_bits(self, bits: Bits) -> None:
+        """Append a whole :class:`Bits` payload (alias of bulk :meth:`extend`)."""
+        self.extend(bits)
+
+    def append_runs(self, runs: Iterable[Tuple[int, int]]) -> None:
+        """Append ``(bit, length)`` runs in O(r + log r) total."""
+        tree = self._build_treap(self._normalise_runs(runs))
+        if tree is None:
+            return
+        if self._root is None:
+            self._root = tree
+        else:
+            self._root = self._coalesced_merge(self._root, tree)
 
     # ------------------------------------------------------------------
     # Internal helpers
     # ------------------------------------------------------------------
+    @staticmethod
+    def _normalise_runs(runs: Iterable[Tuple[int, int]]) -> List[Tuple[int, int]]:
+        """Drop empty runs, validate, and coalesce adjacent equal-bit runs.
+
+        Bits are validated strictly (as ``append_run`` does); iterables of
+        truthy values are normalised upstream by :func:`runs_of`.
+        """
+        out: List[Tuple[int, int]] = []
+        for bit, length in runs:
+            if bit not in (0, 1):
+                raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+            if length < 0:
+                raise ValueError("run length must be non-negative")
+            if length == 0:
+                continue
+            if out and out[-1][0] == bit:
+                out[-1] = (bit, out[-1][1] + length)
+            else:
+                out.append((bit, length))
+        return out
+
+    def _build_treap(self, runs: Sequence[Tuple[int, int]]) -> Optional[_RunNode]:
+        """Linear treap build from normalised runs (right-spine Cartesian).
+
+        Each run gets a fresh random priority; nodes are appended on the
+        right spine, popping spine nodes of smaller priority into the new
+        node's left subtree.  Aggregates are patched exactly when a node's
+        subtree becomes final, so the whole build is O(r).
+        """
+        spine: List[_RunNode] = []
+        rand = self._rng.random
+        for bit, length in runs:
+            node = _RunNode(bit, length, rand())
+            last: Optional[_RunNode] = None
+            while spine and spine[-1].priority < node.priority:
+                last = spine.pop()
+                last.update()
+            node.left = last
+            if spine:
+                spine[-1].right = node
+            spine.append(node)
+        for node in reversed(spine):
+            node.update()
+        return spine[0] if spine else None
+
     def _absorb_or_append(
         self, tree: Optional[_RunNode], bit: int, length: int
     ) -> Optional[_RunNode]:
@@ -356,7 +581,7 @@ class DynamicBitVector(BitVector):
 
     def _pop_first_run(self, tree: _RunNode, first_len: int) -> Optional[_RunNode]:
         """Remove the first run (of known length) from ``tree``."""
-        _, right = _split(tree, first_len, self._rng)
+        _, right = _split(tree, first_len)
         return right
 
     def _runs_from(self, node: Optional[_RunNode]) -> Iterator[Tuple[int, int]]:
@@ -398,6 +623,5 @@ class DynamicBitVector(BitVector):
 
     def overhead_bits(self, pointer_bits: int = 64) -> int:
         """Pointer/bookkeeping overhead of the balanced tree (engineering cost)."""
-        nodes = sum(1 for _ in self.runs())
         # left, right, priority, lengths and aggregates: ~6 words per node.
-        return nodes * 6 * pointer_bits
+        return self.run_count * 6 * pointer_bits

@@ -41,8 +41,7 @@ class GapEncodedBitVector(BitVector):
         # operations on it.  (The point of this class is the *encoding size*
         # model and the Init comparison, not a second tree implementation.)
         self._one_positions = DynamicBitVector()
-        for bit in bits:
-            self.append(bit)
+        self.extend(bits)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -71,6 +70,11 @@ class GapEncodedBitVector(BitVector):
         """Append one bit."""
         self._one_positions.append(1 if bit else 0)
         self._length += 1
+
+    def extend(self, bits: Iterable[int]) -> None:
+        """Append every bit (bulk ``Append``, via the RLE container's runs path)."""
+        self._one_positions.extend(bits)
+        self._length = len(self._one_positions)
 
     def insert(self, pos: int, bit: int) -> None:
         """Insert ``bit`` at position ``pos``."""
@@ -104,18 +108,39 @@ class GapEncodedBitVector(BitVector):
 
     # ------------------------------------------------------------------
     def gaps(self) -> Iterator[int]:
-        """The gaps ``g_i`` between consecutive 1s (the encoded payload)."""
+        """The gaps ``g_i`` between consecutive 1s (the encoded payload).
+
+        One in-order pass over the underlying runs (O(r + m)) instead of one
+        ``select(1, idx)`` tree walk per 1 bit (O(m log r)): within a 1-run of
+        length ``k`` the first gap is the preceding 0-run and the remaining
+        ``k - 1`` gaps are zero.
+        """
         previous = -1
-        for idx in range(self.ones):
-            position = self._one_positions.select(1, idx)
-            yield position - previous - 1
-            previous = position
+        position = 0
+        for bit, length in self._one_positions.runs():
+            if bit:
+                yield position - previous - 1
+                for _ in range(length - 1):
+                    yield 0
+                previous = position + length - 1
+            position += length
 
     def size_in_bits(self) -> int:
-        """Size of the gap + Elias delta encoding (the space model of [18])."""
+        """Size of the gap + Elias delta encoding (the space model of [18]).
+
+        Computed from the runs in O(r): a 1-run of length ``k`` preceded by a
+        gap ``g`` contributes ``delta(g + 1) + (k - 1) * delta(1)`` bits.
+        """
         total = 64
-        for gap in self.gaps():
-            total += delta_code_length(gap + 1)
+        unit = delta_code_length(1)
+        previous = -1
+        position = 0
+        for bit, length in self._one_positions.runs():
+            if bit:
+                total += delta_code_length(position - previous)
+                total += (length - 1) * unit
+                previous = position + length - 1
+            position += length
         return total
 
     def to_list(self) -> List[int]:

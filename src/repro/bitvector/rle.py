@@ -21,7 +21,7 @@ from typing import Iterable, Iterator, List, Tuple, Union
 
 from repro.bits.bitstring import Bits
 from repro.bits.codes import BitReader, BitWriter, gamma_code_length
-from repro.bits.kernel import run_lengths_of_value
+from repro.bits.kernel import runs_of_value
 from repro.bitvector.base import StaticBitVector
 from repro.exceptions import OutOfBoundsError
 
@@ -35,15 +35,7 @@ def runs_of(bits: Union[Bits, Iterable[int]]) -> List[Tuple[int, int]]:
     if isinstance(bits, Bits):
         # Word-parallel: run boundaries come from one xor-shift over the
         # packed payload instead of a per-bit Python scan.
-        if not bits:
-            return []
-        first_bit = (bits.value >> (len(bits) - 1)) & 1
-        runs = []
-        bit = first_bit
-        for length in run_lengths_of_value(bits.value, len(bits)):
-            runs.append((bit, length))
-            bit ^= 1
-        return runs
+        return runs_of_value(bits.value, len(bits))
     runs: List[Tuple[int, int]] = []
     current_bit = None
     current_len = 0

@@ -81,9 +81,14 @@ class AppendOnlyWaveletTrie(GrowableTopologyMixin, WaveletTrieBase):
         self._size += 1
 
     def extend(self, values: Iterable[Any]) -> None:
-        """Append every element of ``values`` in order."""
-        for value in values:
-            self.append(value)
+        """Append every element of ``values`` in order (bulk paper Append).
+
+        Batch-amortised: one trie descent per distinct value per topology
+        epoch, with per-node bits buffered and flushed through the
+        append-only bitvectors' word-level ``extend`` (blocks freeze from
+        packed payloads, not single-bit shifts).
+        """
+        self._extend_batched(values)
 
     def insert(self, value: Any, pos: int) -> None:
         """Only insertion at the end is supported; anywhere else raises."""

@@ -102,6 +102,85 @@ class WaveletTrieBase(RangeQueryMixin, IndexedStringSequence):
         return self.select_prefix_bits(self._codec.prefix_to_bits(prefix), idx)
 
     # ------------------------------------------------------------------
+    # Batch queries (amortise the trie descent and codec work per node)
+    # ------------------------------------------------------------------
+    def access_many(self, positions) -> List[Any]:
+        """Elements at each of ``positions`` (batched paper Access).
+
+        One traversal of the touched trie nodes: positions are partitioned by
+        their accessed bit at every internal node and mapped down with the
+        bitvector's batch ``access_many``/``rank_many``, and each leaf value
+        is decoded once for its whole group -- instead of one full root-to-
+        leaf walk (and one decode) per queried position.
+        """
+        if not isinstance(positions, (list, tuple)):
+            positions = list(positions)
+        if not positions:
+            return []
+        for pos in positions:
+            if not 0 <= pos < self._size:
+                raise OutOfBoundsError(
+                    f"position {pos} out of range for length {self._size}"
+                )
+        results: List[Any] = [None] * len(positions)
+        stack = [(self._root, Bits.empty(), list(enumerate(positions)))]
+        while stack:
+            node, prefix, items = stack.pop()
+            current = prefix + node.label
+            if node.is_leaf:
+                value = self._codec.from_bits(current)
+                for index, _ in items:
+                    results[index] = value
+                continue
+            vector = node.bitvector
+            bits = vector.access_many([pos for _, pos in items])
+            groups: List[List[Tuple[int, int]]] = [[], []]
+            for item, bit in zip(items, bits):
+                groups[bit].append(item)
+            for bit in (0, 1):
+                group = groups[bit]
+                if not group:
+                    continue
+                ranks = vector.rank_many(bit, [pos for _, pos in group])
+                stack.append(
+                    (
+                        node.children[bit],
+                        current.appended(bit),
+                        [(index, rank) for (index, _), rank in zip(group, ranks)],
+                    )
+                )
+        return results
+
+    def rank_many(self, value: Any, positions) -> List[int]:
+        """``rank(value, pos)`` for each position (batched paper Rank).
+
+        The value is binarised once and the trie descended once; at every
+        internal node the whole position vector is mapped through the
+        bitvector's batch ``rank_many``.
+        """
+        key = self._codec.to_bits(value)
+        if not isinstance(positions, (list, tuple)):
+            positions = list(positions)
+        for pos in positions:
+            self._check_rank_pos(pos)
+        if self._root is None or not positions:
+            return [0] * len(positions)
+        node = self._root
+        depth = 0
+        current: List[int] = list(positions)
+        while True:
+            label = node.label
+            remaining = key.suffix_from(depth)
+            if node.is_leaf:
+                return current if remaining == label else [0] * len(current)
+            if not remaining.startswith(label) or len(remaining) == len(label):
+                return [0] * len(current)
+            bit = key[depth + len(label)]
+            current = node.bitvector.rank_many(bit, current)
+            depth += len(label) + 1
+            node = node.children[bit]
+
+    # ------------------------------------------------------------------
     # Bit-level queries (Lemmas 3.2 / 3.3)
     # ------------------------------------------------------------------
     def access_bits(self, pos: int) -> Bits:

@@ -68,9 +68,14 @@ class DynamicWaveletTrie(GrowableTopologyMixin, WaveletTrieBase):
         self._size += 1
 
     def extend(self, values: Iterable[Any]) -> None:
-        """Append every element of ``values`` in order."""
-        for value in values:
-            self.append(value)
+        """Append every element of ``values`` in order (bulk paper Append).
+
+        Batch-amortised like the append-only variant: per-node bits are
+        buffered between topology changes and flushed through the RLE
+        bitvectors' bulk ``extend`` (kernel run extraction + O(r) treap
+        build), so bulk construction never walks the treap once per bit.
+        """
+        self._extend_batched(values)
 
     def insert(self, value: Any, pos: int) -> None:
         """Insert ``value`` immediately before position ``pos`` (paper Insert).

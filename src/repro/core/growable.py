@@ -8,12 +8,17 @@ the last occurrence of a string removes its leaf and merges its parent with
 the sibling.
 
 This mixin implements those structural changes once; subclasses only supply
-``_new_constant_bitvector`` (the ``Init`` of their bitvector type).
+``_new_constant_bitvector`` (the ``Init`` of their bitvector type).  It also
+hosts the shared bulk ``Append`` path (:meth:`_extend_batched`): between
+topology changes the per-node branching bits are buffered in plain lists and
+flushed through each bitvector's bulk ``extend``, so a batch of appends pays
+one trie descent per *distinct* key (per topology epoch) instead of one per
+element, and the node bitvectors grow word-at-a-time instead of bit-at-a-time.
 """
 
 from __future__ import annotations
 
-from typing import Any, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.bits.bitstring import Bits
 from repro.core.node import WaveletTrieNode
@@ -121,6 +126,64 @@ class GrowableTopologyMixin:
         else:
             grandparent.attach(parent.parent_bit, sibling)
         return True
+
+    # ------------------------------------------------------------------
+    def _extend_batched(self, values) -> None:
+        """Bulk ``Append`` of ``values`` (paper Append, batch-amortised).
+
+        Per-node branching bits are buffered and flushed through the
+        bitvectors' bulk ``extend`` whenever the Patricia topology is about
+        to change (a previously unseen key needs a split, which must observe
+        up-to-date bitvector counts) and once at the end.  Root-to-leaf
+        paths are cached per distinct binarised key and invalidated on every
+        topology change, so n appends of d distinct values cost O(d) trie
+        descents per topology epoch plus O(1) list appends per node level.
+        """
+        key_cache: Dict[Any, Bits] = {}
+        paths: Dict[Bits, List[Tuple[WaveletTrieNode, int]]] = {}
+        buffers: Dict[int, Tuple[WaveletTrieNode, List[int]]] = {}
+        pending = 0
+
+        def flush() -> None:
+            nonlocal pending
+            for node, bits in buffers.values():
+                node.bitvector.extend(bits)
+            buffers.clear()
+            self._size += pending
+            pending = 0
+
+        for value in values:
+            try:
+                key = key_cache.get(value)
+            except TypeError:  # unhashable value: encode without caching
+                key = None
+            if key is None:
+                key = self._codec.to_bits(value)
+                try:
+                    key_cache[value] = key
+                except TypeError:
+                    pass
+            path = paths.get(key)
+            if path is None:
+                located = self._path_of(key) if self._root is not None else None
+                if located is not None:
+                    path = located[1]  # the (node, branching_bit) ancestors
+                else:
+                    # Topology will change: flush so the split's Init sees
+                    # the true subsequence lengths, then drop stale paths.
+                    flush()
+                    self._ensure_key(key)
+                    paths.clear()
+                    path = list(self._walk_for_update(key))
+                paths[key] = path
+            for node, bit in path:
+                entry = buffers.get(id(node))
+                if entry is None:
+                    buffers[id(node)] = (node, [bit])
+                else:
+                    entry[1].append(bit)
+            pending += 1
+        flush()
 
     # ------------------------------------------------------------------
     def _walk_for_update(self, key: Bits):

@@ -56,8 +56,7 @@ class FixedAlphabetDynamicWaveletTree:
         self._size = 0
         self._seed = seed
         self._root = self._build_shape(0, len(symbols))
-        for value in values:
-            self.append(value)
+        self.extend(values)
 
     def _build_shape(self, low: int, high: int) -> _Node:
         self._seed = (self._seed * 6364136223846793005 + 1) % (1 << 63)
@@ -164,6 +163,38 @@ class FixedAlphabetDynamicWaveletTree:
     def append(self, value: Hashable) -> None:
         """Append ``value`` at the end."""
         self.insert(value, self._size)
+
+    def extend(self, values: Iterable[Hashable]) -> None:
+        """Append every value (bulk ``Append``, batch-amortised).
+
+        The tree shape is fixed, so the root-to-leaf path of each symbol is
+        cached and the per-node bits are buffered in plain lists, then flushed
+        once through the dynamic bitvectors' bulk ``extend`` (kernel run
+        extraction + O(r) treap build) -- no per-element treap walks.
+        """
+        symbols = [self._symbol_index(value) for value in values]
+        path_cache: Dict[int, List[Tuple[_Node, int]]] = {}
+        buffers: Dict[int, Tuple[_Node, List[int]]] = {}
+        for symbol in symbols:
+            path = path_cache.get(symbol)
+            if path is None:
+                path = []
+                node = self._root
+                while not node.is_leaf:
+                    mid = (node.low + node.high) // 2
+                    bit = 1 if symbol >= mid else 0
+                    path.append((node, bit))
+                    node = node.right if bit else node.left
+                path_cache[symbol] = path
+            for node, bit in path:
+                entry = buffers.get(id(node))
+                if entry is None:
+                    buffers[id(node)] = (node, [bit])
+                else:
+                    entry[1].append(bit)
+        for node, bits in buffers.values():
+            node.bitvector.extend(bits)
+        self._size += len(symbols)
 
     def delete(self, pos: int) -> Hashable:
         """Delete and return the value at position ``pos``."""

@@ -47,6 +47,25 @@ class TestAppend:
         buffer.clear()
         assert len(buffer) == 0 and buffer.ones == 0
 
+    @given(st.lists(st.integers(min_value=0, max_value=1), max_size=300))
+    def test_extend_matches_per_bit_append(self, bits):
+        """The word-packed extend is semantically identical to appending each
+        bit: same payload, same length, same popcount bookkeeping."""
+        bulk = BitBuffer([1, 0])
+        bulk.extend(iter(bits))  # generator: no len() shortcut available
+        reference = BitBuffer([1, 0])
+        for bit in bits:
+            reference.append(bit)
+        assert bulk.to_bits() == reference.to_bits()
+        assert bulk.ones == reference.ones
+        assert len(bulk) == len(reference)
+
+    def test_extend_truthiness_matches_append(self):
+        bulk = BitBuffer()
+        bulk.extend(["x", 0, 2, None, True])
+        assert bulk.to_bits().to01() == "10101"
+        assert bulk.ones == 3
+
 
 class TestQueries:
     def test_getitem(self):

@@ -49,6 +49,29 @@ class TestAppendOnlyBitVector:
         vector.extend([1, 0, 1])
         assert vector.to_list() == [1, 0, 1]
 
+    def test_bulk_extend_matches_per_bit(self, random_bits):
+        """Word-level append_bits (blocks frozen from packed slices) must be
+        indistinguishable from the seed's one append per bit."""
+        from repro.bits.bitstring import Bits
+
+        bits = random_bits[:700]
+        bulk = AppendOnlyBitVector(block_size=128)
+        bulk.append_bits(Bits.from_iterable(bits))
+        reference = AppendOnlyBitVector(block_size=128)
+        for bit in bits:
+            reference.append(bit)
+        assert bulk.to_list() == reference.to_list()
+        assert bulk.block_count == reference.block_count == len(bits) // 128
+        for pos in (0, 127, 128, 129, 700):
+            assert bulk.rank(1, pos) == reference.rank(1, pos)
+        # Bulk appends across an existing partial tail still freeze on the
+        # same block boundaries.
+        bulk.extend(iter(bits[:200]))
+        for bit in bits[:200]:
+            reference.append(bit)
+        assert bulk.to_list() == reference.to_list()
+        assert bulk.block_count == reference.block_count
+
     def test_block_size_validation(self):
         with pytest.raises(ValueError):
             AppendOnlyBitVector(block_size=32)

@@ -1,10 +1,12 @@
 """Tests for the fully dynamic RLE+gamma bitvector (paper Theorem 4.9)."""
 
+import math
 import random
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.bits.bitstring import Bits
 from repro.bitvector.dynamic import DynamicBitVector
 from repro.exceptions import OutOfBoundsError
 
@@ -153,6 +155,139 @@ class TestInsertDelete:
                     1 for value in reference[:position] if value == bit
                 )
         assert vector.to_list() == reference
+
+
+def _assert_heap_invariant(node):
+    """Every treap node's priority must dominate its children's (max-heap)."""
+    if node is None:
+        return
+    for child in (node.left, node.right):
+        if child is not None:
+            assert child.priority <= node.priority, (
+                "treap heap invariant violated: child priority exceeds parent"
+            )
+            _assert_heap_invariant(child)
+
+
+class TestTreapBalance:
+    """Regression tests for the _split priority bug: the cut run's right half
+    must inherit the split node's priority, or the max-heap invariant (and
+    with it the O(log r) expected bounds) silently erodes under churn."""
+
+    def test_heap_invariant_after_mid_run_insert(self):
+        vector = DynamicBitVector.init_run(0, 1000, seed=5)
+        vector.insert(500, 1)  # cuts the single run: the sharp regression case
+        _assert_heap_invariant(vector._root)
+
+    def test_heap_invariant_and_depth_after_churn(self):
+        """Many mixed insert/delete cycles (repeatedly cutting and
+        re-coalescing runs) must keep the treap heap-ordered and its depth
+        O(log r)."""
+        rng = random.Random(99)
+        vector = DynamicBitVector(seed=13)
+        reference = []
+        for step in range(6000):
+            if rng.random() < 0.55 or not reference:
+                position = rng.randint(0, len(reference))
+                bit = rng.randint(0, 1)
+                vector.insert(position, bit)
+                reference.insert(position, bit)
+            else:
+                position = rng.randrange(len(reference))
+                assert vector.delete(position) == reference.pop(position)
+            if step % 1500 == 0:
+                _assert_heap_invariant(vector._root)
+        _assert_heap_invariant(vector._root)
+        assert vector.to_list() == reference
+        runs = vector.run_count
+        assert runs > 100  # the workload really does keep many runs alive
+        # Expected treap depth is ~3 ln r; 5 log2(r) is a generous, seed-fixed
+        # bound that the pre-fix implementation's drift would not respect.
+        assert vector.tree_depth() <= 5 * math.log2(runs + 2)
+
+
+class TestBulkConstruction:
+    def test_from_bits_matches_per_bit(self, bursty_bits):
+        payload = Bits.from_iterable(bursty_bits)
+        bulk = DynamicBitVector(payload)
+        reference = DynamicBitVector()
+        for bit in bursty_bits:
+            reference.append(bit)
+        assert bulk.to_list() == bursty_bits
+        assert list(bulk.runs()) == list(reference.runs())
+        _assert_heap_invariant(bulk._root)
+
+    def test_from_runs_normalises(self):
+        vector = DynamicBitVector.from_runs([(1, 2), (1, 3), (0, 0), (0, 4)])
+        assert vector.to_list() == [1] * 5 + [0] * 4
+        assert vector.run_count == 2
+        with pytest.raises(ValueError):
+            DynamicBitVector.from_runs([(1, -1)])
+        with pytest.raises(ValueError):
+            DynamicBitVector.from_runs([(2, 5)])  # strict, like append_run
+
+    def test_extend_onto_existing_coalesces(self):
+        vector = DynamicBitVector([1, 1, 0])
+        vector.extend([0, 0, 1])
+        assert vector.to_list() == [1, 1, 0, 0, 0, 1]
+        assert vector.run_count == 3
+        vector.append_bits(Bits.from_string("1100"))
+        assert vector.to_list() == [1, 1, 0, 0, 0, 1, 1, 1, 0, 0]
+        assert vector.run_count == 4
+
+    def test_extend_truthy_iterable(self):
+        vector = DynamicBitVector()
+        vector.extend(iter([0, 2, "x", 0.0, None, 1]))
+        assert vector.to_list() == [0, 1, 1, 0, 0, 1]
+
+
+class TestIterRuns:
+    def test_iter_runs_covers_exact_range(self, bursty_bits):
+        vector = DynamicBitVector(bursty_bits)
+        rng = random.Random(7)
+        for _ in range(100):
+            start = rng.randint(0, len(bursty_bits))
+            stop = rng.randint(start, len(bursty_bits))
+            pieces = list(vector.iter_runs(start, stop))
+            assert sum(length for _, length in pieces) == stop - start
+            rebuilt = [bit for bit, length in pieces for _ in range(length)]
+            assert rebuilt == bursty_bits[start:stop]
+            # Interior pieces are maximal: adjacent pieces alternate bits.
+            for (bit_a, _), (bit_b, _) in zip(pieces, pieces[1:]):
+                assert bit_a != bit_b
+
+    def test_iter_range_matches_slice(self, bursty_bits):
+        vector = DynamicBitVector(bursty_bits)
+        n = len(bursty_bits)
+        assert list(vector.iter_range(n - 1, n)) == bursty_bits[n - 1:]
+        assert list(vector.iter_range(0, 0)) == []
+        assert list(vector.iter_range(13, 200)) == bursty_bits[13:200]
+        with pytest.raises(OutOfBoundsError):
+            list(vector.iter_range(0, n + 1))
+
+
+class TestBatchQueries:
+    def test_access_many_and_rank_many_match_scalar(self, bursty_bits):
+        vector = DynamicBitVector(bursty_bits)
+        rng = random.Random(21)
+        positions = [rng.randrange(len(bursty_bits)) for _ in range(200)]
+        assert vector.access_many(positions) == [
+            vector.access(pos) for pos in positions
+        ]
+        rank_positions = [rng.randint(0, len(bursty_bits)) for _ in range(200)]
+        for bit in (0, 1):
+            assert vector.rank_many(bit, rank_positions) == [
+                vector.rank(bit, pos) for pos in rank_positions
+            ]
+
+    def test_batch_bounds(self):
+        vector = DynamicBitVector([1, 0, 1])
+        assert vector.access_many([]) == []
+        assert vector.rank_many(1, iter([3, 0])) == [2, 0]
+        with pytest.raises(OutOfBoundsError):
+            vector.access_many([0, 3])
+        with pytest.raises(OutOfBoundsError):
+            vector.rank_many(0, [4])
 
 
 class TestSpace:

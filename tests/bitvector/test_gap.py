@@ -34,6 +34,42 @@ class TestGapEncodedBitVector:
         vector = GapEncodedBitVector([0, 0, 1, 0, 1, 1, 0])
         assert list(vector.gaps()) == [2, 1, 0]
 
+    def test_gaps_single_runs_pass_matches_select_walks(self, bursty_bits):
+        """The O(r + m) runs-based gaps() must equal the definitional
+        per-1-bit select computation it replaced."""
+        bits = bursty_bits[:600]
+        vector = GapEncodedBitVector(bits)
+        expected = []
+        previous = -1
+        for idx in range(vector.ones):
+            position = vector.select(1, idx)
+            expected.append(position - previous - 1)
+            previous = position
+        assert list(vector.gaps()) == expected
+        assert len(expected) == sum(bits)
+
+    def test_size_in_bits_matches_per_gap_sum(self, bursty_bits):
+        from repro.bits.codes import delta_code_length
+
+        vector = GapEncodedBitVector(bursty_bits[:600])
+        expected = 64 + sum(delta_code_length(gap + 1) for gap in vector.gaps())
+        assert vector.size_in_bits() == expected
+
+    def test_gaps_empty_and_all_ones(self):
+        assert list(GapEncodedBitVector().gaps()) == []
+        assert list(GapEncodedBitVector([0, 0, 0]).gaps()) == []
+        assert list(GapEncodedBitVector([1, 1, 1]).gaps()) == [0, 0, 0]
+
+    def test_extend_matches_per_bit_append(self):
+        bulk = GapEncodedBitVector([1, 0])
+        bulk.extend([0, 1, 1, 0])
+        reference = GapEncodedBitVector()
+        for bit in [1, 0, 0, 1, 1, 0]:
+            reference.append(bit)
+        assert bulk.to_list() == reference.to_list()
+        assert len(bulk) == 6
+        assert bulk.size_in_bits() == reference.size_in_bits()
+
     def test_space_depends_on_ones_not_length(self):
         sparse = GapEncodedBitVector([0] * 5000 + [1])
         dense_runs = DynamicBitVector([0] * 5000 + [1])

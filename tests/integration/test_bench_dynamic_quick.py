@@ -1,0 +1,46 @@
+"""Quick-mode run of the dynamic-layer benchmark harness.
+
+Runs ``benchmarks/bench_dynamic.py`` at small sizes inside the test suite so
+the perf harness (and its seed-replica cross-checks, which assert that the
+bulk/batch answers equal the seed implementation's) cannot silently break.
+No speedup thresholds are asserted here -- tiny sizes and CI noise would make
+that flaky; the committed ``BENCH_dynamic.json`` records the full-size
+numbers.
+"""
+
+import importlib.util
+from pathlib import Path
+
+BENCH_PATH = (
+    Path(__file__).resolve().parent.parent.parent / "benchmarks" / "bench_dynamic.py"
+)
+
+EXPECTED_SECTIONS = {
+    "dbv_bulk_construction",
+    "dbv_iter_range_tail",
+    "dwt_bulk_construction",
+    "dwt_rank_batch",
+    "dwt_access_batch",
+    "aot_bulk_construction",
+}
+
+
+def load_bench_module():
+    spec = importlib.util.spec_from_file_location("bench_dynamic", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_bench_dynamic_quick_mode():
+    bench = load_bench_module()
+    # run() embeds equality assertions of bulk/batch answers vs the seed
+    # replica, so completing without error is itself a correctness check.
+    payload = bench.run(quick=True, repeats=1)
+    assert payload["quick"] is True
+    assert set(payload["results"]) == EXPECTED_SECTIONS
+    for name, entry in payload["results"].items():
+        assert entry["ops"] > 0, name
+        assert entry["seed_ops_per_sec"] > 0, name
+        assert entry["kernel_ops_per_sec"] > 0, name
+        assert entry["speedup"] > 0, name
