@@ -1,0 +1,24 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test docs-check bench-kernel bench-dynamic bench
+
+# Tier-1 verification: the full test suite (includes the quick-mode
+# benchmark harnesses and the docs-check gate).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Documentation gate: fails when a public class (or module) in src/repro
+# lacks a docstring, or a *_many batch method does not state its amortised
+# complexity.  Also run as part of `make test`.
+docs-check:
+	$(PYTHON) -m pytest -q tests/test_docstrings.py
+
+# Full-size perf harnesses; each writes its BENCH_*.json at the repo root.
+bench-kernel:
+	$(PYTHON) benchmarks/bench_kernel.py
+
+bench-dynamic:
+	$(PYTHON) benchmarks/bench_dynamic.py
+
+bench: bench-kernel bench-dynamic

@@ -10,8 +10,16 @@ seed implementation on the growable structures of paper Section 4:
 * ``DynamicWaveletTrie`` / ``AppendOnlyWaveletTrie`` bulk construction
   (buffered per-node bits + bulk bitvector extends) vs the seed's one full
   trie descent and per-bit bitvector append per element;
-* batched ``rank_many`` / ``access_many`` on the dynamic Wavelet Trie vs the
-  seed's per-call query loop.
+* batched ``rank_many`` / ``access_many`` / ``select_many`` on the dynamic
+  Wavelet Trie vs the seed's per-call query loop;
+* ``DynamicBitVector.select_many`` (one sorted in-order runs pass) vs one
+  O(log r) treap walk per query;
+* ``DynamicBitVector.insert_many`` / ``DynamicWaveletTrie.insert_many`` (one
+  treap split + O(r) bulk build + merge per touched node) vs one root-to-leaf
+  insertion per element;
+* append-only freeze latency: max single-``append`` wall time with the
+  de-amortised staged freeze (bounded blocks per append) vs the seed's
+  stop-the-world freeze of the whole tail.
 
 Every section cross-checks the new answers against the seed replica's, so the
 benchmark doubles as an end-to-end correctness harness.
@@ -42,6 +50,7 @@ if str(SRC) not in sys.path:  # allow running without PYTHONPATH
     sys.path.insert(0, str(SRC))
 
 from repro.bits.bitstring import Bits
+from repro.bitvector.append_only import AppendOnlyBitVector
 from repro.bitvector.dynamic import DynamicBitVector
 from repro.core.append_only import AppendOnlyWaveletTrie
 from repro.core.dynamic import DynamicWaveletTrie
@@ -235,6 +244,65 @@ def run(quick: bool = False, repeats: int = 2) -> Dict[str, object]:
     results["dwt_access_batch"] = _entry(n_queries, seed_time, new_time)
 
     # ------------------------------------------------------------------
+    # DynamicBitVector.select_many: one sorted in-order runs pass vs one
+    # O(log r) treap walk per query.
+    # ------------------------------------------------------------------
+    select_indexes = [
+        rng.randrange(bulk_vector.ones) for _ in range(n_queries)
+    ]
+    assert bulk_vector.select_many(1, select_indexes) == [
+        bulk_vector.select(1, idx) for idx in select_indexes
+    ], "dbv select_many mismatch vs scalar select"
+    seed_time = _best_time(
+        lambda: [bulk_vector.select(1, idx) for idx in select_indexes], repeats
+    )
+    new_time = _best_time(
+        lambda: bulk_vector.select_many(1, select_indexes), repeats
+    )
+    results["dbv_select_batch"] = _entry(n_queries, seed_time, new_time)
+
+    # ------------------------------------------------------------------
+    # DynamicBitVector.insert_many: one split + O(r) bulk build + merge vs
+    # one root-to-leaf treap insertion per bit.
+    # ------------------------------------------------------------------
+    base_runs = list(bulk_vector.runs())
+    insert_payload = bursty_bits(rng, n_queries)
+    insert_positions = sorted(
+        rng.randrange(n_bits) for _ in range(max(1, n_queries // 2_000))
+    )
+    chunk = len(insert_payload) // len(insert_positions)
+
+    def _seed_insert_loop() -> DynamicBitVector:
+        vector = DynamicBitVector.from_runs(base_runs)
+        taken = 0
+        for position in insert_positions:
+            for offset, bit in enumerate(
+                insert_payload[taken : taken + chunk]
+            ):
+                vector.insert(position + offset, bit)
+            taken += chunk
+        return vector
+
+    def _bulk_insert_many() -> DynamicBitVector:
+        vector = DynamicBitVector.from_runs(base_runs)
+        taken = 0
+        for position in insert_positions:
+            vector.insert_many(
+                position, Bits.from_iterable(insert_payload[taken : taken + chunk])
+            )
+            taken += chunk
+        return vector
+
+    assert _seed_insert_loop().to_list() == _bulk_insert_many().to_list(), (
+        "insert_many mismatch vs per-bit insert loop"
+    )
+    seed_time = _best_time(_seed_insert_loop, repeats)
+    new_time = _best_time(_bulk_insert_many, repeats)
+    results["dbv_insert_many"] = _entry(
+        chunk * len(insert_positions), seed_time, new_time
+    )
+
+    # ------------------------------------------------------------------
     # Append-only Wavelet Trie bulk construction (Theorem 4.3 structure):
     # buffered bits + word-level block freezes vs per-bit tail appends.
     # ------------------------------------------------------------------
@@ -251,6 +319,89 @@ def run(quick: bool = False, repeats: int = 2) -> Dict[str, object]:
         lambda: AppendOnlyWaveletTrie().extend(values), repeats
     )
     results["aot_bulk_construction"] = _entry(n_values, seed_time, bulk_time)
+
+    # ------------------------------------------------------------------
+    # Batched Select on the dynamic Wavelet Trie: one path unwind with
+    # per-node sorted runs passes vs one full walk per query.
+    # ------------------------------------------------------------------
+    select_probe = values[0]
+    probe_total = bulk_trie.count(select_probe)
+    trie_select_indexes = [rng.randrange(probe_total) for _ in range(n_queries)]
+    assert bulk_trie.select_many(select_probe, trie_select_indexes) == [
+        seed_trie.select(select_probe, idx) for idx in trie_select_indexes
+    ], "batched select mismatch vs seed"
+    seed_time = _best_time(
+        lambda: [seed_trie.select(select_probe, idx) for idx in trie_select_indexes],
+        repeats,
+    )
+    new_time = _best_time(
+        lambda: bulk_trie.select_many(select_probe, trie_select_indexes), repeats
+    )
+    results["dwt_select_batch"] = _entry(n_queries, seed_time, new_time)
+
+    # ------------------------------------------------------------------
+    # Bulk Insert on the dynamic Wavelet Trie: the inserted block stays
+    # contiguous per node (one insert_many + one rank each) vs one
+    # root-to-leaf walk per element.  Both sides mutate identical tries
+    # built once outside the timer; every repeat applies the same batches
+    # to both, so the structures stay comparable and equal.
+    # ------------------------------------------------------------------
+    insert_values = url_log(rng, max(1, n_queries // 10), n_distinct)
+    insert_at = rng.randrange(n_values)
+
+    def _seed_trie_insert() -> None:
+        position = insert_at
+        for value in insert_values:
+            seed_trie.insert(value, position)
+            position += 1
+
+    seed_time = _best_time(_seed_trie_insert, repeats)
+    new_time = _best_time(
+        lambda: bulk_trie.insert_many(insert_values, insert_at), repeats
+    )
+    assert bulk_trie.to_list() == seed_trie.to_list(), (
+        "trie insert_many mismatch vs per-element insert loop"
+    )
+    results["dwt_insert_many"] = _entry(len(insert_values), seed_time, new_time)
+
+    # ------------------------------------------------------------------
+    # De-amortised tail freezing: max single-append latency with the staged
+    # incremental freeze (bounded RRR blocks per append) vs the seed's
+    # stop-the-world freeze of the whole tail when it fills.
+    # ------------------------------------------------------------------
+    freeze_block = 2_048 if quick else 8_192
+    freeze_appends = 4 * freeze_block if quick else 8 * freeze_block
+    freeze_bits = bursty_bits(rng, freeze_appends, max_run=9)
+
+    def _max_append_latency(budget: int) -> Tuple[float, float]:
+        vector = AppendOnlyBitVector(
+            block_size=freeze_block, freeze_blocks_per_append=budget
+        )
+        worst = 0.0
+        started_all = time.perf_counter()
+        clock = time.perf_counter
+        for bit in freeze_bits:
+            started = clock()
+            vector.append(bit)
+            elapsed = clock() - started
+            if elapsed > worst:
+                worst = elapsed
+        total = time.perf_counter() - started_all
+        assert len(vector) == freeze_appends
+        return worst, total
+
+    stop_world_max, stop_world_total = _max_append_latency(0)
+    incremental_max, incremental_total = _max_append_latency(2)
+    results["aob_freeze_latency"] = {
+        "ops": freeze_appends,
+        "block_size": freeze_block,
+        "stop_world_max_us": round(stop_world_max * 1e6, 1),
+        "incremental_max_us": round(incremental_max * 1e6, 1),
+        "max_latency_improvement": round(stop_world_max / incremental_max, 2),
+        "seed_ops_per_sec": round(freeze_appends / stop_world_total, 1),
+        "kernel_ops_per_sec": round(freeze_appends / incremental_total, 1),
+        "speedup": round(stop_world_total / incremental_total, 2),
+    }
 
     return {
         "benchmark": "bench_dynamic",

@@ -41,6 +41,7 @@ __all__ = [
     "invert_word",
     "rank_word_prefix",
     "select_in_word",
+    "select_in_word_many",
     "select_zero_in_word",
     "popcount_words",
     "popcount_range",
@@ -48,6 +49,7 @@ __all__ = [
     "broadword_iter_words",
     "build_rank_directory",
     "extract_bits_value",
+    "select_bit_in_words",
     "select_one_in_words",
     "one_positions",
     "run_lengths_of_value",
@@ -180,6 +182,36 @@ def select_in_word(word: int, k: int) -> int:
         k -= count
         base += 8
     return base + _SELECT_IN_BYTE[(byte << 3) | k]
+
+
+def select_in_word_many(word: int, ks: Sequence[int]) -> List[int]:
+    """Offsets of the ``ks[i]``-th set bits of a 64-bit word, ``ks`` ascending.
+
+    The sorted in-word multi-select primitive behind every ``select_many``
+    batch path: one MSB-first byte walk answers the whole group, so ``q``
+    queries landing in the same word cost O(8 + q) table hits instead of ``q``
+    independent binary descents.  The caller guarantees ``ks`` is sorted and
+    every ``k`` is below ``word.bit_count()``.
+    """
+    out: List[int] = []
+    if not ks:
+        return out
+    table = _SELECT_IN_BYTE
+    position = 0
+    seen = 0
+    total = len(ks)
+    for shift in _BYTE_SHIFTS:
+        byte = (word >> shift) & 0xFF
+        count = byte.bit_count()
+        while ks[position] < seen + count:
+            out.append((56 - shift) + table[(byte << 3) | (ks[position] - seen)])
+            position += 1
+            if position == total:
+                return out
+        seen += count
+    raise ValueError(
+        f"word has fewer than {ks[position] + 1} set bits"
+    )
 
 
 def select_zero_in_word(word: int, k: int, width: int = WORD) -> int:
@@ -320,6 +352,30 @@ def select_one_in_words(
             return index * WORD + select_in_word(words[index], idx - seen)
         seen += count
         index += 1
+
+
+def select_bit_in_words(
+    words: Sequence[int], length: int, bit: int, idx: int
+) -> int:
+    """Position of the ``idx``-th ``bit`` among the top ``length`` bits.
+
+    Directory-free select over a zero-padded packed word list: a linear word
+    scan of popcounts plus one table-driven in-word select, O(length / w).
+    The zero padding past ``length`` never surfaces in zero-selects.  Used
+    where payloads are too short-lived for a rank directory (mutable
+    buffers, in-flight freeze stages); the caller guarantees ``idx`` is in
+    range.
+    """
+    remaining = idx
+    for word_index, word in enumerate(words):
+        width = min(WORD, length - (word_index << 6))
+        ones = rank_word_prefix(word, width)
+        in_word = ones if bit else width - ones
+        if remaining < in_word:
+            target = word if bit else invert_word(word, width)
+            return (word_index << 6) + select_in_word(target, remaining)
+        remaining -= in_word
+    raise ValueError(f"word list has fewer than {idx + 1} {bit}-bits")
 
 
 # ----------------------------------------------------------------------

@@ -23,7 +23,7 @@ from repro.bitvector.dynamic import DynamicBitVector
 from repro.bitvector.gap import GapEncodedBitVector
 from repro.bitvector.plain import PlainBitVector
 from repro.bitvector.rle import RLEBitVector
-from repro.bitvector.rrr import RRRBitVector
+from repro.bitvector.rrr import IncrementalRRRBuilder, RRRBitVector
 from repro.bitvector.sparse import EliasFanoSequence, SparseBitVector
 
 __all__ = [
@@ -32,6 +32,7 @@ __all__ = [
     "DynamicBitVector",
     "EliasFanoSequence",
     "GapEncodedBitVector",
+    "IncrementalRRRBuilder",
     "PlainBitVector",
     "RLEBitVector",
     "RRRBitVector",

@@ -9,11 +9,18 @@ This implementation follows the same decomposition:
 
 * a :class:`~repro.bits.bitbuffer.BitBuffer` tail of at most ``block_size``
   bits (the paper's ``B'`` / ``F1``);
+* a *staged* payload being compressed incrementally -- the de-amortisation of
+  Lemma 4.7: when the tail fills it is handed off to an
+  :class:`~repro.bitvector.rrr.IncrementalRRRBuilder` and a fresh tail starts,
+  with a bounded number of RRR blocks encoded per subsequent append, so no
+  single ``append`` ever pays the O(block_size) stop-the-world freeze;
 * a list of frozen :class:`~repro.bitvector.rrr.RRRBitVector` blocks
   (the paper's ``F_i``);
 * append-only cumulative arrays of block lengths and block popcounts, queried
   with binary search (the engineered stand-in for the constant-time partial
   sum structures; the log factor is over the number of blocks only).
+
+The logical bit order is ``offset | frozen blocks | staged | tail``.
 
 It additionally supports the ``Init`` operation needed by the *append-only
 Wavelet Trie* (Theorem 4.3): a constant run of bits can be prepended as a pure
@@ -24,18 +31,20 @@ offset (``offset_bit``/``offset_length``), exactly as the paper prescribes
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Iterable, Iterator, List
+from typing import Iterable, Iterator, List, Optional
 
 from repro.bits import kernel
 from repro.bits.bitbuffer import BitBuffer
 from repro.bits.bitstring import Bits
-from repro.bitvector.base import BitVector
-from repro.bitvector.rrr import RRRBitVector
+from repro.bits.kernel import WORD
+from repro.bitvector.base import BitVector, validate_select_indexes
+from repro.bitvector.rrr import IncrementalRRRBuilder, RRRBitVector
 from repro.exceptions import OutOfBoundsError
 
 __all__ = ["AppendOnlyBitVector"]
 
 _DEFAULT_BLOCK = 1024
+_DEFAULT_FREEZE_BUDGET = 2
 
 
 class AppendOnlyBitVector(BitVector):
@@ -51,6 +60,13 @@ class AppendOnlyBitVector(BitVector):
     offset_bit, offset_length:
         Implements ``Init(b, n)``: the bitvector behaves as if it started with
         ``offset_length`` copies of ``offset_bit`` (paper Theorem 4.3).
+    freeze_blocks_per_append:
+        De-amortisation budget: RRR blocks encoded from the staged payload per
+        ``append`` call.  Any value >= 1 keeps worst-case append latency
+        bounded (a stage of ``ceil(block_size / 63)`` RRR blocks always
+        completes long before the fresh tail refills).  ``0`` restores the
+        stop-the-world freeze (one O(block_size) pass when the tail fills) --
+        kept for the latency benchmark's seed replica.
     """
 
     __slots__ = (
@@ -58,7 +74,11 @@ class AppendOnlyBitVector(BitVector):
         "_blocks",
         "_cum_length",
         "_cum_ones",
+        "_cum_zeros",
         "_tail",
+        "_stage",
+        "_freeze_budget",
+        "_last_freeze_blocks",
         "_offset_bit",
         "_offset_length",
     )
@@ -69,17 +89,25 @@ class AppendOnlyBitVector(BitVector):
         block_size: int = _DEFAULT_BLOCK,
         offset_bit: int = 0,
         offset_length: int = 0,
+        freeze_blocks_per_append: int = _DEFAULT_FREEZE_BUDGET,
     ) -> None:
         if block_size < 64:
             raise ValueError("block_size must be at least 64 bits")
         if offset_length < 0:
             raise ValueError("offset_length must be non-negative")
+        if freeze_blocks_per_append < 0:
+            raise ValueError("freeze_blocks_per_append must be non-negative")
         self._block_size = block_size
         self._blocks: List[RRRBitVector] = []
-        # _cum_length[i] / _cum_ones[i] = bits / ones in blocks[0..i-1]
+        # _cum_length[i] / _cum_ones[i] / _cum_zeros[i] = bits / ones / zeros
+        # in blocks[0..i-1]
         self._cum_length: List[int] = [0]
         self._cum_ones: List[int] = [0]
+        self._cum_zeros: List[int] = [0]
         self._tail = BitBuffer()
+        self._stage: Optional[IncrementalRRRBuilder] = None
+        self._freeze_budget = freeze_blocks_per_append
+        self._last_freeze_blocks = 0
         self._offset_bit = 1 if offset_bit else 0
         self._offset_length = offset_length
         self.extend(initial)
@@ -100,12 +128,19 @@ class AppendOnlyBitVector(BitVector):
     # Size / structure
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return self._offset_length + self._cum_length[-1] + len(self._tail)
+        return (
+            self._offset_length
+            + self._cum_length[-1]
+            + self._staged_length
+            + len(self._tail)
+        )
 
     @property
     def ones(self) -> int:
         offset_ones = self._offset_length if self._offset_bit else 0
-        return offset_ones + self._cum_ones[-1] + self._tail.ones
+        return (
+            offset_ones + self._cum_ones[-1] + self._staged_ones + self._tail.ones
+        )
 
     @property
     def block_count(self) -> int:
@@ -117,21 +152,75 @@ class AppendOnlyBitVector(BitVector):
         """Length of the implicit constant prefix installed by ``Init``."""
         return self._offset_length
 
+    @property
+    def _staged_length(self) -> int:
+        return self._stage.length if self._stage is not None else 0
+
+    @property
+    def _staged_ones(self) -> int:
+        return self._stage.ones if self._stage is not None else 0
+
+    @property
+    def pending_freeze_bits(self) -> int:
+        """Staged bits whose RRR encoding has not happened yet (0 when idle)."""
+        return self._stage.pending_bits if self._stage is not None else 0
+
+    @property
+    def last_freeze_blocks(self) -> int:
+        """RRR blocks encoded by the most recent ``append`` call.
+
+        Exposed for the de-amortisation regression test: with a positive
+        freeze budget this never exceeds the budget, i.e. no append pays the
+        O(block_size / 63)-block stop-the-world freeze.
+        """
+        return self._last_freeze_blocks
+
     # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
     def append(self, bit: int) -> None:
-        """Append one bit at the end of the bitvector."""
+        """Append one bit in O(1) amortised *and* bounded worst case.
+
+        The tail append itself is O(1), and at most
+        ``freeze_blocks_per_append`` RRR blocks of the staged payload are
+        encoded -- the Lemma 4.7 de-amortisation.  A full tail is handed off
+        to the incremental freezer (an O(tail / w) word-list move, no
+        encoding) only once the previous stage has drained; until then the
+        tail transiently overshoots ``block_size`` by at most the stage's
+        remaining block count, so *no* append ever pays a synchronous
+        O(block_size) freeze.  With a budget of 0 the freeze instead runs to
+        completion inside the filling append (stop-the-world).
+        """
         self._tail.append(1 if bit else 0)
-        if len(self._tail) >= self._block_size:
-            self._freeze_tail()
+        blocks = 0
+        if self._stage is not None:
+            blocks = self._advance_freeze()
+        if self._stage is None and len(self._tail) >= self._block_size:
+            self._stage_tail()
+            if blocks == 0:
+                blocks = self._advance_freeze()
+        self._last_freeze_blocks = blocks
+
+    def _advance_freeze(self) -> int:
+        """Encode this append's share of the staged payload; returns blocks.
+
+        Budget > 0: at most that many blocks (commit when the stage drains).
+        Budget 0: the whole remaining stage, synchronously.
+        """
+        if self._freeze_budget:
+            blocks = self._stage.encode_blocks(self._freeze_budget)
+            if self._stage.done:
+                self._commit_stage()
+            return blocks
+        return self._finish_stage()
 
     def extend(self, bits: Iterable[int]) -> None:
         """Append every bit of ``bits`` in order (bulk ``Append``).
 
-        The input is packed once through the kernel (O(k / 8)) and spliced
-        into the tail block by block, so freezing happens from whole packed
-        payloads instead of one big-int shift per bit.
+        Amortised O(k / 8 + k / block_size * encode(block_size)): the input
+        is packed once through the kernel and spliced into the tail block by
+        block; full blocks are frozen synchronously (bulk callers pay the
+        amortised cost by definition, so no staging is needed).
         """
         if not isinstance(bits, Bits):
             bits = Bits.from_iterable(bits)
@@ -150,6 +239,11 @@ class AppendOnlyBitVector(BitVector):
             return
         words = kernel.pack_value(bits.value, total)
         pos = 0
+        # The tail can transiently exceed block_size while a stage drains
+        # (see append); flush that state first so every carve below fits.
+        if len(self._tail) >= self._block_size:
+            self._stage_tail()
+            self._finish_stage()
         while pos < total:
             take = min(self._block_size - len(self._tail), total - pos)
             self._tail.append_int(
@@ -157,15 +251,58 @@ class AppendOnlyBitVector(BitVector):
             )
             pos += take
             if len(self._tail) >= self._block_size:
-                self._freeze_tail()
+                self._stage_tail()
+                self._finish_stage()
 
-    def _freeze_tail(self) -> None:
-        """Freeze the tail buffer into a static RRR block."""
-        block = RRRBitVector(self._tail.to_bits())
+    def _stage_tail(self) -> None:
+        """Hand the full tail to the incremental freezer; start a fresh tail.
+
+        O(tail / w): only the packed word list moves -- no combinatorial
+        encoding happens here.  The bounded ``append`` path only calls this
+        with no stage in flight; the bulk path may still meet one, and
+        completes it first to preserve block order (bulk work is amortised
+        by definition).
+        """
+        if self._stage is not None:
+            self._finish_stage()
+        self._stage = IncrementalRRRBuilder(
+            self._tail.words(), len(self._tail), self._tail.ones
+        )
+        self._tail = BitBuffer()
+
+    def _finish_stage(self) -> int:
+        """Run the staged encode to completion; returns blocks encoded."""
+        if self._stage is None:
+            return 0
+        blocks = 0
+        while not self._stage.done:
+            blocks += self._stage.encode_blocks(64)
+        self._commit_stage()
+        return blocks
+
+    def _commit_stage(self) -> None:
+        """Append the finished RRR block and its directory entries."""
+        block = self._stage.finish()
         self._blocks.append(block)
         self._cum_length.append(self._cum_length[-1] + len(block))
         self._cum_ones.append(self._cum_ones[-1] + block.ones)
-        self._tail = BitBuffer()
+        self._cum_zeros.append(self._cum_length[-1] - self._cum_ones[-1])
+        self._stage = None
+
+    # ------------------------------------------------------------------
+    # Staged-segment primitives (raw packed words, queried while in flight)
+    # ------------------------------------------------------------------
+    def _staged_access(self, pos: int) -> int:
+        words = self._stage.words
+        return (words[pos >> 6] >> (WORD - 1 - (pos & 63))) & 1
+
+    def _staged_rank1(self, pos: int) -> int:
+        return kernel.popcount_range(self._stage.words, 0, pos)
+
+    def _staged_select(self, bit: int, idx: int) -> int:
+        return kernel.select_bit_in_words(
+            self._stage.words, self._stage.length, bit, idx
+        )
 
     # ------------------------------------------------------------------
     # Queries
@@ -179,7 +316,11 @@ class AppendOnlyBitVector(BitVector):
         if pos < frozen:
             block_index = bisect_right(self._cum_length, pos) - 1
             return self._blocks[block_index].access(pos - self._cum_length[block_index])
-        return self._tail[pos - frozen]
+        pos -= frozen
+        staged = self._staged_length
+        if pos < staged:
+            return self._staged_access(pos)
+        return self._tail[pos - staged]
 
     def rank(self, bit: int, pos: int) -> int:
         self._check_bit(bit)
@@ -191,7 +332,14 @@ class AppendOnlyBitVector(BitVector):
         if rest > 0:
             frozen = self._cum_length[-1]
             if rest > frozen:
-                ones += self._cum_ones[-1] + self._tail.rank(1, rest - frozen)
+                ones += self._cum_ones[-1]
+                rest -= frozen
+                staged = self._staged_length
+                if rest > staged:
+                    ones += self._staged_ones
+                    ones += self._tail.rank(1, rest - staged)
+                else:
+                    ones += self._staged_rank1(rest)
             else:
                 block_index = bisect_right(self._cum_length, rest - 1) - 1
                 ones += self._cum_ones[block_index]
@@ -212,25 +360,12 @@ class AppendOnlyBitVector(BitVector):
         if idx < offset_count:
             return idx
         idx -= offset_count
-        # Frozen blocks: binary search the cumulative counts of `bit` (for
-        # zeros the count is derived on the fly as length - ones, so the
-        # search stays O(log blocks) without materialising an array).
-        if bit:
-            cum = self._cum_ones
-            block_index = bisect_right(cum, idx) - 1
-            before = cum[block_index]
-            frozen_total = cum[-1]
-        else:
-            lo, hi = 0, len(self._cum_length) - 1
-            while lo < hi:
-                mid = (lo + hi + 1) // 2
-                if self._cum_length[mid] - self._cum_ones[mid] <= idx:
-                    lo = mid
-                else:
-                    hi = mid - 1
-            block_index = lo
-            before = self._cum_length[block_index] - self._cum_ones[block_index]
-            frozen_total = self._cum_length[-1] - self._cum_ones[-1]
+        # Frozen blocks: binary search the cumulative counts of `bit` (the
+        # zeros directory is maintained append-only alongside the ones).
+        cum = self._cum_ones if bit else self._cum_zeros
+        block_index = bisect_right(cum, idx) - 1
+        before = cum[block_index]
+        frozen_total = cum[-1]
         if block_index < len(self._blocks):
             in_block = self._blocks[block_index].count(bit)
             if idx - before < in_block:
@@ -239,13 +374,90 @@ class AppendOnlyBitVector(BitVector):
                     + self._cum_length[block_index]
                     + self._blocks[block_index].select(bit, idx - before)
                 )
-        # Otherwise the occurrence is in the tail.
+        # Staged segment, then the tail.
         idx -= frozen_total
-        return (
-            self._offset_length
-            + self._cum_length[-1]
-            + self._tail.select(bit, idx)
+        staged_count = (
+            self._staged_ones if bit else self._staged_length - self._staged_ones
         )
+        frozen_start = self._offset_length + self._cum_length[-1]
+        if idx < staged_count:
+            return frozen_start + self._staged_select(bit, idx)
+        idx -= staged_count
+        return frozen_start + self._staged_length + self._tail.select(bit, idx)
+
+    def select_many(self, bit: int, indexes) -> List[int]:
+        """``select(bit, idx)`` for each index, batch-amortised per segment.
+
+        The indexes are sorted once and routed through the segments in order
+        (offset prefix, frozen blocks, staged payload, tail); queries landing
+        in the same frozen block are answered by that block's RRR
+        ``select_many`` (one decode per touched block), so the per-query cost
+        amortises to O(log q) sort work plus the shared directory walks
+        instead of one binary search + block scan each.
+        """
+        self._check_bit(bit)
+        indexes = validate_select_indexes(indexes, self.count(bit), bit)
+        if not indexes:
+            return []
+        order = sorted(range(len(indexes)), key=indexes.__getitem__)
+        out = [0] * len(indexes)
+        offset_count = self._offset_length if self._offset_bit == bit else 0
+        frozen_cum = self._cum_ones if bit else self._cum_zeros
+        frozen_total = frozen_cum[-1]
+        staged_count = (
+            self._staged_ones if bit else self._staged_length - self._staged_ones
+        )
+        frozen_start = self._offset_length + self._cum_length[-1]
+        n_queries = len(order)
+        at = 0
+        # Offset prefix: the idx-th occurrence *is* position idx.
+        while at < n_queries and indexes[order[at]] < offset_count:
+            out[order[at]] = indexes[order[at]]
+            at += 1
+        # Frozen blocks: group queries per block, one batched select per block.
+        block_index = 0
+        while at < n_queries:
+            idx = indexes[order[at]] - offset_count
+            if idx >= frozen_total:
+                break
+            block_index = bisect_right(frozen_cum, idx, block_index + 1) - 1
+            before = frozen_cum[block_index]
+            upper = frozen_cum[block_index + 1]
+            group_end = at + 1
+            while (
+                group_end < n_queries
+                and indexes[order[group_end]] - offset_count < upper
+            ):
+                group_end += 1
+            base = self._offset_length + self._cum_length[block_index]
+            local = self._blocks[block_index].select_many(
+                bit,
+                [indexes[order[i]] - offset_count - before for i in range(at, group_end)],
+            )
+            for i, position in zip(range(at, group_end), local):
+                out[order[i]] = base + position
+            at = group_end
+        # Staged payload, then the tail (both bounded by block_size bits).
+        # The tail's padded word list is materialised once for the whole
+        # batch rather than once per tail-landing query.
+        tail_words = None
+        tail_length = len(self._tail)
+        while at < n_queries:
+            idx = indexes[order[at]] - offset_count - frozen_total
+            if idx < staged_count:
+                out[order[at]] = frozen_start + self._staged_select(bit, idx)
+            else:
+                if tail_words is None:
+                    tail_words = self._tail.words()
+                out[order[at]] = (
+                    frozen_start
+                    + self._staged_length
+                    + kernel.select_bit_in_words(
+                        tail_words, tail_length, bit, idx - staged_count
+                    )
+                )
+            at += 1
+        return out
 
     def iter_range(self, start: int, stop: int) -> Iterator[int]:
         self._check_range(start, stop)
@@ -265,24 +477,37 @@ class AppendOnlyBitVector(BitVector):
             upper = min(stop, block_start + len(block))
             yield from block.iter_range(pos - block_start, upper - block_start)
             pos = upper
+        staged_end = frozen_end + self._staged_length
+        if pos < stop and pos < staged_end:
+            upper = min(stop, staged_end)
+            yield from kernel.broadword_iter_words(
+                self._stage.words, pos - frozen_end, upper - frozen_end
+            )
+            pos = upper
         if pos < stop:
-            tail_start = frozen_end
-            for local in range(pos - tail_start, stop - tail_start):
+            for local in range(pos - staged_end, stop - staged_end):
                 yield self._tail[local]
 
     # ------------------------------------------------------------------
     # Space accounting
     # ------------------------------------------------------------------
     def size_in_bits(self) -> int:
-        """Encoded size: frozen blocks + tail + directories + offset metadata."""
+        """Encoded size: frozen blocks + staged words + tail + directories."""
         blocks = sum(block.size_in_bits() for block in self._blocks)
-        directories = (len(self._cum_length) + len(self._cum_ones)) * 64
+        directories = (
+            len(self._cum_length) + len(self._cum_ones) + len(self._cum_zeros)
+        ) * 64
+        staged = len(self._stage.words) * WORD if self._stage is not None else 0
         tail = len(self._tail) + 2 * 64
-        return blocks + directories + tail + 2 * 64
+        return blocks + directories + staged + tail + 2 * 64
 
     def payload_bits(self) -> int:
-        """Compressed payload only (RRR payloads + raw tail)."""
-        return sum(block.payload_bits() for block in self._blocks) + len(self._tail)
+        """Compressed payload only (RRR payloads + staged words + raw tail)."""
+        return (
+            sum(block.payload_bits() for block in self._blocks)
+            + self._staged_length
+            + len(self._tail)
+        )
 
     def to_list(self) -> List[int]:
         return list(self.iter_range(0, len(self)))

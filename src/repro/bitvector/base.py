@@ -21,7 +21,26 @@ from typing import Iterator, List
 
 from repro.exceptions import OutOfBoundsError
 
-__all__ = ["BitVector", "StaticBitVector"]
+__all__ = ["BitVector", "StaticBitVector", "validate_select_indexes"]
+
+
+def validate_select_indexes(indexes, total: int, label) -> list:
+    """Normalise and range-check a ``select_many`` index batch.
+
+    Returns ``indexes`` as a list; raises :class:`OutOfBoundsError` naming
+    the first offending index if any falls outside ``[0, total)``.  Shared
+    by every ``select_many`` implementation so the batch contract (all-or-
+    nothing validation, uniform error message) cannot drift between
+    encodings.
+    """
+    if not isinstance(indexes, (list, tuple)):
+        indexes = list(indexes)
+    if indexes and (min(indexes) < 0 or max(indexes) >= total):
+        bad = next(i for i in indexes if not 0 <= i < total)
+        raise OutOfBoundsError(
+            f"select({label}, {bad}) out of range: only {total} occurrences"
+        )
+    return list(indexes)
 
 
 class BitVector(ABC):
@@ -104,6 +123,17 @@ class BitVector(ABC):
     def rank_many(self, bit: int, positions) -> List[int]:
         """``rank(bit, pos)`` for each of ``positions`` (batch-amortised)."""
         return [self.rank(bit, pos) for pos in positions]
+
+    def select_many(self, bit: int, indexes) -> List[int]:
+        """``select(bit, idx)`` for each of ``indexes``, in input order.
+
+        Batch convention (see docs/API.md): ``indexes`` need not be sorted --
+        implementations sort internally and restore input order -- and the
+        amortised cost is that of one shared directory walk plus the sort,
+        O(D + q log q) where D is the directory span touched, instead of q
+        independent O(select) descents.  This default simply loops.
+        """
+        return [self.select(bit, idx) for idx in indexes]
 
     def __getitem__(self, pos: int) -> int:
         if pos < 0:

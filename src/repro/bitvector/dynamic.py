@@ -37,7 +37,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.bits.bitstring import Bits
 from repro.bits.codes import gamma_code_length
-from repro.bitvector.base import BitVector
+from repro.bitvector.base import BitVector, validate_select_indexes
 from repro.bitvector.rle import runs_of
 from repro.exceptions import OutOfBoundsError
 
@@ -346,8 +346,9 @@ class DynamicBitVector(BitVector):
         """Bits at each of ``positions`` in one in-order pass over the runs.
 
         Sorts the positions once and advances a single runs iterator, so q
-        queries cost O(r + q log q) instead of q O(log r) tree walks -- the
-        fast path behind the dynamic Wavelet Trie's batched Access.
+        queries cost amortised O(r + q log q) instead of q O(log r) tree
+        walks -- the fast path behind the dynamic Wavelet Trie's batched
+        Access.
         """
         if not isinstance(positions, (list, tuple)):
             positions = list(positions)
@@ -375,7 +376,11 @@ class DynamicBitVector(BitVector):
         return out
 
     def rank_many(self, bit: int, positions: Sequence[int]) -> List[int]:
-        """``rank(bit, pos)`` for each position, batch-amortised (one runs pass)."""
+        """``rank(bit, pos)`` for each position in one in-order runs pass.
+
+        Amortised O(r + q log q) for q queries (sort once, advance a single
+        runs iterator), against q O(log r) tree walks for the scalar loop.
+        """
         self._check_bit(bit)
         if not isinstance(positions, (list, tuple)):
             positions = list(positions)
@@ -408,6 +413,39 @@ class DynamicBitVector(BitVector):
             out[index] = ones if bit else pos - ones
         return out
 
+    def select_many(self, bit: int, indexes: Sequence[int]) -> List[int]:
+        """``select(bit, idx)`` for each index, batch-amortised.
+
+        The select-side twin of :meth:`rank_many`: the indexes are sorted
+        once and a single in-order pass over the runs answers them all, so q
+        queries cost amortised O(r + q log q) instead of q O(log r) tree
+        walks.  Small batches on run-heavy vectors fall back to the scalar
+        walks (see :meth:`_batch_prefers_scalar`).  This is the primitive
+        behind the dynamic Wavelet Trie's batched Select.
+        """
+        self._check_bit(bit)
+        indexes = validate_select_indexes(indexes, self.count(bit), bit)
+        if not indexes:
+            return []
+        if self._batch_prefers_scalar(len(indexes)):
+            return [self.select(bit, idx) for idx in indexes]
+        order = sorted(range(len(indexes)), key=indexes.__getitem__)
+        out = [0] * len(indexes)
+        runs = self.runs()
+        run_bit = 0
+        run_length = 0
+        position = 0  # start position of the current run
+        seen = 0  # occurrences of `bit` before the current run
+        for index in order:
+            idx = indexes[index]
+            while run_bit != bit or seen + run_length <= idx:
+                if run_bit == bit:
+                    seen += run_length
+                position += run_length
+                run_bit, run_length = next(runs)
+            out[index] = position + (idx - seen)
+        return out
+
     # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
@@ -433,6 +471,35 @@ class DynamicBitVector(BitVector):
             )
         left, right = _split(self._root, pos)
         left = self._absorb_or_append(left, bit, length)
+        self._root = self._coalesced_merge(left, right)
+
+    def insert_many(self, pos: int, bits: Union[Bits, Iterable[int]]) -> None:
+        """Insert every bit of ``bits``, the first landing at position ``pos``.
+
+        Bulk ``Insert``: the payload is decomposed into maximal runs by the
+        word-level kernel (:func:`repro.bits.kernel.runs_of_value`), the treap
+        is split *once* at ``pos``, a treap over the new runs is bulk-built in
+        O(r_new) with the right-spine construction, and the two merges (with
+        boundary coalescing) finish in O(log r) -- amortised O(k / 8 + r_new +
+        log r) for k bits, instead of k root-to-leaf insertions costing
+        O(k log r).
+        """
+        self.insert_runs(pos, runs_of(bits))
+
+    def insert_runs(self, pos: int, runs: Iterable[Tuple[int, int]]) -> None:
+        """Insert ``(bit, length)`` runs starting at position ``pos``.
+
+        One O(log r) split, one O(r_new) treap build, two coalescing merges.
+        """
+        if not 0 <= pos <= len(self):
+            raise OutOfBoundsError(
+                f"insert position {pos} out of range for length {len(self)}"
+            )
+        tree = self._build_treap(self._normalise_runs(runs))
+        if tree is None:
+            return
+        left, right = _split(self._root, pos)
+        left = self._coalesced_merge(left, tree)
         self._root = self._coalesced_merge(left, right)
 
     def append(self, bit: int) -> None:

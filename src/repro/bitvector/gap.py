@@ -66,6 +66,23 @@ class GapEncodedBitVector(BitVector):
         return self._one_positions.select(bit, idx)
 
     # ------------------------------------------------------------------
+    # Batch query paths (delegate to the run-treap's single-pass batches)
+    # ------------------------------------------------------------------
+    def access_many(self, positions: Iterable[int]) -> List[int]:
+        """Bits at each position, amortised O(r + q log q) (one runs pass)."""
+        return self._one_positions.access_many(positions)
+
+    def rank_many(self, bit: int, positions: Iterable[int]) -> List[int]:
+        """``rank(bit, pos)`` per position, amortised O(r + q log q)."""
+        self._check_bit(bit)
+        return self._one_positions.rank_many(bit, positions)
+
+    def select_many(self, bit: int, indexes: Iterable[int]) -> List[int]:
+        """``select(bit, idx)`` per index, amortised O(r + q log q)."""
+        self._check_bit(bit)
+        return self._one_positions.select_many(bit, indexes)
+
+    # ------------------------------------------------------------------
     def append(self, bit: int) -> None:
         """Append one bit."""
         self._one_positions.append(1 if bit else 0)

@@ -22,7 +22,7 @@ from typing import Iterable, Iterator, List, Tuple, Union
 from repro.bits.bitstring import Bits
 from repro.bits.codes import BitReader, BitWriter, gamma_code_length
 from repro.bits.kernel import runs_of_value
-from repro.bitvector.base import StaticBitVector
+from repro.bitvector.base import StaticBitVector, validate_select_indexes
 from repro.exceptions import OutOfBoundsError
 
 __all__ = ["RLEBitVector", "runs_of"]
@@ -209,6 +209,61 @@ class RLEBitVector(StaticBitVector):
                 seen += length
             run_start += length
             run_index += 1
+
+    def select_many(self, bit: int, indexes) -> List[int]:
+        """``select(bit, idx)`` for each index, batch-amortised.
+
+        The indexes are sorted once, the zeros-count sample directory is
+        materialised once (the scalar path rebuilds it per call), and the
+        gamma-coded runs are decoded monotonically -- a sample re-jump happens
+        only when the next query overshoots the current sample region, so
+        each touched run is decoded exactly once.  Amortised O(q log q + R)
+        where R is the number of touched runs, against one directory search
+        plus run scan per query for the scalar loop.
+        """
+        self._check_bit(bit)
+        total = self._ones if bit else self._length - self._ones
+        indexes = validate_select_indexes(indexes, total, bit)
+        if not indexes:
+            return []
+        if bit:
+            counts = self._sample_ones
+        else:
+            counts = [
+                pos - ones
+                for pos, ones in zip(self._sample_pos, self._sample_ones)
+            ]
+        order = sorted(range(len(indexes)), key=indexes.__getitem__)
+        out = [0] * len(indexes)
+        sample_rate = self._sample_rate
+        n_samples = len(counts)
+        run_index = run_start = seen = 0
+        reader = None
+        current_len = None
+        for index in order:
+            idx = indexes[index]
+            next_sample = run_index // sample_rate + 1
+            if reader is None or (
+                next_sample < n_samples and counts[next_sample] <= idx
+            ):
+                sample_index = bisect_right(counts, idx) - 1
+                run_index = sample_index * sample_rate
+                run_start = self._sample_pos[sample_index]
+                seen = counts[sample_index]
+                reader = BitReader(self._codes, self._sample_code[sample_index])
+                current_len = None
+            while True:
+                if current_len is None:
+                    current_len = reader.read_gamma()
+                if self._run_bit(run_index) == bit:
+                    if seen + current_len > idx:
+                        out[index] = run_start + (idx - seen)
+                        break
+                    seen += current_len
+                run_start += current_len
+                run_index += 1
+                current_len = None
+        return out
 
     def iter_range(self, start: int, stop: int) -> Iterator[int]:
         self._check_range(start, stop)

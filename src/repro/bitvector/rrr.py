@@ -33,12 +33,13 @@ from repro.bits.kernel import (
     iter_word_bits,
     pack_value,
     select_in_word,
+    select_in_word_many,
 )
 from repro.bits.packed import PackedIntVector
-from repro.bitvector.base import StaticBitVector
+from repro.bitvector.base import StaticBitVector, validate_select_indexes
 from repro.exceptions import OutOfBoundsError
 
-__all__ = ["RRRBitVector"]
+__all__ = ["RRRBitVector", "IncrementalRRRBuilder"]
 
 _DEFAULT_BLOCK = 63
 _DEFAULT_SAMPLE = 8
@@ -270,6 +271,100 @@ class RRRBitVector(StaticBitVector):
             block_index += 1
         raise AssertionError("select directory inconsistent")  # pragma: no cover
 
+    def _sample_count_before(self, bit: int, sample_index: int) -> int:
+        """Occurrences of ``bit`` before sample ``sample_index``."""
+        if bit:
+            return self._sample_rank[sample_index]
+        return (
+            sample_index * self._sample_rate * self._block_size
+            - self._sample_rank[sample_index]
+        )
+
+    def _sample_before_count(self, bit: int, idx: int, lo: int = 0) -> int:
+        """Largest sample whose ``bit``-count before it is <= ``idx``."""
+        if bit:
+            return bisect_right(self._sample_rank, idx, lo) - 1
+        hi = len(self._sample_rank) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._sample_count_before(0, mid) <= idx:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    def select_many(self, bit: int, indexes) -> List[int]:
+        """``select(bit, idx)`` for each index, batch-amortised.
+
+        The indexes are sorted once and the block directory is walked
+        monotonically: sample jumps only happen when the next query overshoots
+        the current sample's region, each touched block is class/offset
+        decoded exactly once, and all queries inside a block are finished by
+        the kernel's sorted in-word multi-select.  Amortised O(q log q + B)
+        where B is the number of touched blocks, against one directory search
+        plus block scan *per query* for the scalar loop.
+        """
+        self._check_bit(bit)
+        total = self._ones if bit else self._length - self._ones
+        indexes = validate_select_indexes(indexes, total, bit)
+        if not indexes:
+            return []
+        order = sorted(range(len(indexes)), key=indexes.__getitem__)
+        out = [0] * len(indexes)
+        classes = self._class_list
+        widths = self._width_by_class
+        block_size = self._block_size
+        sample_rate = self._sample_rate
+        n_samples = len(self._sample_rank)
+        block_index = seen = offset_pos = 0
+        jump_needed = True
+        at = 0
+        n_queries = len(order)
+        while at < n_queries:
+            idx = indexes[order[at]]
+            next_sample = block_index // sample_rate + 1
+            if jump_needed or (
+                next_sample < n_samples
+                and self._sample_count_before(bit, next_sample) <= idx
+            ):
+                sample_index = self._sample_before_count(bit, idx)
+                block_index = sample_index * sample_rate
+                seen = self._sample_count_before(bit, sample_index)
+                offset_pos = self._sample_offset_pos[sample_index]
+                jump_needed = False
+            while True:
+                cls = classes[block_index]
+                block_start = block_index * block_size
+                block_len = min(block_size, self._length - block_start)
+                in_block = cls if bit else block_len - cls
+                if seen + in_block > idx:
+                    break
+                seen += in_block
+                offset_pos += widths[cls]
+                block_index += 1
+            group_end = at + 1
+            while (
+                group_end < n_queries
+                and indexes[order[group_end]] < seen + in_block
+            ):
+                group_end += 1
+            word = self._decode_block(block_index, offset_pos) << (
+                64 - block_size
+            )
+            if not bit:
+                word = invert_word(word, block_len)
+            offsets = select_in_word_many(
+                word,
+                [indexes[order[i]] - seen for i in range(at, group_end)],
+            )
+            for i, offset in zip(range(at, group_end), offsets):
+                out[order[i]] = block_start + offset
+            seen += in_block
+            offset_pos += widths[cls]
+            block_index += 1
+            at = group_end
+        return out
+
     def iter_range(self, start: int, stop: int) -> Iterator[int]:
         self._check_range(start, stop)
         if start >= stop:
@@ -290,6 +385,48 @@ class RRRBitVector(StaticBitVector):
             block_index += 1
 
     # ------------------------------------------------------------------
+    @classmethod
+    def _from_block_stream(
+        cls,
+        length: int,
+        block_size: int,
+        sample_rate: int,
+        classes: List[int],
+        offsets: Bits,
+    ) -> "RRRBitVector":
+        """Assemble an instance from pre-encoded per-block classes + offsets.
+
+        Used by :class:`IncrementalRRRBuilder` to finish a de-amortised
+        construction: the expensive combinatorial encoding already happened
+        block by block, so only the O(n_blocks) sampled directories remain.
+        """
+        self = cls.__new__(cls)
+        self._length = length
+        self._block_size = block_size
+        self._sample_rate = sample_rate
+        self._width_by_class = offset_width_table(block_size)
+        sample_rank: List[int] = []
+        sample_offset_pos: List[int] = []
+        ones_so_far = 0
+        offset_pos = 0
+        widths = self._width_by_class
+        for block_index, block_class in enumerate(classes):
+            if block_index % sample_rate == 0:
+                sample_rank.append(ones_so_far)
+                sample_offset_pos.append(offset_pos)
+            ones_so_far += block_class
+            offset_pos += widths[block_class]
+        self._classes = PackedIntVector(max(1, block_size.bit_length()), classes)
+        self._class_list = list(classes)
+        self._offset_words = pack_value(offsets.value, len(offsets))
+        self._offset_len = len(offsets)
+        self._sample_rank = sample_rank
+        self._sample_offset_pos = sample_offset_pos
+        self._ones = ones_so_far
+        self._offset_starts = None
+        return self
+
+    # ------------------------------------------------------------------
     def size_in_bits(self) -> int:
         """Total encoded size: classes + offsets + sampled directories."""
         classes = self._classes.size_in_bits()
@@ -304,3 +441,99 @@ class RRRBitVector(StaticBitVector):
     def compressed_payload_bits(self) -> int:
         """The offset stream alone (the entropy-proportional part)."""
         return self._offset_len
+
+
+class IncrementalRRRBuilder:
+    """De-amortised RRR construction over a fixed packed-word payload.
+
+    The paper de-amortises the append-only bitvector's tail freeze (Lemma 4.7
+    -> Theorem 4.5 worst case) by running the compression of the previous
+    tail *incrementally* while new bits accumulate in a fresh one.  This
+    builder is that mechanism: it owns a frozen payload (kernel packed words)
+    and encodes a *bounded* number of RRR blocks per :meth:`encode_blocks`
+    call, so the caller can spread the combinatorial work over many appends
+    instead of paying one O(payload) stop-the-world pass.
+
+    While the build is in flight the raw payload stays queryable through
+    :attr:`words` / :attr:`length` / :attr:`ones`.
+    """
+
+    __slots__ = (
+        "words",
+        "length",
+        "ones",
+        "_block_size",
+        "_sample_rate",
+        "_cursor",
+        "_classes",
+        "_writer",
+        "_width_by_class",
+    )
+
+    def __init__(
+        self,
+        words: List[int],
+        length: int,
+        ones: int,
+        block_size: int = _DEFAULT_BLOCK,
+        sample_rate: int = _DEFAULT_SAMPLE,
+    ) -> None:
+        self.words = words
+        self.length = length
+        self.ones = ones
+        self._block_size = block_size
+        self._sample_rate = sample_rate
+        self._cursor = 0
+        self._classes: List[int] = []
+        self._writer = BitWriter()
+        self._width_by_class = offset_width_table(block_size)
+
+    @property
+    def done(self) -> bool:
+        """True once every block of the payload has been encoded."""
+        return self._cursor >= self.length
+
+    @property
+    def pending_bits(self) -> int:
+        """Payload bits not yet encoded."""
+        return max(0, self.length - self._cursor)
+
+    def encode_blocks(self, max_blocks: int) -> int:
+        """Encode up to ``max_blocks`` further RRR blocks; returns how many.
+
+        Each block costs one O(1)-word extraction plus one combinatorial
+        rank -- the bounded unit of freeze work per append.
+        """
+        encoded = 0
+        block_size = self._block_size
+        widths = self._width_by_class
+        while encoded < max_blocks and self._cursor < self.length:
+            start = self._cursor
+            stop = min(start + block_size, self.length)
+            width = stop - start
+            value = extract_bits_value(self.words, start, stop) << (
+                block_size - width
+            )
+            block_class = value.bit_count()
+            self._classes.append(block_class)
+            offset_width = widths[block_class]
+            if offset_width:
+                self._writer.write_int(
+                    combinatorial_rank(value, block_size, block_class),
+                    offset_width,
+                )
+            self._cursor = stop
+            encoded += 1
+        return encoded
+
+    def finish(self) -> RRRBitVector:
+        """Encode any remaining blocks and assemble the static block."""
+        while not self.done:
+            self.encode_blocks(64)
+        return RRRBitVector._from_block_stream(
+            self.length,
+            self._block_size,
+            self._sample_rate,
+            self._classes,
+            self._writer.to_bits(),
+        )

@@ -99,6 +99,19 @@ class AppendOnlyWaveletTrie(GrowableTopologyMixin, WaveletTrieBase):
             )
         self.append(value)
 
+    def insert_many(self, values: Iterable[Any], pos: int) -> None:
+        """Bulk insert, end-only: ``pos`` must equal the current length.
+
+        Delegates to the batch-amortised :meth:`extend`; any other position
+        raises, exactly like scalar :meth:`insert`.
+        """
+        if pos != self._size:
+            raise InvalidOperationError(
+                "AppendOnlyWaveletTrie only supports insertion at the end; "
+                "use DynamicWaveletTrie for arbitrary positions"
+            )
+        self.extend(values)
+
     def delete(self, pos: int) -> Any:
         raise InvalidOperationError(
             "AppendOnlyWaveletTrie does not support delete; use DynamicWaveletTrie"

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any, Iterator, List, Optional, Tuple
 
 from repro.bits.bitstring import Bits
+from repro.bitvector.base import validate_select_indexes
 from repro.core.interface import IndexedStringSequence
 from repro.core.node import WaveletTrieNode
 from repro.core.range_queries import RangeQueryMixin
@@ -110,8 +111,9 @@ class WaveletTrieBase(RangeQueryMixin, IndexedStringSequence):
         One traversal of the touched trie nodes: positions are partitioned by
         their accessed bit at every internal node and mapped down with the
         bitvector's batch ``access_many``/``rank_many``, and each leaf value
-        is decoded once for its whole group -- instead of one full root-to-
-        leaf walk (and one decode) per queried position.
+        is decoded once for its whole group -- amortised, one bitvector batch
+        pass per touched node instead of one full root-to-leaf walk (and one
+        decode) per queried position.
         """
         if not isinstance(positions, (list, tuple)):
             positions = list(positions)
@@ -156,7 +158,8 @@ class WaveletTrieBase(RangeQueryMixin, IndexedStringSequence):
 
         The value is binarised once and the trie descended once; at every
         internal node the whole position vector is mapped through the
-        bitvector's batch ``rank_many``.
+        bitvector's batch ``rank_many`` -- amortised O(|s| + h_s (D + q))
+        where D is the per-node batch-pass cost, against q full walks.
         """
         key = self._codec.to_bits(value)
         if not isinstance(positions, (list, tuple)):
@@ -179,6 +182,35 @@ class WaveletTrieBase(RangeQueryMixin, IndexedStringSequence):
             current = node.bitvector.rank_many(bit, current)
             depth += len(label) + 1
             node = node.children[bit]
+
+    def select_many(self, value: Any, indexes) -> List[int]:
+        """``select(value, idx)`` for each index (batched paper Select).
+
+        The value is binarised once, its root-to-leaf path located once, and
+        the path unwound with each node bitvector's batched ``select_many``
+        -- one shared directory/runs pass per node -- so q queries cost
+        amortised O(|s| + h_s (D + q log q)) instead of q full O(|s| +
+        h_s log n) walks.  Results come back in input order; the indexes
+        need not be sorted.
+        """
+        return self.select_many_bits(self._codec.to_bits(value), indexes)
+
+    def select_many_bits(self, key: Bits, indexes) -> List[int]:
+        """Batched Select of a binarised value (see :meth:`select_many`)."""
+        path = self._path_of(key)
+        if path is None:
+            raise ValueNotFoundError(
+                f"value {key!r} does not occur in the sequence"
+            )
+        leaf, ancestors = path
+        current = validate_select_indexes(
+            indexes, leaf.sequence_length(self._size), repr(key)
+        )
+        if not current:
+            return []
+        for node, bit in reversed(ancestors):
+            current = node.bitvector.select_many(bit, current)
+        return current
 
     # ------------------------------------------------------------------
     # Bit-level queries (Lemmas 3.2 / 3.3)

@@ -96,6 +96,55 @@ class DynamicWaveletTrie(GrowableTopologyMixin, WaveletTrieBase):
             position = node.bitvector.rank(bit, position)
         self._size += 1
 
+    def insert_many(self, values: Iterable[Any], pos: int) -> None:
+        """Insert every element of ``values``, the first landing at ``pos``.
+
+        Bulk paper ``Insert``: all topology changes (splits via ``Init`` for
+        previously unseen strings) are applied first, while the bitvectors
+        still hold the pre-insert counts Figure 3 requires; the inserted
+        block then stays contiguous at every trie level, so each touched node
+        pays one :meth:`DynamicBitVector.insert_many` (treap split + O(r_new)
+        bulk build + merge) and one ``rank`` -- amortised
+        O(d |s| + nodes_touched (log r + k_node)) for k elements over d
+        distinct strings, instead of k per-element root-to-leaf walks.
+        """
+        if not 0 <= pos <= self._size:
+            raise OutOfBoundsError(
+                f"insert position {pos} out of range for length {self._size}"
+            )
+        keys = [self._codec.to_bits(value) for value in values]
+        if not keys:
+            return
+        ensured = set()
+        for key in keys:
+            if key not in ensured:
+                ensured.add(key)
+                self._ensure_key(key)
+        stack: List[Tuple[WaveletTrieNode, int, List[Bits], int]] = [
+            (self._root, 0, keys, pos)
+        ]
+        while stack:
+            node, depth, group, position = stack.pop()
+            if node.is_leaf:
+                continue
+            branch_at = depth + len(node.label)
+            bits = [key[branch_at] for key in group]
+            left_position = node.bitvector.rank(0, position)
+            right_position = position - left_position
+            node.bitvector.insert_many(position, bits)
+            left_group = [key for key, bit in zip(group, bits) if bit == 0]
+            right_group = [key for key, bit in zip(group, bits) if bit == 1]
+            child_depth = branch_at + 1
+            if left_group:
+                stack.append(
+                    (node.children[0], child_depth, left_group, left_position)
+                )
+            if right_group:
+                stack.append(
+                    (node.children[1], child_depth, right_group, right_position)
+                )
+        self._size += len(keys)
+
     def delete(self, pos: int) -> Any:
         """Delete the element at position ``pos`` and return it (paper Delete).
 

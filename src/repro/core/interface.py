@@ -58,6 +58,34 @@ class IndexedStringSequence(ABC):
         """Position of the ``idx``-th element whose value starts with ``prefix``."""
 
     # ------------------------------------------------------------------
+    # Batch queries (overridden with amortised paths where they exist)
+    # ------------------------------------------------------------------
+    def access_many(self, positions) -> List[Any]:
+        """Elements at each of ``positions``, in input order.
+
+        The default loops (q scalar calls, no amortisation); structures with
+        a shared-descent batch path (the Wavelet Trie variants, the Wavelet
+        Trees) override it with an amortised implementation.
+        """
+        return [self.access(pos) for pos in positions]
+
+    def rank_many(self, value: Any, positions) -> List[int]:
+        """``rank(value, pos)`` for each of ``positions``.
+
+        Default: q scalar calls, no amortisation; overridden where a shared
+        descent exists.
+        """
+        return [self.rank(value, pos) for pos in positions]
+
+    def select_many(self, value: Any, indexes) -> List[int]:
+        """``select(value, idx)`` for each of ``indexes``, in input order.
+
+        Default: q scalar calls, no amortisation; overridden where a shared
+        path unwind exists.
+        """
+        return [self.select(value, idx) for idx in indexes]
+
+    # ------------------------------------------------------------------
     # Updates (optional; static structures raise)
     # ------------------------------------------------------------------
     def append(self, value: Any) -> None:

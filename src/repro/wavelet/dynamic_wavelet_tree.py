@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
+from repro.bitvector.base import validate_select_indexes
 from repro.bitvector.dynamic import DynamicBitVector
 from repro.exceptions import OutOfBoundsError, ValueNotFoundError
 
@@ -136,6 +137,32 @@ class FixedAlphabetDynamicWaveletTree:
             idx = ancestor.bitvector.select(bit, idx)
         return idx
 
+    def select_many(self, value: Hashable, indexes: Sequence[int]) -> List[int]:
+        """``select(value, idx)`` for each of ``indexes``.
+
+        One root-to-leaf walk is recorded and unwound with the dynamic
+        bitvectors' batched ``select_many`` (one sorted in-order runs pass
+        per node), amortising to O(h (r + q log q)) for q queries instead of
+        q independent O(h log r) treap walks.
+        """
+        symbol = self._symbol_index(value)
+        indexes = validate_select_indexes(
+            indexes, self.rank(value, self._size), repr(value)
+        )
+        if not indexes:
+            return []
+        node = self._root
+        path: List[Tuple[_Node, int]] = []
+        while not node.is_leaf:
+            mid = (node.low + node.high) // 2
+            bit = 1 if symbol >= mid else 0
+            path.append((node, bit))
+            node = node.right if bit else node.left
+        current = indexes
+        for ancestor, bit in reversed(path):
+            current = ancestor.bitvector.select_many(bit, current)
+        return current
+
     def count(self, value: Hashable) -> int:
         """Total occurrences of ``value``."""
         return self.rank(value, self._size)
@@ -194,6 +221,38 @@ class FixedAlphabetDynamicWaveletTree:
                     entry[1].append(bit)
         for node, bits in buffers.values():
             node.bitvector.extend(bits)
+        self._size += len(symbols)
+
+    def insert_many(self, values: Sequence[Hashable], pos: int) -> None:
+        """Insert every element of ``values``, the first landing at ``pos``.
+
+        Bulk ``Insert``: the inserted block stays contiguous at every level,
+        so each touched node pays one :meth:`DynamicBitVector.insert_many`
+        (one treap split + O(r_new) bulk build + merge) and one ``rank`` to
+        locate the child position -- amortised O(nodes_touched (log r + k_node))
+        for k elements, instead of k per-element root-to-leaf insertions
+        costing O(k log sigma log r).
+        """
+        self._check_pos(pos, inclusive=True)
+        symbols = [self._symbol_index(value) for value in values]
+        if not symbols:
+            return
+        stack: List[Tuple[_Node, List[int], int]] = [(self._root, symbols, pos)]
+        while stack:
+            node, group, position = stack.pop()
+            if node.is_leaf:
+                continue
+            mid = (node.low + node.high) // 2
+            bits = [1 if symbol >= mid else 0 for symbol in group]
+            left_position = node.bitvector.rank(0, position)
+            right_position = position - left_position
+            node.bitvector.insert_many(position, bits)
+            left_group = [symbol for symbol in group if symbol < mid]
+            right_group = [symbol for symbol in group if symbol >= mid]
+            if left_group:
+                stack.append((node.left, left_group, left_position))
+            if right_group:
+                stack.append((node.right, right_group, right_position))
         self._size += len(symbols)
 
     def delete(self, pos: int) -> Hashable:

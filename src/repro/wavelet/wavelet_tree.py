@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from repro.bitvector.base import validate_select_indexes
 from repro.bitvector.plain import PlainBitVector
 from repro.bitvector.rle import RLEBitVector
 from repro.bitvector.rrr import RRRBitVector
@@ -229,7 +230,8 @@ class WaveletTree:
 
         One root-to-leaf walk serves the whole batch: the per-node mid/bit
         computation happens once and the positions are re-mapped together
-        through the node bitvector's ``rank_many``.
+        through the node bitvector's ``rank_many`` -- amortised O(log sigma)
+        batch passes total instead of q O(log sigma) walks.
         """
         self._check_symbol(symbol)
         for pos in positions:
@@ -251,6 +253,31 @@ class WaveletTree:
                 return [0] * len(current)
         if node.low != symbol:
             return [0] * len(current)
+        return current
+
+    def select_many(self, symbol: int, indexes: Sequence[int]) -> List[int]:
+        """``select(symbol, idx)`` for each of ``indexes``.
+
+        One root-to-leaf walk serves the whole batch: the path is recorded
+        once and unwound with each node bitvector's batched ``select_many``
+        (shared directory walks, one decode per touched block), amortising
+        to O(path + q log q + D) directory work for q queries instead of q
+        independent O(log sigma log n) walks.
+        """
+        self._check_symbol(symbol)
+        indexes = validate_select_indexes(indexes, self.count(symbol), symbol)
+        if not indexes:
+            return []
+        node = self._root
+        path: List[Tuple[_Node, int]] = []
+        while not node.is_leaf:
+            mid = (node.low + node.high) // 2
+            bit = 1 if symbol >= mid else 0
+            path.append((node, bit))
+            node = node.right if bit else node.left
+        current = indexes
+        for ancestor, bit in reversed(path):
+            current = ancestor.bitvector.select_many(bit, current)
         return current
 
     # ------------------------------------------------------------------

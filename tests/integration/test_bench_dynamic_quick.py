@@ -18,10 +18,15 @@ BENCH_PATH = (
 EXPECTED_SECTIONS = {
     "dbv_bulk_construction",
     "dbv_iter_range_tail",
+    "dbv_select_batch",
+    "dbv_insert_many",
     "dwt_bulk_construction",
     "dwt_rank_batch",
     "dwt_access_batch",
+    "dwt_select_batch",
+    "dwt_insert_many",
     "aot_bulk_construction",
+    "aob_freeze_latency",
 }
 
 

@@ -1,0 +1,66 @@
+"""Documentation gate: every public class in ``src/repro`` must be documented.
+
+Run directly (``pytest tests/test_docstrings.py``) or via ``make docs-check``.
+The walk imports every module under :mod:`repro`, so an import-time error in
+any module also fails this gate.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+
+def iter_repro_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+def test_every_module_has_a_docstring():
+    missing = [
+        module.__name__
+        for module in iter_repro_modules()
+        if not (module.__doc__ or "").strip()
+    ]
+    assert not missing, f"modules without docstrings: {sorted(missing)}"
+
+
+def test_every_public_class_has_a_docstring():
+    missing = set()
+    for module in iter_repro_modules():
+        for name, obj in vars(module).items():
+            if name.startswith("_") or not inspect.isclass(obj):
+                continue
+            if (obj.__module__ or "").split(".")[0] != "repro":
+                continue  # re-exported stdlib/third-party names
+            if not (obj.__doc__ or "").strip():
+                missing.add(f"{obj.__module__}.{obj.__qualname__}")
+    assert not missing, f"public classes without docstrings: {sorted(missing)}"
+
+
+BATCH_API_METHODS = {"access_many", "rank_many", "select_many", "insert_many"}
+
+
+def test_every_batch_api_method_states_its_cost():
+    """The batch-API convention (docs/API.md): every implementation of the
+    batch query/update interface must say how its cost amortises (or state
+    that it is an unamortised loop)."""
+    offenders = set()
+    for module in iter_repro_modules():
+        for cls_name, obj in vars(module).items():
+            if cls_name.startswith("_") or not inspect.isclass(obj):
+                continue
+            if (obj.__module__ or "") != module.__name__:
+                continue
+            for method_name, method in vars(obj).items():
+                if method_name not in BATCH_API_METHODS or not callable(method):
+                    continue
+                doc = (inspect.getdoc(method) or "").lower()
+                if "amortis" not in doc and "amortiz" not in doc:
+                    offenders.add(f"{obj.__module__}.{obj.__qualname__}.{method_name}")
+    assert not offenders, (
+        f"batch-API methods whose docstrings do not state their amortised "
+        f"cost: {sorted(offenders)}"
+    )
