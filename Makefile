@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test docs-check bench-kernel bench-dynamic bench
+.PHONY: test docs-check bench-kernel bench-kernel-quick bench-dynamic bench
 
 # Tier-1 verification: the full test suite (includes the quick-mode
 # benchmark harnesses and the docs-check gate).
@@ -9,14 +9,22 @@ test:
 	$(PYTHON) -m pytest -x -q
 
 # Documentation gate: fails when a public class (or module) in src/repro
-# lacks a docstring, or a *_many batch method does not state its amortised
-# complexity.  Also run as part of `make test`.
+# lacks a docstring, a *_many batch method does not state its amortised
+# complexity, a public kernel function exists in one backend but not the
+# other, or the ARCHITECTURE.md backend-contract table drifts from
+# kernel.KERNEL_CONTRACT.  Also run as part of `make test`.
 docs-check:
 	$(PYTHON) -m pytest -q tests/test_docstrings.py
 
 # Full-size perf harnesses; each writes its BENCH_*.json at the repo root.
 bench-kernel:
 	$(PYTHON) benchmarks/bench_kernel.py
+
+# Small-size smoke run of the kernel harness (no JSON written); its seed and
+# python-vs-numpy backend cross-checks also run inside tier-1 via
+# tests/integration/test_bench_kernel_quick.py.
+bench-kernel-quick:
+	$(PYTHON) benchmarks/bench_kernel.py --quick
 
 bench-dynamic:
 	$(PYTHON) benchmarks/bench_dynamic.py

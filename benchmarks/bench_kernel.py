@@ -1,10 +1,19 @@
 """Microbenchmarks for the word-level bitops kernel -> BENCH_kernel.json.
 
-Compares the kernel-backed hot paths against faithful replicas of the seed
-implementation (per-bit in-word select scans, per-bit ``iter_range``, per-call
-rank loops, O(n^2) packing) on 1M-bit vectors, and records ops/sec so later
-PRs have a perf trajectory.  Results are also cross-checked for equality, so
-the benchmark doubles as an end-to-end correctness harness.
+Two families of sections:
+
+* the legacy seed comparisons -- kernel-backed hot paths (pinned to the
+  ``python`` backend for trajectory continuity) against faithful replicas of
+  the seed implementation (per-bit in-word select scans, per-bit
+  ``iter_range``, per-call rank loops, O(n^2) packing) on 1M-bit vectors;
+* the ``backends`` section -- the python and numpy kernel backends side by
+  side on the same inputs, per contract function.  Each backend is measured
+  at its *native boundary* (python: list in / list out; numpy: word/query
+  arrays in, arrays out -- the form vectorised callers use); for the batch
+  queries the numpy backend's list-boundary number is recorded too, so the
+  cost of crossing containers is visible.  Every section cross-checks the
+  two backends' answers for equality first, so the benchmark doubles as a
+  differential correctness harness.
 
 Run standalone::
 
@@ -12,8 +21,8 @@ Run standalone::
     PYTHONPATH=src python benchmarks/bench_kernel.py --quick    # small sizes, no file
 
 The quick mode is also invoked from the test suite
-(``tests/integration/test_bench_kernel_quick.py``) so the harness cannot
-silently break.
+(``tests/integration/test_bench_kernel_quick.py``) and via
+``make bench-kernel-quick``, so the harness cannot silently break.
 """
 
 from __future__ import annotations
@@ -272,7 +281,23 @@ def _entry(ops: int, seed_seconds: float, kernel_seconds: float) -> Dict[str, fl
 
 
 def run(quick: bool = False, repeats: int = 3) -> Dict[str, object]:
-    """Run every microbenchmark; returns the BENCH_kernel.json payload."""
+    """Run every microbenchmark; returns the BENCH_kernel.json payload.
+
+    The legacy seed-comparison sections run pinned to the ``python`` kernel
+    backend (so their trajectory stays comparable across PRs); the
+    ``backends`` section then measures both backends side by side.
+    """
+    previous_backend = kernel.use_backend("python")
+    try:
+        payload = _run_seed_sections(quick, repeats)
+    finally:
+        kernel.use_backend(previous_backend)
+    payload["backends"] = _run_backend_sections(quick, repeats)
+    return payload
+
+
+def _run_seed_sections(quick: bool, repeats: int) -> Dict[str, object]:
+    """The seed-replica comparisons (python backend pinned by the caller)."""
     n_bits = 100_000 if quick else 1_000_000
     n_select = 400 if quick else 2_000
     n_rank = 2_000 if quick else 20_000
@@ -384,6 +409,210 @@ def run(quick: bool = False, repeats: int = 3) -> Dict[str, object]:
         "python": sys.version.split()[0],
         "results": results,
     }
+
+
+# ----------------------------------------------------------------------
+# Backend-vs-backend sections (python vs numpy on identical inputs)
+# ----------------------------------------------------------------------
+def _timed_under_backend(backend: str, fn, repeats: int):
+    """Best-of-N timing of ``fn`` with ``backend`` active; returns (result, s).
+
+    The timed runs double as the result runs -- ``fn`` executes exactly
+    ``repeats`` times, never an extra warm-up pass.
+    """
+    previous = kernel.use_backend(backend)
+    try:
+        best = float("inf")
+        result = None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - started)
+        return result, best
+    finally:
+        kernel.use_backend(previous)
+
+
+def _backend_entry(
+    ops: int, python_seconds: float, numpy_seconds: float, **extra
+) -> Dict[str, float]:
+    entry = {
+        "ops": ops,
+        "python_ops_per_sec": round(ops / python_seconds, 1),
+        "numpy_ops_per_sec": round(ops / numpy_seconds, 1),
+        "numpy_speedup": round(python_seconds / numpy_seconds, 2),
+    }
+    entry.update(extra)
+    return entry
+
+
+def _run_backend_sections(quick: bool, repeats: int) -> Dict[str, object]:
+    """Measure both kernel backends side by side on identical inputs.
+
+    Returns the ``backends`` payload; when numpy is unavailable only the
+    availability list is recorded.  Each backend runs at its native
+    container boundary (see the module docstring); the batch queries also
+    record the numpy backend fed plain lists.
+    """
+    available = list(kernel.available_backends())
+    payload: Dict[str, object] = {
+        "available": available,
+        "boundary": (
+            "python: lists in/out; numpy: uint64/int64 arrays in/out "
+            "(native boundary); *_list entries feed the numpy backend "
+            "python lists instead"
+        ),
+    }
+    if "numpy" not in available:
+        return payload
+    import numpy as np
+
+    n_bits = 100_000 if quick else 1_000_000
+    n_queries = 2_000 if quick else 20_000
+    n_select = 400 if quick else 2_000
+    wt_n = 4_000 if quick else 30_000
+    wt_sigma = 64
+
+    rng = random.Random(20260728)
+    payload_bits = Bits.from_bytes(rng.randbytes(n_bits // 8))
+    words = kernel.pack_value(payload_bits.value, n_bits)
+    words_arr = np.asarray(words, dtype=np.uint64)
+    results: Dict[str, Dict[str, float]] = {}
+
+    # pack_bits: one million python ints -> packed words.  The list boundary
+    # is the dominant cost for numpy, so both boundaries are recorded.
+    bit_list = [rng.randint(0, 1) for _ in range(n_bits)]
+    bit_arr = np.asarray(bit_list, dtype=np.uint8)
+    (py_words, py_len), py_t = _timed_under_backend(
+        "python", lambda: kernel.pack_bits(bit_list), repeats
+    )
+    (np_words, np_len), np_t = _timed_under_backend(
+        "numpy", lambda: kernel.pack_bits(bit_arr), repeats
+    )
+    _, np_list_t = _timed_under_backend(
+        "numpy", lambda: kernel.pack_bits(bit_list), repeats
+    )
+    assert py_len == np_len and py_words == kernel.as_int_list(np_words)
+    results["pack_bits"] = _backend_entry(
+        n_bits,
+        py_t,
+        np_t,
+        numpy_list_ops_per_sec=round(n_bits / np_list_t, 1),
+        numpy_list_speedup=round(py_t / np_list_t, 2),
+    )
+
+    # Bulk rank-directory build: the full two-level directory plus the flat
+    # cumulatives every batch path runs on, from the packed words.
+    def build_directory(word_seq):
+        super_cum, word_pop, word_cum = kernel.build_rank_directory(word_seq)
+        abs_cum, zero_cum = kernel.cumulative_popcounts(word_pop, n_bits)
+        return super_cum, word_pop, word_cum, abs_cum, zero_cum
+
+    py_dir, py_t = _timed_under_backend(
+        "python", lambda: build_directory(words), repeats
+    )
+    np_dir, np_t = _timed_under_backend(
+        "numpy", lambda: build_directory(words_arr), repeats
+    )
+    _, np_list_t = _timed_under_backend(
+        "numpy", lambda: build_directory(words), repeats
+    )
+    assert py_dir[1] == np_dir[1]
+    for py_part, np_part in zip(py_dir, np_dir):
+        if py_part is not np_part:
+            assert kernel.as_int_list(py_part) == kernel.as_int_list(np_part)
+    results["directory_build"] = _backend_entry(
+        len(words),
+        py_t,
+        np_t,
+        numpy_list_ops_per_sec=round(len(words) / np_list_t, 1),
+        numpy_list_speedup=round(py_t / np_list_t, 2),
+    )
+
+    # Batched directory lookups: rank_many / access_many / select_many over
+    # a prepared handle (prepared once, like a constructed bitvector).
+    _, _, _, abs_cum, zero_cum = py_dir
+    positions = [rng.randrange(n_bits + 1) for _ in range(n_queries)]
+    access_positions = [rng.randrange(n_bits) for _ in range(n_queries)]
+    pos_arr = np.asarray(positions, dtype=np.int64)
+    access_arr = np.asarray(access_positions, dtype=np.int64)
+    ones_total = abs_cum[-1]
+    zeros_total = zero_cum[-1]
+    sel_ones = [rng.randrange(ones_total) for _ in range(n_select)]
+    sel_zeros = [rng.randrange(zeros_total) for _ in range(n_select)]
+    sel_ones_arr = np.asarray(sel_ones, dtype=np.int64)
+
+    previous = kernel.use_backend("python")
+    py_handle = kernel.prepare_rank_select(words, n_bits, abs_cum, zero_cum)
+    kernel.use_backend("numpy")
+    np_handle = kernel.prepare_rank_select(
+        words_arr, n_bits, abs_cum, zero_cum
+    )
+    kernel.use_backend(previous)
+
+    def section(name, ops, py_fn, np_fn, np_list_fn):
+        py_res, py_t = _timed_under_backend("python", py_fn, repeats)
+        np_res, np_t = _timed_under_backend("numpy", np_fn, repeats)
+        _, np_list_t = _timed_under_backend("numpy", np_list_fn, repeats)
+        assert py_res == kernel.as_int_list(np_res), f"{name} mismatch"
+        results[name] = _backend_entry(
+            ops,
+            py_t,
+            np_t,
+            numpy_list_ops_per_sec=round(ops / np_list_t, 1),
+            numpy_list_speedup=round(py_t / np_list_t, 2),
+        )
+
+    section(
+        "rank_many",
+        n_queries,
+        lambda: kernel.rank_many_packed(py_handle, 1, positions),
+        lambda: kernel.rank_many_packed(np_handle, 1, pos_arr),
+        lambda: kernel.rank_many_packed(np_handle, 1, positions),
+    )
+    section(
+        "access_many",
+        n_queries,
+        lambda: kernel.access_many_packed(py_handle, access_positions),
+        lambda: kernel.access_many_packed(np_handle, access_arr),
+        lambda: kernel.access_many_packed(np_handle, access_positions),
+    )
+    section(
+        "select_many",
+        n_select,
+        lambda: kernel.select_many_packed(py_handle, 1, sel_ones),
+        lambda: kernel.select_many_packed(np_handle, 1, sel_ones_arr),
+        lambda: kernel.select_many_packed(np_handle, 1, sel_ones),
+    )
+    # Zero-select correctness across the width-masked final word.
+    py_zero, _ = _timed_under_backend(
+        "python", lambda: kernel.select_many_packed(py_handle, 0, sel_zeros), 1
+    )
+    np_zero, _ = _timed_under_backend(
+        "numpy", lambda: kernel.select_many_packed(np_handle, 0, sel_zeros), 1
+    )
+    assert py_zero == kernel.as_int_list(np_zero), "select_many(0) mismatch"
+
+    # Whole-structure wavelet build (list boundary on both sides): the
+    # partition_by_pivot + from_words construction path end to end.
+    wt_data = [rng.randrange(wt_sigma) for _ in range(wt_n)]
+    py_tree, py_t = _timed_under_backend(
+        "python",
+        lambda: WaveletTree(wt_data, alphabet_size=wt_sigma, bitvector="plain"),
+        repeats,
+    )
+    np_tree, np_t = _timed_under_backend(
+        "numpy",
+        lambda: WaveletTree(wt_data, alphabet_size=wt_sigma, bitvector="plain"),
+        repeats,
+    )
+    probe = [rng.randrange(wt_n) for _ in range(200)]
+    assert py_tree.access_many(probe) == list(np_tree.access_many(probe))
+    results["wavelet_build"] = _backend_entry(wt_n, py_t, np_t)
+
+    payload["n_bits"] = n_bits
+    payload["results"] = results
+    return payload
 
 
 def main(argv: List[str] | None = None) -> int:

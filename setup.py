@@ -1,5 +1,30 @@
-"""Legacy setup shim so `pip install -e .` works in offline environments
-without the `wheel` package (metadata lives in pyproject.toml)."""
-from setuptools import setup
+"""Packaging for the Wavelet Trie reproduction (offline-friendly legacy
+setup.py -- no `wheel`/pyproject machinery required).
 
-setup()
+The core package is stdlib-only.  The optional ``numpy`` extra enables the
+vectorised kernel backend (see docs/ARCHITECTURE.md, "Kernel backends")::
+
+    pip install -e .          # pure-python kernel backend only
+    pip install -e .[numpy]   # + the numpy-accelerated backend
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-wavelet-trie",
+    version="1.0.0",  # keep in sync with repro.__version__
+    description=(
+        "Reproduction of Grossi & Ottaviano's Wavelet Trie (PODS'12) grown "
+        "into an engineered system: compressed dynamic indexed sequences "
+        "with a pluggable word-level kernel backend"
+    ),
+    packages=find_packages(where="src"),
+    package_dir={"": "src"},
+    # int.bit_count (3.10+) is used throughout the kernel hot paths.
+    python_requires=">=3.10",
+    install_requires=[],
+    extras_require={
+        # The numpy kernel backend is optional: everything runs without it,
+        # and REPRO_KERNEL_BACKEND/use_backend select at runtime.
+        "numpy": ["numpy>=1.22"],
+    },
+)

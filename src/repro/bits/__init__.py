@@ -10,12 +10,14 @@ The module exposes:
   and the Elias unary/gamma/delta and fixed-width codecs;
 * :class:`~repro.bits.packed.PackedIntVector` -- a fixed-width packed integer
   array with O(1) random access;
-* :mod:`~repro.bits.kernel` -- the word-level bit-operations kernel.
+* :mod:`~repro.bits.kernel` -- the word-level bit-operations kernel, a
+  dispatching façade over a pure-python backend and an optional
+  numpy-accelerated backend (``use_backend`` / ``REPRO_KERNEL_BACKEND``).
 
 Performance architecture
 ------------------------
-All hot-path bit manipulation funnels through :mod:`repro.bits.kernel`, a
-dependency-free module of word-level primitives:
+All hot-path bit manipulation funnels through :mod:`repro.bits.kernel`,
+word-level primitives behind a documented backend contract:
 
 * **Packing**: payloads move between big integers, iterables and left-aligned
   64-bit word lists in O(n / 8) via ``int.to_bytes``/``struct`` -- never by
@@ -36,9 +38,12 @@ dependency-free module of word-level primitives:
   positions and maximal runs word-parallel.
 
 Every bitvector encoding, the Wavelet Tree and the Wavelet Trie route their
-rank/select/access/iteration through these primitives, so future acceleration
-(a numpy backend, a C extension, SIMD) plugs into this one module and speeds
-up the whole package.
+rank/select/access/iteration through these primitives, so acceleration lands
+as a kernel *backend* and speeds up the whole package: the numpy backend
+(:mod:`repro.bits.kernel.npkernel`) vectorises packing, directory builds and
+the batched ``*_many_packed`` paths over ``uint64`` word arrays, and a
+future C/SIMD backend plugs in the same way (docs/ARCHITECTURE.md, "Kernel
+backends").
 """
 
 from repro.bits import kernel

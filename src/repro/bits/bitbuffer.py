@@ -64,12 +64,31 @@ class BitBuffer:
         """Append each bit of an iterable (bulk ``Append``).
 
         A :class:`Bits` payload is spliced word-at-a-time; any other iterable
-        is first packed into words by the kernel (O(k / 8)) and then spliced
-        -- never one Python-level append per bit.
+        is first packed into words by the kernel backend (O(k / 8), one
+        ``np.packbits`` pass under the numpy backend) and then spliced --
+        never one Python-level append per bit.  A word-aligned buffer takes
+        the packed words verbatim, with no big-integer round trip.
         """
-        if not isinstance(bits, Bits):
-            bits = Bits.from_iterable(bits)
-        self.append_bits(bits)
+        if isinstance(bits, Bits):
+            self.append_bits(bits)
+            return
+        words, length = kernel.pack_bits(bits)
+        self._append_packed(kernel.as_int_list(words), length)
+
+    def _append_packed(self, words: List[int], length: int) -> None:
+        """Splice a kernel packed word list onto the end of the buffer."""
+        if length == 0:
+            return
+        if self._fill:
+            self.append_int(kernel.unpack_value(words, length), length)
+            return
+        n_full, rem = divmod(length, WORD)
+        self._ones += kernel.popcount_words(words)
+        self._length += length
+        self._words.extend(words[:n_full])
+        if rem:
+            self._spill = words[n_full] >> (WORD - rem)
+            self._fill = rem
 
     def append_bits(self, bits: Bits) -> None:
         """Append a whole :class:`Bits` payload in O(|bits| / w) word splices."""

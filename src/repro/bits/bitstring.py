@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Tuple
 
-from repro.bits.kernel import pack_iterable, unpack_value
+from repro.bits.kernel import pack_bits, unpack_value
 from repro.exceptions import OutOfBoundsError
 
 __all__ = ["Bits"]
@@ -63,11 +63,12 @@ class Bits:
     def from_iterable(cls, bits: Iterable[int]) -> "Bits":
         """Build from an iterable of 0/1 integers (or booleans).
 
-        Delegates to the kernel's chunked packer, so construction is O(n);
-        the naive approach (shifting one growing big integer per bit) is
-        O(n^2) in big-integer word operations.
+        Delegates to the kernel backend's bulk packer (``np.packbits`` under
+        the numpy backend, the chunked word packer otherwise), so
+        construction is O(n); the naive approach (shifting one growing big
+        integer per bit) is O(n^2) in big-integer word operations.
         """
-        words, length = pack_iterable(bits)
+        words, length = pack_bits(bits)
         return cls(unpack_value(words, length), length)
 
     @classmethod

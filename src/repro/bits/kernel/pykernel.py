@@ -1,25 +1,33 @@
-"""Word-level bit-operations kernel shared by every rank/select structure.
+"""Pure-python backend of the word-level bit-operations kernel.
 
-This module is the single place where in-word bit manipulation happens.  All
-bitvector encodings (:mod:`repro.bitvector`), the Wavelet Tree and the Wavelet
-Trie route their hot paths -- packing, rank directories, in-word select,
-sequential decoding -- through these primitives, so future acceleration (a
-numpy backend, a C extension) only needs to replace this module.
+This module is the always-available, dependency-free implementation of the
+kernel backend contract (see :mod:`repro.bits.kernel` and the "Kernel
+backends" section of docs/ARCHITECTURE.md).  It is the correctness oracle:
+the numpy backend (:mod:`repro.bits.kernel.npkernel`) must agree with it
+bit-for-bit on every contract function, and the cross-backend differential
+tests enforce that.  Structures never import this module directly -- they go
+through the dispatching façade :mod:`repro.bits.kernel`.
 
 Conventions
 -----------
 * Bits are MSB-first, matching :class:`~repro.bits.bitstring.Bits`: position
   ``i`` of a ``length``-bit payload ``value`` is ``(value >> (length - 1 - i))
   & 1``.
-* A *packed word list* is a list of 64-bit integers; word ``w`` holds the bits
-  of positions ``[w * 64, (w + 1) * 64)`` **left-aligned** (position
+* A *packed word sequence* is a sequence of 64-bit integers; word ``w`` holds
+  the bits of positions ``[w * 64, (w + 1) * 64)`` **left-aligned** (position
   ``w * 64`` is the word's most significant bit).  The final word is
-  zero-padded on the right.
+  zero-padded on the right.  This backend produces plain lists of python
+  ints; when a packed word sequence is serialised to bytes the words are
+  big-endian (``struct`` format ``>Q``).
+* Contract functions are pure: they never mutate their arguments and their
+  returned containers are freshly allocated.  Opaque handles
+  (:func:`prepare_rank_select`, :func:`prepare_symbols`) alias their inputs,
+  so callers must not mutate a sequence after preparing a handle from it.
 
-The kernel is dependency-free (stdlib only) and never scans bit by bit: the
-in-word ``select`` walks bytes through a precomputed 256-entry table, bulk
-packing goes through ``int.to_bytes``/``struct`` in O(n / 8), and sequential
-iteration emits eight bits per step from a byte-decode table.
+The kernel never scans bit by bit: the in-word ``select`` walks bytes through
+a precomputed 256-entry table, bulk packing goes through
+``int.to_bytes``/``struct`` in O(n / 8), and sequential iteration emits eight
+bits per step from a byte-decode table.
 """
 
 from __future__ import annotations
@@ -36,6 +44,7 @@ __all__ = [
     "SUPERBLOCK_BITS",
     "pack_value",
     "pack_iterable",
+    "pack_bits",
     "words_to_int",
     "unpack_value",
     "invert_word",
@@ -48,12 +57,21 @@ __all__ = [
     "iter_word_bits",
     "broadword_iter_words",
     "build_rank_directory",
+    "cumulative_popcounts",
     "extract_bits_value",
     "select_bit_in_words",
     "select_one_in_words",
     "one_positions",
     "run_lengths_of_value",
     "runs_of_value",
+    "runs_of_words",
+    "block_popcounts",
+    "prepare_symbols",
+    "partition_by_pivot",
+    "prepare_rank_select",
+    "access_many_packed",
+    "rank_many_packed",
+    "select_many_packed",
 ]
 
 WORD = 64
@@ -119,9 +137,20 @@ def pack_iterable(bits: Iterable[int]) -> Tuple[List[int], int]:
     return words, length
 
 
+# Canonical dispatched name for bulk packing of an iterable of bits; the
+# numpy backend overrides it with a vectorised implementation.
+def pack_bits(bits: Iterable[int]) -> Tuple[List[int], int]:
+    """Pack an iterable of 0/1 values; returns ``(words, length)``.
+
+    Alias of :func:`pack_iterable` under the name the backend contract
+    dispatches on; the numpy backend replaces it with ``np.packbits``.
+    """
+    return pack_iterable(bits)
+
+
 def words_to_int(words: Sequence[int]) -> int:
     """Concatenate a word list into one big integer of ``64 * len(words)`` bits."""
-    if not words:
+    if len(words) == 0:
         return 0
     return int.from_bytes(struct.pack(f">{len(words)}Q", *words), "big")
 
@@ -460,3 +489,220 @@ def runs_of_value(value: int, length: int) -> List[Tuple[int, int]]:
         runs.append((bit, run_length))
         bit ^= 1
     return runs
+
+
+def runs_of_words(words: Sequence[int], length: int) -> List[Tuple[int, int]]:
+    """The maximal ``(bit, length)`` runs of a packed word sequence, in order.
+
+    Word-sequence twin of :func:`runs_of_value`, so callers that already hold
+    packed words (bulk RLE construction) never round-trip through a per-bit
+    scan.
+    """
+    if length <= 0:
+        return []
+    return runs_of_value(unpack_value(words, length), length)
+
+
+# ----------------------------------------------------------------------
+# Directory-derived cumulatives and block popcounts
+# ----------------------------------------------------------------------
+def cumulative_popcounts(
+    word_pop: bytes, length: int
+) -> Tuple[List[int], List[int]]:
+    """Flat per-word absolute cumulatives from per-word popcount bytes.
+
+    Returns ``(abs_cum, zero_cum)``: ``abs_cum[w]`` is the number of ones
+    before word ``w`` (with a final sentinel holding the total) and
+    ``zero_cum[w]`` the number of zeros before it, where the final sentinel
+    counts only the ``length`` payload bits -- zero padding in the last word
+    never surfaces as zeros.  These are the flat directories behind the
+    batched rank/select paths.
+    """
+    abs_cum: List[int] = []
+    append = abs_cum.append
+    cum = 0
+    for pop in word_pop:
+        append(cum)
+        cum += pop
+    append(cum)
+    zero_cum = [(index << 6) - ones for index, ones in enumerate(abs_cum)]
+    zero_cum[-1] = length - cum
+    return abs_cum, zero_cum
+
+
+def block_popcounts(
+    words: Sequence[int], length: int, block_size: int
+) -> List[int]:
+    """Popcount of each ``block_size``-bit block of the top ``length`` bits.
+
+    The final partial block (if any) is zero-padded, matching the RRR
+    encoder's block layout; this is the bulk class-computation primitive of
+    RRR construction.
+    """
+    if length <= 0:
+        return []
+    out: List[int] = []
+    append = out.append
+    for start in range(0, length, block_size):
+        stop = min(start + block_size, length)
+        append(extract_bits_value(words, start, stop).bit_count())
+    return out
+
+
+# ----------------------------------------------------------------------
+# Wavelet construction primitives
+# ----------------------------------------------------------------------
+def prepare_symbols(symbols: Sequence[int]):
+    """Backend-native handle for a symbol sequence fed to wavelet builders.
+
+    The python backend works on plain lists; the numpy backend converts to an
+    ``int64`` array once so every :func:`partition_by_pivot` level is
+    vectorised.  Handles are opaque and only valid with the backend that
+    created them.
+    """
+    if type(symbols) is list:
+        return symbols
+    return list(symbols)
+
+
+def partition_by_pivot(symbols, pivot: int):
+    """One wavelet-node build step: branch bits plus a stable partition.
+
+    Returns ``(words, length, left, right)`` where ``words``/``length`` pack
+    the MSB-first branch bits (``1`` iff ``symbol >= pivot``) and
+    ``left``/``right`` are backend-native handles (see
+    :func:`prepare_symbols`) of the stable sub-partitions.  This is the
+    whole-node construction primitive of the static wavelet structures: one
+    pass over the node's subsequence, no per-element recursion.
+    """
+    words, length = pack_iterable(
+        1 if symbol >= pivot else 0 for symbol in symbols
+    )
+    left = [symbol for symbol in symbols if symbol < pivot]
+    right = [symbol for symbol in symbols if symbol >= pivot]
+    return words, length, left, right
+
+
+# ----------------------------------------------------------------------
+# Prepared batch rank/select over a packed word sequence + flat directory
+# ----------------------------------------------------------------------
+class _PackedDirectory:
+    """Opaque python-backend handle behind the ``*_many_packed`` batch ops."""
+
+    __slots__ = ("words", "pad_words", "length", "abs_cum", "zero_cum")
+
+    def __init__(self, words, pad_words, length, abs_cum, zero_cum) -> None:
+        self.words = words
+        self.pad_words = pad_words
+        self.length = length
+        self.abs_cum = abs_cum
+        self.zero_cum = zero_cum
+
+
+def prepare_rank_select(
+    words: Sequence[int],
+    length: int,
+    abs_cum: Sequence[int],
+    zero_cum: Sequence[int],
+):
+    """Build the opaque handle consumed by the ``*_many_packed`` batch ops.
+
+    ``abs_cum``/``zero_cum`` are the flat cumulatives of
+    :func:`cumulative_popcounts`.  The handle aliases its inputs (purity
+    rule: do not mutate them afterwards) and is only valid with the backend
+    that created it -- structures re-prepare when the active backend changes.
+    """
+    pad_words = list(words)
+    pad_words.append(0)
+    return _PackedDirectory(words, pad_words, length, abs_cum, zero_cum)
+
+
+def _plain_ints(queries) -> Sequence[int]:
+    """Plain-int view of a query batch: numpy scalars would overflow when
+    mixed with >63-bit word values, so foreign containers are converted."""
+    if isinstance(queries, (list, tuple)):
+        return queries
+    tolist = getattr(queries, "tolist", None)
+    return tolist() if tolist is not None else [int(q) for q in queries]
+
+
+def access_many_packed(handle, positions: Sequence[int]) -> List[int]:
+    """Bits at each of ``positions`` via a prepared handle.
+
+    Amortised O(1) per query: attribute lookups are hoisted out of one list
+    comprehension over direct word probes.  The caller validates positions;
+    the result is always a plain list (this backend's native container).
+    """
+    positions = _plain_ints(positions)
+    words = handle.words
+    return [
+        (words[pos >> 6] >> (WORD - 1 - (pos & 63))) & 1 for pos in positions
+    ]
+
+
+def rank_many_packed(handle, bit: int, positions: Sequence[int]) -> List[int]:
+    """``rank(bit, pos)`` at each of ``positions`` via a prepared handle.
+
+    Amortised O(1) per query: one flat cumulative lookup plus one shifted
+    popcount inside a single list comprehension.  The caller validates
+    positions; the result is always a plain list.
+    """
+    positions = _plain_ints(positions)
+    words = handle.pad_words
+    abs_cum = handle.abs_cum
+    if bit:
+        return [
+            abs_cum[index := pos >> 6]
+            + (words[index] >> (WORD - (pos & 63))).bit_count()
+            for pos in positions
+        ]
+    return [
+        pos
+        - abs_cum[index := pos >> 6]
+        - (words[index] >> (WORD - (pos & 63))).bit_count()
+        for pos in positions
+    ]
+
+
+def select_many_packed(handle, bit: int, indexes: Sequence[int]) -> List[int]:
+    """``select(bit, idx)`` for each index via a prepared handle, batch-amortised.
+
+    The indexes are sorted once; the flat directory is then walked
+    monotonically (each ``bisect`` resumes from the previous word) and all
+    queries landing in the same word are answered by one pass of the sorted
+    in-word multi-select.  Amortised O(q log q) for the sort plus
+    O(log n + q) directory work.  The caller validates indexes; input order
+    is preserved in the result, which is always a plain list.
+    """
+    indexes = _plain_ints(indexes)
+    cum = handle.abs_cum if bit else handle.zero_cum
+    total = cum[-1]
+    order = sorted(range(len(indexes)), key=indexes.__getitem__)
+    out = [0] * len(indexes)
+    words = handle.words
+    last_word = len(words) - 1
+    n_queries = len(order)
+    word_index = 0
+    at = 0
+    while at < n_queries:
+        idx = indexes[order[at]]
+        word_index = bisect_right(cum, idx, word_index) - 1
+        upper = cum[word_index + 1] if word_index + 1 < len(cum) else total
+        group_end = at + 1
+        while group_end < n_queries and indexes[order[group_end]] < upper:
+            group_end += 1
+        word = words[word_index]
+        if not bit:
+            if word_index != last_word:
+                word = ~word & WORD_MASK
+            else:
+                word = invert_word(word, handle.length - (word_index << 6))
+        base = word_index << 6
+        seen = cum[word_index]
+        offsets = select_in_word_many(
+            word, [indexes[order[i]] - seen for i in range(at, group_end)]
+        )
+        for i, offset in zip(range(at, group_end), offsets):
+            out[order[i]] = base + offset
+        at = group_end
+    return out

@@ -19,28 +19,65 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Iterator, List
 
+from repro.bits.kernel import as_int_list
 from repro.exceptions import OutOfBoundsError
 
 __all__ = ["BitVector", "StaticBitVector", "validate_select_indexes"]
 
 
-def validate_select_indexes(indexes, total: int, label) -> list:
+def validate_select_indexes(indexes, total: int, label, keep_arrays=False):
     """Normalise and range-check a ``select_many`` index batch.
 
-    Returns ``indexes`` as a list; raises :class:`OutOfBoundsError` naming
-    the first offending index if any falls outside ``[0, total)``.  Shared
-    by every ``select_many`` implementation so the batch contract (all-or-
-    nothing validation, uniform error message) cannot drift between
-    encodings.
+    Returns ``indexes`` as a list of plain ints; raises
+    :class:`OutOfBoundsError` naming the first offending index if any falls
+    outside ``[0, total)``.  With ``keep_arrays=True`` a backend-native
+    index array passes through unchanged (vectorised validation only) --
+    reserved for callers whose batch path is array-aware, such as
+    ``PlainBitVector``.  Shared by every ``select_many`` implementation so
+    the batch contract (all-or-nothing validation, uniform error message)
+    cannot drift between encodings.
     """
+    indexes = normalize_batch(indexes)
+    if len(indexes):
+        lo, hi = batch_min_max(indexes)
+        if lo < 0 or hi >= total:
+            bad = next(i for i in indexes if not 0 <= i < total)
+            raise OutOfBoundsError(
+                f"select({label}, {bad}) out of range: only {total} occurrences"
+            )
     if not isinstance(indexes, (list, tuple)):
-        indexes = list(indexes)
-    if indexes and (min(indexes) < 0 or max(indexes) >= total):
-        bad = next(i for i in indexes if not 0 <= i < total)
-        raise OutOfBoundsError(
-            f"select({label}, {bad}) out of range: only {total} occurrences"
-        )
+        # A backend-native index array: keep it (read-only per the kernel
+        # contract) only for callers whose batch path is array-aware;
+        # everyone else gets the historical plain-int list.
+        if keep_arrays:
+            return indexes
+        return as_int_list(indexes)
     return list(indexes)
+
+
+def normalize_batch(queries):
+    """Normalise a batch-query container for the shared `*_many` paths.
+
+    Lists and tuples pass through; a backend-native index array (anything
+    exposing both ``min`` and ``__getitem__``, e.g. ``np.ndarray``) passes
+    through unchanged so the kernel's vectorised paths keep it; every other
+    iterable (generators, sets, dict views, ranges) is drained into a list.
+    One definition shared by every batch entry point so the
+    container-detection heuristic cannot drift between call sites.
+    """
+    if isinstance(queries, (list, tuple)):
+        return queries
+    if hasattr(queries, "min") and hasattr(queries, "__getitem__"):
+        return queries
+    return list(queries)
+
+
+def batch_min_max(queries):
+    """Bounds of a :func:`normalize_batch`-normalised non-empty batch, using
+    the container's native vectorised reduction when it has one."""
+    if isinstance(queries, (list, tuple)):
+        return min(queries), max(queries)
+    return queries.min(), queries.max()
 
 
 class BitVector(ABC):

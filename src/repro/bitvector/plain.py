@@ -10,15 +10,20 @@ encodings.
 
 CPython dispatch note
 ---------------------
-The superblock/byte layout is the compact directory of record (it is what a
-C or numpy kernel backend would consume directly), and scalar ``rank`` runs
-on it.  ``select`` and the batch paths additionally use flat per-word
-cumulative lists *derived* from that directory at construction: in CPython a
-single C-level ``bisect``/list index beats any multi-step Python arithmetic,
-and the derived lists cost O(n / 64) integers.  The zeros directories are
-derived from the ones counts (``zeros before w = positions before w - ones
-before w``), so 0- and 1-select share one code path with no independent
-zero structure to keep in sync.
+The superblock/byte layout is the compact directory of record, and scalar
+``rank`` runs on it.  ``select`` and the small-batch paths additionally use
+flat per-word cumulative lists *derived* from that directory at construction
+(via the kernel's ``cumulative_popcounts``): in CPython a single C-level
+``bisect``/list index beats any multi-step Python arithmetic, and the
+derived lists cost O(n / 64) integers.  The zeros directories are derived
+from the ones counts (``zeros before w = positions before w - ones before
+w``), so 0- and 1-select share one code path with no independent zero
+structure to keep in sync.  Large batches go through the kernel backend's
+``*_many_packed`` functions over a lazily cached backend handle.  Under the
+numpy backend those are whole-array gathers and the results mirror the
+input container (list in, list out; array in, array out); the python
+backend accepts arrays too but always answers with plain lists (its native
+container).
 """
 
 from __future__ import annotations
@@ -29,10 +34,19 @@ from typing import Iterable, Iterator, List, Sequence, Union
 from repro.bits import kernel
 from repro.bits.bitstring import Bits
 from repro.bits.kernel import WORD, WORD_MASK, invert_word, select_in_word
-from repro.bitvector.base import StaticBitVector, validate_select_indexes
+from repro.bitvector.base import (
+    StaticBitVector,
+    batch_min_max,
+    normalize_batch,
+    validate_select_indexes,
+)
 from repro.exceptions import OutOfBoundsError
 
 __all__ = ["PlainBitVector"]
+
+# Below this many queries the fixed cost of a backend batch call exceeds the
+# win; such batches run on the flat python directories directly.
+_SMALL_BATCH = 32
 
 
 class PlainBitVector(StaticBitVector):
@@ -47,41 +61,67 @@ class PlainBitVector(StaticBitVector):
         "_word_cum",
         "_word_abs_cum",
         "_word_abs_zero_cum",
+        "_batch_handle",
+        "_batch_backend",
     )
 
     def __init__(self, bits: Union[Bits, Iterable[int]] = ()) -> None:
         if isinstance(bits, Bits):
             # O(n / 8): one big-int -> bytes conversion, no repeated shifts.
-            self._length = len(bits)
-            self._words: List[int] = kernel.pack_value(bits.value, self._length)
+            length = len(bits)
+            words: List[int] = kernel.pack_value(bits.value, length)
         else:
-            self._words, self._length = kernel.pack_iterable(bits)
-        self._super_cum, self._word_pop, self._word_cum = (
-            kernel.build_rank_directory(self._words)
-        )
+            words, length = kernel.pack_bits(bits)
+            words = kernel.as_int_list(words)
+        self._init_from_words(words, length)
+
+    def _init_from_words(self, words: List[int], length: int) -> None:
+        self._words = words
+        self._length = length
+        super_cum, word_pop, word_cum = kernel.build_rank_directory(words)
+        self._super_cum = kernel.as_int_list(super_cum)
+        self._word_pop = word_pop
+        self._word_cum = kernel.as_int_list(word_cum)
         # One zero-padded shadow word so rank at pos == length needs no branch
         # (shifting by a full word yields 0).
-        self._pad_words = self._words + [0]
-        # Flat per-word absolute cumulatives derived from the two-level
-        # directory (see the module docstring): ones before each word, and
-        # zeros before each word computed from it.
-        super_cum = self._super_cum
-        self._word_abs_cum = [
-            super_cum[index >> 3] + ones
-            for index, ones in enumerate(self._word_cum)
-        ]
-        zero_cum = [
-            (index << 6) - ones
-            for index, ones in enumerate(self._word_abs_cum)
-        ]
-        zero_cum[-1] = self._length - self._word_abs_cum[-1]
-        self._word_abs_zero_cum = zero_cum
+        self._pad_words = words + [0]
+        # Flat per-word absolute cumulatives (see the module docstring).
+        abs_cum, zero_cum = kernel.cumulative_popcounts(word_pop, length)
+        self._word_abs_cum = kernel.as_int_list(abs_cum)
+        self._word_abs_zero_cum = kernel.as_int_list(zero_cum)
+        self._batch_handle = None
+        self._batch_backend = None
+
+    def _handle(self):
+        """The kernel backend's batch handle, re-prepared on backend switch."""
+        backend = kernel.active_backend()
+        if self._batch_backend != backend:
+            self._batch_handle = kernel.prepare_rank_select(
+                self._words,
+                self._length,
+                self._word_abs_cum,
+                self._word_abs_zero_cum,
+            )
+            self._batch_backend = backend
+        return self._batch_handle
 
     # ------------------------------------------------------------------
     @classmethod
     def from_bits(cls, bits: Bits) -> "PlainBitVector":
         """Build directly from a :class:`Bits` payload."""
         return cls(bits)
+
+    @classmethod
+    def from_words(cls, words: Sequence[int], length: int) -> "PlainBitVector":
+        """Build from a kernel packed word sequence (list or word array).
+
+        The array-aware construction path: bulk producers (wavelet builders,
+        backend packers) hand the words straight in, skipping any big-int or
+        per-bit round trip.
+        """
+        self = cls.__new__(cls)
+        self._init_from_words(kernel.as_int_list(words), length)
+        return self
 
     def __len__(self) -> int:
         return self._length
@@ -151,109 +191,89 @@ class PlainBitVector(StaticBitVector):
     # ------------------------------------------------------------------
     # Batch query paths (amortise attribute lookups and validation)
     # ------------------------------------------------------------------
-    def access_many(self, positions: Sequence[int]) -> List[int]:
-        """Bits at each position, amortised O(1) each: validation (one
-        min/max pass) and attribute lookups are hoisted out of one list
-        comprehension over direct word probes."""
-        if not isinstance(positions, (list, tuple)):
-            positions = list(positions)
-        if not positions:
+    def access_many(self, positions: Sequence[int]):
+        """Bits at each position, amortised O(1) each.
+
+        Validation is one min/max pass; small batches run a direct word-probe
+        comprehension, larger ones one backend ``access_many_packed`` call
+        (whole-array gathers under the numpy backend).  Array inputs come
+        back as arrays under the numpy backend, as lists under python.
+        """
+        positions = normalize_batch(positions)
+        if len(positions) == 0:
             return []
         length = self._length
-        if min(positions) < 0 or max(positions) >= length:
+        lo, hi = batch_min_max(positions)
+        if lo < 0 or hi >= length:
             bad = next(p for p in positions if not 0 <= p < length)
             raise OutOfBoundsError(
                 f"position {bad} out of range for length {length}"
             )
-        words = self._words
-        return [
-            (words[pos >> 6] >> (WORD - 1 - (pos & 63))) & 1 for pos in positions
-        ]
+        if isinstance(positions, (list, tuple)) and len(positions) < _SMALL_BATCH:
+            words = self._words
+            return [
+                (words[pos >> 6] >> (WORD - 1 - (pos & 63))) & 1
+                for pos in positions
+            ]
+        return kernel.access_many_packed(self._handle(), positions)
 
-    def rank_many(self, bit: int, positions: Sequence[int]) -> List[int]:
-        """``rank(bit, pos)`` per position, amortised O(1) each: one flat
-        cumulative lookup plus one shifted popcount inside a single list
-        comprehension (validation and directory attribute loads shared)."""
+    def rank_many(self, bit: int, positions: Sequence[int]):
+        """``rank(bit, pos)`` per position, amortised O(1) each.
+
+        One flat cumulative lookup plus one shifted popcount per query,
+        batched: small batches in a single list comprehension, larger ones
+        through one backend ``rank_many_packed`` call (one gather + one
+        vectorised popcount under the numpy backend).  Array inputs come
+        back as arrays under the numpy backend, as lists under python.
+        """
         self._check_bit(bit)
-        if not isinstance(positions, (list, tuple)):
-            positions = list(positions)
-        if not positions:
+        positions = normalize_batch(positions)
+        if len(positions) == 0:
             return []
         length = self._length
-        if min(positions) < 0 or max(positions) > length:
+        lo, hi = batch_min_max(positions)
+        if lo < 0 or hi > length:
             bad = next(p for p in positions if not 0 <= p <= length)
             raise OutOfBoundsError(
                 f"rank position {bad} out of range for length {length}"
             )
-        words = self._pad_words
-        abs_cum = self._word_abs_cum
-        if bit:
+        if isinstance(positions, (list, tuple)) and len(positions) < _SMALL_BATCH:
+            words = self._pad_words
+            abs_cum = self._word_abs_cum
+            if bit:
+                return [
+                    abs_cum[index := pos >> 6]
+                    + (words[index] >> (WORD - (pos & 63))).bit_count()
+                    for pos in positions
+                ]
             return [
-                abs_cum[index := pos >> 6]
-                + (words[index] >> (WORD - (pos & 63))).bit_count()
+                pos
+                - abs_cum[index := pos >> 6]
+                - (words[index] >> (WORD - (pos & 63))).bit_count()
                 for pos in positions
             ]
-        return [
-            pos
-            - abs_cum[index := pos >> 6]
-            - (words[index] >> (WORD - (pos & 63))).bit_count()
-            for pos in positions
-        ]
+        return kernel.rank_many_packed(self._handle(), bit, positions)
 
-    def select_many(
-        self,
-        bit: int,
-        indexes: Sequence[int],
-        _bisect=bisect_right,
-    ) -> List[int]:
+    def select_many(self, bit: int, indexes: Sequence[int]):
         """``select(bit, idx)`` for each index, batch-amortised.
 
-        The indexes are sorted once; the word directory is then walked
-        monotonically (each ``bisect`` resumes from the previous word) and
-        all queries landing in the same word are answered by one pass of the
-        kernel's sorted in-word multi-select.  Amortised O(q log q) for the
-        sort plus O(log n + q) directory work, against q full O(log n)
-        binary searches for the scalar loop.
+        Small batches loop the scalar directory select; larger ones go
+        through one backend ``select_many_packed`` call -- a monotone shared
+        directory walk plus sorted in-word multi-select on the python
+        backend, one ``searchsorted`` plus a vectorised byte-table select
+        under the numpy backend.  Amortised O(q log n) with shared directory
+        work, input order preserved; array inputs come back as arrays under
+        the numpy backend, as lists under python.
         """
-        if bit == 1:
-            cum = self._word_abs_cum
-        elif bit == 0:
-            cum = self._word_abs_zero_cum
-        else:
+        if bit not in (0, 1):
             raise ValueError(f"bit must be 0 or 1, got {bit!r}")
-        total = cum[-1]
-        indexes = validate_select_indexes(indexes, total, bit)
-        if not indexes:
+        cum = self._word_abs_cum if bit else self._word_abs_zero_cum
+        indexes = validate_select_indexes(indexes, cum[-1], bit, keep_arrays=True)
+        if len(indexes) == 0:
             return []
-        order = sorted(range(len(indexes)), key=indexes.__getitem__)
-        out = [0] * len(indexes)
-        words = self._words
-        last_word = len(words) - 1
-        n_queries = len(order)
-        word_index = 0
-        at = 0
-        while at < n_queries:
-            idx = indexes[order[at]]
-            word_index = _bisect(cum, idx, word_index) - 1
-            upper = cum[word_index + 1] if word_index + 1 < len(cum) else total
-            group_end = at + 1
-            while group_end < n_queries and indexes[order[group_end]] < upper:
-                group_end += 1
-            word = words[word_index]
-            if not bit:
-                if word_index != last_word:
-                    word = ~word & WORD_MASK
-                else:
-                    word = invert_word(word, self._length - (word_index << 6))
-            base = word_index << 6
-            seen = cum[word_index]
-            offsets = kernel.select_in_word_many(
-                word, [indexes[order[i]] - seen for i in range(at, group_end)]
-            )
-            for i, offset in zip(range(at, group_end), offsets):
-                out[order[i]] = base + offset
-            at = group_end
-        return out
+        if isinstance(indexes, (list, tuple)) and len(indexes) < _SMALL_BATCH:
+            return [self.select(bit, idx) for idx in indexes]
+        return kernel.select_many_packed(self._handle(), bit, indexes)
 
     # ------------------------------------------------------------------
     def extract_bits(self, start: int, stop: int) -> Bits:

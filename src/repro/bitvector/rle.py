@@ -19,6 +19,7 @@ from bisect import bisect_right
 from itertools import repeat
 from typing import Iterable, Iterator, List, Tuple, Union
 
+from repro.bits import kernel
 from repro.bits.bitstring import Bits
 from repro.bits.codes import BitReader, BitWriter, gamma_code_length
 from repro.bits.kernel import runs_of_value
@@ -31,26 +32,17 @@ _DEFAULT_SAMPLE = 32
 
 
 def runs_of(bits: Union[Bits, Iterable[int]]) -> List[Tuple[int, int]]:
-    """Return the maximal runs of ``bits`` as a list of ``(bit, length)`` pairs."""
+    """Return the maximal runs of ``bits`` as a list of ``(bit, length)`` pairs.
+
+    Word-parallel under every input shape: a :class:`Bits` payload goes
+    through the kernel's xor-shift boundary extraction, and any other
+    iterable is bulk-packed by the kernel backend first and then run-decoded
+    from the packed words -- never a per-bit Python comparison loop.
+    """
     if isinstance(bits, Bits):
-        # Word-parallel: run boundaries come from one xor-shift over the
-        # packed payload instead of a per-bit Python scan.
         return runs_of_value(bits.value, len(bits))
-    runs: List[Tuple[int, int]] = []
-    current_bit = None
-    current_len = 0
-    for bit in bits:
-        bit = 1 if bit else 0
-        if bit == current_bit:
-            current_len += 1
-        else:
-            if current_bit is not None:
-                runs.append((current_bit, current_len))
-            current_bit = bit
-            current_len = 1
-    if current_bit is not None:
-        runs.append((current_bit, current_len))
-    return runs
+    words, length = kernel.pack_bits(bits)
+    return kernel.runs_of_words(words, length)
 
 
 class RLEBitVector(StaticBitVector):
@@ -129,6 +121,23 @@ class RLEBitVector(StaticBitVector):
         vector._sample_rate = sample_rate
         vector._build_from_runs(normalized)
         return vector
+
+    @classmethod
+    def from_words(
+        cls,
+        words: List[int],
+        length: int,
+        sample_rate: int = _DEFAULT_SAMPLE,
+    ) -> "RLEBitVector":
+        """Build from a kernel packed word sequence (list or word array).
+
+        The array-aware construction path: the runs are decoded straight
+        from the packed words by the kernel backend (one boundary-diff pass
+        under numpy) and gamma-encoded, never expanded bit by bit.
+        """
+        return cls.from_runs(
+            kernel.runs_of_words(words, length), sample_rate=sample_rate
+        )
 
     def __len__(self) -> int:
         return self._length

@@ -17,6 +17,7 @@ from __future__ import annotations
 from bisect import bisect_right
 from typing import Iterable, Iterator, List, Union
 
+from repro.bits import kernel
 from repro.bits.bitstring import Bits
 from repro.bits.codes import (
     BitWriter,
@@ -82,42 +83,73 @@ class RRRBitVector(StaticBitVector):
     ) -> None:
         if not isinstance(bits, Bits):
             bits = Bits.from_iterable(bits)
+        # Pack once into 64-bit words so per-block extraction is O(1) instead
+        # of one O(n / 64) big-int slice per block.
+        words = pack_value(bits.value, len(bits))
+        self._build_from_words(words, len(bits), block_size, sample_rate)
+
+    @classmethod
+    def from_words(
+        cls,
+        words: List[int],
+        length: int,
+        block_size: int = _DEFAULT_BLOCK,
+        sample_rate: int = _DEFAULT_SAMPLE,
+    ) -> "RRRBitVector":
+        """Build from a kernel packed word sequence (list or word array).
+
+        The array-aware construction path: bulk producers hand the words
+        straight to the block encoder, skipping any big-int or per-bit
+        round trip.
+        """
+        self = cls.__new__(cls)
+        self._build_from_words(
+            kernel.as_int_list(words), length, block_size, sample_rate
+        )
+        return self
+
+    def _build_from_words(
+        self, words: List[int], length: int, block_size: int, sample_rate: int
+    ) -> None:
         if block_size < 1 or block_size > 63:
             raise ValueError("block_size must be between 1 and 63")
         if sample_rate < 1:
             raise ValueError("sample_rate must be positive")
-        self._length = len(bits)
+        self._length = length
         self._block_size = block_size
         self._sample_rate = sample_rate
         # Per-class offset widths: the pure-Python stand-in for the
         # four-Russians tables, kept per instance for hot-path list lookups.
         self._width_by_class = offset_width_table(block_size)
 
-        classes: List[int] = []
         writer = BitWriter()
         sample_rank: List[int] = []
         sample_offset_pos: List[int] = []
         ones_so_far = 0
 
-        # Pack once into 64-bit words so per-block extraction is O(1) instead
-        # of one O(n / 64) big-int slice per block.
-        words = pack_value(bits.value, self._length)
-        n_blocks = (self._length + block_size - 1) // block_size
-        for block_index in range(n_blocks):
+        # Bulk class computation through the kernel backend (one
+        # unpackbits + reduceat pass under numpy); the per-block offset
+        # encode below then only extracts blocks that carry an offset, so
+        # all-zero/all-one blocks never pay an extraction.
+        classes = kernel.as_int_list(
+            kernel.block_popcounts(words, length, block_size)
+        )
+        widths = self._width_by_class
+        for block_index, cls in enumerate(classes):
             if block_index % sample_rate == 0:
                 sample_rank.append(ones_so_far)
                 sample_offset_pos.append(len(writer))
-            start = block_index * block_size
-            stop = min(start + block_size, self._length)
-            width = stop - start
-            # Right-pad the final partial block with zeros to full width so the
-            # class/offset maths always works on `block_size`-bit blocks.
-            value = extract_bits_value(words, start, stop) << (block_size - width)
-            cls = value.bit_count()
-            classes.append(cls)
             ones_so_far += cls
-            off_w = self._width_by_class[cls]
+            off_w = widths[cls]
             if off_w:
+                start = block_index * block_size
+                stop = min(start + block_size, length)
+                # Right-pad the final partial block with zeros to full width
+                # so the class/offset maths always works on
+                # ``block_size``-bit blocks.
+                value = extract_bits_value(words, start, stop) << (
+                    block_size - (stop - start)
+                )
                 writer.write_int(
                     combinatorial_rank(value, block_size, cls), off_w
                 )

@@ -19,7 +19,7 @@ from typing import Iterable, Iterator, List, Sequence
 
 from repro.bits.bitbuffer import BitBuffer
 from repro.bits.bitstring import Bits
-from repro.bits.kernel import one_positions, pack_value
+from repro.bits.kernel import as_int_list, one_positions, pack_value
 from repro.bits.packed import PackedIntVector
 from repro.bitvector.base import StaticBitVector
 from repro.bitvector.plain import PlainBitVector
@@ -151,7 +151,7 @@ class SparseBitVector(StaticBitVector):
         if isinstance(bits, Bits):
             # Kernel path: extract the 1-positions bytewise from packed words.
             words = pack_value(bits.value, len(bits))
-            return cls(len(bits), one_positions(words))
+            return cls(len(bits), as_int_list(one_positions(words)))
         ones = []
         length = 0
         for position, bit in enumerate(bits):

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from repro.bits import kernel
 from repro.bitvector.base import validate_select_indexes
 from repro.bitvector.plain import PlainBitVector
 from repro.bitvector.rle import RLEBitVector
@@ -75,31 +76,32 @@ class WaveletTree:
 
     # ------------------------------------------------------------------
     def _build(self, data: List[int], low: int, high: int) -> _Node:
-        """Iterative broadside construction.
+        """Iterative broadside construction through the kernel backend.
 
-        Each node is materialised with one stable partition pass over its
-        subsequence; the branch bits go straight into the bitvector factory
-        (which packs them into 64-bit words through the kernel), and the work
-        stack replaces per-element Python recursion, so arbitrarily skewed
-        alphabets never hit the recursion limit.
+        Each node is materialised with one ``partition_by_pivot`` call: the
+        branch bits arrive pre-packed as kernel words (handed to the
+        bitvector factory's ``from_words`` -- no per-bit round trip) together
+        with the stable left/right sub-partitions, all vectorised under the
+        numpy backend.  The work stack replaces per-element Python
+        recursion, so arbitrarily skewed alphabets never hit the recursion
+        limit.
         """
         root = _Node(low, high)
-        stack: List[Tuple[_Node, List[int]]] = [(root, data)]
+        stack = [(root, kernel.prepare_symbols(data))]
         while stack:
             node, symbols = stack.pop()
             if node.high - node.low <= 1:
                 continue
             mid = (node.low + node.high) // 2
-            node.bitvector = self._factory(
-                [1 if symbol >= mid else 0 for symbol in symbols]
+            words, length, left_data, right_data = kernel.partition_by_pivot(
+                symbols, mid
             )
-            left_data = [symbol for symbol in symbols if symbol < mid]
-            right_data = [symbol for symbol in symbols if symbol >= mid]
+            node.bitvector = self._factory.from_words(words, length)
             node.left = _Node(node.low, mid)
             node.right = _Node(mid, node.high)
-            if left_data:
+            if len(left_data):
                 stack.append((node.left, left_data))
-            if right_data:
+            if len(right_data):
                 stack.append((node.right, right_data))
         return root
 
@@ -188,6 +190,8 @@ class WaveletTree:
         bitvector, so node and attribute overhead is amortised over the whole
         batch instead of paid per query.
         """
+        if not isinstance(positions, (list, tuple)):
+            positions = list(positions)
         for pos in positions:
             self._check_pos(pos)
         out: List[Optional[int]] = [None] * len(positions)

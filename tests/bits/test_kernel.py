@@ -51,7 +51,9 @@ class TestPacking:
         value = int("".join(map(str, bits)), 2) if bits else 0
         words, got_length = kernel.pack_iterable(bits)
         assert got_length == length
-        assert words == kernel.pack_value(value, length)
+        # The active backend may return its native word container (e.g. a
+        # numpy array); values must match the canonical list packer.
+        assert kernel.as_int_list(words) == kernel.pack_value(value, length)
 
     def test_words_to_int_concatenates(self):
         words = [0x0123456789ABCDEF, 0xFEDCBA9876543210]

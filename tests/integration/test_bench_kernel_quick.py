@@ -31,10 +31,21 @@ def load_bench_module():
     return module
 
 
+EXPECTED_BACKEND_SECTIONS = {
+    "pack_bits",
+    "directory_build",
+    "rank_many",
+    "access_many",
+    "select_many",
+    "wavelet_build",
+}
+
+
 def test_bench_kernel_quick_mode():
     bench = load_bench_module()
-    # run() embeds equality assertions of kernel answers vs the seed replica,
-    # so completing without error is itself a correctness check.
+    # run() embeds equality assertions of kernel answers vs the seed replica
+    # and of the numpy backend vs the python backend, so completing without
+    # error is itself a correctness check.
     payload = bench.run(quick=True, repeats=1)
     assert payload["quick"] is True
     assert set(payload["results"]) == EXPECTED_SECTIONS
@@ -43,3 +54,27 @@ def test_bench_kernel_quick_mode():
         assert entry["seed_ops_per_sec"] > 0, name
         assert entry["kernel_ops_per_sec"] > 0, name
         assert entry["speedup"] > 0, name
+    backends = payload["backends"]
+    assert "python" in backends["available"]
+    if "numpy" not in backends["available"]:
+        assert "results" not in backends  # numpy-free installs: list only
+        return
+    assert set(backends["results"]) == EXPECTED_BACKEND_SECTIONS
+    for name, entry in backends["results"].items():
+        assert entry["ops"] > 0, name
+        assert entry["python_ops_per_sec"] > 0, name
+        assert entry["numpy_ops_per_sec"] > 0, name
+        # No speedup thresholds here (tiny sizes + CI noise); the committed
+        # BENCH_kernel.json records the full-size numbers.
+        assert entry["numpy_speedup"] > 0, name
+
+
+def test_bench_kernel_restores_active_backend():
+    """The harness switches backends internally but must leave the session's
+    active backend untouched."""
+    from repro.bits import kernel
+
+    bench = load_bench_module()
+    before = kernel.active_backend()
+    bench.run(quick=True, repeats=1)
+    assert kernel.active_backend() == before

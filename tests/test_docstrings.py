@@ -2,12 +2,16 @@
 
 Run directly (``pytest tests/test_docstrings.py``) or via ``make docs-check``.
 The walk imports every module under :mod:`repro`, so an import-time error in
-any module also fails this gate.
+any module also fails this gate.  Also enforces the kernel backend contract:
+every public kernel function must exist in *both* backend modules and appear
+in the contract table of docs/ARCHITECTURE.md.
 """
 
 import importlib
 import inspect
 import pkgutil
+import re
+from pathlib import Path
 
 import repro
 
@@ -63,4 +67,64 @@ def test_every_batch_api_method_states_its_cost():
     assert not offenders, (
         f"batch-API methods whose docstrings do not state their amortised "
         f"cost: {sorted(offenders)}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Kernel backend contract (docs/ARCHITECTURE.md, "Kernel backends")
+# ----------------------------------------------------------------------
+ARCHITECTURE_MD = Path(__file__).resolve().parent.parent / "docs" / "ARCHITECTURE.md"
+
+
+def test_kernel_backends_export_the_same_contract():
+    """A public kernel function existing in one backend but not the other is
+    a contract violation: new primitives must land in both backends."""
+    from repro.bits import kernel
+    from repro.bits.kernel import npkernel, pykernel
+
+    contract = set(kernel.KERNEL_CONTRACT)
+    assert set(pykernel.__all__) == contract, (
+        "pykernel.__all__ drifted from KERNEL_CONTRACT: "
+        f"{set(pykernel.__all__) ^ contract}"
+    )
+    assert set(npkernel.__all__) == contract, (
+        "npkernel.__all__ drifted from KERNEL_CONTRACT: "
+        f"{set(npkernel.__all__) ^ contract}"
+    )
+    missing = {
+        f"{module.__name__}.{name}"
+        for module in (pykernel, npkernel)
+        for name in contract
+        if not hasattr(module, name)
+    }
+    assert not missing, f"contract names not implemented: {sorted(missing)}"
+    # The façade itself must expose every contract name too.
+    facade_missing = [name for name in contract if not hasattr(kernel, name)]
+    assert not facade_missing, f"façade misses: {facade_missing}"
+
+
+def test_kernel_contract_table_matches_architecture_doc():
+    """The ARCHITECTURE.md contract table and ``kernel.KERNEL_CONTRACT`` must
+    list exactly the same names (the table is the documented contract)."""
+    from repro.bits import kernel
+
+    text = ARCHITECTURE_MD.read_text(encoding="utf-8")
+    assert "## Kernel backends" in text, "Kernel backends section missing"
+    section = text.split("### The backend contract", 1)[1].split("\n## ", 1)[0]
+    documented = set()
+    for line in section.splitlines():
+        if not line.startswith("|"):
+            continue
+        first_cell = line.split("|")[1]
+        documented.update(re.findall(r"`([A-Za-z_][A-Za-z_0-9]*)`", first_cell))
+    contract = set(kernel.KERNEL_CONTRACT)
+    undocumented = contract - documented
+    stale = documented - contract
+    assert not undocumented, (
+        f"contract functions missing from the ARCHITECTURE.md table: "
+        f"{sorted(undocumented)}"
+    )
+    assert not stale, (
+        f"ARCHITECTURE.md table rows without a contract function: "
+        f"{sorted(stale)}"
     )
