@@ -17,6 +17,12 @@ seed implementation on the growable structures of paper Section 4:
 * ``DynamicBitVector.insert_many`` / ``DynamicWaveletTrie.insert_many`` (one
   treap split + O(r) bulk build + merge per touched node) vs one root-to-leaf
   insertion per element;
+* ``DynamicBitVector.delete_many`` / ``DynamicWaveletTrie.delete_many`` (one
+  treap split + O(r_span) kernel run surgery + coalescing merge per touched
+  node) vs one root-to-leaf deletion per element;
+* batched prefix queries ``rank_prefix_many`` / ``select_prefix_many`` on the
+  dynamic Wavelet Trie (one shared root-to-prefix-node walk + batched
+  per-node passes) vs the scalar per-query descents;
 * append-only freeze latency: max single-``append`` wall time with the
   de-amortised staged freeze (bounded blocks per append) vs the seed's
   stop-the-world freeze of the whole tail.
@@ -363,6 +369,125 @@ def run(quick: bool = False, repeats: int = 2) -> Dict[str, object]:
         "trie insert_many mismatch vs per-element insert loop"
     )
     results["dwt_insert_many"] = _entry(len(insert_values), seed_time, new_time)
+
+    # ------------------------------------------------------------------
+    # DynamicBitVector.delete_many: one split + O(r_span) kernel run surgery
+    # + coalescing merge vs one root-to-leaf treap deletion per bit.
+    # ------------------------------------------------------------------
+    delete_k = n_queries
+    check_vector = DynamicBitVector.from_runs(base_runs)
+    scalar_check = DynamicBitVector.from_runs(base_runs)
+    check_positions = rng.sample(range(n_bits), delete_k)
+    scalar_answers = [0] * delete_k
+    for index in sorted(
+        range(delete_k), key=check_positions.__getitem__, reverse=True
+    ):
+        scalar_answers[index] = scalar_check.delete(check_positions[index])
+    assert check_vector.delete_many(check_positions) == scalar_answers, (
+        "delete_many mismatch vs per-bit delete loop"
+    )
+    assert list(check_vector.runs()) == list(scalar_check.runs()), (
+        "delete_many left a different run structure than the scalar loop"
+    )
+    # Shared shrinking batches so both replicas stay identical while timed.
+    delete_batches = []
+    size = n_bits
+    for _ in range(repeats):
+        delete_batches.append(rng.sample(range(size), delete_k))
+        size -= delete_k
+    seed_delete_vector = DynamicBitVector.from_runs(base_runs)
+    bulk_delete_vector = DynamicBitVector.from_runs(base_runs)
+    seed_delete_iter = iter(delete_batches)
+    bulk_delete_iter = iter(delete_batches)
+
+    def _seed_delete_loop() -> None:
+        positions = next(seed_delete_iter)
+        for position in sorted(positions, reverse=True):
+            seed_delete_vector.delete(position)
+
+    def _bulk_delete_many() -> None:
+        bulk_delete_vector.delete_many(next(bulk_delete_iter))
+
+    seed_time = _best_time(_seed_delete_loop, repeats)
+    new_time = _best_time(_bulk_delete_many, repeats)
+    assert list(seed_delete_vector.runs()) == list(bulk_delete_vector.runs())
+    results["dbv_delete_many"] = _entry(delete_k, seed_time, new_time)
+
+    # ------------------------------------------------------------------
+    # Bulk Delete on the dynamic Wavelet Trie: positions partitioned down
+    # the trie once (one rank_many + one delete_many per touched node, with
+    # empty-subtree pruning) vs one root-to-leaf walk per element.  Both
+    # sides consume the same shrinking position batches, so the structures
+    # stay comparable and equal.
+    # ------------------------------------------------------------------
+    trie_delete_k = max(1, n_queries // 10)
+    trie_delete_batches = []
+    size = len(bulk_trie)
+    for _ in range(repeats):
+        trie_delete_batches.append(rng.sample(range(size), trie_delete_k))
+        size -= trie_delete_k
+    seed_trie_delete_iter = iter(trie_delete_batches)
+    bulk_trie_delete_iter = iter(trie_delete_batches)
+    deleted_by_seed: List[List[str]] = []
+    deleted_by_bulk: List[List[str]] = []
+
+    def _seed_trie_delete() -> None:
+        positions = next(seed_trie_delete_iter)
+        removed = [None] * len(positions)
+        for index in sorted(
+            range(len(positions)), key=positions.__getitem__, reverse=True
+        ):
+            removed[index] = seed_trie.delete(positions[index])
+        deleted_by_seed.append(removed)
+
+    def _bulk_trie_delete() -> None:
+        deleted_by_bulk.append(bulk_trie.delete_many(next(bulk_trie_delete_iter)))
+
+    seed_time = _best_time(_seed_trie_delete, repeats)
+    new_time = _best_time(_bulk_trie_delete, repeats)
+    assert deleted_by_seed == deleted_by_bulk, (
+        "trie delete_many mismatch vs per-element delete loop"
+    )
+    assert bulk_trie.to_list() == seed_trie.to_list()
+    results["dwt_delete_many"] = _entry(trie_delete_k, seed_time, new_time)
+
+    # ------------------------------------------------------------------
+    # Batched prefix queries: one shared root-to-prefix-node walk + batched
+    # per-node rank/select passes vs one full descent per query.
+    # ------------------------------------------------------------------
+    prefix_probe = "/host3/"
+    trie_size = len(bulk_trie)
+    prefix_positions = [rng.randrange(trie_size + 1) for _ in range(n_queries)]
+    assert bulk_trie.rank_prefix_many(prefix_probe, prefix_positions) == [
+        seed_trie.rank_prefix(prefix_probe, p) for p in prefix_positions
+    ], "batched rank_prefix mismatch vs scalar loop"
+    seed_time = _best_time(
+        lambda: [seed_trie.rank_prefix(prefix_probe, p) for p in prefix_positions],
+        repeats,
+    )
+    new_time = _best_time(
+        lambda: bulk_trie.rank_prefix_many(prefix_probe, prefix_positions),
+        repeats,
+    )
+    results["dwt_rank_prefix_batch"] = _entry(n_queries, seed_time, new_time)
+
+    prefix_total = bulk_trie.count_prefix(prefix_probe)
+    assert prefix_total > 0, "prefix probe vanished from the workload"
+    prefix_indexes = [rng.randrange(prefix_total) for _ in range(n_queries)]
+    assert bulk_trie.select_prefix_many(prefix_probe, prefix_indexes) == [
+        seed_trie.select_prefix(prefix_probe, idx) for idx in prefix_indexes
+    ], "batched select_prefix mismatch vs scalar loop"
+    seed_time = _best_time(
+        lambda: [
+            seed_trie.select_prefix(prefix_probe, idx) for idx in prefix_indexes
+        ],
+        repeats,
+    )
+    new_time = _best_time(
+        lambda: bulk_trie.select_prefix_many(prefix_probe, prefix_indexes),
+        repeats,
+    )
+    results["dwt_select_prefix_batch"] = _entry(n_queries, seed_time, new_time)
 
     # ------------------------------------------------------------------
     # De-amortised tail freezing: max single-append latency with the staged

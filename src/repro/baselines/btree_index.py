@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Iterator, List, Optional, Tuple
 
-from repro.core.interface import IndexedStringSequence
+from repro.core.interface import IndexedStringSequence, check_select_prefix_index
 from repro.exceptions import OutOfBoundsError
 
 __all__ = ["BTreeSequenceIndex", "BTree"]
@@ -217,11 +217,7 @@ class BTreeSequenceIndex(IndexedStringSequence):
                 break
             positions.append(key_pos)
         positions.sort()
-        if idx >= len(positions):
-            raise OutOfBoundsError(
-                f"select_prefix({prefix!r}, {idx}) out of range: only "
-                f"{len(positions)} matches"
-            )
+        check_select_prefix_index(prefix, idx, len(positions))
         return positions[idx]
 
     # ------------------------------------------------------------------

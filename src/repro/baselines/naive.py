@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import Any, Iterable, List, Optional, Tuple
 
-from repro.core.interface import IndexedStringSequence
+from repro.core.interface import IndexedStringSequence, check_select_prefix_index
 from repro.exceptions import OutOfBoundsError, ValueNotFoundError
 
 __all__ = ["NaiveIndexedSequence"]
@@ -57,9 +57,11 @@ class NaiveIndexedSequence(IndexedStringSequence):
                 if seen == idx:
                     return position
                 seen += 1
-        raise OutOfBoundsError(
-            f"select_prefix({prefix!r}, {idx}) out of range: only {seen} matches"
-        )
+        # The scan exhausted, so ``seen`` is the total match count and
+        # ``idx`` is out of range (negative indexes never match ``seen``):
+        # raise the canonical error.
+        check_select_prefix_index(prefix, idx, seen)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # ------------------------------------------------------------------
     # Updates

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Any, Iterable, List
 
 from repro.bitvector.sparse import SparseBitVector
-from repro.core.interface import IndexedStringSequence
+from repro.core.interface import IndexedStringSequence, check_select_prefix_index
 from repro.exceptions import OutOfBoundsError
 from repro.wavelet.huffman import HuffmanWaveletTree
 
@@ -104,9 +104,10 @@ class TextCollectionSequence(IndexedStringSequence):
                 if seen == idx:
                     return index
                 seen += 1
-        raise OutOfBoundsError(
-            f"select_prefix({prefix!r}, {idx}) out of range: only {seen} matches"
-        )
+        # Scan exhausted: ``seen`` is the total match count and ``idx`` is
+        # out of range -- raise the canonical error.
+        check_select_prefix_index(prefix, idx, seen)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # ------------------------------------------------------------------
     def size_in_bits(self) -> int:

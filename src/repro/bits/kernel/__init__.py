@@ -221,6 +221,13 @@ def runs_of_words(words: Sequence[int], length: int):
     return _active.runs_of_words(words, length)
 
 
+def delete_positions_from_runs(
+    runs: Sequence[Tuple[int, int]], positions: Sequence[int]
+):
+    """Run surgery: drop sorted ``positions``; returns ``(kept_runs, deleted_bits)``."""
+    return _active.delete_positions_from_runs(runs, positions)
+
+
 def block_popcounts(words: Sequence[int], length: int, block_size: int):
     """Popcount of each ``block_size``-bit block of the top ``length`` bits."""
     return _active.block_popcounts(words, length, block_size)

@@ -65,6 +65,7 @@ __all__ = [
     "run_lengths_of_value",
     "runs_of_value",
     "runs_of_words",
+    "delete_positions_from_runs",
     "block_popcounts",
     "prepare_symbols",
     "partition_by_pivot",
@@ -501,6 +502,44 @@ def runs_of_words(words: Sequence[int], length: int) -> List[Tuple[int, int]]:
     if length <= 0:
         return []
     return runs_of_value(unpack_value(words, length), length)
+
+
+def delete_positions_from_runs(
+    runs: Sequence[Tuple[int, int]], positions: Sequence[int]
+) -> Tuple[List[Tuple[int, int]], List[int]]:
+    """Remove the bits at sorted ``positions`` from a ``(bit, length)`` run list.
+
+    Returns ``(kept_runs, deleted_bits)``: the surviving runs -- normalised,
+    with empty runs dropped and adjacent equal-bit runs coalesced -- and the
+    value of every deleted bit, in position order.  ``positions`` must be
+    strictly increasing and within the run list's total length (a position
+    past the end raises :class:`ValueError`).  This is the O(r + k) run
+    surgery behind the dynamic RLE bitvector's bulk ``delete_many``: one
+    linear pass over the runs instead of ``k`` tree deletions.
+    """
+    deleted: List[int] = []
+    kept: List[Tuple[int, int]] = []
+    total = len(positions)
+    at = 0
+    end = 0
+    for bit, length in runs:
+        end += length
+        removed = 0
+        while at < total and positions[at] < end:
+            deleted.append(bit)
+            removed += 1
+            at += 1
+        new_length = length - removed
+        if new_length:
+            if kept and kept[-1][0] == bit:
+                kept[-1] = (bit, kept[-1][1] + new_length)
+            else:
+                kept.append((bit, new_length))
+    if at < total:
+        raise ValueError(
+            f"position {positions[at]} out of range for run length {end}"
+        )
+    return kept, deleted
 
 
 # ----------------------------------------------------------------------

@@ -106,6 +106,18 @@ class GapEncodedBitVector(BitVector):
         self._length -= 1
         return self._one_positions.delete(pos)
 
+    def delete_many(self, positions: Iterable[int]) -> List[int]:
+        """Delete the bits at ``positions``; values come back in input order.
+
+        Delegates to the RLE container's bulk
+        :meth:`~repro.bitvector.dynamic.DynamicBitVector.delete_many` (one
+        split + linear run surgery + merge), amortised O(log r + r_span +
+        k log k) for k deletions instead of k O(log r) walks.
+        """
+        removed = self._one_positions.delete_many(positions)
+        self._length -= len(removed)
+        return removed
+
     @classmethod
     def init_run(cls, bit: int, length: int) -> "GapEncodedBitVector":
         """``Init(b, n)``.

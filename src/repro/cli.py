@@ -10,9 +10,11 @@ range-analytics queries against the compressed file:
    $ wavelet-trie info access.wt
    $ wavelet-trie access access.wt 0 17 42
    $ wavelet-trie rank access.wt "http://example.com/" --prefix
+   $ wavelet-trie positions access.wt "http://ads." --prefix --limit 100
    $ wavelet-trie top access.wt -k 5 --prefix "http://ads."
    $ wavelet-trie distinct access.wt --start 1000 --stop 2000
    $ wavelet-trie append access.wt "http://example.com/new" --save
+   $ wavelet-trie delete access.wt 17 42 1000 --save
 
 Input files are plain text, one string per line (the empty string is a valid
 value; trailing newlines are stripped).  Indexes are stored in the
@@ -178,6 +180,56 @@ def _cmd_select(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_positions(args: argparse.Namespace) -> int:
+    index = load(args.index)
+    _require_trie(index)
+    if args.prefix:
+        total = index.count_prefix(args.value)
+    else:
+        total = index.count(args.value)
+    stop = total if args.limit is None else min(args.limit, total)
+    indexes = list(range(stop))
+    if args.prefix:
+        found = index.select_prefix_many(args.value, indexes)
+    else:
+        found = index.select_many(args.value, indexes)
+    payload = {
+        "value": args.value,
+        "prefix": args.prefix,
+        "total": total,
+        "positions": found,
+    }
+    _emit(payload, args.json, [str(position) for position in found])
+    return 0
+
+
+def _cmd_delete(args: argparse.Namespace) -> int:
+    index = load(args.index)
+    _require_trie(index)
+    if not isinstance(index, DynamicWaveletTrie):
+        raise ReproError(
+            "this index does not support deletion; rebuild it with --variant dynamic"
+        )
+    removed = index.delete_many(args.positions)
+    payload = {
+        "deleted": [
+            {"position": position, "value": value}
+            for position, value in zip(args.positions, removed)
+        ],
+        "elements": len(index),
+        "saved": bool(args.save),
+    }
+    if args.save:
+        save(index, args.index)
+    lines = [f"{entry['position']}\t{entry['value']}" for entry in payload["deleted"]]
+    lines.append(
+        f"deleted {len(removed)} values; the index now holds {len(index):,} elements"
+        + ("" if args.save else "  (not saved; pass --save to persist)")
+    )
+    _emit(payload, args.json, lines)
+    return 0
+
+
 def _cmd_top(args: argparse.Namespace) -> int:
     index = load(args.index)
     _require_trie(index)
@@ -307,6 +359,27 @@ def build_parser() -> argparse.ArgumentParser:
     select.add_argument("--prefix", action="store_true", help="treat VALUE as a prefix")
     add_common(select)
     select.set_defaults(handler=_cmd_select)
+
+    positions = subparsers.add_parser(
+        "positions", help="all positions of a value (or prefix), batch-answered"
+    )
+    positions.add_argument("index")
+    positions.add_argument("value")
+    positions.add_argument("--prefix", action="store_true", help="treat VALUE as a prefix")
+    positions.add_argument(
+        "--limit", type=int, default=None, help="return at most LIMIT positions"
+    )
+    add_common(positions)
+    positions.set_defaults(handler=_cmd_positions)
+
+    delete = subparsers.add_parser(
+        "delete", help="delete the values at the given positions (dynamic index)"
+    )
+    delete.add_argument("index")
+    delete.add_argument("positions", nargs="+", type=int)
+    delete.add_argument("--save", action="store_true", help="write the shrunk index back to disk")
+    add_common(delete)
+    delete.set_defaults(handler=_cmd_delete)
 
     top = subparsers.add_parser("top", help="most frequent values in a position range")
     top.add_argument("index")

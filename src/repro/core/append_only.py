@@ -116,3 +116,13 @@ class AppendOnlyWaveletTrie(GrowableTopologyMixin, WaveletTrieBase):
         raise InvalidOperationError(
             "AppendOnlyWaveletTrie does not support delete; use DynamicWaveletTrie"
         )
+
+    def delete_many(self, positions) -> Any:
+        """Deletion is unsupported (batched or not); raises like :meth:`delete`.
+
+        Overridden so the batch path rejects immediately (no amortised path
+        exists) instead of validating positions first.
+        """
+        raise InvalidOperationError(
+            "AppendOnlyWaveletTrie does not support delete; use DynamicWaveletTrie"
+        )

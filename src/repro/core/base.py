@@ -12,8 +12,12 @@ from __future__ import annotations
 from typing import Any, Iterator, List, Optional, Tuple
 
 from repro.bits.bitstring import Bits
-from repro.bitvector.base import validate_select_indexes
-from repro.core.interface import IndexedStringSequence
+from repro.bitvector.base import normalize_batch, validate_select_indexes
+from repro.core.interface import (
+    IndexedStringSequence,
+    check_select_prefix_index,
+    validate_select_prefix_indexes,
+)
 from repro.core.node import WaveletTrieNode
 from repro.core.range_queries import RangeQueryMixin
 from repro.exceptions import OutOfBoundsError, ValueNotFoundError
@@ -100,7 +104,9 @@ class WaveletTrieBase(RangeQueryMixin, IndexedStringSequence):
 
     def select_prefix(self, prefix: Any, idx: int) -> int:
         """Position of the ``idx``-th element with ``prefix`` (SelectPrefix)."""
-        return self.select_prefix_bits(self._codec.prefix_to_bits(prefix), idx)
+        return self.select_prefix_bits(
+            self._codec.prefix_to_bits(prefix), idx, label=prefix
+        )
 
     # ------------------------------------------------------------------
     # Batch queries (amortise the trie descent and codec work per node)
@@ -197,6 +203,9 @@ class WaveletTrieBase(RangeQueryMixin, IndexedStringSequence):
 
     def select_many_bits(self, key: Bits, indexes) -> List[int]:
         """Batched Select of a binarised value (see :meth:`select_many`)."""
+        indexes = normalize_batch(indexes)
+        if not len(indexes):
+            return []  # an empty batch never raises, like the default loop
         path = self._path_of(key)
         if path is None:
             raise ValueNotFoundError(
@@ -206,11 +215,79 @@ class WaveletTrieBase(RangeQueryMixin, IndexedStringSequence):
         current = validate_select_indexes(
             indexes, leaf.sequence_length(self._size), repr(key)
         )
-        if not current:
-            return []
         for node, bit in reversed(ancestors):
             current = node.bitvector.select_many(bit, current)
         return current
+
+    def rank_prefix_many(self, prefix: Any, positions) -> List[int]:
+        """``rank_prefix(prefix, pos)`` for each position (batched RankPrefix).
+
+        The prefix is binarised once and its node located with one shared
+        root-to-prefix-node walk; at every internal node on the way the whole
+        position vector is mapped through the bitvector's batch ``rank_many``
+        -- amortised O(|p| + depth_p (D + q)) where D is the per-node batch
+        pass, against q independent O(|p| + depth_p log n) descents.
+        """
+        return self.rank_prefix_many_bits(
+            self._codec.prefix_to_bits(prefix), positions
+        )
+
+    def rank_prefix_many_bits(self, prefix: Bits, positions) -> List[int]:
+        """Batched RankPrefix of a binarised prefix (see :meth:`rank_prefix_many`)."""
+        positions = normalize_batch(positions)
+        for pos in positions:
+            self._check_rank_pos(pos)
+        if self._root is None or not len(positions):
+            return [0] * len(positions)
+        node = self._root
+        remaining = prefix
+        current: List[int] = [int(pos) for pos in positions]
+        while True:
+            label = node.label
+            lcp = remaining.lcp_length(label)
+            if lcp == len(remaining):
+                return current
+            if lcp < len(label) or node.is_leaf:
+                return [0] * len(current)
+            bit = remaining[len(label)]
+            current = node.bitvector.rank_many(bit, current)
+            remaining = remaining.suffix_from(len(label) + 1)
+            node = node.children[bit]
+
+    def select_prefix_many(self, prefix: Any, indexes) -> List[int]:
+        """``select_prefix(prefix, idx)`` for each index (batched SelectPrefix).
+
+        The prefix node is located once and its root path unwound with each
+        node bitvector's batched ``select_many`` (one shared directory/runs
+        pass per node), so q queries cost amortised O(|p| + depth_p (D +
+        q log q)) instead of q full SelectPrefix walks.  Results come back in
+        input order; the indexes need not be sorted.
+        """
+        return self.select_prefix_many_bits(
+            self._codec.prefix_to_bits(prefix), indexes, label=prefix
+        )
+
+    def select_prefix_many_bits(
+        self, prefix: Bits, indexes, label: Any = None
+    ) -> List[int]:
+        """Batched SelectPrefix of a binarised prefix (see :meth:`select_prefix_many`)."""
+        indexes = normalize_batch(indexes)
+        if not len(indexes):
+            return []  # an empty batch never raises, like the default loop
+        located = self._prefix_node(prefix)
+        if located is None:
+            raise ValueNotFoundError(
+                f"no element has prefix {(prefix if label is None else label)!r}"
+            )
+        node, ancestors = located
+        current = validate_select_prefix_indexes(
+            indexes,
+            node.sequence_length(self._size),
+            prefix if label is None else label,
+        )
+        for ancestor, bit in reversed(ancestors):
+            current = ancestor.bitvector.select_many(bit, current)
+        return list(current)
 
     # ------------------------------------------------------------------
     # Bit-level queries (Lemmas 3.2 / 3.3)
@@ -291,21 +368,23 @@ class WaveletTrieBase(RangeQueryMixin, IndexedStringSequence):
             remaining = remaining.suffix_from(len(label) + 1)
             node = node.children[bit]
 
-    def select_prefix_bits(self, prefix: Bits, idx: int) -> int:
-        """SelectPrefix of a binarised prefix (Lemma 3.3)."""
-        if idx < 0:
-            raise OutOfBoundsError("select index must be non-negative")
+    def select_prefix_bits(self, prefix: Bits, idx: int, label: Any = None) -> int:
+        """SelectPrefix of a binarised prefix (Lemma 3.3).
+
+        Out-of-range indexes raise the canonical error of
+        :func:`~repro.core.interface.check_select_prefix_index`, shared with
+        the baselines.
+        """
         located = self._prefix_node(prefix)
         if located is None:
             raise ValueNotFoundError(
-                f"no element has prefix {prefix!r}"
+                f"no element has prefix {(prefix if label is None else label)!r}"
             )
         node, ancestors = located
         available = node.sequence_length(self._size)
-        if idx >= available:
-            raise OutOfBoundsError(
-                f"select index {idx} out of range: only {available} elements have the prefix"
-            )
+        check_select_prefix_index(
+            prefix if label is None else label, idx, available
+        )
         for ancestor, bit in reversed(ancestors):
             idx = ancestor.bitvector.select(bit, idx)
         return idx

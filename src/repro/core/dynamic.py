@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Any, Iterable, List, Optional, Tuple
 
 from repro.bits.bitstring import Bits
+from repro.bitvector.base import validate_delete_positions
 from repro.bitvector.dynamic import DynamicBitVector
 from repro.core.base import WaveletTrieBase
 from repro.core.growable import GrowableTopologyMixin
@@ -181,3 +182,62 @@ class DynamicWaveletTrie(GrowableTopologyMixin, WaveletTrieBase):
             parent, leaf_bit, _ = path[-1]
             self._remove_leaf_if_last(parent, leaf_bit)
         return value
+
+    def delete_many(self, positions) -> List[Any]:
+        """Delete the elements at ``positions``; values come back in input order.
+
+        Bulk paper ``Delete``: the (pre-delete, distinct) positions are
+        partitioned down the trie exactly once -- at every touched node one
+        :meth:`DynamicBitVector.rank_many` maps the group to child positions
+        and one :meth:`DynamicBitVector.delete_many` (treap split + O(r_span)
+        run surgery + coalescing merge) removes the group's bits and reports
+        which child each position routed to -- amortised
+        O(nodes_touched (log r + r_span + k_node log k_node)) for k
+        deletions over the touched paths, instead of k root-to-leaf walks.
+        Subtrees whose subsequence empties are pruned afterwards (the bulk
+        form of the Table 1 dagger merge), and deleting everything resets the
+        trie to the empty state, from which it regrows normally.
+        """
+        positions = validate_delete_positions(positions, self._size)
+        if not positions:
+            return []
+        order = sorted(range(len(positions)), key=positions.__getitem__)
+        results: List[Any] = [None] * len(positions)
+        prune: List[Tuple[WaveletTrieNode, int]] = []
+        # Stack items: (node, accumulated label bits, [(result slot, local pos)]).
+        stack: List[Tuple[WaveletTrieNode, Bits, List[Tuple[int, int]]]] = [
+            (
+                self._root,
+                Bits.empty(),
+                [(index, positions[index]) for index in order],
+            )
+        ]
+        while stack:
+            node, prefix, items = stack.pop()
+            current = prefix + node.label
+            if node.is_leaf:
+                value = self._codec.from_bits(current)
+                for slot, _ in items:
+                    results[slot] = value
+                continue
+            vector = node.bitvector
+            group_positions = [pos for _, pos in items]
+            zero_ranks = vector.rank_many(0, group_positions)
+            bits = vector.delete_many(group_positions)
+            groups: List[List[Tuple[int, int]]] = [[], []]
+            for (slot, pos), zero_rank, bit in zip(items, zero_ranks, bits):
+                groups[bit].append((slot, pos - zero_rank if bit else zero_rank))
+            for bit in (0, 1):
+                if vector.count(bit) == 0:
+                    prune.append((node, bit))
+                if groups[bit]:
+                    stack.append(
+                        (node.children[bit], current.appended(bit), groups[bit])
+                    )
+        self._size -= len(positions)
+        if self._size == 0:
+            self._root = None
+            return results
+        for node, bit in prune:
+            self._prune_empty_child(node, bit)
+        return results

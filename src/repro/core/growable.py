@@ -127,6 +127,21 @@ class GrowableTopologyMixin:
             grandparent.attach(parent.parent_bit, sibling)
         return True
 
+    def _prune_empty_child(self, parent: WaveletTrieNode, bit: int) -> bool:
+        """After a batch delete: drop ``parent``'s ``bit`` subtree if it emptied.
+
+        The bulk-delete generalisation of :meth:`_remove_leaf_if_last`: the
+        emptied child may be a whole internal subtree, and ``parent`` itself
+        may sit inside a larger subtree that another prune candidate removes.
+        A parent whose own subsequence emptied (``len(bitvector) == 0``) is
+        skipped -- the invariant ``len(child bitvector) == parent count``
+        guarantees an ancestor candidate covers it -- so prune candidates can
+        be processed in any order.  Returns True if the topology changed.
+        """
+        if parent.bitvector is None or len(parent.bitvector) == 0:
+            return False
+        return self._remove_leaf_if_last(parent, bit)
+
     # ------------------------------------------------------------------
     def _extend_batched(self, values) -> None:
         """Bulk ``Append`` of ``values`` (paper Append, batch-amortised).

@@ -22,9 +22,42 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Any, Iterator, List
 
-from repro.exceptions import InvalidOperationError
+from repro.bitvector.base import normalize_batch, validate_delete_positions
+from repro.exceptions import InvalidOperationError, OutOfBoundsError
 
-__all__ = ["IndexedStringSequence"]
+__all__ = [
+    "IndexedStringSequence",
+    "check_select_prefix_index",
+    "validate_select_prefix_indexes",
+]
+
+
+def check_select_prefix_index(prefix: Any, idx: int, matches: int) -> None:
+    """Range-check a ``select_prefix`` index against the match count.
+
+    Raises the **canonical** out-of-range error -- one exception type
+    (:class:`OutOfBoundsError`) and one message format, shared by every
+    implementation (Wavelet Tries, succinct layout, baselines) so the
+    differential tests can assert them byte-for-byte.
+    """
+    if not 0 <= idx < matches:
+        raise OutOfBoundsError(
+            f"select_prefix({prefix!r}, {idx}) out of range: "
+            f"only {matches} matches"
+        )
+
+
+def validate_select_prefix_indexes(indexes, matches: int, prefix: Any) -> List[int]:
+    """Normalise and range-check a ``select_prefix_many`` index batch.
+
+    All-or-nothing: every index must be in ``[0, matches)`` before any work
+    happens, and the first offender is reported with the canonical
+    :func:`check_select_prefix_index` error.
+    """
+    out = [int(idx) for idx in normalize_batch(indexes)]
+    for idx in out:
+        check_select_prefix_index(prefix, idx, matches)
+    return out
 
 
 class IndexedStringSequence(ABC):
@@ -85,6 +118,22 @@ class IndexedStringSequence(ABC):
         """
         return [self.select(value, idx) for idx in indexes]
 
+    def rank_prefix_many(self, prefix: Any, positions) -> List[int]:
+        """``rank_prefix(prefix, pos)`` for each of ``positions``.
+
+        Default: q scalar calls, no amortisation; the Wavelet Trie variants
+        override it with one shared root-to-prefix-node walk.
+        """
+        return [self.rank_prefix(prefix, pos) for pos in positions]
+
+    def select_prefix_many(self, prefix: Any, indexes) -> List[int]:
+        """``select_prefix(prefix, idx)`` for each of ``indexes``, in input order.
+
+        Default: q scalar calls, no amortisation; the Wavelet Trie variants
+        override it with one prefix-node locate plus a batched path unwind.
+        """
+        return [self.select_prefix(prefix, idx) for idx in indexes]
+
     # ------------------------------------------------------------------
     # Updates (optional; static structures raise)
     # ------------------------------------------------------------------
@@ -105,6 +154,24 @@ class IndexedStringSequence(ABC):
         raise InvalidOperationError(
             f"{type(self).__name__} does not support delete"
         )
+
+    def delete_many(self, positions) -> List[Any]:
+        """Delete the elements at ``positions``; values come back in input order.
+
+        ``positions`` refer to the sequence *before* any deletion (the batch
+        deletes them as if simultaneously), must be distinct and are
+        validated all-or-nothing.  Default: k scalar ``delete`` calls in
+        descending position order, no amortisation; the dynamic structures
+        override it with one shared-descent batch deletion.
+        """
+        positions = validate_delete_positions(positions, len(self))
+        order = sorted(
+            range(len(positions)), key=positions.__getitem__, reverse=True
+        )
+        out: List[Any] = [None] * len(positions)
+        for index in order:
+            out[index] = self.delete(positions[index])
+        return out
 
     # ------------------------------------------------------------------
     # Derived operations

@@ -24,9 +24,14 @@ from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
 from repro.bits.bitbuffer import BitBuffer
 from repro.bits.bitstring import Bits
+from repro.bitvector.base import normalize_batch
 from repro.bitvector.plain import PlainBitVector
 from repro.bitvector.rrr import RRRBitVector
-from repro.core.interface import IndexedStringSequence
+from repro.core.interface import (
+    IndexedStringSequence,
+    check_select_prefix_index,
+    validate_select_prefix_indexes,
+)
 from repro.core.static import WaveletTrie
 from repro.exceptions import (
     ImmutableStructureError,
@@ -173,40 +178,110 @@ class SuccinctWaveletTrie(IndexedStringSequence):
 
     def select_prefix(self, prefix: Any, idx: int) -> int:
         """Position of the ``idx``-th element whose value starts with ``prefix``."""
-        return self._select_bits(self._codec.prefix_to_bits(prefix), idx, full_match=False)
+        return self._select_bits(
+            self._codec.prefix_to_bits(prefix), idx, full_match=False, label=prefix
+        )
 
-    def _select_bits(self, key: Bits, idx: int, full_match: bool) -> int:
-        if idx < 0:
-            raise OutOfBoundsError("select index must be non-negative")
+    def _locate(
+        self, key: Bits, full_match: bool, label: Any = None
+    ) -> Tuple[int, List[Tuple[int, int]]]:
+        """Descend to ``key``'s node, recording (internal node, branching bit)."""
+        shown = key if label is None else label
         if self._size == 0:
             raise ValueNotFoundError("the sequence is empty")
-        # Descend recording (internal node, branching bit) pairs.
         node = 0
         remaining = key
         path: List[Tuple[int, int]] = []
         while True:
-            label = self._label(node)
-            lcp = remaining.lcp_length(label)
+            node_label = self._label(node)
+            lcp = remaining.lcp_length(node_label)
             if not full_match and lcp == len(remaining):
-                break
+                return node, path
             if self._is_leaf(node):
-                if full_match and remaining == label:
-                    break
-                raise ValueNotFoundError(f"value {key!r} does not occur")
-            if lcp < len(label) or len(remaining) == len(label):
-                raise ValueNotFoundError(f"value {key!r} does not occur")
-            bit = remaining[len(label)]
+                if full_match and remaining == node_label:
+                    return node, path
+                raise ValueNotFoundError(f"value {shown!r} does not occur")
+            if lcp < len(node_label) or len(remaining) == len(node_label):
+                raise ValueNotFoundError(f"value {shown!r} does not occur")
+            bit = remaining[len(node_label)]
             path.append((node, bit))
-            remaining = remaining.suffix_from(len(label) + 1)
+            remaining = remaining.suffix_from(len(node_label) + 1)
             node = self._child(node, bit)
+
+    def _select_bits(
+        self, key: Bits, idx: int, full_match: bool, label: Any = None
+    ) -> int:
+        if full_match and idx < 0:
+            # Mirror WaveletTrieBase.select_bits: the full-match path rejects
+            # negative indexes before locating (prefix mode instead raises
+            # the canonical count-bearing error after the locate).
+            raise OutOfBoundsError("select index must be non-negative")
+        node, path = self._locate(key, full_match, label=label)
         available = self._subsequence_length(node, path)
-        if idx >= available:
-            raise OutOfBoundsError(
-                f"select index {idx} out of range: only {available} matches"
+        if full_match:
+            if idx >= available:
+                raise OutOfBoundsError(
+                    f"select index {idx} out of range: only {available} matches"
+                )
+        else:
+            check_select_prefix_index(
+                key if label is None else label, idx, available
             )
         for ancestor, bit in reversed(path):
             idx = self._node_bitvector(ancestor).select(bit, idx)
         return idx
+
+    def rank_prefix_many(self, prefix: Any, positions) -> List[int]:
+        """``rank_prefix(prefix, pos)`` for each position (batched RankPrefix).
+
+        One shared DFUDS descent to the prefix node; at every internal node
+        on the way the whole position vector is mapped through the RRR
+        bitvector's batch ``rank_many`` -- amortised, one per-node batch pass
+        instead of one full succinct descent per queried position.
+        """
+        key = self._codec.prefix_to_bits(prefix)
+        positions = normalize_batch(positions)
+        for pos in positions:
+            if not 0 <= pos <= self._size:
+                raise OutOfBoundsError(
+                    f"position {pos} out of range for length {self._size}"
+                )
+        if self._size == 0 or not len(positions):
+            return [0] * len(positions)
+        node = 0
+        remaining = key
+        current: List[int] = [int(pos) for pos in positions]
+        while True:
+            label = self._label(node)
+            lcp = remaining.lcp_length(label)
+            if lcp == len(remaining):
+                return current
+            if self._is_leaf(node) or lcp < len(label) or len(remaining) == len(label):
+                return [0] * len(current)
+            bit = remaining[len(label)]
+            current = self._node_bitvector(node).rank_many(bit, current)
+            remaining = remaining.suffix_from(len(label) + 1)
+            node = self._child(node, bit)
+
+    def select_prefix_many(self, prefix: Any, indexes) -> List[int]:
+        """``select_prefix(prefix, idx)`` for each index (batched SelectPrefix).
+
+        The prefix node is located with one DFUDS descent and the recorded
+        path unwound with each RRR bitvector's batched ``select_many`` (one
+        shared directory pass per node) -- amortised O(|p| + depth_p (D +
+        q log q)) for q queries instead of q full succinct SelectPrefix
+        walks.  Results come back in input order.
+        """
+        indexes = normalize_batch(indexes)
+        if not len(indexes):
+            return []  # an empty batch never raises, like the default loop
+        key = self._codec.prefix_to_bits(prefix)
+        node, path = self._locate(key, full_match=False, label=prefix)
+        available = self._subsequence_length(node, path)
+        current = validate_select_prefix_indexes(indexes, available, prefix)
+        for ancestor, bit in reversed(path):
+            current = self._node_bitvector(ancestor).select_many(bit, current)
+        return list(current)
 
     def _subsequence_length(self, node: int, path: List[Tuple[int, int]]) -> int:
         if not path:

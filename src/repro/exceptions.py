@@ -26,6 +26,10 @@ class InvalidOperationError(ReproError):
     """The operation is not supported by this structure variant."""
 
 
+class DuplicatePositionError(ReproError, ValueError):
+    """A batch delete names the same pre-delete position more than once."""
+
+
 class EncodingError(ReproError, ValueError):
     """A value cannot be encoded/decoded (e.g. gamma code of zero)."""
 

@@ -14,7 +14,10 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
-from repro.bitvector.base import validate_select_indexes
+from repro.bitvector.base import (
+    validate_delete_positions,
+    validate_select_indexes,
+)
 from repro.bitvector.dynamic import DynamicBitVector
 from repro.exceptions import OutOfBoundsError, ValueNotFoundError
 
@@ -269,6 +272,46 @@ class FixedAlphabetDynamicWaveletTree:
             ancestor.bitvector.delete(ancestor_pos)
         self._size -= 1
         return self._symbols[node.low]
+
+    def delete_many(self, positions: Sequence[int]) -> List[Hashable]:
+        """Delete the values at ``positions``; they come back in input order.
+
+        Bulk delete: the (pre-delete, distinct) positions are partitioned
+        down the fixed tree once; every touched node pays one
+        :meth:`DynamicBitVector.rank_many` (child-position mapping) and one
+        :meth:`DynamicBitVector.delete_many` (treap split + O(r_span) run
+        surgery + merge) -- amortised O(nodes_touched (log r + r_span +
+        k_node log k_node)) for k deletions, instead of k root-to-leaf
+        walks costing O(k log sigma log r).
+        """
+        positions = validate_delete_positions(positions, self._size)
+        if not positions:
+            return []
+        order = sorted(range(len(positions)), key=positions.__getitem__)
+        results: List[Hashable] = [None] * len(positions)
+        stack: List[Tuple[_Node, List[Tuple[int, int]]]] = [
+            (self._root, [(index, positions[index]) for index in order])
+        ]
+        while stack:
+            node, items = stack.pop()
+            if node.is_leaf:
+                symbol = self._symbols[node.low]
+                for slot, _ in items:
+                    results[slot] = symbol
+                continue
+            vector = node.bitvector
+            group_positions = [pos for _, pos in items]
+            zero_ranks = vector.rank_many(0, group_positions)
+            bits = vector.delete_many(group_positions)
+            groups: List[List[Tuple[int, int]]] = [[], []]
+            for (slot, pos), zero_rank, bit in zip(items, zero_ranks, bits):
+                groups[bit].append((slot, pos - zero_rank if bit else zero_rank))
+            if groups[0]:
+                stack.append((node.left, groups[0]))
+            if groups[1]:
+                stack.append((node.right, groups[1]))
+        self._size -= len(positions)
+        return results
 
     # ------------------------------------------------------------------
     def size_in_bits(self) -> int:

@@ -69,9 +69,25 @@ class TestDictWaveletSequence:
         # Limitation 1 (the paper's issue (a)): the alphabet cannot grow.
         with pytest.raises(InvalidOperationError):
             baseline.append("brand-new-value")
-        # Limitation 2: SelectPrefix is not supported.
-        with pytest.raises(InvalidOperationError):
-            baseline.select_prefix("emea/", 0)
+
+    def test_select_prefix_via_rank_binary_search(self, column_values):
+        """Limitation 2 (no direct SelectPrefix) is worked around by a
+        binary search over RankPrefix; answers must match the oracle and
+        out-of-range indexes must raise the canonical error."""
+        values = column_values[:80]
+        baseline = DictWaveletSequence(values)
+        naive = NaiveIndexedSequence(values)
+        for prefix in ["emea/", "amer/rome", values[0], "nope"]:
+            total = naive.rank_prefix(prefix, len(values))
+            for idx in range(0, total, max(1, total // 4)):
+                assert baseline.select_prefix(prefix, idx) == naive.select_prefix(
+                    prefix, idx
+                )
+            with pytest.raises(OutOfBoundsError) as caught:
+                baseline.select_prefix(prefix, total)
+            with pytest.raises(OutOfBoundsError) as expected:
+                naive.select_prefix(prefix, total)
+            assert str(caught.value) == str(expected.value)
 
     def test_absent_values(self, column_values):
         baseline = DictWaveletSequence(column_values[:50])

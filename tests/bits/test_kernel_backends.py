@@ -107,6 +107,48 @@ def test_runs_agree(length):
 
 @requires_numpy
 @pytest.mark.parametrize("length", [l for l in BOUNDARY_LENGTHS if l])
+def test_delete_positions_from_runs_agrees(length):
+    """Run surgery under both backends: random and adversarial payloads
+    (all-zeros and all-ones collapse to one run; single-bit payloads and
+    word-boundary lengths stress the coalescing), with batch sizes on both
+    sides of the numpy backend's small-input delegation threshold."""
+    rng = random.Random(length * 7 + 3)
+    for value, n in payloads(length):
+        runs = pykernel.runs_of_value(value, n)
+        for count in {1, min(31, n), min(64, n), n}:
+            positions = sorted(rng.sample(range(n), count))
+            py_kept, py_deleted = pykernel.delete_positions_from_runs(
+                runs, positions
+            )
+            np_kept, np_deleted = npkernel.delete_positions_from_runs(
+                runs, positions
+            )
+            assert py_kept == np_kept
+            assert py_deleted == np_deleted
+            # The oracle of the oracle: reconstruct from the flat bit list.
+            bits = [(value >> (n - 1 - i)) & 1 for i in range(n)]
+            assert py_deleted == [bits[p] for p in positions]
+            survivors = [
+                bit for i, bit in enumerate(bits) if i not in set(positions)
+            ]
+            flattened = [
+                bit for bit, run_len in py_kept for _ in range(run_len)
+            ]
+            assert flattened == survivors
+            # Normalised output: no empty runs, no equal adjacent bits.
+            assert all(run_len > 0 for _, run_len in py_kept)
+            assert all(
+                py_kept[i][0] != py_kept[i + 1][0]
+                for i in range(len(py_kept) - 1)
+            )
+    with pytest.raises(ValueError):
+        npkernel.delete_positions_from_runs([(1, 4)], list(range(64)))
+    with pytest.raises(ValueError):
+        pykernel.delete_positions_from_runs([(1, 4)], [4])
+
+
+@requires_numpy
+@pytest.mark.parametrize("length", [l for l in BOUNDARY_LENGTHS if l])
 def test_batch_rank_select_access_agree(length):
     rng = random.Random(length * 31 + 5)
     for value, n in payloads(length):

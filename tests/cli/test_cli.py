@@ -135,6 +135,32 @@ class TestQueries:
         total = sum(entry["count"] for entry in payload["results"])
         assert total == 50
 
+    def test_positions_exact_and_prefix(self, built_index, url_log, capsys):
+        window = url_log[:200]
+        target = window[3]
+        payload = run_json(capsys, ["positions", str(built_index), target])
+        expected = [i for i, value in enumerate(window) if value == target]
+        assert payload["positions"] == expected
+        assert payload["total"] == len(expected)
+        payload = run_json(
+            capsys,
+            ["positions", str(built_index), "http://", "--prefix", "--limit", "7"],
+        )
+        assert payload["total"] == 200
+        assert payload["positions"] == list(range(7))
+
+    def test_positions_with_zero_matches(self, built_index, capsys):
+        """An absent value or prefix is an empty answer, not an error."""
+        payload = run_json(capsys, ["positions", str(built_index), "gopher://zzz"])
+        assert payload == {
+            "value": "gopher://zzz", "prefix": False, "total": 0, "positions": [],
+        }
+        payload = run_json(
+            capsys, ["positions", str(built_index), "gopher://", "--prefix"]
+        )
+        assert payload["total"] == 0
+        assert payload["positions"] == []
+
     def test_distinct_with_prefix(self, built_index, url_log, capsys):
         window = url_log[:200]
         host = sorted({value.split("/")[2] for value in window})[0]
@@ -163,3 +189,43 @@ class TestAppend:
         main(["build", str(log_file), "-o", str(path), "--variant", "static"])
         assert main(["append", str(path), "x"]) == 1
         assert "static" in capsys.readouterr().err
+
+
+class TestDelete:
+    @pytest.fixture()
+    def dynamic_index(self, tmp_path, log_file):
+        path = tmp_path / "dynamic.wt"
+        assert main(["build", str(log_file), "-o", str(path), "--variant", "dynamic"]) == 0
+        return path
+
+    def test_delete_with_save(self, dynamic_index, url_log, capsys):
+        window = url_log[:200]
+        payload = run_json(
+            capsys, ["delete", str(dynamic_index), "5", "0", "17", "--save"]
+        )
+        assert [entry["value"] for entry in payload["deleted"]] == [
+            window[5], window[0], window[17]
+        ]
+        assert payload["elements"] == 197
+        survivors = [v for i, v in enumerate(window) if i not in {0, 5, 17}]
+        assert load(dynamic_index).to_list() == survivors
+
+    def test_delete_without_save(self, dynamic_index, capsys):
+        payload = run_json(capsys, ["delete", str(dynamic_index), "0"])
+        assert payload["elements"] == 199
+        assert len(load(dynamic_index)) == 200
+
+    def test_delete_on_non_dynamic_index_fails(self, built_index, capsys):
+        assert main(["delete", str(built_index), "0"]) == 1
+        assert "dynamic" in capsys.readouterr().err
+
+    def test_delete_out_of_range_fails(self, dynamic_index, capsys):
+        assert main(["delete", str(dynamic_index), "0", "500"]) == 1
+        assert "out of range" in capsys.readouterr().err
+
+    def test_delete_duplicate_positions_fails_cleanly(self, dynamic_index, capsys):
+        """Duplicate positions exit through the clean `error:` path, not a
+        traceback (DuplicatePositionError is a ReproError)."""
+        assert main(["delete", str(dynamic_index), "3", "3"]) == 1
+        assert "more than once" in capsys.readouterr().err
+        assert len(load(dynamic_index)) == 200

@@ -20,11 +20,15 @@ EXPECTED_SECTIONS = {
     "dbv_iter_range_tail",
     "dbv_select_batch",
     "dbv_insert_many",
+    "dbv_delete_many",
     "dwt_bulk_construction",
     "dwt_rank_batch",
     "dwt_access_batch",
     "dwt_select_batch",
     "dwt_insert_many",
+    "dwt_delete_many",
+    "dwt_rank_prefix_batch",
+    "dwt_select_prefix_batch",
     "aot_bulk_construction",
     "aob_freeze_latency",
 }

@@ -44,7 +44,15 @@ def test_every_public_class_has_a_docstring():
     assert not missing, f"public classes without docstrings: {sorted(missing)}"
 
 
-BATCH_API_METHODS = {"access_many", "rank_many", "select_many", "insert_many"}
+BATCH_API_METHODS = {
+    "access_many",
+    "rank_many",
+    "select_many",
+    "insert_many",
+    "delete_many",
+    "rank_prefix_many",
+    "select_prefix_many",
+}
 
 
 def test_every_batch_api_method_states_its_cost():
