@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test docs-check bench-kernel bench-kernel-quick bench-dynamic bench
+.PHONY: test docs-check bench-kernel bench-kernel-quick bench-dynamic \
+	bench-storage bench-storage-quick bench
 
 # Tier-1 verification: the full test suite (includes the quick-mode
 # benchmark harnesses and the docs-check gate).
@@ -29,4 +30,13 @@ bench-kernel-quick:
 bench-dynamic:
 	$(PYTHON) benchmarks/bench_dynamic.py
 
-bench: bench-kernel bench-dynamic
+bench-storage:
+	$(PYTHON) benchmarks/bench_storage.py
+
+# Small-size smoke run of the storage harness (no JSON written); its
+# tiled-vs-direct and cross-backend differential checks also run inside
+# tier-1 via tests/integration/test_bench_storage_quick.py.
+bench-storage-quick:
+	$(PYTHON) benchmarks/bench_storage.py --quick
+
+bench: bench-kernel bench-dynamic bench-storage

@@ -188,7 +188,7 @@ class SeedQueryRRR(RRRBitVector):
     """A kernel-built RRR vector queried with the seed's algorithms.
 
     Construction reuses the current encoder (identical payload); ``rank``
-    runs the seed's query path verbatim: PackedIntVector block walk, one
+    runs the seed's query path verbatim: per-block class-list walk, one
     big-int slice of the whole offset stream per decode, full-block
     ``combinatorial_unrank`` then a shifted popcount.
     """
@@ -203,7 +203,7 @@ class SeedQueryRRR(RRRBitVector):
         )
 
     def _seed_decode(self, block_index, offset_pos):
-        cls = self._classes[block_index]
+        cls = self._class_list[block_index]
         off_w = self._width_by_class[cls]
         if off_w == 0:
             return ((1 << self._block_size) - 1) if cls == self._block_size else 0
@@ -215,7 +215,7 @@ class SeedQueryRRR(RRRBitVector):
         rank_before = self._sample_rank[sample_index]
         offset_pos = self._sample_offset_pos[sample_index]
         widths = self._width_by_class
-        classes = self._classes
+        classes = self._class_list
         current = sample_index * self._sample_rate
         while current < block_index:
             cls = classes[current]
@@ -230,7 +230,7 @@ class SeedQueryRRR(RRRBitVector):
         if pos == 0:
             return 0
         block_index, offset = divmod(pos, self._block_size)
-        if block_index >= len(self._classes):
+        if block_index >= len(self._class_list):
             ones = self._ones
             return ones if bit else pos - ones
         rank_before, offset_pos = self._seed_walk(block_index)

@@ -77,6 +77,7 @@ __all__ = list(pykernel.__all__) + [
     "active_backend",
     "available_backends",
     "as_int_list",
+    "int_words_view",
 ]
 
 #: Every public name a backend module must implement (the backend contract).
@@ -176,6 +177,25 @@ def as_int_list(sequence) -> List[int]:
 # Dispatched contract functions (thin call-time wrappers; docstrings live
 # on the backend implementations -- see pykernel for the reference text)
 # ----------------------------------------------------------------------
+def words_view(buffer):
+    """Backend-native zero-copy word view of little-endian uint64 bytes."""
+    return _active.words_view(buffer)
+
+
+def int_words_view(buffer):
+    """Portable int-yielding zero-copy word view of little-endian bytes.
+
+    A façade-only helper (not part of the backend contract): always the
+    python backend's ``memoryview``-based :func:`pykernel.words_view`,
+    regardless of the active backend.  Indexing yields plain python ints, so
+    the result is safe in every scalar word path under every backend, while
+    the numpy backend's batch handles still wrap it without copying (its
+    ``np.frombuffer`` fast path reinterprets the same mapped bytes).  Same
+    aliasing and read-only rules as :func:`words_view`.
+    """
+    return pykernel.words_view(buffer)
+
+
 def pack_bits(bits: Iterable[int]):
     """Pack an iterable of 0/1 values; returns ``(words, length)``."""
     return _active.pack_bits(bits)

@@ -108,12 +108,35 @@ if HAVE_NUMPY:
             return ((x * _H01) >> np.uint64(56)).astype(np.int64)
 
 
+def words_view(buffer):
+    """Zero-copy read-only ``uint64`` array view over little-endian bytes.
+
+    The numpy twin of :func:`pykernel.words_view`: ``np.frombuffer`` over the
+    buffer (an ``mmap`` region, ``bytes`` or ``memoryview``) -- no copy, no
+    decode.  The array aliases ``buffer`` (keeping it alive), is marked
+    non-writeable, and holds the same word values as the python backend's
+    view.  Callers must never mutate the underlying bytes while the view
+    exists.  Big-endian platforms pay a one-time ``astype`` copy.
+    """
+    arr = np.frombuffer(buffer, dtype="<u8")
+    if arr.dtype != np.uint64:  # pragma: no cover - big-endian platforms only
+        return arr.astype(np.uint64)
+    arr = arr.view(np.uint64)
+    if arr.flags.writeable:
+        arr = arr.view()
+        arr.flags.writeable = False
+    return arr
+
+
 def _as_word_array(words):
     """A ``uint64`` array view/copy of a packed word sequence."""
     if isinstance(words, np.ndarray):
         if words.dtype == np.uint64:
             return words
         return words.astype(np.uint64)
+    if isinstance(words, memoryview):
+        # Frozen-image word views: reinterpret the mapped bytes in place.
+        return words_view(words)
     return np.asarray(words, dtype=np.uint64)
 
 

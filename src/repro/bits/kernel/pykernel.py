@@ -33,6 +33,7 @@ bits per step from a byte-decode table.
 from __future__ import annotations
 
 import struct
+import sys
 from bisect import bisect_right
 from itertools import chain
 from typing import Iterable, Iterator, List, Sequence, Tuple
@@ -47,6 +48,7 @@ __all__ = [
     "pack_bits",
     "words_to_int",
     "unpack_value",
+    "words_view",
     "invert_word",
     "rank_word_prefix",
     "select_in_word",
@@ -161,6 +163,35 @@ def unpack_value(words: Sequence[int], length: int) -> int:
     if length <= 0:
         return 0
     return words_to_int(words) >> (len(words) * WORD - length)
+
+
+def words_view(buffer):
+    """Zero-copy read-only word view over little-endian uint64 bytes.
+
+    ``buffer`` is any bytes-like object -- an ``mmap`` region, ``bytes``,
+    ``bytearray`` or ``memoryview`` -- holding packed words serialised
+    little-endian, eight bytes per word (the RWT2 frozen-image section
+    layout; note this differs from the big-endian ``>Q`` convention of the
+    RWT1 logical format).  Returns a read-only ``memoryview`` cast to 64-bit
+    unsigned words: indexing yields plain python ints, so the view can stand
+    in for a word list in every scalar kernel path without decoding.
+
+    Aliasing rules: the view aliases ``buffer`` (and keeps it alive);
+    callers must never mutate the underlying bytes while the view exists.
+    On big-endian platforms the bytes cannot be reinterpreted in place, so
+    this falls back to a one-time decoding copy (a tuple of ints).
+    """
+    view = memoryview(buffer)
+    if view.nbytes % 8:
+        raise ValueError(
+            f"word buffer length {view.nbytes} is not a multiple of 8"
+        )
+    if not view.readonly:
+        view = view.toreadonly()
+    if sys.byteorder == "little":
+        return view.cast("Q")
+    count = view.nbytes // 8  # pragma: no cover - big-endian platforms only
+    return struct.unpack(f"<{count}Q", view)
 
 
 # ----------------------------------------------------------------------

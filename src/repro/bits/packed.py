@@ -95,6 +95,24 @@ class PackedIntVector:
         width = max((int(v).bit_length() for v in values), default=0)
         return cls(width, values)
 
+    @classmethod
+    def from_words(
+        cls, width: int, length: int, words: Sequence[int]
+    ) -> "PackedIntVector":
+        """Wrap an existing LSB-packed word sequence without copying.
+
+        ``words`` may be a list or a read-only frozen-image word view; the
+        vector aliases it, so the caller must not mutate it afterwards and
+        :meth:`append` must not be used on the result.
+        """
+        if width < 0 or width > _WORD:
+            raise ValueError("width must be between 0 and 64")
+        self = cls.__new__(cls)
+        self._width = width
+        self._length = length
+        self._words = words
+        return self
+
     def __repr__(self) -> str:
         return (
             f"PackedIntVector(width={self._width}, length={self._length})"

@@ -123,6 +123,49 @@ class PlainBitVector(StaticBitVector):
         self._init_from_words(kernel.as_int_list(words), length)
         return self
 
+    # ------------------------------------------------------------------
+    # Frozen-image (RWT2) exchange -- see docs/ARCHITECTURE.md, "Storage"
+    # ------------------------------------------------------------------
+    def to_words_image(self, sink, prefix: str) -> dict:
+        """Write the payload words and every directory into an image sink.
+
+        Sections (all little-endian, named ``prefix`` + suffix): ``words``
+        is the padded word payload *including* the rank shadow sentinel;
+        ``super``/``wpop``/``wcum`` are the two-level directory and
+        ``acum``/``zcum`` the flat per-word absolute cumulatives.  Returns
+        the meta dict :meth:`from_words_image` needs.
+        """
+        sink.add_u64(prefix + "words", self._pad_words)
+        sink.add_i64(prefix + "super", self._super_cum)
+        sink.add_bytes(prefix + "wpop", bytes(self._word_pop))
+        sink.add_u16(prefix + "wcum", self._word_cum)
+        sink.add_i64(prefix + "acum", self._word_abs_cum)
+        sink.add_i64(prefix + "zcum", self._word_abs_zero_cum)
+        return {"length": self._length}
+
+    @classmethod
+    def from_words_image(cls, image, prefix: str, meta: dict) -> "PlainBitVector":
+        """Open from a frozen image; every field is a zero-copy buffer view.
+
+        Nothing is rebuilt: the words and all five directories alias the
+        image's mapped bytes read-only.  The views yield plain python ints,
+        so scalar paths work unchanged under every backend, and the numpy
+        batch handles wrap the same bytes without copying.
+        """
+        self = cls.__new__(cls)
+        pad = image.words(prefix + "words")
+        self._pad_words = pad
+        self._words = pad[:-1]
+        self._length = int(meta["length"])
+        self._super_cum = image.int64(prefix + "super")
+        self._word_pop = image.section(prefix + "wpop")
+        self._word_cum = image.uint16(prefix + "wcum")
+        self._word_abs_cum = image.int64(prefix + "acum")
+        self._word_abs_zero_cum = image.int64(prefix + "zcum")
+        self._batch_handle = None
+        self._batch_backend = None
+        return self
+
     def __len__(self) -> int:
         return self._length
 

@@ -36,7 +36,6 @@ from repro.bits.kernel import (
     select_in_word,
     select_in_word_many,
 )
-from repro.bits.packed import PackedIntVector
 from repro.bitvector.base import StaticBitVector, validate_select_indexes
 from repro.exceptions import OutOfBoundsError
 
@@ -64,7 +63,6 @@ class RRRBitVector(StaticBitVector):
         "_length",
         "_block_size",
         "_sample_rate",
-        "_classes",
         "_class_list",
         "_offset_words",
         "_offset_len",
@@ -153,13 +151,10 @@ class RRRBitVector(StaticBitVector):
                 writer.write_int(
                     combinatorial_rank(value, block_size, cls), off_w
                 )
-        self._classes = PackedIntVector(
-            max(1, block_size.bit_length()), classes
-        )
-        # Plain-list shadow of the classes: block walks index it directly
-        # instead of paying a PackedIntVector method call per block (all
+        # Flat per-block classes: block walks index the list directly (all
         # class values are CPython-cached small ints, so this costs one
-        # pointer per block).
+        # pointer per block); the space accounting still charges the packed
+        # width, see _classes_bits.
         self._class_list = classes
         offsets = writer.to_bits()
         # The offset stream is also kept word-packed: per-query decodes slice
@@ -172,6 +167,52 @@ class RRRBitVector(StaticBitVector):
         self._offset_starts = None  # computed lazily only for repr/debug
 
     # ------------------------------------------------------------------
+    # Frozen-image (RWT2) exchange -- see docs/ARCHITECTURE.md, "Storage"
+    # ------------------------------------------------------------------
+    def to_words_image(self, sink, prefix: str) -> dict:
+        """Write classes, offset words and the sampled directories to a sink.
+
+        Sections: ``cls`` (one byte per block), ``off`` (the packed offset
+        stream), ``srank``/``spos`` (the superblock samples).  The per-class
+        width table is recomputed on load (it only depends on the block
+        size), so no derived state is stored.  Returns the meta dict
+        :meth:`from_words_image` needs.
+        """
+        sink.add_bytes(prefix + "cls", bytes(self._class_list))
+        sink.add_u64(prefix + "off", self._offset_words)
+        sink.add_i64(prefix + "srank", self._sample_rank)
+        sink.add_i64(prefix + "spos", self._sample_offset_pos)
+        return {
+            "length": self._length,
+            "block_size": self._block_size,
+            "sample_rate": self._sample_rate,
+            "ones": self._ones,
+            "offset_len": self._offset_len,
+        }
+
+    @classmethod
+    def from_words_image(cls, image, prefix: str, meta: dict) -> "RRRBitVector":
+        """Open from a frozen image; no block is re-encoded or decoded.
+
+        The class bytes, offset words and sample directories alias the
+        image's mapped bytes read-only; only the O(block_size) width table
+        is recomputed.  The views yield python ints, so every combinatorial
+        decode path works unchanged.
+        """
+        self = cls.__new__(cls)
+        self._length = int(meta["length"])
+        self._block_size = int(meta["block_size"])
+        self._sample_rate = int(meta["sample_rate"])
+        self._ones = int(meta["ones"])
+        self._offset_len = int(meta["offset_len"])
+        self._width_by_class = offset_width_table(self._block_size)
+        self._class_list = image.section(prefix + "cls")
+        self._offset_words = image.words(prefix + "off")
+        self._sample_rank = image.int64(prefix + "srank")
+        self._sample_offset_pos = image.int64(prefix + "spos")
+        self._offset_starts = None
+        return self
+
     @property
     def block_size(self) -> int:
         """Bits per block."""
@@ -232,7 +273,7 @@ class RRRBitVector(StaticBitVector):
         if pos == 0:
             return 0
         block_index, offset = divmod(pos, self._block_size)
-        if block_index >= len(self._classes):
+        if block_index >= len(self._class_list):
             # pos == length and length is a multiple of block_size
             ones = self._ones
             return ones if bit else pos - ones
@@ -448,7 +489,6 @@ class RRRBitVector(StaticBitVector):
                 sample_offset_pos.append(offset_pos)
             ones_so_far += block_class
             offset_pos += widths[block_class]
-        self._classes = PackedIntVector(max(1, block_size.bit_length()), classes)
         self._class_list = list(classes)
         self._offset_words = pack_value(offsets.value, len(offsets))
         self._offset_len = len(offsets)
@@ -459,16 +499,21 @@ class RRRBitVector(StaticBitVector):
         return self
 
     # ------------------------------------------------------------------
+    def _classes_bits(self) -> int:
+        """Size the class array is charged at: packed width, word-rounded."""
+        width = max(1, self._block_size.bit_length())
+        return ((len(self._class_list) * width + 63) // 64) * 64
+
     def size_in_bits(self) -> int:
         """Total encoded size: classes + offsets + sampled directories."""
-        classes = self._classes.size_in_bits()
+        classes = self._classes_bits()
         offsets = self._offset_len
         samples = (len(self._sample_rank) + len(self._sample_offset_pos)) * 64
         return classes + offsets + samples
 
     def payload_bits(self) -> int:
         """Bits of the (class, offset) payload only, the ``B(m, n)`` part."""
-        return self._classes.size_in_bits() + self._offset_len
+        return self._classes_bits() + self._offset_len
 
     def compressed_payload_bits(self) -> int:
         """The offset stream alone (the entropy-proportional part)."""

@@ -71,6 +71,39 @@ class EliasFanoSequence:
         self._high = PlainBitVector(high_bits.to_bits())
 
     # ------------------------------------------------------------------
+    # Frozen-image (RWT2) exchange -- see docs/ARCHITECTURE.md, "Storage"
+    # ------------------------------------------------------------------
+    def to_words_image(self, sink, prefix: str) -> dict:
+        """Write the low words and the high bitvector into an image sink.
+
+        One ``low`` section holds the packed low halves; the high bitvector
+        contributes its own sections under ``prefix + "high."``.  Returns
+        the meta dict :meth:`from_words_image` needs.
+        """
+        sink.add_u64(prefix + "low", self._low._words)
+        return {
+            "n": self._n,
+            "universe": self._universe,
+            "low_width": self._low_width,
+            "high": self._high.to_words_image(sink, prefix + "high."),
+        }
+
+    @classmethod
+    def from_words_image(cls, image, prefix: str, meta: dict) -> "EliasFanoSequence":
+        """Open from a frozen image; low and high halves alias the buffer."""
+        self = cls.__new__(cls)
+        self._n = int(meta["n"])
+        self._universe = int(meta["universe"])
+        self._low_width = int(meta["low_width"])
+        self._low = PackedIntVector.from_words(
+            self._low_width, self._n, image.words(prefix + "low")
+        )
+        self._high = PlainBitVector.from_words_image(
+            image, prefix + "high.", meta["high"]
+        )
+        return self
+
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
         return self._n
 

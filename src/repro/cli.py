@@ -15,6 +15,8 @@ range-analytics queries against the compressed file:
    $ wavelet-trie distinct access.wt --start 1000 --stop 2000
    $ wavelet-trie append access.wt "http://example.com/new" --save
    $ wavelet-trie delete access.wt 17 42 1000 --save
+   $ wavelet-trie save access.wt -o access.rwt2 --image
+   $ wavelet-trie open access.rwt2
 
 Input files are plain text, one string per line (the empty string is a valid
 value; trailing newlines are stripped).  Indexes are stored in the
@@ -27,6 +29,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.bounds import compute_bounds
@@ -35,7 +38,7 @@ from repro.core.append_only import AppendOnlyWaveletTrie
 from repro.core.dynamic import DynamicWaveletTrie
 from repro.core.static import WaveletTrie
 from repro.exceptions import ReproError
-from repro.storage import load, save
+from repro.storage import IMAGE_MAGIC, load, save, save_image
 
 __all__ = ["main", "build_parser"]
 
@@ -289,6 +292,53 @@ def _cmd_append(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_save(args: argparse.Namespace) -> int:
+    index = load(args.index)
+    if args.image:
+        written = save_image(index, args.output)
+        container = "RWT2"
+    else:
+        written = save(index, args.output)
+        container = "RWT1"
+    payload = {
+        "input": args.index,
+        "output": args.output,
+        "container": container,
+        "stored_bytes": written,
+    }
+    _emit(
+        payload,
+        args.json,
+        [f"wrote {written:,} bytes to {args.output} ({container} container)"],
+    )
+    return 0
+
+
+def _cmd_open(args: argparse.Namespace) -> int:
+    with open(args.index, "rb") as handle:
+        magic = handle.read(len(IMAGE_MAGIC))
+    container = "RWT2" if magic == IMAGE_MAGIC else "RWT1"
+    started = time.perf_counter()
+    index = load(args.index)
+    open_ms = (time.perf_counter() - started) * 1000.0
+    payload = {
+        "index": args.index,
+        "container": container,
+        "type": type(index).__name__,
+        "elements": len(index),
+        "open_ms": round(open_ms, 3),
+    }
+    _emit(
+        payload,
+        args.json,
+        [
+            f"opened {args.index} ({container}) in {open_ms:.3f} ms: "
+            f"{type(index).__name__} with {len(index):,} elements"
+        ],
+    )
+    return 0
+
+
 def _require_trie(index: Any) -> None:
     if not isinstance(index, (WaveletTrie, AppendOnlyWaveletTrie, DynamicWaveletTrie)):
         raise ReproError(
@@ -404,6 +454,26 @@ def build_parser() -> argparse.ArgumentParser:
     append.add_argument("--save", action="store_true", help="write the grown index back to disk")
     add_common(append)
     append.set_defaults(handler=_cmd_append)
+
+    save_cmd = subparsers.add_parser(
+        "save", help="re-save an index, optionally as an RWT2 frozen image"
+    )
+    save_cmd.add_argument("index", help="existing index file (either container)")
+    save_cmd.add_argument("-o", "--output", required=True, help="output file")
+    save_cmd.add_argument(
+        "--image",
+        action="store_true",
+        help="write the RWT2 frozen image (mmap-openable) instead of RWT1",
+    )
+    add_common(save_cmd)
+    save_cmd.set_defaults(handler=_cmd_save)
+
+    open_cmd = subparsers.add_parser(
+        "open", help="open an index and report the cold-open latency"
+    )
+    open_cmd.add_argument("index", help="index file (either container)")
+    add_common(open_cmd)
+    open_cmd.set_defaults(handler=_cmd_open)
 
     return parser
 

@@ -24,7 +24,8 @@ from repro.bitvector.rle import RLEBitVector
 from repro.bitvector.rrr import RRRBitVector
 from repro.core.base import WaveletTrieBase
 from repro.core.builder import build_wavelet_trie_nodes
-from repro.exceptions import ImmutableStructureError
+from repro.core.node import WaveletTrieNode
+from repro.exceptions import ImmutableStructureError, SerializationError
 from repro.succinct.dfuds import DFUDSTree
 from repro.succinct.partial_sums import StaticPartialSums
 from repro.tries.binarize import StringCodec
@@ -103,6 +104,107 @@ class WaveletTrie(WaveletTrieBase):
     def bitvector_kind(self) -> str:
         """Which static bitvector the internal nodes use."""
         return self._bitvector_kind
+
+    # ------------------------------------------------------------------
+    # Frozen-image (RWT2) exchange -- see docs/ARCHITECTURE.md, "Storage"
+    # ------------------------------------------------------------------
+    _IMAGE_BITVECTOR_LOADERS = {
+        "rrr": RRRBitVector.from_words_image,
+        "plain": PlainBitVector.from_words_image,
+    }
+
+    def to_words_image(self, sink, prefix: str = "") -> dict:
+        """Write the trie into a frozen-image sink (word-array kinds only).
+
+        The topology and labels go into the meta as one *flat preorder*
+        node list ``[is_internal, label_value, label_length]`` (iterative,
+        so deep Patricia chains cannot hit recursion or JSON nesting
+        limits); internal node ``r`` (by preorder internal rank) writes its
+        bitvector's sections under ``prefix + "n{r}."``.  Only ``"rrr"``
+        and ``"plain"`` node bitvectors have a word-array image layout;
+        ``"rle"`` tries must use the RWT1 logical container instead.
+        """
+        if self._bitvector_kind not in self._IMAGE_BITVECTOR_LOADERS:
+            raise SerializationError(
+                f"WaveletTrie with {self._bitvector_kind!r} node bitvectors "
+                "has no frozen-image layout; save it with the RWT1 logical "
+                "container instead"
+            )
+        nodes: list = []
+        bv_metas: list = []
+        if self._root is not None:
+            stack = [self._root]
+            while stack:
+                node = stack.pop()
+                if node.is_leaf:
+                    nodes.append([0, node.label.value, len(node.label)])
+                else:
+                    nodes.append([1, node.label.value, len(node.label)])
+                    bv_metas.append(
+                        node.bitvector.to_words_image(
+                            sink, f"{prefix}n{len(bv_metas)}."
+                        )
+                    )
+                    stack.append(node.children[1])
+                    stack.append(node.children[0])
+        return {
+            "size": self._size,
+            "kind": self._bitvector_kind,
+            "nodes": nodes,
+            "bitvectors": bv_metas,
+        }
+
+    @classmethod
+    def from_words_image(
+        cls, image, prefix: str, meta: dict, codec: Optional[StringCodec] = None
+    ) -> "WaveletTrie":
+        """Open from a frozen image; node bitvectors alias the buffer.
+
+        Rebuilds only the lightweight node shell objects (one per trie
+        node); no bitvector is decoded or re-encoded.  The preorder node
+        list is replayed iteratively: after an internal node, the next
+        subtree in the list is its 0-child, then its 1-child.
+        """
+        kind = meta["kind"]
+        loader = cls._IMAGE_BITVECTOR_LOADERS.get(kind)
+        if loader is None:
+            raise SerializationError(
+                f"unknown node-bitvector kind {kind!r} in frozen image"
+            )
+        self = cls([], codec=codec, bitvector=kind)
+        self._size = int(meta["size"])
+        nodes_meta = meta["nodes"]
+        if not nodes_meta:
+            self._root = None
+            return self
+        bv_metas = meta["bitvectors"]
+        internal_rank = 0
+        root = None
+        pending: list = []  # (parent, bit) slots awaiting the next subtree
+        for is_internal, value, length in nodes_meta:
+            label = Bits(int(value), int(length))
+            if is_internal:
+                vector = loader(
+                    image, f"{prefix}n{internal_rank}.", bv_metas[internal_rank]
+                )
+                internal_rank += 1
+                node = WaveletTrieNode(label, vector)
+            else:
+                node = WaveletTrieNode(label)
+            if root is None:
+                root = node
+            else:
+                parent, bit = pending.pop()
+                parent.attach(bit, node)
+            if is_internal:
+                pending.append((node, 1))
+                pending.append((node, 0))
+        if pending:
+            raise SerializationError(
+                "frozen image node list is truncated (dangling child slots)"
+            )
+        self._root = root
+        return self
 
     # ------------------------------------------------------------------
     # Updates are rejected: the structure is static.

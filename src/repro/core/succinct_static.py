@@ -45,6 +45,39 @@ from repro.tries.binarize import StringCodec, default_codec
 __all__ = ["SuccinctWaveletTrie"]
 
 
+class _LazyNodeBitvectors:
+    """Per-internal-node RRR views over a frozen image, materialised lazily.
+
+    Keeps frozen-image opens O(1) in the node count: the wrapper object for
+    an internal node's bitvector is built (zero-copy, from the image's
+    sections) on first access and cached.  Quacks like the eager list the
+    in-memory build stores in ``_bitvectors``.
+    """
+
+    __slots__ = ("_image", "_prefix", "_metas", "_cache")
+
+    def __init__(self, image, prefix: str, metas: Sequence[dict]) -> None:
+        self._image = image
+        self._prefix = prefix
+        self._metas = metas
+        self._cache: List[Optional[RRRBitVector]] = [None] * len(metas)
+
+    def __len__(self) -> int:
+        return len(self._metas)
+
+    def __getitem__(self, rank: int) -> RRRBitVector:
+        vector = self._cache[rank]
+        if vector is None:
+            vector = RRRBitVector.from_words_image(
+                self._image, f"{self._prefix}bv{rank}.", self._metas[rank]
+            )
+            self._cache[rank] = vector
+        return vector
+
+    def __iter__(self):
+        return (self[rank] for rank in range(len(self._metas)))
+
+
 class SuccinctWaveletTrie(IndexedStringSequence):
     """Static Wavelet Trie stored in the Theorem 3.7 succinct layout."""
 
@@ -91,6 +124,69 @@ class SuccinctWaveletTrie(IndexedStringSequence):
         self._label_offsets = StaticPartialSums(len(label) for label in labels)
         self._is_internal = PlainBitVector(internal_flags)
         self._bitvectors = bitvectors
+
+    # ------------------------------------------------------------------
+    # Frozen-image (RWT2) exchange -- see docs/ARCHITECTURE.md, "Storage"
+    # ------------------------------------------------------------------
+    def to_words_image(self, sink, prefix: str = "") -> dict:
+        """Write every Theorem 3.7 component into a frozen-image sink.
+
+        The codec is *not* recorded here; the storage layer stores it in the
+        container header and passes it back to :meth:`from_words_image`.
+        Internal node ``r`` (by internal rank) writes its RRR bitvector
+        under section prefix ``prefix + "bv{r}."``.
+        """
+        if self._dfuds is None:
+            return {"size": self._size, "empty": True}
+        return {
+            "size": self._size,
+            "empty": False,
+            "dfuds": self._dfuds.to_words_image(sink, prefix + "dfuds."),
+            "labels": self._labels.to_words_image(sink, prefix + "labels."),
+            "label_offsets": self._label_offsets.to_words_image(
+                sink, prefix + "loff."
+            ),
+            "is_internal": self._is_internal.to_words_image(sink, prefix + "int."),
+            "bitvectors": [
+                vector.to_words_image(sink, f"{prefix}bv{rank}.")
+                for rank, vector in enumerate(self._bitvectors)
+            ],
+        }
+
+    @classmethod
+    def from_words_image(
+        cls, image, prefix: str, meta: dict, codec: Optional[StringCodec] = None
+    ) -> "SuccinctWaveletTrie":
+        """Open from a frozen image in O(1) time regardless of node count.
+
+        Topology, labels and flags alias the mapped buffer; the per-node RRR
+        bitvectors are wrapped lazily on first touch (each wrap is itself
+        zero-copy).
+        """
+        self = cls.__new__(cls)
+        self._codec = codec or default_codec()
+        self._size = int(meta["size"])
+        if meta.get("empty"):
+            self._dfuds = None
+            self._labels = None
+            self._label_offsets = None
+            self._is_internal = None
+            self._bitvectors = []
+            return self
+        self._dfuds = DFUDSTree.from_words_image(
+            image, prefix + "dfuds.", meta["dfuds"]
+        )
+        self._labels = PlainBitVector.from_words_image(
+            image, prefix + "labels.", meta["labels"]
+        )
+        self._label_offsets = StaticPartialSums.from_words_image(
+            image, prefix + "loff.", meta["label_offsets"]
+        )
+        self._is_internal = PlainBitVector.from_words_image(
+            image, prefix + "int.", meta["is_internal"]
+        )
+        self._bitvectors = _LazyNodeBitvectors(image, prefix, meta["bitvectors"])
+        return self
 
     # ------------------------------------------------------------------
     # Succinct navigation helpers

@@ -1,8 +1,8 @@
 """On-disk persistence for the Wavelet Trie and the database layer.
 
 The paper's motivating applications (column stores, access-log analytics) need
-indexes that survive a process restart.  This package provides a compact,
-versioned, checksummed binary format together with four entry points:
+indexes that survive a process restart.  This package provides two container
+formats behind one set of entry points:
 
 >>> from repro import WaveletTrie
 >>> from repro.storage import dumps, loads
@@ -16,20 +16,45 @@ versioned, checksummed binary format together with four entry points:
 * :func:`~repro.storage.format.save` / :func:`~repro.storage.format.load`
   -- atomic write to / read from a file path.
 
-The serialised form stores the *logical* structure (codec, trie topology,
-node bitvector contents in run-length form), not the in-memory layout, so it
-is stable across internal tuning of block sizes and rebuild policies.
+**RWT1** (``save``/``dumps``) stores the *logical* structure (codec, trie
+topology, node bitvector contents in run-length form), not the in-memory
+layout, so it is stable across internal tuning of block sizes and rebuild
+policies -- but :func:`load` must decode and rebuild every directory.
+
+**RWT2** (:func:`~repro.storage.image.save_image` /
+:func:`~repro.storage.image.open_image`) is the "frozen image": the physical
+word arrays and rank/select directories dumped verbatim in page-aligned
+sections, memory-mapped back with zero-copy views, so a cold open costs
+O(sections) regardless of index size and worker processes share one page
+cache.  :func:`load` and :func:`loads` sniff the magic and accept both.
+See docs/ARCHITECTURE.md, "Storage", for the decision table.
 """
 
 from repro.storage.format import FORMAT_VERSION, MAGIC, dumps, load, loads, save
+from repro.storage.image import (
+    IMAGE_MAGIC,
+    IMAGE_VERSION,
+    dumps_image,
+    freeze,
+    loads_image,
+    open_image,
+    save_image,
+)
 from repro.storage.serializers import TYPE_TAGS
 
 __all__ = [
     "FORMAT_VERSION",
+    "IMAGE_MAGIC",
+    "IMAGE_VERSION",
     "MAGIC",
     "TYPE_TAGS",
     "dumps",
+    "dumps_image",
+    "freeze",
     "load",
     "loads",
+    "loads_image",
+    "open_image",
     "save",
+    "save_image",
 ]

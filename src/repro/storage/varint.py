@@ -134,9 +134,14 @@ class ByteWriter:
 
 
 class ByteReader:
-    """Reads back a payload produced by :class:`ByteWriter`."""
+    """Reads back a payload produced by :class:`ByteWriter`.
 
-    def __init__(self, data: bytes) -> None:
+    Accepts any bytes-like buffer -- ``bytes``, ``bytearray`` or
+    ``memoryview`` -- so streamed loaders can hand in their single
+    preallocated payload copy without converting it.
+    """
+
+    def __init__(self, data: "bytes | bytearray | memoryview") -> None:
         self._data = data
         self._pos = 0
 

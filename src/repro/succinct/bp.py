@@ -56,6 +56,27 @@ class BalancedParentheses:
         self._block_min = block_min
 
     # ------------------------------------------------------------------
+    # Frozen-image (RWT2) exchange -- see docs/ARCHITECTURE.md, "Storage"
+    # ------------------------------------------------------------------
+    def to_words_image(self, sink, prefix: str) -> dict:
+        """Write the parentheses bitvector and block directories to a sink."""
+        bits_meta = self._bits.to_words_image(sink, prefix + "bits.")
+        sink.add_i64(prefix + "bexc", self._block_excess)
+        sink.add_i64(prefix + "bmin", self._block_min)
+        return {"bits": bits_meta}
+
+    @classmethod
+    def from_words_image(cls, image, prefix: str, meta: dict) -> "BalancedParentheses":
+        """Open from a frozen image; no excess directory is recomputed."""
+        self = cls.__new__(cls)
+        self._bits = PlainBitVector.from_words_image(
+            image, prefix + "bits.", meta["bits"]
+        )
+        self._block_excess = image.int64(prefix + "bexc")
+        self._block_min = image.int64(prefix + "bmin")
+        return self
+
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._bits)
 

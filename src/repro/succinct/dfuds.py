@@ -68,6 +68,26 @@ class DFUDSTree:
         return cls(bits, len(preorder_degrees))
 
     # ------------------------------------------------------------------
+    # Frozen-image (RWT2) exchange -- see docs/ARCHITECTURE.md, "Storage"
+    # ------------------------------------------------------------------
+    def to_words_image(self, sink, prefix: str) -> dict:
+        """Write the balanced-parentheses structure into an image sink."""
+        return {
+            "node_count": self._node_count,
+            "bp": self._bp.to_words_image(sink, prefix + "bp."),
+        }
+
+    @classmethod
+    def from_words_image(cls, image, prefix: str, meta: dict) -> "DFUDSTree":
+        """Open from a frozen image; the parentheses alias the buffer."""
+        self = cls.__new__(cls)
+        self._bp = BalancedParentheses.from_words_image(
+            image, prefix + "bp.", meta["bp"]
+        )
+        self._node_count = int(meta["node_count"])
+        return self
+
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
         return self._node_count
 

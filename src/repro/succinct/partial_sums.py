@@ -45,6 +45,26 @@ class StaticPartialSums:
     def __len__(self) -> int:
         return self._count
 
+    # ------------------------------------------------------------------
+    # Frozen-image (RWT2) exchange -- see docs/ARCHITECTURE.md, "Storage"
+    # ------------------------------------------------------------------
+    def to_words_image(self, sink, prefix: str) -> dict:
+        """Write the Elias-Fano cumulative sequence into an image sink."""
+        return {
+            "count": self._count,
+            "cumulative": self._cumulative.to_words_image(sink, prefix + "cum."),
+        }
+
+    @classmethod
+    def from_words_image(cls, image, prefix: str, meta: dict) -> "StaticPartialSums":
+        """Open from a frozen image; the cumulative sequence aliases it."""
+        self = cls.__new__(cls)
+        self._count = int(meta["count"])
+        self._cumulative = EliasFanoSequence.from_words_image(
+            image, prefix + "cum.", meta["cumulative"]
+        )
+        return self
+
     @property
     def total(self) -> int:
         """Sum of all lengths."""

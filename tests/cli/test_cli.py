@@ -229,3 +229,40 @@ class TestDelete:
         assert main(["delete", str(dynamic_index), "3", "3"]) == 1
         assert "more than once" in capsys.readouterr().err
         assert len(load(dynamic_index)) == 200
+
+
+class TestSaveOpen:
+    def test_save_image_and_open(self, built_index, tmp_path, url_log, capsys):
+        image_path = tmp_path / "access.rwt2"
+        payload = run_json(
+            capsys, ["save", str(built_index), "-o", str(image_path), "--image"]
+        )
+        assert payload["container"] == "RWT2"
+        assert payload["stored_bytes"] == image_path.stat().st_size
+        assert image_path.read_bytes()[:4] == b"RWT2"
+
+        payload = run_json(capsys, ["open", str(image_path)])
+        assert payload["container"] == "RWT2"
+        assert payload["elements"] == 200
+        assert payload["open_ms"] >= 0
+        # Query subcommands work against the frozen image transparently.
+        payload = run_json(capsys, ["access", str(image_path), "0", "199"])
+        assert [r["value"] for r in payload["results"]] == [url_log[0], url_log[199]]
+
+    def test_save_rwt1_and_open(self, built_index, tmp_path, capsys):
+        out = tmp_path / "copy.wt"
+        payload = run_json(capsys, ["save", str(built_index), "-o", str(out)])
+        assert payload["container"] == "RWT1"
+        payload = run_json(capsys, ["open", str(out)])
+        assert payload["container"] == "RWT1"
+        assert payload["elements"] == 200
+
+    def test_open_text_output_reports_latency(self, built_index, capsys):
+        assert main(["open", str(built_index)]) == 0
+        out = capsys.readouterr().out
+        assert "RWT1" in out and "ms" in out
+
+    def test_save_missing_input_fails(self, tmp_path, capsys):
+        missing = tmp_path / "nope.wt"
+        assert main(["save", str(missing), "-o", str(tmp_path / "out.wt")]) == 1
+        assert "error" in capsys.readouterr().err

@@ -33,6 +33,15 @@ class TestContainerValidation:
         with pytest.raises(SerializationError, match="version"):
             loads(bytes(corrupted))
 
+    def test_version_error_names_found_and_expected(self, stored):
+        corrupted = bytearray(stored)
+        corrupted[len(MAGIC)] = FORMAT_VERSION + 41
+        with pytest.raises(
+            SerializationError,
+            match=f"found {FORMAT_VERSION + 41}, expected {FORMAT_VERSION}",
+        ):
+            loads(bytes(corrupted))
+
     def test_truncated_payload(self, stored):
         with pytest.raises(SerializationError):
             loads(stored[: len(stored) // 2])
@@ -49,7 +58,7 @@ class TestContainerValidation:
             loads(bytes(corrupted))
 
     def test_trailing_garbage_rejected(self, stored):
-        with pytest.raises(SerializationError):
+        with pytest.raises(SerializationError, match="trailing bytes after the checksum"):
             loads(stored + b"extra")
 
 
@@ -93,5 +102,43 @@ class TestFileErrors:
     def test_load_empty_file(self, tmp_path):
         path = tmp_path / "empty.wt"
         path.write_bytes(b"")
+        with pytest.raises(SerializationError):
+            load(path)
+
+    def test_load_rejects_trailing_bytes(self, tmp_path, url_log):
+        path = tmp_path / "index.wt"
+        save(WaveletTrie(url_log[:30]), path)
+        path.write_bytes(path.read_bytes() + b"garbage")
+        with pytest.raises(SerializationError, match="trailing bytes"):
+            load(path)
+
+    def test_load_oversized_length_varint_fails_cleanly(self, tmp_path, url_log):
+        # A corrupted payload-length varint claiming more bytes than the file
+        # holds must raise instead of attempting a huge allocation.
+        path = tmp_path / "index.wt"
+        save(WaveletTrie(url_log[:30]), path)
+        data = bytearray(path.read_bytes())
+        # magic(4) + version(1) + type tag varint(1) -> the length varint.
+        # Overwrite it with a 9-byte varint encoding ~2**60 and keep the rest.
+        huge = bytearray()
+        value = 1 << 60
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                huge.append(byte | 0x80)
+            else:
+                huge.append(byte)
+                break
+        corrupted = bytes(data[:6]) + bytes(huge) + bytes(data[7:])
+        path.write_bytes(corrupted)
+        with pytest.raises(SerializationError, match="exceeds the .* bytes left"):
+            load(path)
+
+    def test_load_truncated_file_streams_cleanly(self, tmp_path, url_log):
+        path = tmp_path / "index.wt"
+        save(WaveletTrie(url_log[:30]), path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
         with pytest.raises(SerializationError):
             load(path)

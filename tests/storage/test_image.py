@@ -1,0 +1,277 @@
+"""RWT2 frozen-image tests: round trips, corruption, cross-backend parity.
+
+Every supported type is written with :func:`dumps_image`/:func:`save_image`
+and reopened under *each available kernel backend*; query results must be
+identical to the in-memory original (the loaded structures answer queries
+straight off the mapped words, so equality here certifies the whole
+zero-copy path).  Corruption tests flip and truncate real section bytes and
+expect the per-section CRC / bounds checks to name the damage.  The
+numpy-absent fallback is covered by opening a numpy-written file under the
+pure-python backend -- the bytes on disk are backend-independent.
+"""
+
+import mmap
+
+import pytest
+
+from repro.bits import kernel
+from repro.core.append_only import AppendOnlyWaveletTrie
+from repro.core.dynamic import DynamicWaveletTrie
+from repro.core.static import WaveletTrie
+from repro.core.succinct_static import SuccinctWaveletTrie
+from repro.db.column import CompressedColumn
+from repro.db.table import ColumnStore
+from repro.exceptions import SerializationError
+from repro.storage import (
+    IMAGE_MAGIC,
+    IMAGE_VERSION,
+    dumps_image,
+    freeze,
+    load,
+    loads,
+    loads_image,
+    open_image,
+    save_image,
+)
+from repro.storage.image import PAGE, FrozenImage
+from repro.tries.binarize import FixedWidthIntCodec
+
+
+@pytest.fixture(params=["python", "numpy"])
+def backend(request):
+    """Run the test under one kernel backend, restoring the previous one."""
+    if request.param not in kernel.available_backends():
+        pytest.skip("numpy not installed")
+    previous = kernel.use_backend(request.param)
+    yield request.param
+    kernel.use_backend(previous)
+
+
+def assert_trie_equal(loaded, values):
+    """Differential check of the full query surface against the original."""
+    assert len(loaded) == len(values)
+    assert [loaded.access(i) for i in range(len(values))] == list(values)
+    probes = sorted(set(values))[:8]
+    for value in probes:
+        assert loaded.count(value) == values.count(value)
+        assert loaded.rank(value, len(values) // 2) == values[: len(values) // 2].count(value)
+        if value in values:
+            assert loaded.select(value, 0) == values.index(value)
+    prefix = values[0][:3]
+    expected = sum(1 for v in values if v.startswith(prefix))
+    assert loaded.count_prefix(prefix) == expected
+
+
+class TestTrieRoundTrip:
+    @pytest.mark.parametrize("kind", ["rrr", "plain"])
+    def test_static_trie(self, backend, url_log, kind):
+        values = url_log[:150]
+        loaded = loads_image(dumps_image(WaveletTrie(values, bitvector=kind)), verify=True)
+        assert isinstance(loaded, WaveletTrie)
+        assert loaded.bitvector_kind == kind
+        assert_trie_equal(loaded, values)
+
+    def test_succinct_trie(self, backend, url_log):
+        values = url_log[:150]
+        loaded = loads_image(dumps_image(SuccinctWaveletTrie(values)), verify=True)
+        assert isinstance(loaded, SuccinctWaveletTrie)
+        assert_trie_equal(loaded, values)
+
+    @pytest.mark.parametrize("cls", [AppendOnlyWaveletTrie, DynamicWaveletTrie])
+    def test_growable_tries_freeze_to_static(self, backend, url_log, cls):
+        values = url_log[:120]
+        loaded = loads_image(dumps_image(cls(values)), verify=True)
+        assert type(loaded) is WaveletTrie
+        assert_trie_equal(loaded, values)
+
+    def test_empty_trie(self, backend):
+        loaded = loads_image(dumps_image(WaveletTrie([])), verify=True)
+        assert len(loaded) == 0
+        assert loaded.count("/anything") == 0
+
+    def test_single_value_trie(self, backend):
+        loaded = loads_image(dumps_image(WaveletTrie(["/only"] * 5)), verify=True)
+        assert loaded.to_list() == ["/only"] * 5
+
+    def test_int_codec_round_trips(self, backend):
+        values = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5]
+        trie = WaveletTrie(values, codec=FixedWidthIntCodec(8))
+        loaded = loads_image(dumps_image(trie), verify=True)
+        assert loaded.to_list() == values
+        assert loaded.rank(5, len(values)) == 3
+
+    def test_file_round_trip_and_load_dispatch(self, backend, url_log, tmp_path):
+        values = url_log[:100]
+        path = tmp_path / "trie.rwt2"
+        written = save_image(WaveletTrie(values), path)
+        assert written == path.stat().st_size
+        assert path.read_bytes()[:4] == IMAGE_MAGIC
+        for loaded in (open_image(path, verify=True), load(path), loads(path.read_bytes())):
+            assert_trie_equal(loaded, values)
+
+    def test_rle_trie_is_rejected(self, backend, url_log):
+        trie = WaveletTrie(url_log[:40], bitvector="rle")
+        with pytest.raises(SerializationError, match="rle"):
+            dumps_image(trie)
+
+    def test_loaded_trie_is_immutable(self, backend, url_log):
+        loaded = loads_image(dumps_image(AppendOnlyWaveletTrie(url_log[:40])))
+        from repro.exceptions import ImmutableStructureError
+
+        with pytest.raises(ImmutableStructureError):
+            loaded.append("/new")
+
+
+class TestDbRoundTrip:
+    def test_column(self, backend, column_values):
+        column = CompressedColumn("region", column_values)
+        loaded = loads_image(dumps_image(column), verify=True)
+        assert loaded.name == "region"
+        assert not loaded.appendable
+        assert len(loaded) == len(column_values)
+        assert [loaded.value_at(i) for i in range(0, len(column_values), 13)] == [
+            column_values[i] for i in range(0, len(column_values), 13)
+        ]
+        probe = column_values[0]
+        assert loaded.count_eq(probe) == column_values.count(probe)
+        assert list(loaded.rows_eq(probe, limit=5)) == list(column.rows_eq(probe, limit=5))
+
+    def test_column_store(self, backend, url_log):
+        store = ColumnStore(["url", "verb"])
+        for position, url in enumerate(url_log[:120]):
+            store.append_row({"url": url, "verb": "GET" if position % 4 else "POST"})
+        loaded = loads_image(dumps_image(store), verify=True)
+        assert loaded.column_names == store.column_names
+        assert len(loaded) == len(store)
+        assert loaded.row(17) == store.row(17)
+        assert loaded.filter_eq("verb", "POST") == store.filter_eq("verb", "POST")
+        assert loaded.count_where({"verb": "GET"}) == store.count_where({"verb": "GET"})
+        assert loaded.group_by_count("verb") == store.group_by_count("verb")
+
+    def test_unsupported_object_raises(self, backend):
+        with pytest.raises(SerializationError, match="frozen image"):
+            dumps_image({"not": "supported"})
+
+
+class TestCrossBackend:
+    """Bytes written under one backend open identically under the other."""
+
+    def test_numpy_written_file_opens_under_python(self, url_log, tmp_path):
+        if "numpy" not in kernel.available_backends():
+            pytest.skip("numpy not installed")
+        values = url_log[:150]
+        path = tmp_path / "cross.rwt2"
+        previous = kernel.use_backend("numpy")
+        try:
+            save_image(SuccinctWaveletTrie(values), path)
+            numpy_bytes = path.read_bytes()
+            kernel.use_backend("python")
+            assert_trie_equal(open_image(path, verify=True), values)
+            # The image bytes themselves are backend-independent.
+            save_image(SuccinctWaveletTrie(values), path)
+            assert path.read_bytes() == numpy_bytes
+        finally:
+            kernel.use_backend(previous)
+
+    def test_python_written_file_opens_under_numpy(self, url_log, tmp_path):
+        if "numpy" not in kernel.available_backends():
+            pytest.skip("numpy not installed")
+        values = url_log[:150]
+        path = tmp_path / "cross.rwt2"
+        previous = kernel.use_backend("python")
+        try:
+            save_image(WaveletTrie(values), path)
+            kernel.use_backend("numpy")
+            assert_trie_equal(open_image(path, verify=True), values)
+        finally:
+            kernel.use_backend(previous)
+
+
+@pytest.fixture(scope="module")
+def image_bytes(url_log):
+    return dumps_image(WaveletTrie(url_log[:100]))
+
+
+class TestImageValidation:
+    def test_too_short(self):
+        with pytest.raises(SerializationError, match="too short"):
+            loads_image(IMAGE_MAGIC + b"\x01")
+
+    def test_bad_magic(self, image_bytes):
+        with pytest.raises(SerializationError, match="magic"):
+            loads_image(b"XXXX" + image_bytes[4:])
+
+    def test_version_mismatch_names_both_versions(self, image_bytes):
+        corrupted = bytearray(image_bytes)
+        corrupted[4:8] = (IMAGE_VERSION + 7).to_bytes(4, "little")
+        with pytest.raises(
+            SerializationError,
+            match=f"found {IMAGE_VERSION + 7}, expected {IMAGE_VERSION}",
+        ):
+            loads_image(bytes(corrupted))
+
+    def test_header_bit_flip(self, image_bytes):
+        corrupted = bytearray(image_bytes)
+        corrupted[24] ^= 0x01  # inside the header JSON
+        with pytest.raises(SerializationError, match="header"):
+            loads_image(bytes(corrupted))
+
+    def test_truncated_section_always_detected(self, image_bytes):
+        # Cutting the last page off violates the section-table bounds check,
+        # which runs even with verify=False.
+        with pytest.raises(SerializationError, match="truncated"):
+            loads_image(image_bytes[:-PAGE])
+
+    def test_flipped_section_bit_fails_named_crc(self, image_bytes):
+        image = FrozenImage(image_bytes)
+        name = image.section_names()[0]
+        offset, length, _ = image._sections[name]
+        corrupted = bytearray(image_bytes)
+        corrupted[offset + length // 2] ^= 0x10
+        with pytest.raises(SerializationError) as excinfo:
+            loads_image(bytes(corrupted), verify=True)
+        assert name in str(excinfo.value)
+        assert "checksum mismatch" in str(excinfo.value)
+        # Without verification the flip goes unchecked at open time (by design).
+        loads_image(bytes(corrupted), verify=False)
+
+    def test_unknown_image_type(self, image_bytes):
+        from repro.storage.image import ImageWriter
+
+        writer = ImageWriter()
+        writer.add_u64("w", [1, 2, 3])
+        with pytest.raises(SerializationError, match="unknown frozen-image type"):
+            loads_image(writer.tobytes("martian_index", {}))
+
+    def test_open_image_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.rwt2"
+        path.write_bytes(b"")
+        with pytest.raises(SerializationError):
+            open_image(path)
+
+    def test_sections_are_page_aligned_and_read_only(self, image_bytes):
+        image = FrozenImage(image_bytes)
+        for name in image.section_names():
+            offset, _, _ = image._sections[name]
+            assert offset % PAGE == 0
+            assert image.section(name).readonly
+
+    def test_mmap_pagesize_divides_page(self):
+        # The format's alignment promise only holds if the OS page size
+        # divides the section alignment.
+        assert PAGE % mmap.PAGESIZE == 0 or mmap.PAGESIZE % PAGE == 0
+
+
+class TestFreeze:
+    def test_freeze_passes_static_through(self, url_log):
+        trie = WaveletTrie(url_log[:30])
+        assert freeze(trie) is trie
+
+    def test_freeze_snapshots_dynamic(self, url_log):
+        dynamic = DynamicWaveletTrie(url_log[:50])
+        frozen = freeze(dynamic)
+        assert type(frozen) is WaveletTrie
+        assert frozen.to_list() == dynamic.to_list()
+        # The snapshot is independent: mutating the original changes nothing.
+        dynamic.append("/after")
+        assert len(frozen) == 50
