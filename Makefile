@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test docs-check bench-kernel bench-kernel-quick bench-dynamic \
-	bench-storage bench-storage-quick bench
+	bench-storage bench-storage-quick bench-tiered bench-tiered-quick bench
 
 # Tier-1 verification: the full test suite (includes the quick-mode
 # benchmark harnesses and the docs-check gate).
@@ -39,4 +39,13 @@ bench-storage:
 bench-storage-quick:
 	$(PYTHON) benchmarks/bench_storage.py --quick
 
-bench: bench-kernel bench-dynamic bench-storage
+bench-tiered:
+	$(PYTHON) benchmarks/bench_tiered.py
+
+# Small-size smoke run of the tiered LSM harness (no JSON written); its
+# identical-op-stream differential checks against the pure dynamic trie also
+# run inside tier-1 via tests/integration/test_bench_tiered_quick.py.
+bench-tiered-quick:
+	$(PYTHON) benchmarks/bench_tiered.py --quick
+
+bench: bench-kernel bench-dynamic bench-storage bench-tiered

@@ -22,6 +22,10 @@ Measurements per size:
   first-query probe after open;
 * cold-open in a **fresh subprocess** (full mode): open latency and
   ``ru_maxrss`` straight after open and after a query sweep, RWT1 vs RWT2;
+* **multi-process shared page cache** (full mode): four concurrent fresh
+  interpreters serving the same file -- mmap'd RWT2 readers share the word
+  arrays through the kernel page cache while RWT1 readers each decode a
+  private heap, so the aggregate RSS ratio grows with the reader count;
 * differential equality: the image opened under *every available kernel
   backend* must answer a query sample identically to the in-memory
   original (and to the RWT1-rebuilt copy where one exists).
@@ -201,6 +205,42 @@ def _cold_open(path: Path, open_call: str) -> Dict[str, float]:
     return json.loads(completed.stdout)
 
 
+def _shared_page_cache(path: Path, open_call: str, workers: int = 4) -> Dict[str, object]:
+    """``workers`` concurrent fresh interpreters over the *same* file.
+
+    For the mmap'd RWT2 image the kernel page cache holds the word arrays
+    once, so every process beyond the first opens against warm pages and its
+    private heap stays near the interpreter baseline; RWT1 readers each
+    decode into their own heap, multiplying resident memory per reader.
+    Reports per-process open latency and RSS deltas after a query sweep.
+    """
+    script = _COLD_SCRIPT.format(src=str(SRC), open_call=open_call, path=str(path))
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", script],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        for _ in range(workers)
+    ]
+    rows = []
+    for proc in procs:
+        stdout, stderr = proc.communicate()
+        if proc.returncode:
+            raise RuntimeError(f"shared-cache worker failed: {stderr}")
+        rows.append(json.loads(stdout))
+    return {
+        "workers": workers,
+        "open_s_max": round(max(row["open_s"] for row in rows), 4),
+        "open_s_mean": round(sum(row["open_s"] for row in rows) / workers, 4),
+        "rss_queries_delta_kb_per_worker": [
+            row["rss_queries_delta_kb"] for row in rows
+        ],
+        "rss_queries_delta_kb_total": sum(row["rss_queries_delta_kb"] for row in rows),
+    }
+
+
 # ----------------------------------------------------------------------
 # The benchmark
 # ----------------------------------------------------------------------
@@ -273,6 +313,26 @@ def run(quick: bool = False, repeats: int = 3) -> Dict[str, object]:
                 if "cold_rwt1" in entry:
                     entry["cold_open_speedup"] = round(
                         entry["cold_rwt1"]["open_s"] / entry["cold_rwt2"]["open_s"], 1
+                    )
+                # Multi-process serving: four readers share one image's
+                # page cache vs four RWT1 readers each rebuilding a private
+                # heap.  Compared head-to-head at the RWT1 baseline size;
+                # RWT2-only at the largest size to show it scales.
+                if "rwt1_bytes" in entry or k == tile_factors[-1]:
+                    entry["shared_cache_rwt2"] = _shared_page_cache(
+                        image_path, "open_image"
+                    )
+                if "rwt1_bytes" in entry:
+                    entry["shared_cache_rwt1"] = _shared_page_cache(
+                        Path(workdir) / f"trie_{n}.rwt1", "load"
+                    )
+                    entry["shared_cache_rss_ratio"] = round(
+                        entry["shared_cache_rwt1"]["rss_queries_delta_kb_total"]
+                        / max(
+                            1,
+                            entry["shared_cache_rwt2"]["rss_queries_delta_kb_total"],
+                        ),
+                        1,
                     )
 
             results[f"n={n}"] = entry

@@ -15,6 +15,8 @@ range-analytics queries against the compressed file:
    $ wavelet-trie distinct access.wt --start 1000 --stop 2000
    $ wavelet-trie append access.wt "http://example.com/new" --save
    $ wavelet-trie delete access.wt 17 42 1000 --save
+   $ wavelet-trie tiers access.wt
+   $ wavelet-trie compact access.wt --save
    $ wavelet-trie save access.wt -o access.rwt2 --image
    $ wavelet-trie open access.rwt2
 
@@ -37,6 +39,7 @@ from repro.analysis.space import wavelet_trie_space_report
 from repro.core.append_only import AppendOnlyWaveletTrie
 from repro.core.dynamic import DynamicWaveletTrie
 from repro.core.static import WaveletTrie
+from repro.core.tiers import TieredWaveletTrie
 from repro.exceptions import ReproError
 from repro.storage import IMAGE_MAGIC, load, save, save_image
 
@@ -46,6 +49,7 @@ _VARIANTS = {
     "static": WaveletTrie,
     "append-only": AppendOnlyWaveletTrie,
     "dynamic": DynamicWaveletTrie,
+    "tiered": TieredWaveletTrie,
 }
 
 
@@ -209,9 +213,10 @@ def _cmd_positions(args: argparse.Namespace) -> int:
 def _cmd_delete(args: argparse.Namespace) -> int:
     index = load(args.index)
     _require_trie(index)
-    if not isinstance(index, DynamicWaveletTrie):
+    if not isinstance(index, (DynamicWaveletTrie, TieredWaveletTrie)):
         raise ReproError(
-            "this index does not support deletion; rebuild it with --variant dynamic"
+            "this index does not support deletion; rebuild it with "
+            "--variant dynamic or --variant tiered"
         )
     removed = index.delete_many(args.positions)
     payload = {
@@ -292,6 +297,70 @@ def _cmd_append(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tiers(args: argparse.Namespace) -> int:
+    index = load(args.index)
+    _require_trie(index)
+    tiered = _require_tiered(index)
+    rows = tiered.tier_info()
+    payload = {
+        "elements": len(tiered),
+        "tier_count": tiered.tier_count,
+        "mutable_start": tiered.mutable_start,
+        "total_bits": tiered.size_in_bits(),
+        "tiers": rows,
+    }
+    lines = [
+        f"{len(tiered):,} elements in {tiered.tier_count} tiers "
+        f"(mutable window starts at position {tiered.mutable_start:,})"
+    ]
+    for position, row in enumerate(rows):
+        extra = (
+            f"  ({row['pending_freeze_bits']:,} bits left to freeze)"
+            if "pending_freeze_bits" in row
+            else ""
+        )
+        lines.append(
+            f"tier {position}: {row['state']:<8} {row['kind']:<22} "
+            f"{row['elements']:>10,} elements  {row['bits']:>12,} bits{extra}"
+        )
+    _emit(payload, args.json, lines)
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    index = load(args.index)
+    _require_trie(index)
+    tiered = _require_tiered(index)
+    tiers_before = tiered.tier_count
+    if args.steps is not None:
+        done = tiered.compact_step(args.steps)
+        action = f"advanced compaction by {done} block units"
+    else:
+        tiered.compact(merge=not args.no_merge)
+        action = "drained all freezes" + (
+            "" if args.no_merge else " and merged the frozen tiers"
+        )
+    payload = {
+        "elements": len(tiered),
+        "tiers_before": tiers_before,
+        "tiers_after": tiered.tier_count,
+        "action": action,
+        "saved": bool(args.save),
+    }
+    if args.save:
+        save(tiered, args.index)
+    _emit(
+        payload,
+        args.json,
+        [
+            f"{action}: {tiers_before} -> {tiered.tier_count} tiers "
+            f"({len(tiered):,} elements)"
+            + ("" if args.save else "  (not saved; pass --save to persist)")
+        ],
+    )
+    return 0
+
+
 def _cmd_save(args: argparse.Namespace) -> int:
     index = load(args.index)
     if args.image:
@@ -340,10 +409,22 @@ def _cmd_open(args: argparse.Namespace) -> int:
 
 
 def _require_trie(index: Any) -> None:
-    if not isinstance(index, (WaveletTrie, AppendOnlyWaveletTrie, DynamicWaveletTrie)):
+    if not isinstance(
+        index,
+        (WaveletTrie, AppendOnlyWaveletTrie, DynamicWaveletTrie, TieredWaveletTrie),
+    ):
         raise ReproError(
             f"the file holds a {type(index).__name__}, not a Wavelet Trie index"
         )
+
+
+def _require_tiered(index: Any) -> TieredWaveletTrie:
+    if not isinstance(index, TieredWaveletTrie):
+        raise ReproError(
+            f"the index is a {type(index).__name__}, not a tiered index; "
+            "rebuild it with --variant tiered"
+        )
+    return index
 
 
 # ----------------------------------------------------------------------
@@ -454,6 +535,32 @@ def build_parser() -> argparse.ArgumentParser:
     append.add_argument("--save", action="store_true", help="write the grown index back to disk")
     add_common(append)
     append.set_defaults(handler=_cmd_append)
+
+    tiers_cmd = subparsers.add_parser(
+        "tiers", help="show the tier layout of a tiered (LSM) index"
+    )
+    tiers_cmd.add_argument("index", help="index built with --variant tiered")
+    add_common(tiers_cmd)
+    tiers_cmd.set_defaults(handler=_cmd_tiers)
+
+    compact = subparsers.add_parser(
+        "compact", help="drain/merge the tiers of a tiered (LSM) index"
+    )
+    compact.add_argument("index", help="index built with --variant tiered")
+    compact.add_argument(
+        "--steps",
+        type=int,
+        default=None,
+        help="advance the in-flight freeze by STEPS block units instead of a full compaction",
+    )
+    compact.add_argument(
+        "--no-merge",
+        action="store_true",
+        help="freeze all tiers but keep them separate (skip the merge rebuild)",
+    )
+    compact.add_argument("--save", action="store_true", help="write the index back to disk")
+    add_common(compact)
+    compact.set_defaults(handler=_cmd_compact)
 
     save_cmd = subparsers.add_parser(
         "save", help="re-save an index, optionally as an RWT2 frozen image"

@@ -12,6 +12,12 @@ All variants share the query interface of
 :class:`~repro.core.interface.IndexedStringSequence` (``access``, ``rank``,
 ``select``, ``rank_prefix``, ``select_prefix``) and the Section 5 range
 analytics implemented in :mod:`repro.core.range_queries`.
+
+Every variant is also a :class:`~repro.core.tiers.Tier` -- a stage in the
+explicit freeze lifecycle (mutable -> frozen -> succinct -> image) hosted in
+:mod:`repro.core.tiers`, which composes them into the LSM-style
+:class:`~repro.core.tiers.TieredWaveletTrie` (one mutable tail tier plus
+frozen RRR tiers with budgeted background compaction).
 """
 
 from repro.core.append_only import AppendOnlyWaveletTrie
@@ -20,12 +26,17 @@ from repro.core.interface import IndexedStringSequence
 from repro.core.node import WaveletTrieNode
 from repro.core.static import WaveletTrie
 from repro.core.succinct_static import SuccinctWaveletTrie
+from repro.core.tiers import Tier, TieredWaveletTrie, TrieFreezer, freeze_trie
 
 __all__ = [
     "AppendOnlyWaveletTrie",
     "SuccinctWaveletTrie",
     "DynamicWaveletTrie",
     "IndexedStringSequence",
+    "Tier",
+    "TieredWaveletTrie",
+    "TrieFreezer",
     "WaveletTrie",
     "WaveletTrieNode",
+    "freeze_trie",
 ]

@@ -88,17 +88,33 @@ class SuccinctWaveletTrie(IndexedStringSequence):
     ) -> None:
         self._codec = codec or default_codec()
         values = list(values)
-        self._size = len(values)
-        if not values:
+        # Build the pointer version once, then flatten it.
+        self._init_from_pointer(WaveletTrie(values, codec=self._codec, bitvector="rrr"))
+
+    @classmethod
+    def from_pointer_trie(cls, trie: WaveletTrie) -> "SuccinctWaveletTrie":
+        """Flatten an existing pointer-based static trie (the frozen -> succinct
+        tier transition; see :mod:`repro.core.tiers`).
+
+        Non-RRR node bitvectors are re-encoded to RRR so the result always
+        matches the Theorem 3.7 layout.
+        """
+        self = cls.__new__(cls)
+        self._codec = trie.codec
+        self._init_from_pointer(trie)
+        return self
+
+    def _init_from_pointer(self, pointer_trie: WaveletTrie) -> None:
+        """Flatten ``pointer_trie`` in preorder (children visited 0 then 1,
+        matching the DFUDS child order) into the succinct components."""
+        self._size = len(pointer_trie)
+        if pointer_trie.root is None:
             self._dfuds = None
             self._labels = None
             self._label_offsets = None
             self._is_internal = None
             self._bitvectors: List[RRRBitVector] = []
             return
-        # Build the pointer version once, then flatten it in preorder
-        # (children visited 0 then 1, matching the DFUDS child order).
-        pointer_trie = WaveletTrie(values, codec=self._codec, bitvector="rrr")
         degrees: List[int] = []
         labels: List[Bits] = []
         internal_flags: List[int] = []
@@ -113,7 +129,12 @@ class SuccinctWaveletTrie(IndexedStringSequence):
             else:
                 degrees.append(2)
                 internal_flags.append(1)
-                bitvectors.append(node.bitvector)
+                vector = node.bitvector
+                if not isinstance(vector, RRRBitVector):
+                    vector = RRRBitVector(
+                        Bits.from_iterable(vector.iter_range(0, len(vector)))
+                    )
+                bitvectors.append(vector)
                 stack.append(node.children[1])
                 stack.append(node.children[0])
         self._dfuds = DFUDSTree.from_degrees(degrees)
@@ -388,6 +409,22 @@ class SuccinctWaveletTrie(IndexedStringSequence):
     # ------------------------------------------------------------------
     # Updates are rejected
     # ------------------------------------------------------------------
+    # ------------------------------------------------------------------
+    # Tier protocol (see repro.core.tiers)
+    # ------------------------------------------------------------------
+    @property
+    def tier_state(self) -> str:
+        """Always ``"frozen"``: the succinct trie is immutable."""
+        return "frozen"
+
+    def freeze_step(self, budget: int = 64) -> bool:
+        """No freeze work on an already-frozen tier; returns True."""
+        return True
+
+    def to_succinct(self) -> "SuccinctWaveletTrie":
+        """Already succinct: returns ``self``."""
+        return self
+
     def append(self, value: Any) -> None:
         raise ImmutableStructureError("SuccinctWaveletTrie is static")
 

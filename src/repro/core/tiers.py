@@ -1,0 +1,968 @@
+"""The tier lifecycle: one home for every trie flavour's freeze machinery.
+
+The paper ships the Wavelet Trie in three flavours -- static (Theorem 3.7),
+append-only (Theorem 4.3) and fully dynamic (Theorem 4.4) -- and a serving
+system needs all three *at once*: a small mutable tier absorbing writes in
+front of immutable compressed tiers, LSM-style.  This module makes the
+transitions between flavours first-class:
+
+``Tier``
+    The protocol every trie flavour satisfies: a ``tier_state``
+    (``"mutable"`` or ``"frozen"``), budgeted freeze work via
+    ``freeze_step``, a ``to_succinct`` conversion, and ``size_in_bits``
+    accounting.
+
+``TrieFreezer`` / ``freeze_trie``
+    The dynamic/append-only -> static RRR transition.  ``TrieFreezer``
+    de-amortises it with the same budgeted pattern as
+    :class:`~repro.bitvector.rrr.IncrementalRRRBuilder` (Lemma 4.7): each
+    :meth:`~TrieFreezer.step` call performs a bounded number of block-sized
+    units of extraction/encoding work, so a caller can spread a whole-trie
+    freeze over many writes with no stop-the-world pass.  ``freeze_trie`` is
+    the one-shot form; :mod:`repro.storage` routes all trie freezing through
+    it (storage keeps only serialization).
+
+``TieredWaveletTrie``
+    The LSM composition built on top: one mutable dynamic tail tier plus an
+    ordered list of immutable static RRR tiers.  Writes land in the tail;
+    when it reaches ``active_capacity`` it is sealed and a ``TrieFreezer``
+    drains it incrementally (``compact_budget`` units per subsequent write).
+    Queries merge across tiers with cumulative-count offset arrays: ``rank``
+    sums per-tier ranks at clamped positions, ``select`` binary-searches the
+    tier owning the requested occurrence, and every ``*_many`` batch variant
+    runs one per-tier batch walk.  The logical sequence is the concatenation
+    of the tiers, so positions at or past :attr:`~TieredWaveletTrie.mutable_start`
+    are insert/delete-able and older positions are immutable until an
+    explicit :meth:`~TieredWaveletTrie.compact`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
+
+from repro.bits import kernel
+from repro.bits.bitstring import Bits
+from repro.bitvector.base import (
+    normalize_batch,
+    validate_delete_positions,
+    validate_select_indexes,
+)
+from repro.bitvector.rrr import (
+    _DEFAULT_BLOCK,
+    _DEFAULT_SAMPLE,
+    IncrementalRRRBuilder,
+    RRRBitVector,
+)
+from repro.core.interface import (
+    IndexedStringSequence,
+    check_select_prefix_index,
+    validate_select_prefix_indexes,
+)
+from repro.core.node import WaveletTrieNode
+from repro.core.static import WaveletTrie
+from repro.core.succinct_static import SuccinctWaveletTrie
+from repro.exceptions import (
+    InvalidOperationError,
+    OutOfBoundsError,
+    ValueNotFoundError,
+)
+from repro.tries.binarize import StringCodec, default_codec
+
+__all__ = ["Tier", "TieredWaveletTrie", "TrieFreezer", "freeze_trie"]
+
+# One extraction unit: 4096 bits = exactly 64 packed words, so consecutive
+# full chunks concatenate on word boundaries.
+_EXTRACT_CHUNK_BITS = 64 * 64
+
+# Seed rotation shared with DynamicWaveletTrie._new_constant_bitvector.
+_SEED_MULTIPLIER = 6364136223846793005
+
+
+@runtime_checkable
+class Tier(Protocol):
+    """The lifecycle contract every Wavelet Trie flavour satisfies.
+
+    A tier is a stage in the life of an indexed sequence:
+
+    * ``tier_state`` -- ``"mutable"`` while the structure accepts updates
+      (dynamic, append-only, tiered), ``"frozen"`` once it is immutable
+      (static pointer trie, succinct trie).
+    * ``freeze_step(budget)`` -- perform up to ``budget`` block-sized units
+      of work toward the frozen form; returns True once no freeze work
+      remains.  Frozen tiers return True immediately; mutable tiers drive a
+      :class:`TrieFreezer` (growable tries) or their in-flight compaction
+      (:class:`TieredWaveletTrie`).
+    * ``to_succinct()`` -- the pointerless succinct form of the current
+      content (:class:`~repro.core.succinct_static.SuccinctWaveletTrie`).
+    * ``size_in_bits()`` -- the measured memory footprint, the accounting
+      side of the lifecycle.
+
+    The protocol is structural (``isinstance`` checks attribute presence via
+    ``runtime_checkable``); no flavour inherits from it.
+    """
+
+    @property
+    def tier_state(self) -> str: ...
+
+    def freeze_step(self, budget: int = 64) -> bool: ...
+
+    def to_succinct(self) -> "SuccinctWaveletTrie": ...
+
+    def size_in_bits(self) -> int: ...
+
+
+# ----------------------------------------------------------------------
+# Budgeted freezing: growable trie -> static RRR trie
+# ----------------------------------------------------------------------
+class TrieFreezer:
+    """De-amortised snapshot of a growable trie into a static RRR trie.
+
+    Clones the Patricia topology up front (O(nodes), no payload work), then
+    per internal node runs two budgeted phases: *extraction* pulls the live
+    bitvector's content into kernel packed words in word-aligned chunks, and
+    *encoding* feeds those words through an
+    :class:`~repro.bitvector.rrr.IncrementalRRRBuilder`.  One unit of budget
+    is one RRR block (``block_size`` bits) of either phase, so
+    :meth:`step`'s worst-case cost is O(budget) blocks regardless of trie
+    size -- the Lemma 4.7 de-amortisation applied to a whole trie.
+
+    The source trie must not change length while a freeze is in flight;
+    :meth:`step` raises :class:`~repro.exceptions.InvalidOperationError` if
+    it does (an equal-length mutation is undetected -- callers own the
+    sealing discipline, as :class:`TieredWaveletTrie` does).
+
+    With the default ``block_size``/``sample_rate`` the result is
+    structurally identical to building ``RRRBitVector`` over each node's
+    content in one shot: classes and offsets are deterministic functions of
+    the payload.
+    """
+
+    def __init__(
+        self,
+        trie,
+        block_size: int = _DEFAULT_BLOCK,
+        sample_rate: int = _DEFAULT_SAMPLE,
+    ) -> None:
+        self._source = trie
+        self._expected_size = len(trie)
+        self._block_size = block_size
+        self._sample_rate = sample_rate
+
+        frozen = WaveletTrie([], codec=trie.codec, bitvector="rrr")
+        frozen._size = len(trie)
+        pairs: List[Tuple[WaveletTrieNode, WaveletTrieNode]] = []
+        root = trie.root
+        if root is not None:
+            root_clone = WaveletTrieNode(root.label)
+            stack = [(root, root_clone)]
+            while stack:
+                original, copy = stack.pop()
+                if original.is_leaf:
+                    continue
+                pairs.append((original, copy))
+                for bit in (0, 1):
+                    child = original.children[bit]
+                    child_copy = WaveletTrieNode(child.label)
+                    copy.attach(bit, child_copy)
+                    stack.append((child, child_copy))
+            frozen._root = root_clone
+        self._frozen = frozen
+        self._pairs = pairs
+        self._index = 0
+        # Extraction state for the node at self._index.
+        self._extract_cursor = 0
+        self._words: List[int] = []
+        self._ones = 0
+        self._builder: Optional[IncrementalRRRBuilder] = None
+
+    @property
+    def done(self) -> bool:
+        """True once every internal node's bitvector has been encoded."""
+        return self._index >= len(self._pairs)
+
+    @property
+    def pending_bits(self) -> int:
+        """Payload bits still to extract or encode (a progress gauge)."""
+        if self.done:
+            return 0
+        pending = sum(
+            len(source.bitvector) for source, _ in self._pairs[self._index + 1 :]
+        )
+        if self._builder is not None:
+            pending += self._builder.pending_bits
+        else:
+            current = self._pairs[self._index][0].bitvector
+            pending += len(current) - self._extract_cursor
+        return pending
+
+    def _check_source(self) -> None:
+        if len(self._source) != self._expected_size:
+            raise InvalidOperationError(
+                "trie mutated while a freeze was in flight: length "
+                f"{len(self._source)} != sealed length {self._expected_size}"
+            )
+
+    def step(self, budget: int = 64) -> int:
+        """Perform up to ``budget`` block-sized units of freeze work.
+
+        Returns the units actually done (0 once :attr:`done`).  Each unit is
+        one RRR block of extraction or encoding, so a call costs O(budget)
+        independent of the trie size.
+        """
+        if budget < 1:
+            raise ValueError("freeze budget must be a positive block count")
+        self._check_source()
+        done = 0
+        while done < budget and not self.done:
+            if self._builder is not None:
+                done += self._builder.encode_blocks(budget - done)
+                if self._builder.done:
+                    self._pairs[self._index][1].bitvector = self._builder.finish()
+                    self._builder = None
+                    self._index += 1
+                continue
+            source = self._pairs[self._index][0].bitvector
+            length = len(source)
+            start = self._extract_cursor
+            stop = min(start + _EXTRACT_CHUNK_BITS, length)
+            width = stop - start
+            if width:
+                value = 0
+                iter_runs = getattr(source, "iter_runs", None)
+                if iter_runs is not None:
+                    # Run-aware fast path (DynamicBitVector): O(runs) big-int
+                    # splicing instead of a per-bit python loop.
+                    for bit, run in iter_runs(start, stop):
+                        value <<= run
+                        if bit:
+                            value |= (1 << run) - 1
+                else:
+                    chunk = Bits.from_iterable(source.iter_range(start, stop))
+                    value = chunk.value
+                self._words.extend(kernel.pack_value(value, width))
+                self._ones += value.bit_count()
+            self._extract_cursor = stop
+            done += max(1, width // self._block_size)
+            if stop >= length:
+                self._builder = IncrementalRRRBuilder(
+                    self._words,
+                    length,
+                    self._ones,
+                    block_size=self._block_size,
+                    sample_rate=self._sample_rate,
+                )
+                self._words = []
+                self._ones = 0
+                self._extract_cursor = 0
+        return done
+
+    def finish(self) -> WaveletTrie:
+        """Drain all remaining work and return the frozen static trie."""
+        while not self.done:
+            self.step(1024)
+        return self._frozen
+
+
+def freeze_trie(trie) -> Any:
+    """The frozen snapshot of any trie tier (the one-shot freeze).
+
+    Static and succinct tries pass through unchanged; a
+    :class:`TieredWaveletTrie` returns its
+    :meth:`~TieredWaveletTrie.frozen_snapshot`; growable tries (dynamic,
+    append-only) are encoded by a :class:`TrieFreezer` into a static RRR
+    trie.  :mod:`repro.storage` routes every trie freeze through this
+    function so the lifecycle logic lives here, not in the serializers.
+    """
+    if isinstance(trie, (WaveletTrie, SuccinctWaveletTrie)):
+        return trie
+    if isinstance(trie, TieredWaveletTrie):
+        return trie.frozen_snapshot()
+    if hasattr(trie, "root") and hasattr(trie, "codec"):
+        return TrieFreezer(trie).finish()
+    raise InvalidOperationError(
+        f"cannot freeze {type(trie).__name__}: not a Wavelet Trie tier"
+    )
+
+
+# ----------------------------------------------------------------------
+# The LSM composition
+# ----------------------------------------------------------------------
+class TieredWaveletTrie(IndexedStringSequence):
+    """LSM-style Wavelet Trie: a mutable dynamic tail over frozen RRR tiers.
+
+    The logical sequence is the concatenation ``frozen[0] ++ ... ++
+    frozen[k-1] ++ sealing ++ active``: an ordered list of immutable static
+    RRR tiers, at most one *sealing* tier whose freeze is in flight, and the
+    mutable :class:`~repro.core.dynamic.DynamicWaveletTrie` tail absorbing
+    writes.  ``append`` always lands in the tail; ``insert``/``delete`` are
+    allowed at positions >= :attr:`mutable_start` (the LSM retention rule --
+    older elements are immutable until :meth:`compact`, mirroring how the
+    append-only flavour restricts inserts to the end).
+
+    When the tail reaches ``active_capacity`` elements it is sealed: queries
+    keep hitting the sealed dynamic trie while a :class:`TrieFreezer` drains
+    it at ``compact_budget`` block units per subsequent write (plus explicit
+    :meth:`compact_step` calls), so no single write pays a stop-the-world
+    freeze.  Once drained, the static result joins the frozen list and the
+    sealed trie is dropped.
+
+    Queries merge across tiers with cumulative offsets: ``access`` binary-
+    searches the owning tier, ``rank(v, p)`` sums per-tier ranks at clamped
+    local positions, ``select(v, i)`` binary-searches the cumulative
+    per-tier occurrence counts for the owning tier, and the ``*_many``
+    variants bucket their whole batch per tier and run one per-tier batch
+    walk each.
+    """
+
+    def __init__(
+        self,
+        values: Iterable[Any] = (),
+        codec: Optional[StringCodec] = None,
+        active_capacity: int = 65536,
+        compact_budget: int = 32,
+        seed: int = 0x5EED,
+    ) -> None:
+        if active_capacity < 1:
+            raise ValueError("active_capacity must be a positive element count")
+        if compact_budget < 1:
+            raise ValueError("compact_budget must be a positive block count")
+        self._codec = codec or default_codec()
+        self.active_capacity = active_capacity
+        self.compact_budget = compact_budget
+        self._seed = seed
+        self._frozen: List[WaveletTrie] = []
+        self._sealing: Optional[Tuple[Any, TrieFreezer]] = None
+        self._active = self._new_active()
+        self._size = 0
+        values = list(values)
+        if values:
+            self.extend(values)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _new_active(self):
+        from repro.core.dynamic import DynamicWaveletTrie
+
+        self._seed = (self._seed * _SEED_MULTIPLIER + 1) % (1 << 63)
+        return DynamicWaveletTrie(codec=self._codec, seed=self._seed)
+
+    @classmethod
+    def _from_parts(
+        cls,
+        frozen: Sequence[WaveletTrie],
+        active,
+        codec: StringCodec,
+        active_capacity: int,
+        compact_budget: int,
+        seed: int,
+    ) -> "TieredWaveletTrie":
+        """Assemble an instance from already-built tiers (loaders only)."""
+        self = cls.__new__(cls)
+        self._codec = codec
+        self.active_capacity = active_capacity
+        self.compact_budget = compact_budget
+        self._seed = seed
+        self._frozen = [tier for tier in frozen if len(tier)]
+        self._sealing = None
+        self._active = active if active is not None else self._new_active()
+        self._size = sum(len(tier) for tier in self._frozen) + len(self._active)
+        return self
+
+    # ------------------------------------------------------------------
+    # Tier bookkeeping
+    # ------------------------------------------------------------------
+    def _tiers(self) -> List[Any]:
+        tiers: List[Any] = list(self._frozen)
+        if self._sealing is not None:
+            tiers.append(self._sealing[0])
+        tiers.append(self._active)
+        return tiers
+
+    def _tier_views(self) -> Tuple[List[Any], List[int]]:
+        """The live tiers plus their cumulative start offsets (len+1 long)."""
+        tiers = self._tiers()
+        offsets = [0]
+        for tier in tiers:
+            offsets.append(offsets[-1] + len(tier))
+        return tiers, offsets
+
+    @property
+    def codec(self) -> StringCodec:
+        """The binarisation codec shared by every tier."""
+        return self._codec
+
+    @property
+    def mutable_start(self) -> int:
+        """First position inside the mutable tail tier."""
+        return self._size - len(self._active)
+
+    @property
+    def tier_count(self) -> int:
+        """Number of live tiers (frozen + sealing + the mutable tail)."""
+        return len(self._frozen) + (1 if self._sealing is not None else 0) + 1
+
+    def tier_info(self) -> List[Dict[str, Any]]:
+        """Per-tier description, oldest first: kind, state, elements, bits."""
+        rows: List[Dict[str, Any]] = []
+        for tier in self._frozen:
+            rows.append(
+                {
+                    "kind": type(tier).__name__,
+                    "state": "frozen",
+                    "elements": len(tier),
+                    "bits": tier.size_in_bits(),
+                }
+            )
+        if self._sealing is not None:
+            sealed, freezer = self._sealing
+            rows.append(
+                {
+                    "kind": type(sealed).__name__,
+                    "state": "sealing",
+                    "elements": len(sealed),
+                    "bits": sealed.size_in_bits(),
+                    "pending_freeze_bits": freezer.pending_bits,
+                }
+            )
+        rows.append(
+            {
+                "kind": type(self._active).__name__,
+                "state": "mutable",
+                "elements": len(self._active),
+                "bits": self._active.size_in_bits(),
+            }
+        )
+        return rows
+
+    # ------------------------------------------------------------------
+    # Sealing and compaction
+    # ------------------------------------------------------------------
+    def _maybe_seal(self) -> None:
+        if self._sealing is None and len(self._active) >= self.active_capacity:
+            sealed = self._active
+            self._sealing = (sealed, TrieFreezer(sealed))
+            self._active = self._new_active()
+
+    def _advance(self, budget: int) -> int:
+        if self._sealing is None or budget < 1:
+            return 0
+        _, freezer = self._sealing
+        done = freezer.step(budget)
+        if freezer.done:
+            self._frozen.append(freezer.finish())
+            self._sealing = None
+        return done
+
+    def _after_write(self, written: int) -> None:
+        self._maybe_seal()
+        self._advance(self.compact_budget * written)
+
+    def compact_step(self, budget: Optional[int] = None) -> int:
+        """Advance the in-flight freeze by ``budget`` block units.
+
+        Seals the tail first if it is at capacity; defaults to
+        ``compact_budget`` units.  Returns the units of work done (0 when no
+        freeze is pending) -- the hook for driving compaction from an event
+        loop instead of piggybacking on writes.
+        """
+        self._maybe_seal()
+        return self._advance(self.compact_budget if budget is None else budget)
+
+    def compact(self, merge: bool = True) -> None:
+        """Drain all pending freeze work; optionally merge to a single tier.
+
+        Finishes the in-flight seal, freezes the current tail (leaving a
+        fresh empty one), and with ``merge=True`` rebuilds every frozen tier
+        into one static RRR trie -- after which the whole sequence is
+        mutable-window-free except for the new empty tail.  This is the
+        explicit stop-the-world operation; the budgeted path is
+        :meth:`compact_step`.
+        """
+        if self._sealing is not None:
+            _, freezer = self._sealing
+            self._frozen.append(freezer.finish())
+            self._sealing = None
+        if len(self._active):
+            self._frozen.append(freeze_trie(self._active))
+            self._active = self._new_active()
+        if merge and len(self._frozen) > 1:
+            combined: List[Any] = []
+            for tier in self._frozen:
+                combined.extend(tier.iter_range(0, len(tier)))
+            self._frozen = [WaveletTrie(combined, codec=self._codec)]
+
+    def frozen_snapshot(self) -> "TieredWaveletTrie":
+        """A fully frozen copy: every tier static, an empty mutable tail.
+
+        Non-mutating: already-frozen tiers are shared with the copy; the
+        sealing and active tiers are freshly frozen.  This is what
+        :func:`freeze_trie` (and hence RWT2 image persistence) captures.
+        """
+        frozen = list(self._frozen)
+        if self._sealing is not None:
+            frozen.append(TrieFreezer(self._sealing[0]).finish())
+        if len(self._active):
+            frozen.append(TrieFreezer(self._active).finish())
+        return TieredWaveletTrie._from_parts(
+            frozen,
+            None,
+            self._codec,
+            self.active_capacity,
+            self.compact_budget,
+            self._seed,
+        )
+
+    def to_static(self) -> WaveletTrie:
+        """One static RRR trie over the full logical sequence (non-mutating)."""
+        tiers = self._tiers()
+        if len(tiers) == 1:
+            return freeze_trie(tiers[0])
+        combined: List[Any] = []
+        for tier in tiers:
+            combined.extend(tier.iter_range(0, len(tier)))
+        return WaveletTrie(combined, codec=self._codec)
+
+    # ------------------------------------------------------------------
+    # Tier protocol
+    # ------------------------------------------------------------------
+    @property
+    def tier_state(self) -> str:
+        """Always ``"mutable"``: the tail tier accepts writes."""
+        return "mutable"
+
+    def freeze_step(self, budget: int = 64) -> bool:
+        """Advance pending compaction; True when no freeze work remains."""
+        self.compact_step(budget)
+        return self._sealing is None
+
+    def to_succinct(self) -> SuccinctWaveletTrie:
+        """The pointerless succinct form of the full logical sequence."""
+        return self.to_static().to_succinct()
+
+    def size_in_bits(self) -> int:
+        """Measured footprint: the sum over live tiers."""
+        return sum(tier.size_in_bits() for tier in self._tiers())
+
+    # ------------------------------------------------------------------
+    # Introspection shared with the pointer tries (CLI info & reports)
+    # ------------------------------------------------------------------
+    def nodes(self) -> Iterator[WaveletTrieNode]:
+        """All nodes of all live tiers, tier order then preorder."""
+        for tier in self._tiers():
+            yield from tier.nodes()
+
+    def node_count(self) -> int:
+        """Total node count across live tiers."""
+        return sum(tier.node_count() for tier in self._tiers())
+
+    def distinct_count(self) -> int:
+        """Number of distinct values in the logical sequence (cross-tier)."""
+        values = set()
+        for tier in self._tiers():
+            if len(tier):
+                values.update(tier.distinct_values())
+        return len(values)
+
+    def distinct_values(self) -> List[Any]:
+        """Sorted distinct values of the logical sequence."""
+        values = set()
+        for tier in self._tiers():
+            if len(tier):
+                values.update(tier.distinct_values())
+        return sorted(values)
+
+    def average_height(self) -> float:
+        """Mean leaf depth over all elements (exact: per-tier weighted mean)."""
+        if not self._size:
+            return 0.0
+        total = 0.0
+        for tier in self._tiers():
+            if len(tier):
+                total += tier.average_height() * len(tier)
+        return total / self._size
+
+    # ------------------------------------------------------------------
+    # Scalar queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def _check_position(self, pos: int) -> None:
+        if not 0 <= pos < self._size:
+            raise OutOfBoundsError(
+                f"position {pos} out of range for length {self._size}"
+            )
+
+    def _check_rank_pos(self, pos: int) -> None:
+        if not 0 <= pos <= self._size:
+            raise OutOfBoundsError(
+                f"rank position {pos} out of range for length {self._size}"
+            )
+
+    def access(self, pos: int) -> Any:
+        """Value at position ``pos`` (binary search for the owning tier)."""
+        self._check_position(pos)
+        tiers, offsets = self._tier_views()
+        index = bisect_right(offsets, pos) - 1
+        return tiers[index].access(pos - offsets[index])
+
+    def rank(self, value: Any, pos: int) -> int:
+        """Occurrences of ``value`` in ``[0, pos)``: per-tier ranks summed."""
+        self._check_rank_pos(pos)
+        tiers, offsets = self._tier_views()
+        total = 0
+        for tier, offset in zip(tiers, offsets):
+            if offset >= pos:
+                break
+            local = min(pos - offset, len(tier))
+            if local > 0:
+                total += tier.rank(value, local)
+        return total
+
+    def _occurrence_cumsums(self, count_fn) -> Tuple[List[Any], List[int], List[int], int]:
+        """Tiers, offsets and cumulative per-tier occurrence counts."""
+        tiers, offsets = self._tier_views()
+        cumulative = [0]
+        for tier in tiers:
+            cumulative.append(cumulative[-1] + (count_fn(tier) if len(tier) else 0))
+        return tiers, offsets, cumulative, cumulative[-1]
+
+    def select(self, value: Any, idx: int) -> int:
+        """Position of the ``idx``-th occurrence (binary search over tiers)."""
+        if idx < 0:
+            raise OutOfBoundsError("select index must be non-negative")
+        tiers, offsets, cumulative, total = self._occurrence_cumsums(
+            lambda tier: tier.count(value)
+        )
+        if total == 0:
+            raise ValueNotFoundError(
+                f"value {value!r} does not occur in the sequence"
+            )
+        if idx >= total:
+            raise OutOfBoundsError(
+                f"select index {idx} out of range: only {total} occurrences"
+            )
+        index = bisect_right(cumulative, idx) - 1
+        return offsets[index] + tiers[index].select(value, idx - cumulative[index])
+
+    def rank_prefix(self, prefix: Any, pos: int) -> int:
+        """Prefix occurrences in ``[0, pos)``: per-tier prefix ranks summed."""
+        self._check_rank_pos(pos)
+        tiers, offsets = self._tier_views()
+        total = 0
+        for tier, offset in zip(tiers, offsets):
+            if offset >= pos:
+                break
+            local = min(pos - offset, len(tier))
+            if local > 0:
+                total += tier.rank_prefix(prefix, local)
+        return total
+
+    def select_prefix(self, prefix: Any, idx: int) -> int:
+        """Position of the ``idx``-th element carrying ``prefix``."""
+        tiers, offsets, cumulative, total = self._occurrence_cumsums(
+            lambda tier: tier.count_prefix(prefix)
+        )
+        if total == 0:
+            raise ValueNotFoundError(f"no element has prefix {prefix!r}")
+        check_select_prefix_index(prefix, idx, total)
+        index = bisect_right(cumulative, idx) - 1
+        return offsets[index] + tiers[index].select_prefix(
+            prefix, idx - cumulative[index]
+        )
+
+    # ------------------------------------------------------------------
+    # Batch queries: one per-tier batch walk each
+    # ------------------------------------------------------------------
+    def access_many(self, positions: Sequence[int]) -> List[Any]:
+        """Values at each position, amortised via per-tier batch walks.
+
+        Positions are bucketed by owning tier (one binary search each), each
+        tier answers its bucket with a single ``access_many`` walk, and the
+        results scatter back into input order.
+        """
+        positions = normalize_batch(positions)
+        out: List[Any] = [None] * len(positions)
+        if not len(positions):
+            return out
+        tiers, offsets = self._tier_views()
+        buckets: Dict[int, Tuple[List[int], List[int]]] = {}
+        for slot, pos in enumerate(positions):
+            pos = int(pos)
+            self._check_position(pos)
+            index = bisect_right(offsets, pos) - 1
+            slots, locals_ = buckets.setdefault(index, ([], []))
+            slots.append(slot)
+            locals_.append(pos - offsets[index])
+        for index, (slots, locals_) in buckets.items():
+            for slot, value in zip(slots, tiers[index].access_many(locals_)):
+                out[slot] = value
+        return out
+
+    def rank_many(self, value: Any, positions: Sequence[int]) -> List[int]:
+        """Rank at each position, amortised: one batch walk per tier.
+
+        Each tier ranks the whole batch at positions clamped to its local
+        range; the per-position results sum across tiers.
+        """
+        positions = normalize_batch(positions)
+        if not len(positions):
+            return []
+        for pos in positions:
+            self._check_rank_pos(int(pos))
+        totals = [0] * len(positions)
+        tiers, offsets = self._tier_views()
+        for tier, offset in zip(tiers, offsets):
+            length = len(tier)
+            if length == 0:
+                continue
+            locals_ = [min(max(int(pos) - offset, 0), length) for pos in positions]
+            if max(locals_) == 0:
+                continue
+            for slot, local_rank in enumerate(tier.rank_many(value, locals_)):
+                totals[slot] += local_rank
+        return totals
+
+    def select_many(self, value: Any, indexes: Sequence[int]) -> List[int]:
+        """Positions of the requested occurrences, amortised per tier.
+
+        Counts each tier's occurrences once, buckets the index batch by
+        owning tier against the cumulative counts, and runs one
+        ``select_many`` per touched tier.
+        """
+        indexes = normalize_batch(indexes)
+        if not len(indexes):
+            return []
+        tiers, offsets, cumulative, total = self._occurrence_cumsums(
+            lambda tier: tier.count(value)
+        )
+        if total == 0:
+            raise ValueNotFoundError(
+                f"value {value!r} does not occur in the sequence"
+            )
+        indexes = validate_select_indexes(indexes, total, repr(value))
+        return self._select_scatter(
+            tiers, offsets, cumulative, indexes,
+            lambda tier, local: tier.select_many(value, local),
+        )
+
+    def rank_prefix_many(self, prefix: Any, positions: Sequence[int]) -> List[int]:
+        """Prefix rank at each position, amortised: one batch walk per tier."""
+        positions = normalize_batch(positions)
+        if not len(positions):
+            return []
+        for pos in positions:
+            self._check_rank_pos(int(pos))
+        totals = [0] * len(positions)
+        tiers, offsets = self._tier_views()
+        for tier, offset in zip(tiers, offsets):
+            length = len(tier)
+            if length == 0:
+                continue
+            locals_ = [min(max(int(pos) - offset, 0), length) for pos in positions]
+            if max(locals_) == 0:
+                continue
+            for slot, local_rank in enumerate(
+                tier.rank_prefix_many(prefix, locals_)
+            ):
+                totals[slot] += local_rank
+        return totals
+
+    def select_prefix_many(self, prefix: Any, indexes: Sequence[int]) -> List[int]:
+        """Positions of the requested prefix matches, amortised per tier."""
+        indexes = normalize_batch(indexes)
+        if not len(indexes):
+            return []
+        tiers, offsets, cumulative, total = self._occurrence_cumsums(
+            lambda tier: tier.count_prefix(prefix)
+        )
+        if total == 0:
+            raise ValueNotFoundError(f"no element has prefix {prefix!r}")
+        indexes = validate_select_prefix_indexes(indexes, total, prefix)
+        return self._select_scatter(
+            tiers, offsets, cumulative, indexes,
+            lambda tier, local: tier.select_prefix_many(prefix, local),
+        )
+
+    def _select_scatter(self, tiers, offsets, cumulative, indexes, select_fn):
+        """Bucket validated select indexes per tier, batch-select, scatter."""
+        out = [0] * len(indexes)
+        buckets: Dict[int, Tuple[List[int], List[int]]] = {}
+        for slot, idx in enumerate(indexes):
+            index = bisect_right(cumulative, idx) - 1
+            slots, locals_ = buckets.setdefault(index, ([], []))
+            slots.append(slot)
+            locals_.append(idx - cumulative[index])
+        for index, (slots, locals_) in buckets.items():
+            positions = select_fn(tiers[index], locals_)
+            offset = offsets[index]
+            for slot, position in zip(slots, positions):
+                out[slot] = offset + position
+        return out
+
+    # ------------------------------------------------------------------
+    # Range analytics: per-tier delegation + cross-tier merge
+    # ------------------------------------------------------------------
+    def _check_range(self, start: int, stop: int) -> None:
+        if not (0 <= start <= stop <= self._size):
+            raise OutOfBoundsError(
+                f"range [{start}, {stop}) invalid for sequence of length {self._size}"
+            )
+
+    def _local_ranges(self, start: int, stop: int):
+        """Yield ``(tier, local_start, local_stop)`` covering ``[start, stop)``."""
+        tiers, offsets = self._tier_views()
+        for tier, offset in zip(tiers, offsets):
+            length = len(tier)
+            lo = min(max(start - offset, 0), length)
+            hi = min(max(stop - offset, 0), length)
+            if lo < hi:
+                yield tier, lo, hi
+
+    def iter_range(self, start: int, stop: int) -> Iterator[Any]:
+        """Elements at positions ``[start, stop)``: per-tier sequential scans."""
+        self._check_range(start, stop)
+        for tier, lo, hi in self._local_ranges(start, stop):
+            yield from tier.iter_range(lo, hi)
+
+    def _binarised_key(self, value: Any) -> Tuple[int, ...]:
+        key = self._codec.to_bits(value)
+        return tuple(key[i] for i in range(len(key)))
+
+    def distinct_in_range(
+        self, start: int, stop: int, prefix: Any = None
+    ) -> List[Tuple[Any, int]]:
+        """Distinct values in ``[0-based range)`` with counts, summed across
+        tiers, in trie (lexicographic binarised) order like the static trie."""
+        self._check_range(start, stop)
+        counts: Dict[Any, int] = {}
+        for tier, lo, hi in self._local_ranges(start, stop):
+            for value, count in tier.distinct_in_range(lo, hi, prefix):
+                counts[value] = counts.get(value, 0) + count
+        return sorted(
+            counts.items(), key=lambda item: self._binarised_key(item[0])
+        )
+
+    def count_distinct_in_range(
+        self, start: int, stop: int, prefix: Any = None
+    ) -> int:
+        """Number of distinct values in the range (optionally under a prefix)."""
+        return len(self.distinct_in_range(start, stop, prefix))
+
+    def top_k_in_range(
+        self, start: int, stop: int, k: int, prefix: Any = None
+    ) -> List[Tuple[Any, int]]:
+        """The ``k`` most frequent values in the range, most frequent first;
+        ties break in trie (lexicographic binarised) order."""
+        if k <= 0:
+            return []
+        merged = self.distinct_in_range(start, stop, prefix)
+        ranked = sorted(
+            merged, key=lambda item: (-item[1], self._binarised_key(item[0]))
+        )
+        return ranked[:k]
+
+    def range_count(self, value: Any, start: int, stop: int) -> int:
+        """Occurrences of ``value`` within positions ``[start, stop)``."""
+        self._check_range(start, stop)
+        return self.rank(value, stop) - self.rank(value, start)
+
+    def range_count_prefix(self, prefix: Any, start: int, stop: int) -> int:
+        """Elements with ``prefix`` within positions ``[start, stop)``."""
+        self._check_range(start, stop)
+        return self.rank_prefix(prefix, stop) - self.rank_prefix(prefix, start)
+
+    # ------------------------------------------------------------------
+    # Updates: the mutable tail window
+    # ------------------------------------------------------------------
+    def _check_window(self, pos: int, what: str) -> None:
+        start = self.mutable_start
+        if pos < start:
+            raise InvalidOperationError(
+                f"cannot {what} at position {pos}: positions below "
+                f"{start} live in frozen tiers (TieredWaveletTrie mutates "
+                "only its tail tier; run compact() to rebuild, or use "
+                "DynamicWaveletTrie for full mutability)"
+            )
+
+    def append(self, value: Any) -> None:
+        """Append to the tail tier; advances compaction by the budget."""
+        self._active.append(value)
+        self._size += 1
+        self._after_write(1)
+
+    def extend(self, values: Iterable[Any]) -> None:
+        """Bulk append, chunked so sealing happens on capacity boundaries."""
+        values = list(values)
+        cursor = 0
+        while cursor < len(values):
+            self._maybe_seal()
+            room = self.active_capacity - len(self._active)
+            if room <= 0:
+                # A seal is already in flight: overshoot in bounded chunks.
+                room = self.active_capacity
+            chunk = values[cursor : cursor + room]
+            self._active.extend(chunk)
+            self._size += len(chunk)
+            cursor += len(chunk)
+            self._maybe_seal()
+            self._advance(self.compact_budget * len(chunk))
+
+    def insert(self, value: Any, pos: int) -> None:
+        """Insert inside the mutable tail window (``pos >= mutable_start``)."""
+        if not 0 <= pos <= self._size:
+            raise OutOfBoundsError(
+                f"insert position {pos} out of range for length {self._size}"
+            )
+        self._check_window(pos, "insert")
+        self._active.insert(value, pos - self.mutable_start)
+        self._size += 1
+        self._after_write(1)
+
+    def insert_many(self, values: Sequence[Any], pos: int) -> None:
+        """Bulk insert at one tail-window position, amortised.
+
+        Delegates to the dynamic tier's contiguous-block ``insert_many``
+        (one topology pass + one ``insert_many`` per touched node), then
+        advances compaction by one budget per inserted element.
+        """
+        values = list(values)
+        if not values:
+            return
+        if not 0 <= pos <= self._size:
+            raise OutOfBoundsError(
+                f"insert position {pos} out of range for length {self._size}"
+            )
+        self._check_window(pos, "insert")
+        self._active.insert_many(values, pos - self.mutable_start)
+        self._size += len(values)
+        self._after_write(len(values))
+
+    def delete(self, pos: int) -> Any:
+        """Delete inside the mutable tail window; returns the value."""
+        self._check_position(pos)
+        self._check_window(pos, "delete")
+        value = self._active.delete(pos - self.mutable_start)
+        self._size -= 1
+        self._advance(self.compact_budget)
+        return value
+
+    def delete_many(self, positions: Sequence[int]) -> List[Any]:
+        """Bulk delete inside the tail window, amortised, all-or-nothing.
+
+        Validates the whole batch (bounds, duplicates, window) before any
+        mutation, then delegates to the dynamic tier's batched
+        ``delete_many``; values return in input order.
+        """
+        positions = validate_delete_positions(positions, self._size)
+        if not positions:
+            return []
+        start = self.mutable_start
+        for pos in positions:
+            self._check_window(pos, "delete")
+        values = self._active.delete_many([pos - start for pos in positions])
+        self._size -= len(positions)
+        self._advance(self.compact_budget * len(positions))
+        return values

@@ -3,8 +3,11 @@
 ``CompressedColumn`` wraps one Wavelet Trie and exposes the vocabulary a
 database developer expects: value access, equality and prefix filters
 (returning row positions), counts, distinct values and per-range group-by.
-The column can be *static* (bulk loaded, most compact) or *appendable*
-(rows arrive over time, the log/OLTP case); both support the same reads.
+The column can be *static* (bulk loaded, most compact), *appendable*
+(rows arrive over time, the log/OLTP case) or *tiered* (the LSM composition
+of :mod:`repro.core.tiers`: sustained writes absorbed by a small mutable
+tail with budgeted background compaction into frozen RRR tiers); all
+support the same reads.
 """
 
 from __future__ import annotations
@@ -13,6 +16,7 @@ from typing import Any, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.append_only import AppendOnlyWaveletTrie
 from repro.core.static import WaveletTrie
+from repro.core.tiers import TieredWaveletTrie
 from repro.exceptions import InvalidOperationError
 from repro.tries.binarize import StringCodec
 
@@ -28,12 +32,17 @@ class CompressedColumn:
         values: Iterable[Any] = (),
         appendable: bool = True,
         codec: Optional[StringCodec] = None,
+        tiered: bool = False,
     ) -> None:
         self.name = name
-        self._appendable = appendable
-        if appendable:
+        if tiered:
+            self._appendable = True
+            self._index = TieredWaveletTrie(values, codec=codec)
+        elif appendable:
+            self._appendable = True
             self._index = AppendOnlyWaveletTrie(values, codec=codec)
         else:
+            self._appendable = False
             self._index = WaveletTrie(values, codec=codec)
 
     # ------------------------------------------------------------------
@@ -62,9 +71,13 @@ class CompressedColumn:
         self._index.append(value)
 
     def extend(self, values: Iterable[Any]) -> None:
-        """Append many values."""
-        for value in values:
-            self.append(value)
+        """Append many values (the index's bulk path: one buffered descent
+        per distinct key, and budgeted compaction for tiered columns)."""
+        if not self._appendable:
+            raise InvalidOperationError(
+                f"column {self.name!r} was loaded statically and cannot grow"
+            )
+        self._index.extend(values)
 
     # ------------------------------------------------------------------
     # Reads

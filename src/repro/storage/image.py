@@ -43,14 +43,12 @@ from typing import Any, Dict, List, Tuple, Union
 from repro.bits import kernel
 from repro.core.append_only import AppendOnlyWaveletTrie
 from repro.core.dynamic import DynamicWaveletTrie
-from repro.core.node import WaveletTrieNode
 from repro.core.static import WaveletTrie
 from repro.core.succinct_static import SuccinctWaveletTrie
-from repro.bitvector.rrr import RRRBitVector
+from repro.core.tiers import TieredWaveletTrie, freeze_trie
 from repro.db.column import CompressedColumn
 from repro.db.table import ColumnStore
 from repro.exceptions import SerializationError
-from repro.storage.serializers import _bitvector_content
 from repro.tries.binarize import (
     BytesCodec,
     FixedWidthIntCodec,
@@ -311,42 +309,19 @@ def _codec_from_meta(meta: dict) -> StringCodec:
 
 
 # ----------------------------------------------------------------------
-# Freezing: convert appendable/dynamic objects to their static snapshot
+# Freezing: convert appendable/dynamic objects to their static snapshot.
+# The trie-level lifecycle lives in repro.core.tiers (TrieFreezer /
+# freeze_trie); this layer only dispatches the serialisable object kinds
+# and keeps the column/store wrappers.
 # ----------------------------------------------------------------------
-def _freeze_trie(trie) -> WaveletTrie:
-    """Static RRR snapshot of an append-only/dynamic trie (topology copy)."""
-    frozen = WaveletTrie([], codec=trie.codec, bitvector="rrr")
-    frozen._size = len(trie)
-    root = trie.root
-    if root is None:
-        return frozen
-
-    def clone(node):
-        if node.is_leaf:
-            return WaveletTrieNode(node.label)
-        return WaveletTrieNode(
-            node.label, RRRBitVector(_bitvector_content(node.bitvector))
-        )
-
-    root_clone = clone(root)
-    stack = [(root, root_clone)]
-    while stack:
-        original, copy = stack.pop()
-        if original.is_leaf:
-            continue
-        for bit in (0, 1):
-            child = original.children[bit]
-            child_copy = clone(child)
-            copy.attach(bit, child_copy)
-            stack.append((child, child_copy))
-    frozen._root = root_clone
-    return frozen
-
-
 def _freeze_column(column: CompressedColumn) -> CompressedColumn:
     index = column.index
-    if isinstance(index, (AppendOnlyWaveletTrie, DynamicWaveletTrie)):
-        index = _freeze_trie(index)
+    if isinstance(index, TieredWaveletTrie):
+        # Columns flatten to a single static trie (per-tier layout is the
+        # trie-level "tiered_trie" image type, not the column wrapper).
+        index = index.to_static()
+    elif isinstance(index, (AppendOnlyWaveletTrie, DynamicWaveletTrie)):
+        index = freeze_trie(index)
     frozen = CompressedColumn(column.name, appendable=False)
     frozen._index = index
     frozen._appendable = False
@@ -358,12 +333,23 @@ def freeze(obj):
 
     Already-static objects pass through unchanged; append-only and dynamic
     tries (and columns/stores holding them) are converted to static RRR
-    snapshots first.  Loaded images are therefore always read-only.
+    snapshots, and a tiered trie to its fully-frozen
+    :meth:`~repro.core.tiers.TieredWaveletTrie.frozen_snapshot` -- all via
+    :func:`repro.core.tiers.freeze_trie`, where the tier lifecycle lives.
+    Loaded images are therefore always read-only (a loaded tiered trie gets
+    a fresh empty mutable tail, so it keeps absorbing writes).
     """
-    if isinstance(obj, (AppendOnlyWaveletTrie, DynamicWaveletTrie)):
-        return _freeze_trie(obj)
-    if isinstance(obj, (WaveletTrie, SuccinctWaveletTrie)):
-        return obj
+    if isinstance(
+        obj,
+        (
+            AppendOnlyWaveletTrie,
+            DynamicWaveletTrie,
+            TieredWaveletTrie,
+            WaveletTrie,
+            SuccinctWaveletTrie,
+        ),
+    ):
+        return freeze_trie(obj)
     if isinstance(obj, CompressedColumn):
         return _freeze_column(obj)
     if isinstance(obj, ColumnStore):
@@ -405,6 +391,41 @@ def _write_succinct_trie(trie: SuccinctWaveletTrie, sink: ImageWriter) -> dict:
 def _load_succinct_trie(image: FrozenImage) -> SuccinctWaveletTrie:
     return SuccinctWaveletTrie.from_words_image(
         image, "", image.meta["trie"], codec=_codec_from_meta(image.meta["codec"])
+    )
+
+
+def _write_tiered_trie(trie: TieredWaveletTrie, sink: ImageWriter) -> dict:
+    if trie._sealing is not None or len(trie._active):
+        raise SerializationError(
+            "tiered trie must be fully frozen before imaging "
+            "(freeze() does this via frozen_snapshot())"
+        )
+    return {
+        "codec": _codec_meta(trie.codec),
+        "active_capacity": trie.active_capacity,
+        "compact_budget": trie.compact_budget,
+        "seed": trie._seed,
+        # Per-tier images: tier i writes its sections under prefix "t{i}.".
+        "tiers": [
+            tier.to_words_image(sink, f"t{position}.")
+            for position, tier in enumerate(trie._frozen)
+        ],
+    }
+
+
+def _load_tiered_trie(image: FrozenImage) -> TieredWaveletTrie:
+    codec = _codec_from_meta(image.meta["codec"])
+    tiers = [
+        WaveletTrie.from_words_image(image, f"t{position}.", meta, codec=codec)
+        for position, meta in enumerate(image.meta["tiers"])
+    ]
+    return TieredWaveletTrie._from_parts(
+        tiers,
+        None,
+        codec,
+        int(image.meta["active_capacity"]),
+        int(image.meta["compact_budget"]),
+        int(image.meta["seed"]),
     )
 
 
@@ -465,6 +486,7 @@ def _load_store(image: FrozenImage) -> ColumnStore:
 _IMAGE_WRITERS = {
     WaveletTrie: ("static_trie", _write_static_trie),
     SuccinctWaveletTrie: ("succinct_trie", _write_succinct_trie),
+    TieredWaveletTrie: ("tiered_trie", _write_tiered_trie),
     CompressedColumn: ("column", _write_column),
     ColumnStore: ("column_store", _write_store),
 }
@@ -472,6 +494,7 @@ _IMAGE_WRITERS = {
 _IMAGE_LOADERS = {
     "static_trie": _load_static_trie,
     "succinct_trie": _load_succinct_trie,
+    "tiered_trie": _load_tiered_trie,
     "column": _load_column,
     "column_store": _load_store,
 }

@@ -13,6 +13,8 @@ its compressed in-memory form (the RLE mode captures the same skew the RRR
 encoding exploits), not the size of the raw value list.
 
 Supported types (see :data:`TYPE_TAGS`): the three Wavelet Trie variants,
+the LSM-style :class:`~repro.core.tiers.TieredWaveletTrie` (frozen tiers as
+nested static-trie payloads plus the live dynamic tail),
 :class:`~repro.db.column.CompressedColumn`, :class:`~repro.db.table.ColumnStore`
 and :class:`~repro.db.log_store.AccessLogStore`.
 """
@@ -31,6 +33,7 @@ from repro.core.append_only import AppendOnlyWaveletTrie
 from repro.core.dynamic import DynamicWaveletTrie
 from repro.core.node import WaveletTrieNode
 from repro.core.static import WaveletTrie
+from repro.core.tiers import TieredWaveletTrie, freeze_trie
 from repro.db.column import CompressedColumn
 from repro.db.log_store import AccessLogStore
 from repro.db.table import ColumnStore
@@ -317,6 +320,30 @@ def _read_access_log(reader: ByteReader) -> AccessLogStore:
     log._index = index
     log._timestamps = timestamps
     return log
+def _write_tiered_trie(writer: ByteWriter, trie: TieredWaveletTrie) -> None:
+    # The in-flight sealing tier (if any) is written as a static tier: its
+    # content is sealed, so freezing it eagerly changes no logical state.
+    writer.write_uvarint(trie.active_capacity)
+    writer.write_uvarint(trie.compact_budget)
+    writer.write_uvarint(trie._seed)
+    frozen = list(trie._frozen)
+    if trie._sealing is not None:
+        frozen.append(freeze_trie(trie._sealing[0]))
+    writer.write_uvarint(len(frozen))
+    for tier in frozen:
+        _write_static_trie(writer, tier)
+    _write_dynamic_trie(writer, trie._active)
+
+
+def _read_tiered_trie(reader: ByteReader) -> TieredWaveletTrie:
+    active_capacity = reader.read_uvarint()
+    compact_budget = reader.read_uvarint()
+    seed = reader.read_uvarint()
+    frozen = [_read_static_trie(reader) for _ in range(reader.read_uvarint())]
+    active = _read_dynamic_trie(reader)
+    return TieredWaveletTrie._from_parts(
+        frozen, active, active.codec, active_capacity, compact_budget, seed
+    )
 
 
 # ----------------------------------------------------------------------
@@ -331,6 +358,7 @@ TYPE_TAGS: Dict[type, int] = {
     CompressedColumn: 4,
     ColumnStore: 5,
     AccessLogStore: 6,
+    TieredWaveletTrie: 7,
 }
 
 _WRITERS: Dict[type, Callable[[ByteWriter, Any], None]] = {
@@ -340,6 +368,7 @@ _WRITERS: Dict[type, Callable[[ByteWriter, Any], None]] = {
     CompressedColumn: _write_column,
     ColumnStore: _write_column_store,
     AccessLogStore: _write_access_log,
+    TieredWaveletTrie: _write_tiered_trie,
 }
 
 _READERS: Dict[int, Callable[[ByteReader], Any]] = {
@@ -349,6 +378,7 @@ _READERS: Dict[int, Callable[[ByteReader], Any]] = {
     TYPE_TAGS[CompressedColumn]: _read_column,
     TYPE_TAGS[ColumnStore]: _read_column_store,
     TYPE_TAGS[AccessLogStore]: _read_access_log,
+    TYPE_TAGS[TieredWaveletTrie]: _read_tiered_trie,
 }
 
 

@@ -266,3 +266,84 @@ class TestSaveOpen:
         missing = tmp_path / "nope.wt"
         assert main(["save", str(missing), "-o", str(tmp_path / "out.wt")]) == 1
         assert "error" in capsys.readouterr().err
+
+
+@pytest.fixture()
+def tiered_index(tmp_path, log_file):
+    path = tmp_path / "tiered.wt"
+    assert main(["build", str(log_file), "-o", str(path), "--variant", "tiered"]) == 0
+    return path
+
+
+class TestTiers:
+    def test_build_tiered_variant(self, tiered_index, url_log):
+        from repro.core.tiers import TieredWaveletTrie
+
+        index = load(tiered_index)
+        assert type(index) is TieredWaveletTrie
+        assert index.to_list() == url_log[:200]
+
+    def test_tiers_text(self, tiered_index, capsys):
+        assert main(["tiers", str(tiered_index)]) == 0
+        out = capsys.readouterr().out
+        assert "200 elements in" in out
+        assert "mutable" in out
+        assert "tier 0:" in out
+
+    def test_tiers_json(self, tiered_index, capsys):
+        payload = run_json(capsys, ["tiers", str(tiered_index)])
+        assert payload["elements"] == 200
+        assert payload["tier_count"] == len(payload["tiers"])
+        assert payload["tiers"][-1]["state"] == "mutable"
+        assert sum(row["elements"] for row in payload["tiers"]) == 200
+        assert payload["total_bits"] == sum(row["bits"] for row in payload["tiers"])
+
+    def test_tiers_rejects_non_tiered_index(self, built_index, capsys):
+        assert main(["tiers", str(built_index)]) == 1
+        err = capsys.readouterr().err
+        assert "not a tiered index" in err
+        assert "--variant tiered" in err
+
+    def test_append_and_delete_on_tiered(self, tiered_index, capsys):
+        assert main(["append", str(tiered_index), "http://new.example/x", "--save"]) == 0
+        capsys.readouterr()
+        payload = run_json(capsys, ["tiers", str(tiered_index)])
+        assert payload["elements"] == 201
+        assert main(["delete", str(tiered_index), "200", "--save"]) == 0
+
+    def test_delete_in_frozen_window_fails_cleanly(self, tiered_index, capsys):
+        assert main(["compact", str(tiered_index), "--save"]) == 0
+        capsys.readouterr()
+        assert main(["delete", str(tiered_index), "0"]) == 1
+        assert "frozen tiers" in capsys.readouterr().err
+
+
+class TestCompact:
+    def test_compact_merges_and_saves(self, tiered_index, capsys):
+        payload = run_json(capsys, ["compact", str(tiered_index), "--save"])
+        assert payload["saved"] is True
+        assert payload["tiers_after"] == 2  # one frozen tier + empty tail
+        assert "merged" in payload["action"]
+        reloaded = run_json(capsys, ["tiers", str(tiered_index)])
+        assert [row["state"] for row in reloaded["tiers"]] == ["frozen", "mutable"]
+
+    def test_compact_no_merge_keeps_tiers(self, tiered_index, capsys):
+        before = run_json(capsys, ["tiers", str(tiered_index)])["tier_count"]
+        payload = run_json(capsys, ["compact", str(tiered_index), "--no-merge"])
+        assert payload["saved"] is False
+        assert "merged" not in payload["action"]
+        assert payload["tiers_before"] == before
+
+    def test_compact_steps_mode(self, tiered_index, capsys):
+        payload = run_json(capsys, ["compact", str(tiered_index), "--steps", "5"])
+        assert "advanced compaction" in payload["action"]
+        assert payload["saved"] is False
+
+    def test_compact_text_output_mentions_persistence(self, tiered_index, capsys):
+        assert main(["compact", str(tiered_index)]) == 0
+        out = capsys.readouterr().out
+        assert "pass --save to persist" in out
+
+    def test_compact_rejects_non_tiered_index(self, built_index, capsys):
+        assert main(["compact", str(built_index)]) == 1
+        assert "not a tiered index" in capsys.readouterr().err

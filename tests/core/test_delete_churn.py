@@ -27,6 +27,7 @@ from repro.bits import kernel
 from repro.bitvector.dynamic import DynamicBitVector
 from repro.core.dynamic import DynamicWaveletTrie
 from repro.core.static import WaveletTrie
+from repro.core.tiers import TieredWaveletTrie
 from repro.exceptions import OutOfBoundsError
 from repro.wavelet.dynamic_wavelet_tree import FixedAlphabetDynamicWaveletTree
 
@@ -248,6 +249,115 @@ class TestDynamicTrieDeleteChurn:
             naive = NaiveIndexedSequence(values)
             assert naive.select_prefix_many("zzz", []) == []
             assert naive.select_many("zzz", []) == []
+
+
+def _apply_tiered_op(tiered, naive, op, rng):
+    """Like ``_apply_op`` but window-aware: inserts and deletes land inside
+    the mutable tail (the LSM retention rule), and compaction-lifecycle ops
+    (``compact_step`` / ``compact``) are part of the churn mix."""
+    kind, a, b = op
+    start = tiered.mutable_start
+    window = len(naive) - start
+    if kind == "append":
+        value = UNIVERSE[a % len(UNIVERSE)]
+        tiered.append(value)
+        naive.append(value)
+    elif kind == "insert":
+        value = UNIVERSE[a % len(UNIVERSE)]
+        position = start + b % (window + 1)
+        tiered.insert(value, position)
+        naive.insert(value, position)
+    elif kind == "extend":
+        batch = [UNIVERSE[(a + i) % len(UNIVERSE)] for i in range(b)]
+        tiered.extend(batch)
+        for value in batch:
+            naive.append(value)
+    elif kind == "insert_many":
+        batch = [UNIVERSE[(a + i * i) % len(UNIVERSE)] for i in range(b)]
+        position = start + a % (window + 1)
+        tiered.insert_many(batch, position)
+        for offset, value in enumerate(batch):
+            naive.insert(value, position + offset)
+    elif kind == "delete" and window:
+        position = start + a % window
+        assert tiered.delete(position) == naive.delete(position)
+    elif kind == "delete_many" and window:
+        count = min(window, 1 + b % 9)
+        positions = [start + p for p in rng.sample(range(window), count)]
+        expected = [naive.access(position) for position in positions]
+        assert tiered.delete_many(positions) == expected
+        assert naive.delete_many(positions) == expected
+    elif kind == "compact_step":
+        tiered.compact_step(1 + a % 16)
+    elif kind == "compact":
+        tiered.compact(merge=bool(b % 2))
+        assert tiered.mutable_start == len(naive)
+
+
+TIERED_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(
+            [
+                "append", "insert", "extend", "insert_many", "delete",
+                "delete_many", "compact_step", "compact",
+            ]
+        ),
+        st.integers(0, 2**20),
+        st.integers(0, 11),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestTieredTrieChurn:
+    """The LSM composition under the same churn + batched-prefix-query
+    differential as the dynamic trie, with freeze/compaction interleaved:
+    a tiny ``active_capacity`` keeps seals constantly in flight, and a
+    1-block ``compact_budget`` guarantees most queries run mid-freeze."""
+
+    @given(ops=TIERED_OPS, seed=st.integers(0, 2**16))
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_interleaved_churn_matches_oracle(self, backend, ops, seed):
+        rng = random.Random(seed)
+        with active_backend(backend):
+            tiered = TieredWaveletTrie(active_capacity=8, compact_budget=1)
+            naive = NaiveIndexedSequence()
+            for op in ops:
+                _apply_tiered_op(tiered, naive, op, rng)
+                assert len(tiered) == len(naive)
+            _cross_check(tiered, naive, rng)
+            assert tiered.to_list() == naive.to_list()
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_queries_exact_at_every_compaction_step(self, backend, seed):
+        """Drive one seal to completion a single block unit at a time,
+        cross-checking the batched prefix queries after every unit: results
+        must be exact with the freeze at any intermediate point."""
+        rng = random.Random(seed)
+        with active_backend(backend):
+            values = [rng.choice(UNIVERSE) for _ in range(16)]
+            tiered = TieredWaveletTrie(active_capacity=16, compact_budget=1)
+            naive = NaiveIndexedSequence()
+            tiered.extend(values)
+            for value in values:
+                naive.append(value)
+            steps = 0
+            while not tiered.freeze_step(1):
+                _cross_check(tiered, naive, rng)
+                steps += 1
+                assert steps < 10_000, "compaction never finished"
+            _cross_check(tiered, naive, rng)
 
 
 @pytest.mark.parametrize("backend", BACKENDS)

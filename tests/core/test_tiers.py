@@ -1,0 +1,178 @@
+"""The tier lifecycle: the ``Tier`` protocol, ``TrieFreezer``, ``freeze_trie``.
+
+Every trie flavour must satisfy the structural :class:`~repro.core.tiers.Tier`
+protocol, and the budgeted freeze must be *exactly* equivalent to the one-shot
+static RRR build: same content, same topology, same measured bits (classes and
+offsets are deterministic functions of the payload).  The de-amortisation
+contract (Lemma 4.7 applied to a whole trie) is checked by driving the freeze
+with a unit budget and asserting bounded per-step progress.
+"""
+
+import pytest
+
+from repro.core.append_only import AppendOnlyWaveletTrie
+from repro.core.dynamic import DynamicWaveletTrie
+from repro.core.static import WaveletTrie
+from repro.core.succinct_static import SuccinctWaveletTrie
+from repro.core.tiers import Tier, TieredWaveletTrie, TrieFreezer, freeze_trie
+from repro.exceptions import InvalidOperationError
+
+ALL_FLAVOURS = [
+    WaveletTrie,
+    SuccinctWaveletTrie,
+    AppendOnlyWaveletTrie,
+    DynamicWaveletTrie,
+    TieredWaveletTrie,
+]
+
+
+class TestTierProtocol:
+    @pytest.mark.parametrize("flavour", ALL_FLAVOURS)
+    def test_every_flavour_satisfies_the_protocol(self, flavour, url_log):
+        trie = flavour(url_log[:40])
+        assert isinstance(trie, Tier)
+
+    @pytest.mark.parametrize(
+        "flavour,state",
+        [
+            (WaveletTrie, "frozen"),
+            (SuccinctWaveletTrie, "frozen"),
+            (AppendOnlyWaveletTrie, "mutable"),
+            (DynamicWaveletTrie, "mutable"),
+            (TieredWaveletTrie, "mutable"),
+        ],
+    )
+    def test_tier_state(self, flavour, state, url_log):
+        assert flavour(url_log[:30]).tier_state == state
+
+    @pytest.mark.parametrize("flavour", [WaveletTrie, SuccinctWaveletTrie])
+    def test_frozen_tiers_report_done_immediately(self, flavour, url_log):
+        trie = flavour(url_log[:30])
+        assert trie.freeze_step() is True
+        assert trie.freeze_step(1) is True
+
+    @pytest.mark.parametrize("flavour", ALL_FLAVOURS)
+    def test_to_succinct_preserves_content(self, flavour, url_log):
+        values = url_log[:60]
+        succinct = flavour(values).to_succinct()
+        assert isinstance(succinct, SuccinctWaveletTrie)
+        assert succinct.to_list() == values
+        assert succinct.tier_state == "frozen"
+
+    def test_succinct_to_succinct_is_identity(self, url_log):
+        trie = SuccinctWaveletTrie(url_log[:30])
+        assert trie.to_succinct() is trie
+
+    @pytest.mark.parametrize(
+        "flavour", [AppendOnlyWaveletTrie, DynamicWaveletTrie]
+    )
+    def test_growable_freeze_step_is_resumable(self, flavour, url_log):
+        """freeze_step drives a cached TrieFreezer to completion across
+        calls; finish_freeze returns the static trie and resets the state."""
+        values = url_log[:120]
+        trie = flavour(values)
+        steps = 0
+        while not trie.freeze_step(2):
+            steps += 1
+            assert steps < 10_000, "freeze_step never completed"
+        assert steps > 1, "a unit budget should take several steps"
+        frozen = trie.finish_freeze()
+        assert isinstance(frozen, WaveletTrie)
+        assert frozen.to_list() == values
+        # The source is untouched and can freeze again from scratch.
+        assert trie.to_list() == values
+        again = trie.finish_freeze()
+        assert again.to_list() == values
+
+    def test_protocol_rejects_non_tiers(self):
+        assert not isinstance(object(), Tier)
+        assert not isinstance([], Tier)
+
+
+class TestTrieFreezer:
+    @pytest.mark.parametrize(
+        "flavour", [DynamicWaveletTrie, AppendOnlyWaveletTrie]
+    )
+    def test_budgeted_freeze_equals_one_shot_build(self, flavour, url_log):
+        """Step-by-step freezing under a tiny budget produces a static RRR
+        trie structurally identical to the direct bulk build."""
+        values = url_log[:150]
+        freezer = TrieFreezer(flavour(values))
+        while not freezer.done:
+            freezer.step(3)
+        frozen = freezer.finish()
+        reference = WaveletTrie(values, bitvector="rrr")
+        assert frozen.to_list() == values
+        assert frozen.node_count() == reference.node_count()
+        assert frozen.size_in_bits() == reference.size_in_bits()
+
+    def test_step_does_bounded_work(self, url_log):
+        """A unit-budget step is bounded by one extraction chunk's worth of
+        block units (extraction is chunk-atomic), never a whole-trie pass."""
+        from repro.core.tiers import _EXTRACT_CHUNK_BITS
+
+        freezer = TrieFreezer(DynamicWaveletTrie(url_log[:200]))
+        ceiling = _EXTRACT_CHUNK_BITS // freezer._block_size + 1
+        while not freezer.done:
+            assert freezer.step(1) <= ceiling
+        assert freezer.step(5) == 0  # done: no more work units
+
+    def test_pending_bits_decreases_to_zero(self, url_log):
+        trie = DynamicWaveletTrie(url_log[:80])
+        freezer = TrieFreezer(trie)
+        gauge = freezer.pending_bits
+        assert gauge > 0
+        while not freezer.done:
+            freezer.step(8)
+            assert freezer.pending_bits <= gauge
+            gauge = freezer.pending_bits
+        assert freezer.pending_bits == 0
+
+    def test_mutation_mid_freeze_is_detected(self, url_log):
+        trie = DynamicWaveletTrie(url_log[:50])
+        freezer = TrieFreezer(trie)
+        freezer.step(1)
+        trie.append("http://late.example/write")
+        with pytest.raises(InvalidOperationError, match="mutated while a freeze"):
+            freezer.step(1)
+
+    def test_budget_must_be_positive(self, url_log):
+        freezer = TrieFreezer(DynamicWaveletTrie(url_log[:10]))
+        with pytest.raises(ValueError, match="positive block count"):
+            freezer.step(0)
+
+    def test_empty_trie_freezes_instantly(self):
+        freezer = TrieFreezer(DynamicWaveletTrie())
+        assert freezer.done
+        assert freezer.pending_bits == 0
+        frozen = freezer.finish()
+        assert len(frozen) == 0 and frozen.to_list() == []
+
+
+class TestFreezeTrie:
+    def test_static_and_succinct_pass_through(self, url_log):
+        static = WaveletTrie(url_log[:20])
+        succinct = SuccinctWaveletTrie(url_log[:20])
+        assert freeze_trie(static) is static
+        assert freeze_trie(succinct) is succinct
+
+    @pytest.mark.parametrize(
+        "flavour", [DynamicWaveletTrie, AppendOnlyWaveletTrie]
+    )
+    def test_growable_freezes_to_static(self, flavour, url_log):
+        values = url_log[:70]
+        frozen = freeze_trie(flavour(values))
+        assert isinstance(frozen, WaveletTrie)
+        assert frozen.to_list() == values
+
+    def test_tiered_freezes_to_frozen_snapshot(self, url_log):
+        tiered = TieredWaveletTrie(url_log[:90], active_capacity=32)
+        snapshot = freeze_trie(tiered)
+        assert isinstance(snapshot, TieredWaveletTrie)
+        assert snapshot.to_list() == tiered.to_list()
+        assert all(row["state"] != "mutable" or row["elements"] == 0
+                   for row in snapshot.tier_info())
+
+    def test_non_tier_is_rejected(self):
+        with pytest.raises(InvalidOperationError, match="not a Wavelet Trie tier"):
+            freeze_trie(["not", "a", "trie"])

@@ -17,6 +17,7 @@ from repro.baselines import NaiveIndexedSequence
 from repro.core.append_only import AppendOnlyWaveletTrie
 from repro.core.dynamic import DynamicWaveletTrie
 from repro.core.static import WaveletTrie
+from repro.core.tiers import TieredWaveletTrie
 from repro.exceptions import ValueNotFoundError
 
 # A small universe whose keys share long prefixes, so splits and merges keep
@@ -127,6 +128,43 @@ class TestDynamicTrieChurn:
                     trie.insert(value, position)
                     naive.insert(value, position)
             _cross_check(trie, naive, rng, probes=UNIVERSE + [f"fresh/{phase}"])
+
+
+class TestTieredTrieChurn:
+    def test_churn_with_compaction_in_flight(self):
+        """The dynamic-trie churn mix, replayed on the LSM composition with a
+        tiny capacity so seals and budgeted freezes run throughout: inserts
+        and deletes land in the mutable tail window, queries stay exact
+        against the oracle at every checkpoint (most of them mid-freeze)."""
+        rng = random.Random(20260808)
+        tiered = TieredWaveletTrie(active_capacity=24, compact_budget=1)
+        naive = NaiveIndexedSequence()
+        for step in range(900):
+            action = rng.random()
+            start = tiered.mutable_start
+            window = len(naive) - start
+            if action < 0.45 or window == 0:
+                value = rng.choice(UNIVERSE)
+                position = start + rng.randint(0, window)
+                tiered.insert(value, position)
+                naive.insert(value, position)
+            elif action < 0.70:
+                position = start + rng.randrange(window)
+                assert tiered.delete(position) == naive.delete(position)
+            elif action < 0.90:
+                value = rng.choice(UNIVERSE)
+                tiered.append(value)
+                naive.append(value)
+            else:
+                tiered.compact_step(1 + rng.randrange(8))
+            if step % 150 == 0:
+                _cross_check(tiered, naive, rng)
+        _cross_check(tiered, naive, rng)
+        assert tiered.tier_count > 1
+        # Draining every freeze and merging changes no answer.
+        tiered.compact(merge=True)
+        _cross_check(tiered, naive, rng)
+        assert tiered.to_list() == list(naive.iter_range(0, len(naive)))
 
 
 class TestAppendOnlyTrieChurn:

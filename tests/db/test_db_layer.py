@@ -43,6 +43,41 @@ class TestCompressedColumn:
         column = CompressedColumn("loc", column_values[:80])
         assert list(column.values(10, 60)) == column_values[10:60]
 
+    def test_tiered_column_matches_appendable_reads(self, column_values):
+        """A tiered column supports the full read surface with the same
+        answers as the append-only one, while absorbing sustained writes
+        through its compacting index."""
+        from repro.core.tiers import TieredWaveletTrie
+
+        values = column_values[:300]
+        tiered = CompressedColumn("loc", tiered=True)
+        tiered._index.active_capacity = 64  # several tiers for this test
+        reference = CompressedColumn("loc")
+        tiered.extend(values)
+        reference.extend(values)
+        assert type(tiered.index) is TieredWaveletTrie
+        assert tiered.appendable
+        assert tiered.index.tier_count > 1
+        assert len(tiered) == len(reference)
+        assert [tiered.value_at(i) for i in range(0, 300, 17)] == [
+            reference.value_at(i) for i in range(0, 300, 17)
+        ]
+        probe = values[0]
+        assert tiered.count_eq(probe) == reference.count_eq(probe)
+        assert list(tiered.rows_eq(probe)) == list(reference.rows_eq(probe))
+        assert tiered.count_prefix("emea/") == reference.count_prefix("emea/")
+        assert list(tiered.rows_prefix("emea/", limit=5)) == list(
+            reference.rows_prefix("emea/", limit=5)
+        )
+        assert dict(tiered.distinct()) == dict(reference.distinct())
+        assert dict(tiered.group_by_count(50, 250)) == dict(
+            reference.group_by_count(50, 250)
+        )
+        assert tiered.top_values(3)[0][1] == reference.top_values(3)[0][1]
+        assert list(tiered.values(10, 200)) == values[10:200]
+        tiered.append("amer/new-city/site-99")
+        assert tiered.value_at(300) == "amer/new-city/site-99"
+
 
 class TestColumnStore:
     def build(self, rows=150):

@@ -1,0 +1,57 @@
+"""Quick-mode run of the tiered mixed-workload benchmark harness.
+
+Runs ``benchmarks/bench_tiered.py`` at small sizes inside the test suite so
+the harness (and its embedded differential checks -- identical operation
+streams against the tiered and pure-dynamic tries compared batch by batch,
+plus the post-burst access sweep) cannot silently break.  No throughput or
+latency thresholds are asserted here -- at 20k elements the frozen-tier RRR
+advantage has not kicked in and CI noise would make timing asserts flaky;
+the committed ``BENCH_tiered.json`` records the full-size (n=1M) numbers.
+"""
+
+import importlib.util
+from pathlib import Path
+
+BENCH_PATH = (
+    Path(__file__).resolve().parent.parent.parent / "benchmarks" / "bench_tiered.py"
+)
+
+
+def load_bench_module():
+    spec = importlib.util.spec_from_file_location("bench_tiered", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_bench_tiered_quick_mode():
+    bench = load_bench_module()
+    # run() embeds differential assertions (every mixed-stream batch result,
+    # every per-op-table call, and a post-burst access sweep compared against
+    # the oracle), so completing without error is itself a correctness check.
+    payload = bench.run(quick=True, repeats=1)
+    assert payload["quick"] is True
+    assert payload["elements"] == 20_000
+    assert "python" in payload["backends"]
+    mixed = payload["mixed_workload"]
+    assert mixed["tiered_ops_per_s"] > 0 and mixed["dynamic_ops_per_s"] > 0
+    per_op = payload["per_op"]
+    assert set(per_op) == {
+        "rank_many",
+        "rank_prefix_many",
+        "access_many",
+        "select_many",
+    }
+    for row in per_op.values():
+        assert row["tiered_s_per_100"] > 0 and row["dynamic_s_per_100"] > 0
+    latency = payload["write_latency"]
+    assert latency["burst_appends"] > 2 * payload["active_capacity"]
+    assert latency["tiers_after_burst"] > 1  # the burst crossed seals
+    assert latency["max_single_append_s"] > 0
+    assert latency["stop_the_world_freeze_s"] > 0
+
+
+def test_bench_tiered_mix_is_normalised():
+    bench = load_bench_module()
+    assert abs(sum(bench.MIX.values()) - 1.0) < 1e-9
+    assert bench.MIX["write"] > 0  # the sustained workload really writes

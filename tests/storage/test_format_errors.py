@@ -27,6 +27,25 @@ class TestContainerValidation:
         with pytest.raises(SerializationError):
             loads(b"PK\x03\x04 this is a zip archive, not an index")
 
+    def test_bad_magic_names_both_container_magics(self, stored):
+        """The bad-magic diagnostic must name *both* accepted containers
+        (RWT1 streams and RWT2 images), so a user pointing the loader at the
+        wrong file learns what the library would have accepted."""
+        corrupted = b"XXXX" + stored[4:]
+        with pytest.raises(SerializationError) as caught:
+            loads(corrupted)
+        message = str(caught.value)
+        assert "RWT1" in message and "RWT2" in message
+        assert "b'XXXX'" in message  # ...and what it actually found.
+
+    def test_bad_magic_from_file_names_both_magics(self, tmp_path):
+        path = tmp_path / "notanindex.wt"
+        path.write_bytes(b"PK\x03\x04 a zip archive, not an index" * 3)
+        with pytest.raises(SerializationError) as caught:
+            load(path)
+        message = str(caught.value)
+        assert "RWT1" in message and "RWT2" in message
+
     def test_unsupported_version(self, stored):
         corrupted = bytearray(stored)
         corrupted[len(MAGIC)] = FORMAT_VERSION + 1

@@ -19,6 +19,7 @@ from repro.core.append_only import AppendOnlyWaveletTrie
 from repro.core.dynamic import DynamicWaveletTrie
 from repro.core.static import WaveletTrie
 from repro.core.succinct_static import SuccinctWaveletTrie
+from repro.core.tiers import TieredWaveletTrie
 from repro.db.column import CompressedColumn
 from repro.db.table import ColumnStore
 from repro.exceptions import SerializationError
@@ -83,6 +84,34 @@ class TestTrieRoundTrip:
         loaded = loads_image(dumps_image(cls(values)), verify=True)
         assert type(loaded) is WaveletTrie
         assert_trie_equal(loaded, values)
+
+    def test_tiered_trie_persists_per_tier(self, backend, url_log):
+        """A tiered trie images as one section group per frozen tier; the
+        reopened instance has the same tier layout plus a fresh mutable tail
+        that keeps absorbing writes."""
+        values = url_log[:150]
+        tiered = TieredWaveletTrie(values, active_capacity=48, compact_budget=2)
+        loaded = loads_image(dumps_image(tiered), verify=True)
+        assert isinstance(loaded, TieredWaveletTrie)
+        assert loaded.active_capacity == tiered.active_capacity
+        assert loaded.compact_budget == tiered.compact_budget
+        assert_trie_equal(loaded, values)
+        assert loaded.mutable_start == len(values)
+        assert all(row["state"] != "sealing" for row in loaded.tier_info())
+        loaded.append("http://post-image.example/write")
+        assert len(loaded) == len(values) + 1
+
+    def test_tiered_trie_mid_seal_is_snapshotted(self, backend, url_log):
+        """Imaging while a freeze is in flight captures a fully frozen
+        snapshot without touching the live instance's compaction state."""
+        values = url_log[:64]
+        tiered = TieredWaveletTrie(active_capacity=64, compact_budget=1)
+        tiered.extend(values)
+        tiered.append(values[0])  # seal now in flight at 1-block pace
+        assert any(r["state"] == "sealing" for r in tiered.tier_info())
+        loaded = loads_image(dumps_image(tiered), verify=True)
+        assert any(r["state"] == "sealing" for r in tiered.tier_info())
+        assert loaded.to_list() == values + [values[0]]
 
     def test_empty_trie(self, backend):
         loaded = loads_image(dumps_image(WaveletTrie([])), verify=True)
@@ -275,3 +304,28 @@ class TestFreeze:
         # The snapshot is independent: mutating the original changes nothing.
         dynamic.append("/after")
         assert len(frozen) == 50
+
+    def test_freeze_routes_through_core_tiers(self, url_log):
+        """storage.freeze is a thin wrapper over core.tiers.freeze_trie for
+        every trie flavour -- the lifecycle logic lives in core, storage
+        keeps only serialization."""
+        from repro.core.tiers import freeze_trie
+
+        dynamic = DynamicWaveletTrie(url_log[:40])
+        assert freeze(dynamic).to_list() == freeze_trie(dynamic).to_list()
+        tiered = TieredWaveletTrie(url_log[:40], active_capacity=16)
+        snapshot = freeze(tiered)
+        assert isinstance(snapshot, TieredWaveletTrie)
+        assert snapshot.to_list() == tiered.to_list()
+        assert all(row["elements"] == 0 or row["state"] == "frozen"
+                   for row in snapshot.tier_info())
+
+    def test_unfrozen_tiered_writer_is_rejected(self, url_log):
+        """The RWT2 writer only accepts fully frozen tiered tries; live ones
+        must go through freeze()/frozen_snapshot() first."""
+        from repro.storage.image import _write_tiered_trie, ImageWriter
+
+        tiered = TieredWaveletTrie(url_log[:30], active_capacity=100)
+        assert len(tiered._active)  # live tail content
+        with pytest.raises(SerializationError, match="fully frozen"):
+            _write_tiered_trie(tiered, ImageWriter())

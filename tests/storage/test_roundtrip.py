@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 from repro.core.append_only import AppendOnlyWaveletTrie
 from repro.core.dynamic import DynamicWaveletTrie
 from repro.core.static import WaveletTrie
+from repro.core.tiers import TieredWaveletTrie
 from repro.db import AccessLogStore, ColumnStore, CompressedColumn
 from repro.storage import dumps, load, loads, save
 from repro.tries.binarize import BytesCodec, FixedWidthIntCodec
@@ -132,6 +133,51 @@ class TestMutationAfterRestore:
         assert restored.delete(3) == "cc"
         assert restored.distinct_count() == 2
         assert restored.to_list() == ["aa", "ab", "aa"]
+
+
+class TestTieredRoundtrip:
+    def test_tiers_and_parameters_survive(self, url_log):
+        values = url_log[:200]
+        original = TieredWaveletTrie(values, active_capacity=48, compact_budget=2)
+        restored = loads(dumps(original))
+        assert type(restored) is TieredWaveletTrie
+        assert restored.active_capacity == 48
+        assert restored.compact_budget == 2
+        assert restored.to_list() == values
+        assert restored.mutable_start == original.mutable_start
+        for value in set(values[:5]):
+            assert restored.rank(value, len(values)) == original.rank(
+                value, len(values)
+            )
+
+    def test_mid_seal_state_is_frozen_eagerly(self, url_log):
+        """Saving with a freeze in flight persists the sealed tier's *content*
+        (frozen eagerly at save time); the reopened index has no seal pending
+        and the live original keeps its own in-flight freezer."""
+        values = url_log[:64]
+        original = TieredWaveletTrie(active_capacity=64, compact_budget=1)
+        original.extend(values)
+        original.append(values[0])
+        assert any(r["state"] == "sealing" for r in original.tier_info())
+        restored = loads(dumps(original))
+        assert any(r["state"] == "sealing" for r in original.tier_info())
+        assert all(r["state"] != "sealing" for r in restored.tier_info())
+        assert restored.to_list() == values + [values[0]]
+
+    def test_restored_tiered_keeps_absorbing_writes(self, url_log):
+        original = TieredWaveletTrie(url_log[:30], active_capacity=8)
+        restored = loads(dumps(original))
+        restored.append("http://brand.new/path")
+        assert restored.access(30) == "http://brand.new/path"
+        assert restored.delete(30) == "http://brand.new/path"
+        assert len(restored) == 30
+
+    def test_empty_tiered(self):
+        restored = loads(dumps(TieredWaveletTrie()))
+        assert type(restored) is TieredWaveletTrie
+        assert len(restored) == 0
+        restored.append("first")
+        assert restored.to_list() == ["first"]
 
 
 class TestDatabaseLayerRoundtrip:

@@ -111,6 +111,48 @@ def test_kernel_backends_export_the_same_contract():
     assert not facade_missing, f"façade misses: {facade_missing}"
 
 
+def test_tier_lifecycle_section_matches_the_code():
+    """The ARCHITECTURE.md "Tier lifecycle" section must exist and name every
+    trie flavour that satisfies the ``Tier`` protocol, plus the lifecycle
+    vocabulary (the freezer, the one-shot form, and the tiered knobs) -- so
+    adding a flavour or renaming a transition forces the doc to follow."""
+    from repro.core import tiers
+    from repro.core.append_only import AppendOnlyWaveletTrie
+    from repro.core.dynamic import DynamicWaveletTrie
+    from repro.core.static import WaveletTrie
+
+    text = ARCHITECTURE_MD.read_text(encoding="utf-8")
+    assert "### Tier lifecycle" in text, "Tier lifecycle section missing"
+    section = text.split("### Tier lifecycle", 1)[1].split("\n### ", 1)[0]
+    flavours = [
+        WaveletTrie,
+        AppendOnlyWaveletTrie,
+        DynamicWaveletTrie,
+        tiers.TieredWaveletTrie,
+    ]
+    for cls in flavours:
+        assert isinstance(cls([]), tiers.Tier), (
+            f"{cls.__name__} no longer satisfies the Tier protocol"
+        )
+        assert cls.__name__ in section, (
+            f"{cls.__name__} satisfies Tier but is absent from the "
+            "Tier lifecycle section"
+        )
+    assert "SuccinctWaveletTrie" in section
+    for name in (
+        "TrieFreezer",
+        "freeze_trie",
+        "freeze_step",
+        "to_succinct",
+        "active_capacity",
+        "compact_budget",
+        "mutable_start",
+    ):
+        assert name in section, (
+            f"lifecycle term '{name}' missing from the Tier lifecycle section"
+        )
+
+
 def test_kernel_contract_table_matches_architecture_doc():
     """The ARCHITECTURE.md contract table and ``kernel.KERNEL_CONTRACT`` must
     list exactly the same names (the table is the documented contract)."""
