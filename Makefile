@@ -2,7 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test docs-check bench-kernel bench-kernel-quick bench-dynamic \
-	bench-storage bench-storage-quick bench-tiered bench-tiered-quick bench
+	bench-storage bench-storage-quick bench-tiered bench-tiered-quick \
+	bench-serving bench-serving-quick bench
 
 # Tier-1 verification: the full test suite (includes the quick-mode
 # benchmark harnesses and the docs-check gate).
@@ -48,4 +49,13 @@ bench-tiered:
 bench-tiered-quick:
 	$(PYTHON) benchmarks/bench_tiered.py --quick
 
-bench: bench-kernel bench-dynamic bench-storage bench-tiered
+bench-serving:
+	$(PYTHON) benchmarks/bench_serving.py
+
+# Small-size smoke run of the serving harness (no JSON written); its
+# coalescing-on vs coalescing-off byte-identity gate also runs inside
+# tier-1 via tests/integration/test_bench_serving_quick.py.
+bench-serving-quick:
+	$(PYTHON) benchmarks/bench_serving.py --quick
+
+bench: bench-kernel bench-dynamic bench-storage bench-tiered bench-serving

@@ -408,6 +408,58 @@ def _cmd_open(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.db.column import CompressedColumn
+    from repro.serving import IndexServer, ServerConfig
+
+    index = load(args.index)
+    _require_trie(index)
+    column = CompressedColumn.from_index(args.shard, index)
+    if args.socket is None and args.http_port is None:
+        raise ReproError("pass --socket PATH and/or --http-port PORT")
+    config = ServerConfig(
+        unix_path=args.socket,
+        http_port=args.http_port,
+        coalesce=not args.no_coalesce,
+        coalesce_window=args.coalesce_window,
+        max_pending=args.max_pending,
+        request_timeout=args.timeout,
+        compact_budget=args.compact_budget,
+    )
+
+    async def run() -> None:
+        server = IndexServer({args.shard: column}, config)
+        await server.start()
+        lines = [
+            f"serving shard {args.shard!r} ({len(column):,} rows, "
+            f"coalescing {'on' if config.coalesce else 'off'})"
+        ]
+        if args.socket is not None:
+            lines.append(f"unix socket : {args.socket}")
+        if server.http_address is not None:
+            host, port = server.http_address
+            lines.append(f"http        : http://{host}:{port}  (/stats, /query)")
+        _emit({"shard": args.shard, "rows": len(column)}, False, lines)
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        try:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):  # non-unix event loops
+            pass
+        try:
+            await stop.wait()
+        except KeyboardInterrupt:
+            pass
+        await server.stop()
+
+    asyncio.run(run())
+    return 0
+
+
 def _require_trie(index: Any) -> None:
     if not isinstance(
         index,
@@ -581,6 +633,53 @@ def build_parser() -> argparse.ArgumentParser:
     open_cmd.add_argument("index", help="index file (either container)")
     add_common(open_cmd)
     open_cmd.set_defaults(handler=_cmd_open)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve an index over a unix socket / localhost HTTP (NDJSON protocol)",
+    )
+    serve.add_argument("index", help="index file produced by `build`")
+    serve.add_argument("--socket", default=None, help="unix socket path (raw NDJSON)")
+    serve.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        help="localhost HTTP port (0 for ephemeral); GET /stats, POST /query",
+    )
+    serve.add_argument(
+        "--shard", default="default", help="shard name clients address (default: default)"
+    )
+    serve.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="serve each request as its own batch (for A/B measurements)",
+    )
+    serve.add_argument(
+        "--coalesce-window",
+        type=int,
+        default=4,
+        help="loop turns the pump waits so concurrent requests join one batch",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        help="bounded queue depth before `overloaded` backpressure (default: 1024)",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-request queue timeout in seconds (default: none)",
+    )
+    serve.add_argument(
+        "--compact-budget",
+        type=int,
+        default=None,
+        help="block units of tiered compaction funded per write tick",
+    )
+    add_common(serve)
+    serve.set_defaults(handler=_cmd_serve)
 
     return parser
 

@@ -381,8 +381,16 @@ class TieredWaveletTrie(IndexedStringSequence):
         return tiers
 
     def _tier_views(self) -> Tuple[List[Any], List[int]]:
-        """The live tiers plus their cumulative start offsets (len+1 long)."""
-        tiers = self._tiers()
+        """The non-empty live tiers plus cumulative start offsets (len+1 long).
+
+        Fully-empty tiers (a drained tail, an empty frozen tier handed to a
+        loader) are dropped *before* any per-tier walk: every live tier costs
+        a near-size-independent python walk in the batch paths, so the
+        fan-out constant must track the tiers that actually hold elements.
+        The returned offsets are strictly increasing, which also keeps the
+        ``bisect`` owner searches unambiguous.
+        """
+        tiers = [tier for tier in self._tiers() if len(tier)]
         offsets = [0]
         for tier in tiers:
             offsets.append(offsets[-1] + len(tier))
@@ -714,13 +722,14 @@ class TieredWaveletTrie(IndexedStringSequence):
             self._check_rank_pos(int(pos))
         totals = [0] * len(positions)
         tiers, offsets = self._tier_views()
+        max_pos = max(int(pos) for pos in positions)
         for tier, offset in zip(tiers, offsets):
+            if offset >= max_pos:
+                # Tiers are offset-ordered, so every later tier contributes 0
+                # to every position in the batch: stop the per-tier fan-out.
+                break
             length = len(tier)
-            if length == 0:
-                continue
             locals_ = [min(max(int(pos) - offset, 0), length) for pos in positions]
-            if max(locals_) == 0:
-                continue
             for slot, local_rank in enumerate(tier.rank_many(value, locals_)):
                 totals[slot] += local_rank
         return totals
@@ -757,13 +766,13 @@ class TieredWaveletTrie(IndexedStringSequence):
             self._check_rank_pos(int(pos))
         totals = [0] * len(positions)
         tiers, offsets = self._tier_views()
+        max_pos = max(int(pos) for pos in positions)
         for tier, offset in zip(tiers, offsets):
+            if offset >= max_pos:
+                # Offset-ordered tiers: later tiers contribute 0 everywhere.
+                break
             length = len(tier)
-            if length == 0:
-                continue
             locals_ = [min(max(int(pos) - offset, 0), length) for pos in positions]
-            if max(locals_) == 0:
-                continue
             for slot, local_rank in enumerate(
                 tier.rank_prefix_many(prefix, locals_)
             ):

@@ -19,7 +19,7 @@ cases:
   snapshots and per-window deltas.
 """
 
-from repro.db.column import CompressedColumn
+from repro.db.column import ColumnSnapshot, CompressedColumn
 from repro.db.graph_store import TemporalGraphStore
 from repro.db.log_store import AccessLogStore
 from repro.db.query import Predicate, Query
@@ -27,6 +27,7 @@ from repro.db.table import ColumnStore
 
 __all__ = [
     "AccessLogStore",
+    "ColumnSnapshot",
     "ColumnStore",
     "CompressedColumn",
     "Predicate",

@@ -1,0 +1,67 @@
+"""Concurrent serving layer for Wavelet-Trie columns.
+
+An asyncio index server exposing the full Grossi--Ottaviano query surface
+(access / rank / select / rank_prefix / select_prefix) plus appends over a
+newline-delimited JSON protocol, on a unix socket and localhost HTTP.  The
+design turns the library's two big levers into service-level properties:
+
+* **request coalescing** -- concurrent scalar requests parked on a shard
+  queue drain as one ``*_many`` batch per op kind per tick
+  (:mod:`repro.serving.coalescer`), so the batch amortisation measured in
+  the benchmarks becomes multi-client throughput;
+* **snapshot reads under a single writer** -- each tick pins an O(1)
+  :class:`~repro.db.column.ColumnSnapshot` while one pump task owns every
+  mutation (appends, budgeted compaction), so readers never block on -- or
+  observe -- in-flight writes (:mod:`repro.serving.shard`).
+
+:mod:`repro.serving.faults` adds the deterministic fault-injection seam the
+test harness drives (slow handlers, mid-batch churn, clock skew, crashes),
+and :mod:`repro.serving.metrics` the counters behind the ``stats`` op.
+"""
+
+from repro.serving.coalescer import run_read_tick
+from repro.serving.faults import FaultInjector, FaultPlan
+from repro.serving.metrics import ServingMetrics
+from repro.serving.protocol import (
+    ADMIN_OPS,
+    DEFAULT_MAX_FRAME_BYTES,
+    ERROR_CODES,
+    OP_FIELDS,
+    ProtocolError,
+    READ_OPS,
+    Request,
+    WRITE_OPS,
+    decode_frame,
+    encode_error,
+    encode_frame,
+    encode_result,
+    error_code_for_exception,
+    error_message,
+)
+from repro.serving.server import IndexServer, NDJSONClient, ServerConfig
+from repro.serving.shard import IndexShard
+
+__all__ = [
+    "ADMIN_OPS",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "ERROR_CODES",
+    "FaultInjector",
+    "FaultPlan",
+    "IndexServer",
+    "IndexShard",
+    "NDJSONClient",
+    "OP_FIELDS",
+    "ProtocolError",
+    "READ_OPS",
+    "Request",
+    "ServerConfig",
+    "ServingMetrics",
+    "WRITE_OPS",
+    "decode_frame",
+    "encode_error",
+    "encode_frame",
+    "encode_result",
+    "error_code_for_exception",
+    "error_message",
+    "run_read_tick",
+]

@@ -1,0 +1,189 @@
+"""The coalescing core: drain concurrent scalar reads as ``*_many`` batches.
+
+This is the pure (no-I/O, no-asyncio) heart of the index server.  A *tick*
+takes the scalar read requests that accumulated on a shard's queue and
+answers all of them with at most one batch call per operation kind per
+distinct key:
+
+* every ``access`` in the tick -> one ``access_many``;
+* the ``rank`` / ``select`` requests, grouped by value -> one
+  ``rank_many`` / ``select_many`` per distinct value;
+* the ``rank_prefix`` / ``select_prefix`` requests, grouped by prefix ->
+  one ``rank_prefix_many`` / ``select_prefix_many`` per distinct prefix.
+
+Requests that fail validation (positions past the snapshot, select indexes
+past the occurrence count) get their typed error frame individually and do
+not poison the rest of the batch; the error messages are exactly the ones
+the scalar :class:`~repro.db.column.ColumnSnapshot` calls raise.
+
+The function is deliberately the *only* read path: with coalescing disabled
+the server still calls :func:`run_read_tick` with singleton batches, so a
+coalesced response is byte-identical to the serial one by construction --
+the property the equivalence suite then verifies end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.interface import check_select_prefix_index
+from repro.serving.metrics import ServingMetrics
+from repro.serving.protocol import READ_OPS, Request, encode_error, encode_result
+
+__all__ = ["run_read_tick"]
+
+
+def _scatter_ok(
+    frames: List[Optional[bytes]],
+    slots: Sequence[int],
+    ids: Sequence[Any],
+    results: Sequence[Any],
+    version: int,
+) -> None:
+    for slot, request_id, result in zip(slots, ids, results):
+        frames[slot] = encode_result(request_id, result, version)
+
+
+def run_read_tick(
+    snapshot,
+    requests: Sequence[Request],
+    metrics: Optional[ServingMetrics] = None,
+) -> List[bytes]:
+    """Answer one tick's read requests against one pinned snapshot.
+
+    Returns one response frame per request, aligned with the input order.
+    Amortised: at most one ``*_many`` batch walk per op kind per distinct
+    key, plus O(q) validation -- the 10-40x batch speedups of the index
+    layer become a per-tick constant instead of a per-request cost.
+    """
+    frames: List[Optional[bytes]] = [None] * len(requests)
+    version = snapshot.version
+
+    # Bucket by (op, group key); validation happens per group below.
+    groups: Dict[Tuple[str, Any], Tuple[List[int], List[Request]]] = {}
+    for slot, request in enumerate(requests):
+        assert request.op in READ_OPS, request.op
+        if request.op == "access":
+            key: Tuple[str, Any] = ("access", None)
+        elif request.op in ("rank", "select"):
+            key = (request.op, request.args["value"])
+        else:
+            key = (request.op, request.args["prefix"])
+        slots, members = groups.setdefault(key, ([], []))
+        slots.append(slot)
+        members.append(request)
+
+    for (op, group_key), (slots, members) in groups.items():
+        ok_slots: List[int] = []
+        ok_ids: List[Any] = []
+        ok_args: List[int] = []
+
+        if op == "access":
+            for slot, request in zip(slots, members):
+                pos = request.args["pos"]
+                if not 0 <= pos < version:
+                    frames[slot] = encode_error(
+                        request.id,
+                        "out_of_bounds",
+                        f"position {pos} out of range for length {version}",
+                    )
+                    continue
+                ok_slots.append(slot)
+                ok_ids.append(request.id)
+                ok_args.append(pos)
+            if ok_args:
+                results = snapshot.access_many(ok_args)
+                _scatter_ok(frames, ok_slots, ok_ids, results, version)
+
+        elif op == "rank":
+            for slot, request in zip(slots, members):
+                pos = request.args["pos"]
+                if not 0 <= pos <= version:
+                    frames[slot] = encode_error(
+                        request.id,
+                        "out_of_bounds",
+                        f"rank position {pos} out of range for length {version}",
+                    )
+                    continue
+                ok_slots.append(slot)
+                ok_ids.append(request.id)
+                ok_args.append(pos)
+            if ok_args:
+                results = snapshot.rank_many(group_key, ok_args)
+                _scatter_ok(frames, ok_slots, ok_ids, results, version)
+
+        elif op == "rank_prefix":
+            for slot, request in zip(slots, members):
+                pos = request.args["pos"]
+                if not 0 <= pos <= version:
+                    frames[slot] = encode_error(
+                        request.id,
+                        "out_of_bounds",
+                        f"rank position {pos} out of range for length {version}",
+                    )
+                    continue
+                ok_slots.append(slot)
+                ok_ids.append(request.id)
+                ok_args.append(pos)
+            if ok_args:
+                results = snapshot.rank_prefix_many(group_key, ok_args)
+                _scatter_ok(frames, ok_slots, ok_ids, results, version)
+
+        elif op == "select":
+            # One pinned-count rank for the whole group, then per-request
+            # index validation with the scalar path's exact messages.
+            total = snapshot.rank(group_key, version)
+            for slot, request in zip(slots, members):
+                idx = request.args["idx"]
+                if idx < 0:
+                    frames[slot] = encode_error(
+                        request.id, "out_of_bounds",
+                        "select index must be non-negative",
+                    )
+                elif total == 0:
+                    frames[slot] = encode_error(
+                        request.id, "value_not_found",
+                        f"value {group_key!r} does not occur in the sequence",
+                    )
+                elif idx >= total:
+                    frames[slot] = encode_error(
+                        request.id, "out_of_bounds",
+                        f"select index {idx} out of range: only {total} occurrences",
+                    )
+                else:
+                    ok_slots.append(slot)
+                    ok_ids.append(request.id)
+                    ok_args.append(idx)
+            if ok_args:
+                results = snapshot.select_many(group_key, ok_args)
+                _scatter_ok(frames, ok_slots, ok_ids, results, version)
+
+        else:  # select_prefix
+            matches = snapshot.rank_prefix(group_key, version)
+            for slot, request in zip(slots, members):
+                idx = request.args["idx"]
+                if matches == 0:
+                    frames[slot] = encode_error(
+                        request.id, "value_not_found",
+                        f"no element has prefix {group_key!r}",
+                    )
+                    continue
+                try:
+                    check_select_prefix_index(group_key, idx, matches)
+                except Exception as error:
+                    frames[slot] = encode_error(
+                        request.id, "out_of_bounds", str(error)
+                    )
+                    continue
+                ok_slots.append(slot)
+                ok_ids.append(request.id)
+                ok_args.append(idx)
+            if ok_args:
+                results = snapshot.select_prefix_many(group_key, ok_args)
+                _scatter_ok(frames, ok_slots, ok_ids, results, version)
+
+        if metrics is not None and ok_args:
+            metrics.record_batch(op, len(ok_args))
+
+    assert all(frame is not None for frame in frames)
+    return frames  # type: ignore[return-value]

@@ -1,0 +1,107 @@
+"""Deterministic fault injection for the serving test harness.
+
+The shard pump exposes one seam: immediately after it pins the tick's
+snapshot and before it executes the batch, it awaits
+:meth:`FaultInjector.before_batch`.  Everything the harness needs hangs off
+that seam, with *no wall-clock sleeps anywhere*:
+
+* **slow handler** -- burn a configured number of ``asyncio.sleep(0)``
+  event-loop turns, so other tasks (more clients, the writer) interleave a
+  deterministic number of times while the batch is "executing";
+* **writer churn** -- append rows to the live column mid-batch, so the
+  snapshot-isolation suite can prove the pinned reads never see them;
+* **clock skew** -- advance the shard's injected fake clock, so timeout
+  expiry is triggered exactly when the test wants it;
+* **crash** -- raise from inside the handler, so every request in the tick
+  gets a typed ``internal`` error and the server survives.
+
+Hooks are consumed from a scripted queue (one entry per tick, in order), so
+a test reads as a schedule: "tick 1 normal, tick 2 slow with churn, tick 3
+crash".  An exhausted script means no faults -- production runs with the
+default no-op injector.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional
+
+__all__ = ["FaultInjector", "FaultPlan"]
+
+
+class FaultPlan:
+    """The faults to apply to one tick (one ``before_batch`` call)."""
+
+    def __init__(
+        self,
+        *,
+        yield_turns: int = 0,
+        churn_values: Optional[list] = None,
+        advance_clock: float = 0.0,
+        crash: Optional[BaseException] = None,
+        callback: Optional[Callable[[Any], Any]] = None,
+    ) -> None:
+        self.yield_turns = yield_turns
+        self.churn_values = list(churn_values or [])
+        self.advance_clock = advance_clock
+        self.crash = crash
+        self.callback = callback
+
+
+class FaultInjector:
+    """Scripted per-tick fault hooks for a shard pump.
+
+    With an empty script every hook is a no-op; ticks consume plans in FIFO
+    order.  The injector records what it applied (``applied`` counters) so
+    tests can assert the schedule actually ran.
+    """
+
+    def __init__(self) -> None:
+        self._plans: Deque[FaultPlan] = deque()
+        self.applied: Dict[str, int] = {
+            "ticks": 0,
+            "yield_turns": 0,
+            "churned_rows": 0,
+            "clock_advances": 0,
+            "crashes": 0,
+        }
+
+    def script(self, *plans: FaultPlan) -> "FaultInjector":
+        """Queue fault plans for the next ticks (returns self for chaining)."""
+        self._plans.extend(plans)
+        return self
+
+    def skip_ticks(self, count: int) -> "FaultInjector":
+        """Queue ``count`` explicit no-fault ticks before the next plan."""
+        for _ in range(count):
+            self._plans.append(FaultPlan())
+        return self
+
+    async def before_batch(self, shard) -> None:
+        """The pump's seam: applies the next scripted plan, if any.
+
+        Runs after the tick's snapshot is pinned, so churn it injects is
+        exactly the "concurrent write" a snapshot reader must not observe.
+        """
+        import asyncio
+
+        self.applied["ticks"] += 1
+        if not self._plans:
+            return
+        plan = self._plans.popleft()
+        if plan.callback is not None:
+            result = plan.callback(shard)
+            if hasattr(result, "__await__"):
+                await result
+        if plan.churn_values:
+            shard.column.extend(plan.churn_values)
+            self.applied["churned_rows"] += len(plan.churn_values)
+        for _ in range(plan.yield_turns):
+            self.applied["yield_turns"] += 1
+            await asyncio.sleep(0)
+        if plan.advance_clock:
+            shard.advance_clock(plan.advance_clock)
+            self.applied["clock_advances"] += 1
+        if plan.crash is not None:
+            self.applied["crashes"] += 1
+            raise plan.crash

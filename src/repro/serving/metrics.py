@@ -1,0 +1,106 @@
+"""Request, latency and batch-size accounting for the index server.
+
+One :class:`ServingMetrics` instance per server aggregates everything the
+``stats`` endpoint reports: per-op request and error counters, coalescing
+batch sizes (how many scalar requests each ``*_many`` call absorbed -- the
+number that explains the throughput multiplier), and per-op latency
+percentiles over a bounded reservoir of recent requests.
+
+The reservoir is a fixed-size ring per op (newest overwrite oldest), so the
+percentiles track recent behaviour and memory stays bounded no matter how
+long the server runs.  All updates are O(1); percentile computation sorts
+one ring on demand (stats calls only).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Any, Deque, Dict
+
+__all__ = ["ServingMetrics"]
+
+_RESERVOIR = 4096
+
+
+def _percentile(samples: list, fraction: float) -> float:
+    """Nearest-rank percentile of a non-empty sorted sample list."""
+    rank = min(len(samples) - 1, max(0, int(fraction * len(samples))))
+    return samples[rank]
+
+
+class ServingMetrics:
+    """Bounded-memory counters behind the server's ``stats`` endpoint."""
+
+    def __init__(self, reservoir: int = _RESERVOIR) -> None:
+        self.requests: Counter = Counter()       # per op
+        self.errors: Counter = Counter()         # per wire error code
+        self.batches: Counter = Counter()        # *_many calls per op
+        self.coalesced: Counter = Counter()      # scalar requests absorbed, per op
+        self.max_batch: Dict[str, int] = {}
+        self.ticks = 0
+        self.client_disconnects = 0
+        self._latency: Dict[str, Deque[float]] = {}
+        self._reservoir = reservoir
+
+    # ------------------------------------------------------------------
+    def record_request(self, op: str) -> None:
+        """Count one accepted request frame."""
+        self.requests[op] += 1
+
+    def record_error(self, code: str) -> None:
+        """Count one error response by wire code."""
+        self.errors[code] += 1
+
+    def record_batch(self, op: str, size: int) -> None:
+        """Count one drained ``*_many`` batch that absorbed ``size`` requests."""
+        self.batches[op] += 1
+        self.coalesced[op] += size
+        if size > self.max_batch.get(op, 0):
+            self.max_batch[op] = size
+
+    def record_tick(self) -> None:
+        """Count one coalescing tick (one queue drain)."""
+        self.ticks += 1
+
+    def record_disconnect(self) -> None:
+        """Count a client that vanished before its response could be written."""
+        self.client_disconnects += 1
+
+    def record_latency(self, op: str, seconds: float) -> None:
+        """Add one request's queue-to-response latency to the op's ring."""
+        ring = self._latency.get(op)
+        if ring is None:
+            ring = self._latency[op] = deque(maxlen=self._reservoir)
+        ring.append(seconds)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """The JSON-ready stats payload (sorts each latency ring on demand)."""
+        latency: Dict[str, Dict[str, float]] = {}
+        for op, ring in sorted(self._latency.items()):
+            if not ring:
+                continue
+            samples = sorted(ring)
+            latency[op] = {
+                "p50_ms": round(_percentile(samples, 0.50) * 1e3, 3),
+                "p99_ms": round(_percentile(samples, 0.99) * 1e3, 3),
+                "max_ms": round(samples[-1] * 1e3, 3),
+                "samples": len(samples),
+            }
+        batch_stats = {
+            op: {
+                "batches": self.batches[op],
+                "requests": self.coalesced[op],
+                "mean_size": round(self.coalesced[op] / self.batches[op], 2),
+                "max_size": self.max_batch.get(op, 0),
+            }
+            for op in sorted(self.batches)
+        }
+        return {
+            "requests": dict(sorted(self.requests.items())),
+            "errors": dict(sorted(self.errors.items())),
+            "ticks": self.ticks,
+            "client_disconnects": self.client_disconnects,
+            "batches": batch_stats,
+            "latency": latency,
+        }

@@ -1,0 +1,384 @@
+"""The asyncio index server: transports, dispatch, and lifecycle.
+
+:class:`IndexServer` serves one or more named shards (each a
+:class:`~repro.db.column.CompressedColumn` behind an
+:class:`~repro.serving.shard.IndexShard`) over two transports:
+
+* a **unix socket** speaking raw NDJSON -- one request frame per line, one
+  response frame per line, answered in order per connection;
+* **localhost HTTP/1.1** -- ``GET /stats`` for the metrics payload and
+  ``POST /query`` with an NDJSON body (the same frames, batched per call).
+
+Connections are handled sequentially frame-by-frame; *cross-connection*
+concurrency is what the per-shard coalescing queue turns into batches.  A
+graceful :meth:`IndexServer.stop` closes the listeners, lets every queued
+request finish (``drain``), answers anything submitted after the stop with
+a ``shutting_down`` error, then disconnects lingering idle clients.
+
+:class:`NDJSONClient` is the minimal matching client used by the test
+harness, the benchmark and the CLI: connect, send one frame, read one
+frame.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple, Union
+
+from repro.db.column import CompressedColumn
+from repro.serving.faults import FaultInjector
+from repro.serving.metrics import ServingMetrics
+from repro.serving.protocol import (
+    ADMIN_OPS,
+    DEFAULT_MAX_FRAME_BYTES,
+    ProtocolError,
+    Request,
+    decode_frame,
+    encode_error,
+    encode_result,
+)
+from repro.serving.shard import IndexShard
+
+__all__ = ["IndexServer", "NDJSONClient", "ServerConfig"]
+
+_HTTP_BODY_LIMIT = 1 << 24  # 16 MiB of NDJSON per POST /query call
+
+
+@dataclass
+class ServerConfig:
+    """Tunables for an :class:`IndexServer` (all transports optional)."""
+
+    unix_path: Optional[str] = None
+    http_host: str = "127.0.0.1"
+    http_port: Optional[int] = None  # None: no HTTP; 0: ephemeral port
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+    coalesce: bool = True
+    coalesce_window: int = 4  # loop turns the pump waits for a wider batch
+    max_pending: int = 1024
+    request_timeout: Optional[float] = None
+    compact_budget: Optional[int] = None
+
+
+class IndexServer:
+    """Serve Wavelet-Trie columns with coalesced reads and snapshot pins."""
+
+    def __init__(
+        self,
+        columns: Union[CompressedColumn, Dict[str, CompressedColumn]],
+        config: Optional[ServerConfig] = None,
+        *,
+        clock: Optional[Callable[[], float]] = None,
+        faults: Optional[FaultInjector] = None,
+    ) -> None:
+        self.config = config if config is not None else ServerConfig()
+        self.metrics = ServingMetrics()
+        if isinstance(columns, CompressedColumn):
+            columns = {"default": columns}
+        self.shards: Dict[str, IndexShard] = {
+            name: IndexShard(
+                name,
+                column,
+                coalesce=self.config.coalesce,
+                coalesce_window=self.config.coalesce_window,
+                max_pending=self.config.max_pending,
+                request_timeout=self.config.request_timeout,
+                compact_budget=self.config.compact_budget,
+                clock=clock,
+                metrics=self.metrics,
+                faults=faults,
+            )
+            for name, column in columns.items()
+        }
+        self._servers: List[asyncio.AbstractServer] = []
+        self._conn_tasks: Set["asyncio.Task"] = set()
+        self._stopping = False
+        self._stopped: Optional[asyncio.Event] = None
+        self.http_address: Optional[Tuple[str, int]] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the configured transports and start accepting clients."""
+        self._stopped = asyncio.Event()
+        limit = self.config.max_frame_bytes + 1024  # room for one frame + slack
+        if self.config.unix_path is not None:
+            server = await asyncio.start_unix_server(
+                self._spawn_handler(self._handle_ndjson),
+                path=self.config.unix_path,
+                limit=limit,
+            )
+            self._servers.append(server)
+        if self.config.http_port is not None:
+            server = await asyncio.start_server(
+                self._spawn_handler(self._handle_http),
+                host=self.config.http_host,
+                port=self.config.http_port,
+                limit=limit,
+            )
+            self._servers.append(server)
+            self.http_address = server.sockets[0].getsockname()[:2]
+        if not self._servers:
+            raise ValueError("ServerConfig enables no transport")
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain every shard, disconnect.
+
+        Queued requests are answered; frames arriving after the stop get a
+        typed ``shutting_down`` error; idle connections are then closed.
+        """
+        self._stopping = True
+        for server in self._servers:
+            server.close()
+        for shard in self.shards.values():
+            await shard.drain()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if (
+            self.config.unix_path is not None
+            and os.path.exists(self.config.unix_path)
+        ):
+            os.unlink(self.config.unix_path)
+        if self._stopped is not None:
+            self._stopped.set()
+
+    async def serve_until_stopped(self) -> None:
+        """Block until :meth:`stop` completes (for ``repro serve``)."""
+        assert self._stopped is not None, "call start() first"
+        await self._stopped.wait()
+
+    def _spawn_handler(self, handler):
+        # Track connection tasks so stop() can cancel lingering idle clients.
+        async def run(reader, writer):
+            task = asyncio.current_task()
+            assert task is not None
+            self._conn_tasks.add(task)
+            try:
+                await handler(reader, writer)
+            except asyncio.CancelledError:
+                # stop() disconnects lingering idle clients; ending the task
+                # normally keeps the streams machinery from logging it.
+                pass
+            finally:
+                self._conn_tasks.discard(task)
+
+        return run
+
+    # ------------------------------------------------------------------
+    # Dispatch (shared by both transports)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _salvage_id(line: bytes) -> Any:
+        """Best-effort ``id`` recovery from a frame that failed validation."""
+        try:
+            payload = json.loads(line)
+        except Exception:
+            return None
+        if isinstance(payload, dict):
+            request_id = payload.get("id")
+            if isinstance(request_id, (str, int, float)) or request_id is None:
+                return request_id
+        return None
+
+    async def dispatch_line(self, line: bytes) -> bytes:
+        """Decode one request line and answer it with one response frame."""
+        try:
+            request = decode_frame(line, self.config.max_frame_bytes)
+        except ProtocolError as error:
+            self.metrics.record_error(error.code)
+            return encode_error(self._salvage_id(line), error.code, str(error))
+        return await self.dispatch(request)
+
+    async def dispatch(self, request: Request) -> bytes:
+        """Route one validated request to its shard (or answer it inline)."""
+        if request.op in ADMIN_OPS:
+            self.metrics.record_request(request.op)
+            if request.op == "ping":
+                return encode_result(request.id, "pong")
+            return encode_result(request.id, self.stats())
+        if self._stopping:
+            self.metrics.record_error("shutting_down")
+            return encode_error(
+                request.id, "shutting_down", "server is draining"
+            )
+        shard = self.shards.get(request.shard)
+        if shard is None:
+            self.metrics.record_error("unknown_shard")
+            return encode_error(
+                request.id,
+                "unknown_shard",
+                f"no shard named {request.shard!r}: "
+                f"serving {sorted(self.shards)}",
+            )
+        return await shard.submit(request)
+
+    def stats(self) -> Dict[str, Any]:
+        """The full ``stats`` payload: per-shard state plus server metrics."""
+        return {
+            "shards": {
+                name: shard.stats() for name, shard in sorted(self.shards.items())
+            },
+            "metrics": self.metrics.snapshot(),
+            "config": {
+                "coalesce": self.config.coalesce,
+                "coalesce_window": self.config.coalesce_window,
+                "max_pending": self.config.max_pending,
+                "request_timeout": self.config.request_timeout,
+                "max_frame_bytes": self.config.max_frame_bytes,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Unix-socket transport: raw NDJSON, one frame in, one frame out
+    # ------------------------------------------------------------------
+    async def _handle_ndjson(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # The line outgrew the stream buffer: report it as an
+                    # oversized frame, then close -- resyncing mid-line is
+                    # not possible.
+                    writer.write(
+                        encode_error(
+                            None,
+                            "oversized",
+                            "frame exceeds the "
+                            f"{self.config.max_frame_bytes} byte limit",
+                        )
+                    )
+                    self.metrics.record_error("oversized")
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                writer.write(await self.dispatch_line(line))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            self.metrics.record_disconnect()
+        except asyncio.CancelledError:
+            raise
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                self.metrics.record_disconnect()
+
+    # ------------------------------------------------------------------
+    # HTTP transport: GET /stats, POST /query (NDJSON body)
+    # ------------------------------------------------------------------
+    async def _handle_http(self, reader, writer) -> None:
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line or not request_line.strip():
+                    break
+                parts = request_line.decode("latin-1").split()
+                if len(parts) < 2:
+                    await self._http_respond(writer, 400, b"bad request line\n")
+                    break
+                method, path = parts[0].upper(), parts[1]
+                headers: Dict[str, str] = {}
+                while True:
+                    header = await reader.readline()
+                    if header in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = header.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                length = int(headers.get("content-length") or 0)
+                if length > _HTTP_BODY_LIMIT:
+                    await self._http_respond(writer, 413, b"body too large\n")
+                    break
+                body = await reader.readexactly(length) if length else b""
+                if method == "GET" and path == "/stats":
+                    await self._http_respond(
+                        writer, 200, encode_result(None, self.stats())
+                    )
+                elif method == "GET" and path == "/ping":
+                    await self._http_respond(
+                        writer, 200, encode_result(None, "pong")
+                    )
+                elif method == "POST" and path == "/query":
+                    out = bytearray()
+                    for line in body.split(b"\n"):
+                        if line.strip():
+                            out += await self.dispatch_line(line)
+                    await self._http_respond(writer, 200, bytes(out))
+                else:
+                    await self._http_respond(writer, 404, b"not found\n")
+                if headers.get("connection", "").lower() == "close":
+                    break
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+        ):
+            self.metrics.record_disconnect()
+        except asyncio.CancelledError:
+            raise
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                self.metrics.record_disconnect()
+
+    @staticmethod
+    async def _http_respond(writer, status: int, body: bytes) -> None:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  413: "Payload Too Large"}.get(status, "Error")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+
+class NDJSONClient:
+    """A minimal unix-socket client: one frame out, one frame back, in order."""
+
+    def __init__(self, reader, writer) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, unix_path: str) -> "NDJSONClient":
+        """Open one NDJSON connection to the server's unix socket."""
+        reader, writer = await asyncio.open_unix_connection(unix_path)
+        return cls(reader, writer)
+
+    async def call(self, **payload: Any) -> Dict[str, Any]:
+        """Send one request object, await and decode its response frame."""
+        frame = await self.call_raw(
+            json.dumps(payload, sort_keys=True).encode() + b"\n"
+        )
+        return json.loads(frame)
+
+    async def call_raw(self, frame: bytes) -> bytes:
+        """Send one pre-encoded frame, return the raw response line."""
+        self._writer.write(frame)
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return line
+
+    async def close(self) -> None:
+        """Close the connection (idempotent)."""
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass

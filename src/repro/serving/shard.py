@@ -1,0 +1,356 @@
+"""One served shard: a column, its queues, and the single writer task.
+
+The shard is where the server's concurrency rules live:
+
+* **Single writer.**  Exactly one *pump* task per shard ever touches the
+  mutable column: it applies queued writes (coalescing every append/extend
+  waiting this tick into one bulk ``extend``), funds a budgeted
+  ``compact_step`` for tiered columns, and only then serves reads -- so
+  appends and compaction stay off the read path.
+* **Snapshot reads.**  Each tick pins a :class:`~repro.db.column.ColumnSnapshot`
+  (an O(1) prefix pin) and answers the whole read batch against it via
+  :func:`~repro.serving.coalescer.run_read_tick`; writes landing mid-batch
+  (including injected churn) are invisible until the next tick's pin.
+* **Backpressure and timeouts.**  The queue is bounded -- a submit beyond
+  ``max_pending`` is rejected immediately with ``overloaded`` -- and each
+  queued request carries a deadline checked when its tick drains
+  (``timeout``).  Time comes from an injectable clock so the fault harness
+  can expire requests deterministically, without sleeping.
+
+All coordination is plain asyncio on one loop: ``submit`` parks the caller
+on a future, an :class:`asyncio.Event` wakes the pump, and the pump resolves
+the futures with pre-encoded response frames.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from collections import deque
+
+from repro.db.column import ColumnSnapshot, CompressedColumn
+from repro.serving.coalescer import run_read_tick
+from repro.serving.faults import FaultInjector
+from repro.serving.metrics import ServingMetrics
+from repro.serving.protocol import (
+    READ_OPS,
+    WRITE_OPS,
+    Request,
+    encode_error,
+    encode_result,
+    error_code_for_exception,
+    error_message,
+)
+
+__all__ = ["IndexShard"]
+
+
+@dataclass
+class _Pending:
+    """A parked request: its frame comes back through ``future``."""
+
+    request: Request
+    future: "asyncio.Future[bytes]"
+    deadline: Optional[float] = None
+
+
+class IndexShard:
+    """A named column served by one pump task with coalescing queues."""
+
+    def __init__(
+        self,
+        name: str,
+        column: CompressedColumn,
+        *,
+        coalesce: bool = True,
+        coalesce_window: int = 0,
+        max_pending: int = 1024,
+        request_timeout: Optional[float] = None,
+        compact_budget: Optional[int] = None,
+        clock: Optional[Callable[[], float]] = None,
+        metrics: Optional[ServingMetrics] = None,
+        faults: Optional[FaultInjector] = None,
+    ) -> None:
+        self.name = name
+        self.column = column
+        self.coalesce = coalesce
+        self.coalesce_window = coalesce_window
+        self.max_pending = max_pending
+        self.request_timeout = request_timeout
+        self.compact_budget = compact_budget
+        self.metrics = metrics if metrics is not None else ServingMetrics()
+        self.faults = faults if faults is not None else FaultInjector()
+        self._clock = clock if clock is not None else time.monotonic
+        self._clock_offset = 0.0
+        self._reads: Deque[_Pending] = deque()
+        self._writes: Deque[_Pending] = deque()
+        self._snapshot: Optional[ColumnSnapshot] = None
+        self._wakeup: Optional[asyncio.Event] = None
+        self._pump_task: Optional["asyncio.Task"] = None
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # Clock (injectable, skewable by the fault harness)
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        """Current shard time: the injected clock plus any fault skew."""
+        return self._clock() + self._clock_offset
+
+    def advance_clock(self, seconds: float) -> None:
+        """Skew the shard clock forward (fault harness: trigger timeouts)."""
+        self._clock_offset += seconds
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def snapshot(self) -> Optional[ColumnSnapshot]:
+        """The snapshot the last tick pinned (None before the first tick)."""
+        return self._snapshot
+
+    def queue_depth(self) -> int:
+        """Requests currently parked on the shard (reads + writes)."""
+        return len(self._reads) + len(self._writes)
+
+    def stats(self) -> Dict[str, Any]:
+        """The shard's slice of the ``stats`` endpoint payload."""
+        return {
+            "rows": len(self.column),
+            "snapshot_version": (
+                self._snapshot.version if self._snapshot is not None else None
+            ),
+            "appendable": self.column.appendable,
+            "coalesce": self.coalesce,
+            "queue_depth": self.queue_depth(),
+            "draining": self._draining,
+            "size_in_bits": self.column.size_in_bits(),
+        }
+
+    # ------------------------------------------------------------------
+    # Submission (called from connection handlers)
+    # ------------------------------------------------------------------
+    async def submit(self, request: Request) -> bytes:
+        """Queue one request and await its response frame.
+
+        Rejects immediately (without queueing) when the shard is draining
+        (``shutting_down``) or the bounded queue is full (``overloaded``).
+        """
+        self.metrics.record_request(request.op)
+        if self._draining:
+            return self._reject(request, "shutting_down", "server is draining")
+        if self.queue_depth() >= self.max_pending:
+            return self._reject(
+                request,
+                "overloaded",
+                f"shard {self.name!r} queue is full ({self.max_pending} pending)",
+            )
+        self._ensure_pump()
+        started = self.now()
+        deadline = (
+            started + self.request_timeout
+            if self.request_timeout is not None
+            else None
+        )
+        pending = _Pending(
+            request,
+            asyncio.get_running_loop().create_future(),
+            deadline,
+        )
+        if request.op in WRITE_OPS:
+            self._writes.append(pending)
+        else:
+            assert request.op in READ_OPS, request.op
+            self._reads.append(pending)
+        assert self._wakeup is not None
+        self._wakeup.set()
+        frame = await pending.future
+        self.metrics.record_latency(request.op, self.now() - started)
+        self._count_error_frame(frame)
+        return frame
+
+    def _reject(self, request: Request, code: str, message: str) -> bytes:
+        self.metrics.record_error(code)
+        return encode_error(request.id, code, message)
+
+    def _count_error_frame(self, frame: bytes) -> None:
+        # Sorted-key encoding puts "error" first in error frames only.
+        if frame.startswith(b'{"error"'):
+            self.metrics.record_error(json.loads(frame)["error"]["code"])
+
+    # ------------------------------------------------------------------
+    # The pump: the shard's single writer task
+    # ------------------------------------------------------------------
+    def _ensure_pump(self) -> None:
+        if self._wakeup is None:
+            self._wakeup = asyncio.Event()
+        if self._pump_task is None or self._pump_task.done():
+            self._pump_task = asyncio.get_running_loop().create_task(
+                self._pump(), name=f"repro-shard-{self.name}"
+            )
+
+    async def _pump(self) -> None:
+        while True:
+            if not self._reads and not self._writes:
+                if self._draining:
+                    return
+                assert self._wakeup is not None
+                self._wakeup.clear()
+                if not self._reads and not self._writes:
+                    if self._draining:
+                        return
+                    await self._wakeup.wait()
+                continue
+            self.metrics.record_tick()
+            await self._gather_window()
+            await self._tick()
+
+    async def _gather_window(self) -> None:
+        """Give staggered in-flight submissions a few loop turns to join.
+
+        Clients sharing the server's event loop land their requests in one
+        ready-callback batch, so the pump (woken by the first submit but
+        scheduled after the rest) already sees them all.  Cross-process
+        clients are different: their frames arrive over the socket staggered
+        across selector passes, and the pump can wake between two arrivals
+        and drain a near-empty queue.  Each ``sleep(0)`` here runs one full
+        pass of ready callbacks (including freshly readable connections);
+        the loop stops early once the queue stops growing, so an idle shard
+        pays one wasted yield at most.  Bounded by ``coalesce_window``
+        (default 0: off -- the deterministic fault tests rely on
+        single-yield tick timing).
+        """
+        if not self.coalesce or self.coalesce_window <= 0:
+            return
+        for _ in range(self.coalesce_window):
+            before = self.queue_depth()
+            await asyncio.sleep(0)
+            if self.queue_depth() == before:
+                break
+
+    async def _tick(self) -> None:
+        """One queue drain: writes first, then one pinned read batch."""
+        now = self.now()
+
+        if self._writes:
+            writes = [p for p in self._drain_writes() if not self._expire(p, now)]
+            self._apply_writes(writes)
+
+        if self._snapshot is None or not self._snapshot.is_current():
+            self._snapshot = self.column.snapshot()
+        snapshot = self._snapshot
+
+        if not self._reads:
+            return
+        if self.coalesce:
+            batch = list(self._reads)
+            self._reads.clear()
+        else:
+            batch = [self._reads.popleft()]
+        live = [p for p in batch if not self._expire(p, now)]
+        if not live:
+            return
+        try:
+            # The fault seam: runs after the snapshot pin, so injected churn
+            # is exactly the concurrent write a pinned reader must not see.
+            await self.faults.before_batch(self)
+            frames = run_read_tick(
+                snapshot, [p.request for p in live], self.metrics
+            )
+        except Exception as error:
+            code = error_code_for_exception(error)
+            message = error_message(error)
+            for pending in live:
+                self._resolve(
+                    pending, encode_error(pending.request.id, code, message)
+                )
+            return
+        for pending, frame in zip(live, frames):
+            self._resolve(pending, frame)
+
+    def _drain_writes(self) -> List[_Pending]:
+        writes = list(self._writes)
+        self._writes.clear()
+        return writes
+
+    def _apply_writes(self, writes: List[_Pending]) -> None:
+        """Coalesce this tick's appends into one bulk ``extend``.
+
+        Amortised: one ``extend`` (one buffered descent per distinct key in
+        the tiered/append-only index) absorbs every write queued this tick,
+        then one budgeted ``compact_step`` keeps tier fan-out bounded -- all
+        off the read path.  Per-request versions are assigned as if the
+        writes ran serially in queue order.
+        """
+        if not writes:
+            return
+        combined: List[str] = []
+        counts: List[int] = []
+        for pending in writes:
+            if pending.request.op == "append":
+                values = [pending.request.args["value"]]
+            else:
+                values = list(pending.request.args["values"])
+            combined.extend(values)
+            counts.append(len(values))
+        base = len(self.column)
+        try:
+            self.column.extend(combined)
+        except Exception as error:
+            code = error_code_for_exception(error)
+            message = error_message(error)
+            for pending in writes:
+                self._resolve(
+                    pending, encode_error(pending.request.id, code, message)
+                )
+            return
+        if self.compact_budget is not None and hasattr(
+            self.column.index, "compact_step"
+        ):
+            self.column.index.compact_step(self.compact_budget)
+        self.metrics.record_batch("write", len(combined))
+        version = base
+        for pending, count in zip(writes, counts):
+            version += count
+            self._resolve(
+                pending,
+                encode_result(pending.request.id, {"appended": count}, version),
+            )
+
+    def _expire(self, pending: _Pending, now: float) -> bool:
+        if pending.deadline is not None and now > pending.deadline:
+            self._resolve(
+                pending,
+                encode_error(
+                    pending.request.id,
+                    "timeout",
+                    f"request expired after {self.request_timeout}s in queue",
+                ),
+            )
+            return True
+        return False
+
+    @staticmethod
+    def _resolve(pending: _Pending, frame: bytes) -> None:
+        if not pending.future.done():
+            pending.future.set_result(frame)
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    async def drain(self) -> None:
+        """Graceful stop: answer everything queued, reject new submissions.
+
+        Sets the draining flag (new ``submit`` calls get ``shutting_down``),
+        wakes the pump so it finishes every parked request, and waits for
+        the pump task to exit.
+        """
+        self._draining = True
+        if self._wakeup is not None:
+            self._wakeup.set()
+        if self._pump_task is not None:
+            await self._pump_task
+            self._pump_task = None

@@ -356,3 +356,86 @@ class TestTieredAnalytics:
         report = wavelet_trie_space_report(tiered)
         assert report.components["node_count"] == tiered.node_count()
         assert report.total_bits > 0
+
+
+class TestEmptyTierSkip:
+    """Fully-empty tiers must be skipped *before* the per-tier batch walk.
+
+    Every live tier costs a near-size-independent python walk in the batch
+    paths (the fan-out constant the ROADMAP calls out), so a tier holding no
+    elements -- an empty frozen tier handed over by a loader, or the drained
+    mutable tail -- must never be walked, and results must be identical to
+    the same sequence with no empties in the tier list."""
+
+    def _spliced(self, values):
+        """A tiered trie whose frozen list has empties at front/middle/back."""
+        tiered = TieredWaveletTrie(values, active_capacity=16, compact_budget=4)
+        tiered.compact(merge=False)
+        assert len(tiered._frozen) > 1  # several real frozen tiers to mix with
+        empty = WaveletTrie([], codec=tiered.codec)
+        spliced = [empty]
+        for tier in tiered._frozen:
+            spliced.extend([tier, WaveletTrie([], codec=tiered.codec)])
+        tiered._frozen = spliced
+        return tiered
+
+    def test_results_identical_with_mixed_empty_tiers(self, url_log):
+        values = url_log[:120]
+        clean = TieredWaveletTrie(values, active_capacity=16, compact_budget=4)
+        spliced = self._spliced(values)
+        rng = random.Random(11)
+        _assert_matches_oracle(spliced, values, rng)
+        positions = [rng.randrange(len(values)) for _ in range(16)]
+        rank_positions = [rng.randint(0, len(values)) for _ in range(16)]
+        probe = values[0]
+        assert spliced.access_many(positions) == clean.access_many(positions)
+        assert spliced.rank_many(probe, rank_positions) == clean.rank_many(
+            probe, rank_positions
+        )
+        total = clean.count(probe)
+        indexes = list(range(total))
+        assert spliced.select_many(probe, indexes) == clean.select_many(
+            probe, indexes
+        )
+        for prefix in PREFIXES:
+            assert spliced.rank_prefix_many(
+                prefix, rank_positions
+            ) == clean.rank_prefix_many(prefix, rank_positions)
+            matches = clean.count_prefix(prefix)
+            if matches:
+                assert spliced.select_prefix_many(
+                    prefix, list(range(matches))
+                ) == clean.select_prefix_many(prefix, list(range(matches)))
+
+    def test_tier_views_exclude_empty_tiers(self, url_log):
+        spliced = self._spliced(url_log[:80])
+        tiers, offsets = spliced._tier_views()
+        assert all(len(tier) for tier in tiers)
+        # Strictly increasing offsets: bisect owner searches stay unambiguous.
+        assert all(a < b for a, b in zip(offsets, offsets[1:]))
+        assert offsets[-1] == len(spliced)
+        # The raw tier list still reports the empties (introspection), the
+        # query view does not (the walk).
+        assert len(spliced._tiers()) > len(tiers)
+
+    def test_rank_batch_stops_at_the_last_touched_tier(self, url_log):
+        """Positions confined to the first tier must not fan out to later
+        tiers: offset-ordered tiers contribute nothing past max(positions)."""
+        values = url_log[:96]
+        tiered = TieredWaveletTrie(values, active_capacity=16, compact_budget=4)
+        tiered.compact(merge=False)
+        tiers, offsets = tiered._tier_views()
+        assert len(tiers) >= 3
+        walked = []
+        for index, tier in enumerate(tiers):
+            def spy(value, positions, _index=index, _tier=tier):
+                walked.append(_index)
+                return type(_tier).rank_many(_tier, value, positions)
+
+            tier.rank_many = spy
+        first_len = len(tiers[0])
+        tiered.rank_many(values[0], [1, first_len // 2, first_len])
+        assert walked == [0], f"later tiers were walked: {walked}"
+        walked.clear()
+        tiered.rank_many(values[0], [0, 0])  # rank at 0 touches no tier
+        assert walked == []

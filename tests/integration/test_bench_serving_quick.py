@@ -1,0 +1,53 @@
+"""Quick-mode run of the serving benchmark harness.
+
+Runs ``benchmarks/bench_serving.py`` at small sizes inside the test suite so
+the harness (and its embedded differential gates -- byte-identical response
+maps between the coalescing-on and coalescing-off replays, and the exact
+row count after the concurrent write burst) cannot silently break.  No
+throughput threshold is asserted here: at 20k rows and 8 clients the
+scalar queries are too cheap for coalescing to pay off reliably under CI
+noise; the committed ``BENCH_serving.json`` records the full-size numbers
+(64 clients, n=1M) where the >=2x speedup claim is checked.
+"""
+
+import importlib.util
+from pathlib import Path
+
+BENCH_PATH = (
+    Path(__file__).resolve().parent.parent.parent / "benchmarks" / "bench_serving.py"
+)
+
+
+def load_bench_module():
+    spec = importlib.util.spec_from_file_location("bench_serving", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_bench_serving_quick_mode():
+    bench = load_bench_module()
+    # run() embeds the differential gates (responses compared byte-for-byte
+    # across modes and repeats, write-burst row count asserted), so
+    # completing without error is itself a correctness check.
+    payload = bench.run(quick=True, repeats=1)
+    assert payload["quick"] is True
+    assert payload["elements"] == 20_000
+    assert payload["clients"] == 8
+    on, off = payload["coalescing_on"], payload["coalescing_off"]
+    assert on["throughput_rps"] > 0 and off["throughput_rps"] > 0
+    assert on["p50_ms"] > 0 and on["p99_ms"] >= on["p50_ms"]
+    # Coalescing formed multi-request batches; the serial mode never does.
+    assert on["max_batch"] > 1
+    assert off["max_batch"] == 1 and off["mean_batch"] == 1.0
+    burst = payload["write_burst"]
+    assert burst["appends"] == 100
+    # Write coalescing: strictly fewer bulk extends than appends.
+    assert burst["bulk_extends"] < burst["appends"]
+    assert burst["mean_appends_per_extend"] > 1
+
+
+def test_bench_serving_mix_is_normalised():
+    bench = load_bench_module()
+    assert abs(sum(bench.MIX.values()) - 1.0) < 1e-9
+    assert set(bench.MIX) <= {"access", "rank", "select", "rank_prefix", "select_prefix"}

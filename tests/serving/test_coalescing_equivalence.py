@@ -1,0 +1,215 @@
+"""Coalescing equivalence: batched responses byte-identical to serial ones.
+
+Two layers of the same property:
+
+* **Tick level** (pure, no event loop): one :func:`run_read_tick` over a
+  mixed batch returns exactly the frames that per-request singleton ticks
+  return, which in turn match a hand-rolled scalar replay through
+  :class:`~repro.db.column.ColumnSnapshot` -- including every typed error.
+* **Server level** (real asyncio, real sockets): the same request set fired
+  concurrently over many connections against a coalescing server and a
+  coalescing-disabled server yields byte-identical response frames, and the
+  coalescing server's metrics prove multi-request batches actually formed.
+
+Randomised cases are seeded -- every run replays the same schedules.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.baselines import NaiveIndexedSequence
+from repro.db.column import CompressedColumn
+from repro.serving import (
+    IndexServer,
+    NDJSONClient,
+    Request,
+    ServerConfig,
+    encode_error,
+    encode_result,
+    error_code_for_exception,
+    error_message,
+    run_read_tick,
+)
+
+UNIVERSE = ["app/li", "app/lo", "app/le", "apricot", "banana", "b", ""]
+PREFIXES = ["app/", "app/l", "ap", "b", "zzz", ""]
+MISSING = ["zebra", "app/lix"]
+
+
+def make_column(rows: int = 120, seed: int = 7) -> CompressedColumn:
+    rng = random.Random(seed)
+    return CompressedColumn(
+        "urls", [rng.choice(UNIVERSE) for _ in range(rows)], tiered=True
+    )
+
+
+def random_requests(count: int, rows: int, seed: int) -> list:
+    """A seeded mix of all five read ops, valid and invalid alike."""
+    rng = random.Random(seed)
+    requests = []
+    for i in range(count):
+        op = rng.choice(
+            ["access", "rank", "select", "rank_prefix", "select_prefix"]
+        )
+        value = rng.choice(UNIVERSE + MISSING)
+        prefix = rng.choice(PREFIXES + MISSING)
+        pos = rng.randint(-2, rows + 2)
+        idx = rng.randint(-2, rows + 2)
+        args = {
+            "access": {"pos": pos},
+            "rank": {"value": value, "pos": pos},
+            "select": {"value": value, "idx": idx},
+            "rank_prefix": {"prefix": prefix, "pos": pos},
+            "select_prefix": {"prefix": prefix, "idx": idx},
+        }[op]
+        requests.append(Request(op=op, id=i, args=args))
+    return requests
+
+
+def scalar_frame(snapshot, request: Request) -> bytes:
+    """The serial oracle: one scalar ColumnSnapshot call per request."""
+    calls = {
+        "access": lambda: snapshot.access(request.args["pos"]),
+        "rank": lambda: snapshot.rank(request.args["value"], request.args["pos"]),
+        "select": lambda: snapshot.select(
+            request.args["value"], request.args["idx"]
+        ),
+        "rank_prefix": lambda: snapshot.rank_prefix(
+            request.args["prefix"], request.args["pos"]
+        ),
+        "select_prefix": lambda: snapshot.select_prefix(
+            request.args["prefix"], request.args["idx"]
+        ),
+    }
+    try:
+        result = calls[request.op]()
+    except Exception as error:
+        return encode_error(
+            request.id, error_code_for_exception(error), error_message(error)
+        )
+    return encode_result(request.id, result, snapshot.version)
+
+
+class TestTickEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_batched_tick_matches_singleton_ticks_and_scalar_replay(self, seed):
+        column = make_column(seed=seed)
+        snapshot = column.snapshot()
+        requests = random_requests(80, len(column), seed)
+        batched = run_read_tick(snapshot, requests)
+        singletons = [
+            run_read_tick(snapshot, [request])[0] for request in requests
+        ]
+        assert batched == singletons
+        assert batched == [scalar_frame(snapshot, r) for r in requests]
+
+    def test_scalar_results_agree_with_the_naive_oracle(self):
+        column = make_column()
+        naive = NaiveIndexedSequence(column.values())
+        snapshot = column.snapshot()
+        requests = [r for r in random_requests(120, len(column), 13)]
+        frames = run_read_tick(snapshot, requests)
+        import json
+
+        for request, frame in zip(requests, frames):
+            payload = json.loads(frame)
+            if not payload["ok"]:
+                continue
+            expected = {
+                "access": lambda: naive.access(request.args["pos"]),
+                "rank": lambda: naive.rank(
+                    request.args["value"], request.args["pos"]
+                ),
+                "select": lambda: naive.select(
+                    request.args["value"], request.args["idx"]
+                ),
+                "rank_prefix": lambda: naive.rank_prefix(
+                    request.args["prefix"], request.args["pos"]
+                ),
+                "select_prefix": lambda: naive.select_prefix(
+                    request.args["prefix"], request.args["idx"]
+                ),
+            }[request.op]()
+            assert payload["result"] == expected, request
+
+    def test_empty_tick(self):
+        assert run_read_tick(make_column().snapshot(), []) == []
+
+    def test_duplicate_requests_coalesce_to_identical_frames(self):
+        column = make_column()
+        snapshot = column.snapshot()
+        request = Request(op="rank", id=None, args={"value": "banana", "pos": 50})
+        frames = run_read_tick(snapshot, [request] * 17)
+        assert len(set(frames)) == 1
+
+
+async def _serve_and_fire(tmp_path, coalesce: bool, requests, connections: int):
+    """Fire the request set over ``connections`` concurrent clients."""
+    column = make_column()
+    path = str(tmp_path / f"eq-{int(coalesce)}.sock")
+    server = IndexServer(
+        column, ServerConfig(unix_path=path, coalesce=coalesce)
+    )
+    await server.start()
+    try:
+        clients = [
+            await NDJSONClient.connect(path) for _ in range(connections)
+        ]
+        lanes = [requests[i::connections] for i in range(connections)]
+
+        async def lane(client, mine):
+            return [
+                (request.id, await client.call_raw(_wire(request)))
+                for request in mine
+            ]
+
+        answers = await asyncio.gather(
+            *[lane(c, m) for c, m in zip(clients, lanes)]
+        )
+        for client in clients:
+            await client.close()
+        frames = dict(pair for chunk in answers for pair in chunk)
+        return frames, server.metrics
+    finally:
+        await server.stop()
+
+
+def _wire(request: Request) -> bytes:
+    import json
+
+    payload = {"op": request.op, "id": request.id, **request.args}
+    return json.dumps(payload).encode() + b"\n"
+
+
+class TestServerEquivalence:
+    def test_concurrent_coalesced_responses_match_serial_server_byte_for_byte(
+        self, tmp_path
+    ):
+        requests = random_requests(192, 120, seed=29)
+
+        async def main():
+            coalesced, metrics = await _serve_and_fire(
+                tmp_path, True, requests, connections=24
+            )
+            serial, _ = await _serve_and_fire(
+                tmp_path, False, requests, connections=24
+            )
+            return coalesced, serial, metrics
+
+        coalesced, serial, metrics = asyncio.run(main())
+        assert set(coalesced) == set(serial) == {r.id for r in requests}
+        for request_id in coalesced:
+            assert coalesced[request_id] == serial[request_id]
+        # The property is only interesting if batches actually formed.
+        assert max(metrics.max_batch.values()) > 1
+
+    def test_serial_server_never_forms_multi_request_batches(self, tmp_path):
+        requests = random_requests(64, 120, seed=31)
+
+        async def main():
+            return await _serve_and_fire(tmp_path, False, requests, 16)
+
+        _, metrics = asyncio.run(main())
+        assert max(metrics.max_batch.values()) == 1

@@ -11,6 +11,7 @@ pure-python backend -- the bytes on disk are backend-independent.
 """
 
 import mmap
+import random
 
 import pytest
 
@@ -329,3 +330,105 @@ class TestFreeze:
         assert len(tiered._active)  # live tail content
         with pytest.raises(SerializationError, match="fully frozen"):
             _write_tiered_trie(tiered, ImageWriter())
+
+
+class TestConcurrentReaders:
+    """Threads sharing one mapped image: reads are safe and exact.
+
+    The serving layer hands one ``open_image`` result to every reader, so
+    the loaded structures must tolerate concurrent queries on a *shared*
+    object -- including the lazy per-backend re-preparation that runs on
+    the first query after a backend switch.  The stress test computes the
+    oracle serially first, then fires interleaved mixed workloads from
+    many threads against the same ``FrozenImage``-backed trie and requires
+    every thread to see byte-identical answers."""
+
+    def test_threads_share_one_open_image(self, backend, url_log, tmp_path):
+        import threading
+
+        values = url_log
+        path = tmp_path / "shared.rwt2"
+        save_image(WaveletTrie(values), path)
+        loaded = open_image(path, verify=True)
+
+        prefix = values[0][:4]
+        hot = max(set(values), key=values.count)
+
+        def workload(seed):
+            rng = random.Random(seed)
+            out = []
+            for _ in range(120):
+                kind = rng.randrange(4)
+                if kind == 0:
+                    out.append(loaded.access(rng.randrange(len(values))))
+                elif kind == 1:
+                    out.append(loaded.rank(hot, rng.randrange(len(values) + 1)))
+                elif kind == 2:
+                    out.append(loaded.select(hot, rng.randrange(values.count(hot))))
+                else:
+                    out.append(
+                        loaded.rank_prefix(prefix, rng.randrange(len(values) + 1))
+                    )
+            return out
+
+        seeds = list(range(8))
+        expected = {seed: workload(seed) for seed in seeds}  # serial oracle
+
+        results = {}
+        errors = []
+        barrier = threading.Barrier(len(seeds))
+
+        def run(seed):
+            try:
+                barrier.wait()  # maximise interleaving: all start together
+                results[seed] = workload(seed)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append((seed, error))
+
+        threads = [threading.Thread(target=run, args=(seed,)) for seed in seeds]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors
+        assert results == expected
+
+    def test_threads_share_one_image_across_columns(self, backend, url_log, tmp_path):
+        """Many threads, one mapped ColumnStore image: each hammers its own
+        column of the shared store and the batch paths stay exact."""
+        import threading
+
+        store = ColumnStore(["urls", "mirror"])
+        for url, mirror in zip(url_log[:200], url_log[200:400]):
+            store.append_row({"urls": url, "mirror": mirror})
+        path = tmp_path / "store.rwt2"
+        save_image(store, path)
+        loaded = open_image(path, verify=True)
+
+        def batch_workload(name, rows):
+            snapshot = loaded.column(name).snapshot()
+            positions = list(range(0, len(rows), 7))
+            got = snapshot.access_many(positions)
+            assert got == [rows[p] for p in positions]
+            value = rows[3]
+            assert snapshot.rank_many(value, [len(rows)]) == [rows.count(value)]
+            return True
+
+        lanes = [("urls", url_log[:200]), ("mirror", url_log[200:400])] * 3
+        errors = []
+        barrier = threading.Barrier(len(lanes))
+
+        def run(name, rows):
+            try:
+                barrier.wait()
+                for _ in range(20):
+                    batch_workload(name, rows)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append((name, error))
+
+        threads = [threading.Thread(target=run, args=lane) for lane in lanes]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors

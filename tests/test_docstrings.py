@@ -178,3 +178,33 @@ def test_kernel_contract_table_matches_architecture_doc():
         f"ARCHITECTURE.md table rows without a contract function: "
         f"{sorted(stale)}"
     )
+
+
+def test_serving_section_matches_the_code():
+    """The ARCHITECTURE.md "Serving" section must exist and name the serving
+    layer's moving parts (server, shard, tick function, snapshot, fault seam,
+    metrics) plus *every* wire error code -- so adding a code or renaming a
+    component forces the doc to follow."""
+    from repro.serving import protocol
+
+    text = ARCHITECTURE_MD.read_text(encoding="utf-8")
+    assert "## Serving" in text, "Serving section missing"
+    section = text.split("## Serving", 1)[1].split("\n## ", 1)[0]
+    for name in (
+        "IndexServer",
+        "IndexShard",
+        "run_read_tick",
+        "ColumnSnapshot",
+        "FaultInjector.before_batch",
+        "ServingMetrics",
+        "max_pending",
+        "coalesce_window",
+        "version",
+    ):
+        assert name in section, (
+            f"serving term '{name}' missing from the Serving section"
+        )
+    for code in protocol.ERROR_CODES:
+        assert f"`{code}`" in section, (
+            f"error code '{code}' missing from the Serving section"
+        )
