@@ -53,8 +53,10 @@ bench-serving:
 	$(PYTHON) benchmarks/bench_serving.py
 
 # Small-size smoke run of the serving harness (no JSON written); its
-# coalescing-on vs coalescing-off byte-identity gate also runs inside
-# tier-1 via tests/integration/test_bench_serving_quick.py.
+# coalescing-on vs coalescing-off byte-identity gate and the
+# multi-process cluster replay (sharded worker processes byte-compared
+# against the single-process server) also run inside tier-1 via
+# tests/integration/test_bench_serving_quick.py.
 bench-serving-quick:
 	$(PYTHON) benchmarks/bench_serving.py --quick
 

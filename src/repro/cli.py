@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Any, Dict, List, Optional, Sequence
@@ -429,6 +430,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         request_timeout=args.timeout,
         compact_budget=args.compact_budget,
     )
+    if args.workers is not None:
+        return _serve_cluster(args, column, config)
 
     async def run() -> None:
         server = IndexServer({args.shard: column}, config)
@@ -455,6 +458,68 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         except KeyboardInterrupt:
             pass
         await server.stop()
+
+    asyncio.run(run())
+    return 0
+
+
+def _serve_cluster(args: argparse.Namespace, column, config) -> int:
+    """The ``serve --workers N`` path: shard, fork, supervise."""
+    import asyncio
+    import signal
+    import tempfile
+
+    from repro.serving import ClusterConfig, ClusterSupervisor
+    from repro.storage.shards import MANIFEST_NAME, export_shard_images
+
+    if args.workers < 1:
+        raise ReproError(f"--workers must be at least 1, got {args.workers}")
+    if args.image_dir is not None:
+        image_dir = args.image_dir
+        manifest_path = os.path.join(image_dir, MANIFEST_NAME)
+        if not os.path.exists(manifest_path):
+            export_shard_images({args.shard: column}, image_dir, args.workers)
+    else:
+        image_dir = tempfile.mkdtemp(prefix="repro-cluster-")
+        export_shard_images({args.shard: column}, image_dir, args.workers)
+
+    async def run() -> None:
+        supervisor = ClusterSupervisor(
+            config, ClusterConfig(image_dir=image_dir)
+        )
+        await supervisor.start()
+        lines = [
+            f"serving shard {args.shard!r} ({len(column):,} rows) across "
+            f"{supervisor.num_workers} worker processes (tail owns writes)",
+            f"shard images: {image_dir}",
+        ]
+        if args.socket is not None:
+            lines.append(f"unix socket : {args.socket}")
+        if supervisor.http_address is not None:
+            host, port = supervisor.http_address
+            lines.append(f"http        : http://{host}:{port}  (/stats, /query)")
+        _emit(
+            {
+                "shard": args.shard,
+                "rows": len(column),
+                "workers": supervisor.num_workers,
+                "image_dir": image_dir,
+            },
+            False,
+            lines,
+        )
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        try:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):  # non-unix event loops
+            pass
+        try:
+            await stop.wait()
+        except KeyboardInterrupt:
+            pass
+        await supervisor.stop()
 
     asyncio.run(run())
     return 0
@@ -677,6 +742,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="block units of tiered compaction funded per write tick",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="serve through N sharded worker processes (multi-process cluster)",
+    )
+    serve.add_argument(
+        "--image-dir",
+        default=None,
+        help="directory for the cluster's shard images / manifest "
+        "(reused if it already holds a manifest; default: a temp dir)",
     )
     add_common(serve)
     serve.set_defaults(handler=_cmd_serve)

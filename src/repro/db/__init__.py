@@ -16,12 +16,15 @@ cases:
   with time-window analytics (top domains, counts per prefix, majority);
 * :class:`~repro.db.graph_store.TemporalGraphStore` -- an evolving binary
   relation (the paper's social-network example) with on-the-fly adjacency
-  snapshots and per-window deltas.
+  snapshots and per-window deltas;
+* :mod:`repro.db.partition` -- position-range partitioning of columns for
+  the multi-process serving cluster (balanced ranges, shard slicing).
 """
 
 from repro.db.column import ColumnSnapshot, CompressedColumn
 from repro.db.graph_store import TemporalGraphStore
 from repro.db.log_store import AccessLogStore
+from repro.db.partition import as_column_dict, partition_ranges, slice_column
 from repro.db.query import Predicate, Query
 from repro.db.table import ColumnStore
 
@@ -33,4 +36,7 @@ __all__ = [
     "Predicate",
     "Query",
     "TemporalGraphStore",
+    "as_column_dict",
+    "partition_ranges",
+    "slice_column",
 ]

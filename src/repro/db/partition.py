@@ -1,0 +1,91 @@
+"""Position-range partitioning of columns for the sharded cluster.
+
+The multi-process serving cluster splits each logical column into
+contiguous row ranges -- shard ``i`` owns rows ``[lo_i, hi_i)`` -- so that
+the full Grossi--Ottaviano query surface decomposes exactly (see
+:mod:`repro.serving.router` for the identities).  This module holds the
+db-layer half of that split:
+
+* :func:`partition_ranges` -- the one balanced split function.  It is the
+  single source of truth for the range arithmetic: the router's
+  ``PartitionMap.from_total`` delegates here, so a supervisor restart, a
+  worker respawn, and a test oracle all reproduce identical bounds.
+* :func:`as_column_dict` -- normalise the servable shapes (one
+  :class:`~repro.db.column.CompressedColumn`, a
+  :class:`~repro.db.table.ColumnStore`, or an explicit name->column dict)
+  into the named-column form the cluster partitions, with the same naming
+  rule as the single-process ``IndexServer`` (a bare column serves as
+  ``"default"``).
+* :func:`slice_column` -- materialise one shard's row range of a column as
+  a fresh static (read-only) column, ready for RWT2 imaging.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple, Union
+
+from repro.core.static import WaveletTrie
+from repro.db.column import CompressedColumn
+from repro.db.table import ColumnStore
+
+__all__ = ["as_column_dict", "partition_ranges", "slice_column"]
+
+
+def partition_ranges(total: int, num_shards: int) -> List[Tuple[int, int]]:
+    """Split ``[0, total)`` into ``num_shards`` balanced contiguous ranges.
+
+    A pure function of its arguments: the first ``total % num_shards``
+    ranges take one extra row, so every re-computation -- across processes,
+    restarts, and respawns -- yields bit-identical bounds.  Ranges may be
+    empty when ``total < num_shards``.
+    """
+    if num_shards < 1:
+        raise ValueError(f"need at least one shard, got {num_shards}")
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    base, extra = divmod(total, num_shards)
+    ranges: List[Tuple[int, int]] = []
+    lo = 0
+    for shard in range(num_shards):
+        hi = lo + base + (1 if shard < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+def as_column_dict(
+    source: Union[CompressedColumn, ColumnStore, Dict[str, CompressedColumn]],
+) -> Dict[str, CompressedColumn]:
+    """The named-column view of any servable object.
+
+    Mirrors the ``IndexServer`` naming rule: a bare column becomes
+    ``{"default": column}``; a :class:`ColumnStore` contributes each of its
+    columns under its own name; a dict passes through.
+    """
+    if isinstance(source, CompressedColumn):
+        return {"default": source}
+    if isinstance(source, ColumnStore):
+        return {name: source.column(name) for name in source.column_names}
+    return dict(source)
+
+
+def slice_column(
+    column: CompressedColumn, lo: int, hi: int, name: str = None
+) -> CompressedColumn:
+    """Rows ``[lo, hi)`` of ``column`` as a fresh read-only static column.
+
+    The slice is re-encoded into a static RRR :class:`WaveletTrie` (one
+    bulk build over the extracted values), which is exactly the shape the
+    RWT2 shard image wants: immutable, mmap-able, and byte-stable for a
+    given value sequence.
+    """
+    if not 0 <= lo <= hi <= len(column):
+        raise ValueError(
+            f"slice [{lo}, {hi}) out of range for column of {len(column)} rows"
+        )
+    values: List[Any] = list(column.values(lo, hi))
+    codec = getattr(column.index, "codec", None)
+    trie = WaveletTrie(values, codec=codec)
+    return CompressedColumn.from_index(
+        name if name is not None else column.name, trie, appendable=False
+    )

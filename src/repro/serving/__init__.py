@@ -14,14 +14,27 @@ design turns the library's two big levers into service-level properties:
   mutation (appends, budgeted compaction), so readers never block on -- or
   observe -- in-flight writes (:mod:`repro.serving.shard`).
 
+The layer scales past one process: the
+:class:`~repro.serving.cluster.ClusterSupervisor` partitions every column
+into position ranges (:class:`~repro.serving.router.PartitionMap`), writes
+each range as an RWT2 image (:mod:`repro.storage.shards`), and forks one
+worker process per shard that mmaps its slice and runs the same
+:class:`IndexServer` pump.  The supervisor speaks the identical protocol:
+reads scatter-gather through the :class:`~repro.serving.router.ClusterRouter`
+(byte-identical frames to the unsharded server), writes route to the single
+tail owner through a replayable journal, and crashed workers restart with
+bounded backoff.
+
 :mod:`repro.serving.faults` adds the deterministic fault-injection seam the
 test harness drives (slow handlers, mid-batch churn, clock skew, crashes),
 and :mod:`repro.serving.metrics` the counters behind the ``stats`` op.
 """
 
+from repro.serving.cluster import ClusterConfig, ClusterError, ClusterSupervisor
 from repro.serving.coalescer import run_read_tick
 from repro.serving.faults import FaultInjector, FaultPlan
-from repro.serving.metrics import ServingMetrics
+from repro.serving.metrics import ServingMetrics, merge_snapshots
+from repro.serving.router import ClusterRouter, PartitionMap
 from repro.serving.protocol import (
     ADMIN_OPS,
     DEFAULT_MAX_FRAME_BYTES,
@@ -34,23 +47,30 @@ from repro.serving.protocol import (
     decode_frame,
     encode_error,
     encode_frame,
+    encode_request,
     encode_result,
     error_code_for_exception,
     error_message,
 )
-from repro.serving.server import IndexServer, NDJSONClient, ServerConfig
+from repro.serving.server import FrameServer, IndexServer, NDJSONClient, ServerConfig
 from repro.serving.shard import IndexShard
 
 __all__ = [
     "ADMIN_OPS",
+    "ClusterConfig",
+    "ClusterError",
+    "ClusterRouter",
+    "ClusterSupervisor",
     "DEFAULT_MAX_FRAME_BYTES",
     "ERROR_CODES",
     "FaultInjector",
     "FaultPlan",
+    "FrameServer",
     "IndexServer",
     "IndexShard",
     "NDJSONClient",
     "OP_FIELDS",
+    "PartitionMap",
     "ProtocolError",
     "READ_OPS",
     "Request",
@@ -60,8 +80,10 @@ __all__ = [
     "decode_frame",
     "encode_error",
     "encode_frame",
+    "encode_request",
     "encode_result",
     "error_code_for_exception",
     "error_message",
+    "merge_snapshots",
     "run_read_tick",
 ]

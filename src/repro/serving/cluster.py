@@ -1,0 +1,727 @@
+"""Multi-process sharded serving: the cluster supervisor.
+
+:class:`ClusterSupervisor` is the cluster's single front door.  It speaks
+the exact same NDJSON/HTTP protocol as the single-process
+:class:`~repro.serving.server.IndexServer` (it shares the
+:class:`~repro.serving.server.FrameServer` transports), but behind the
+door the data lives in N **worker processes**, one per position-range
+shard, each mmapping its slice from the RWT2 images the manifest names
+(:mod:`repro.storage.shards`) and running the ordinary single-process
+server over it.  The topology:
+
+* **Reads scatter-gather.**  Concurrent reads park on the supervisor's
+  queue and drain in ticks; each tick the
+  :class:`~repro.serving.router.ClusterRouter` decomposes the batch into
+  per-worker scalar subrequests, pipelines them over one persistent
+  NDJSON connection per worker, and merges the results in input order --
+  byte-identical frames to the unsharded server, stamped with the
+  supervisor's authoritative version.
+* **Writes have one owner.**  Every ``append``/``extend`` routes to the
+  *tail* worker (the only process whose columns open appendable), applied
+  strictly in queue order.  Each write is journaled in the supervisor
+  *before* it is sent, which makes recovery exact: a respawned worker is
+  its image plus a journal replay, so an acknowledged write can neither
+  be lost nor applied twice, and in-flight writes interrupted by a crash
+  are recovered by the replay itself.
+* **Supervision.**  Each worker's stdout is a control pipe (``ready``
+  handshake, optional heartbeats); a watcher task notices process death
+  and triggers a bounded restart with exponential backoff
+  (``restart_backoff * 2**attempt`` -- zero in the deterministic tests,
+  so recovery needs no wall-clock sleeps).  Reads hitting a dead worker
+  wait for the respawn and retry; past ``max_restarts`` the worker is
+  marked failed and its shard's requests answer ``internal``.  A graceful
+  ``stop`` drains the queues (late frames get ``shutting_down``), then
+  SIGTERMs the workers, which drain in turn.
+
+``stats`` merges :mod:`~repro.serving.metrics` counters across the
+supervisor and every worker (:func:`~repro.serving.metrics.merge_snapshots`)
+and reports per-worker generation/restart state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Set
+
+from repro.exceptions import ReproError
+from repro.serving.metrics import merge_snapshots
+from repro.serving.protocol import (
+    ADMIN_OPS,
+    READ_OPS,
+    WRITE_OPS,
+    Request,
+    encode_error,
+    encode_frame,
+    encode_request,
+    encode_result,
+    error_code_for_exception,
+    error_message,
+)
+from repro.serving.router import ClusterRouter, PartitionMap
+from repro.serving.server import FrameServer, NDJSONClient, ServerConfig
+from repro.storage.shards import load_manifest
+
+__all__ = ["ClusterConfig", "ClusterError", "ClusterSupervisor", "LIVE_WORKER_PIDS"]
+
+# Module-level registry of spawned worker pids, maintained across spawn and
+# reap.  The test suite's orphan-reaper fixture sweeps it after every test,
+# so a failing test can never leak a worker process into later matrix legs.
+LIVE_WORKER_PIDS: Set[int] = set()
+
+
+class ClusterError(ReproError):
+    """A shard worker could not serve (dead past its restart budget)."""
+
+
+@dataclass
+class ClusterConfig:
+    """Cluster-level tunables (process topology, not transports)."""
+
+    image_dir: str = ""
+    socket_dir: Optional[str] = None   # default: image_dir
+    restart_backoff: float = 0.05      # seconds; doubles per attempt; 0 in tests
+    max_restarts: int = 5              # per worker, before it is marked failed
+    worker_pipeline: int = 64          # in-flight frames per worker connection
+    worker_coalesce_window: int = 2    # the workers' pump gather window
+    worker_compact_budget: Optional[int] = None
+    heartbeat_interval: float = 0.0    # control-pipe heartbeats (0: off)
+    python_executable: Optional[str] = None
+    # Deterministic test seam: worker index -> JSON-safe fault spec list
+    # (FaultInjector.from_specs), applied to generation 0 only so a
+    # respawned worker comes back healthy.
+    fault_scripts: Dict[int, List[Dict[str, Any]]] = field(default_factory=dict)
+
+
+@dataclass
+class _Pending:
+    request: Request
+    future: "asyncio.Future[bytes]"
+    deadline: Optional[float] = None
+
+
+class _WorkerHandle:
+    """One worker process slot: its process, connection, and lifecycle."""
+
+    def __init__(self, index: int, socket_path: str) -> None:
+        self.index = index
+        self.socket_path = socket_path
+        self.proc: Optional[asyncio.subprocess.Process] = None
+        self.client: Optional[NDJSONClient] = None
+        self.generation = 0
+        self.restarts = 0
+        self.failed = False
+        self.shutting = False
+        self.ready = asyncio.Event()
+        self.lock = asyncio.Lock()
+        self.last_heartbeat: Optional[float] = None
+        self.control_task: Optional["asyncio.Task"] = None
+        self.watch_task: Optional["asyncio.Task"] = None
+
+    def state(self) -> Dict[str, Any]:
+        return {
+            "pid": self.proc.pid if self.proc is not None else None,
+            "generation": self.generation,
+            "restarts": self.restarts,
+            "ready": self.ready.is_set() and not self.failed,
+            "failed": self.failed,
+            "last_heartbeat": self.last_heartbeat,
+        }
+
+
+class ClusterSupervisor(FrameServer):
+    """Serve one manifest's shard images through N worker processes."""
+
+    def __init__(
+        self,
+        config: Optional[ServerConfig] = None,
+        cluster: Optional[ClusterConfig] = None,
+        *,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        super().__init__(config)
+        self.cluster = cluster if cluster is not None else ClusterConfig()
+        if not self.cluster.image_dir:
+            raise ValueError("ClusterConfig.image_dir is required")
+        self.manifest = load_manifest(self.cluster.image_dir)
+        self.partition = PartitionMap.from_manifest(self.manifest["partition"])
+        self.num_workers = int(self.manifest["workers"])
+        self.columns: List[str] = list(self.manifest["columns"])
+        # The supervisor's authoritative row count per logical column: the
+        # value every read validates against and every response is stamped
+        # with.  Workers only ever lag it by unacknowledged writes.
+        self.versions: Dict[str, int] = {
+            name: self.partition.total for name in self.columns
+        }
+        self.routers: Dict[str, ClusterRouter] = {
+            name: ClusterRouter(
+                self.partition, self._fetch, column=name, metrics=self.metrics
+            )
+            for name in self.columns
+        }
+        # The write journal: per column, the acknowledged-and-in-flight
+        # writes in application order.  worker state == image + journal.
+        self._journal: Dict[str, List[List[str]]] = {
+            name: [] for name in self.columns
+        }
+        socket_dir = self.cluster.socket_dir or self.cluster.image_dir
+        self._workers = [
+            _WorkerHandle(
+                index, os.path.join(socket_dir, f"worker-{index}.sock")
+            )
+            for index in range(self.num_workers)
+        ]
+        self.total_restarts = 0
+        self._clock = clock if clock is not None else time.monotonic
+        self._reads: Deque[_Pending] = deque()
+        self._writes: Deque[_Pending] = deque()
+        self._wakeup: Optional[asyncio.Event] = None
+        self._pump_task: Optional["asyncio.Task"] = None
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn every worker, await their ready handshakes, then listen."""
+        await asyncio.gather(
+            *(self._spawn(handle) for handle in self._workers)
+        )
+        for handle in self._workers:
+            handle.ready.set()
+        await super().start()
+
+    async def _drain(self) -> None:
+        self._draining = True
+        if self._wakeup is not None:
+            self._wakeup.set()
+        if self._pump_task is not None:
+            await self._pump_task
+            self._pump_task = None
+        await self._shutdown_workers()
+
+    # ------------------------------------------------------------------
+    # Worker processes
+    # ------------------------------------------------------------------
+    def _command(self, handle: _WorkerHandle) -> List[str]:
+        python = self.cluster.python_executable or sys.executable
+        command = [
+            python,
+            "-m",
+            "repro.serving.worker",
+            "--dir", self.cluster.image_dir,
+            "--worker", str(handle.index),
+            "--socket", handle.socket_path,
+            "--coalesce-window", str(self.cluster.worker_coalesce_window),
+            "--pipeline-depth", str(self.cluster.worker_pipeline),
+        ]
+        if self.cluster.worker_compact_budget is not None:
+            command += ["--compact-budget", str(self.cluster.worker_compact_budget)]
+        if self.cluster.heartbeat_interval > 0:
+            command += ["--heartbeat", str(self.cluster.heartbeat_interval)]
+        script = self.cluster.fault_scripts.get(handle.index)
+        if script and handle.generation == 0:
+            command += ["--fault-script", json.dumps(script)]
+        return command
+
+    async def _spawn(self, handle: _WorkerHandle) -> None:
+        """Start one worker process and wait for its ready handshake."""
+        if os.path.exists(handle.socket_path):
+            os.unlink(handle.socket_path)
+        handle.proc = await asyncio.create_subprocess_exec(
+            *self._command(handle), stdout=asyncio.subprocess.PIPE
+        )
+        LIVE_WORKER_PIDS.add(handle.proc.pid)
+        assert handle.proc.stdout is not None
+        while True:
+            line = await handle.proc.stdout.readline()
+            if not line:
+                code = await handle.proc.wait()
+                LIVE_WORKER_PIDS.discard(handle.proc.pid)
+                raise ClusterError(
+                    f"worker {handle.index} exited with code {code} "
+                    "before its ready handshake"
+                )
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if event.get("event") == "ready":
+                break
+        handle.client = await NDJSONClient.connect(
+            handle.socket_path, max_inflight=self.cluster.worker_pipeline
+        )
+        loop = asyncio.get_running_loop()
+        handle.control_task = loop.create_task(self._drain_control(handle))
+        handle.watch_task = loop.create_task(
+            self._watch_exit(handle, handle.generation)
+        )
+
+    async def _drain_control(self, handle: _WorkerHandle) -> None:
+        """Consume the worker's control pipe (heartbeats) until EOF."""
+        assert handle.proc is not None and handle.proc.stdout is not None
+        while True:
+            line = await handle.proc.stdout.readline()
+            if not line:
+                return
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if event.get("event") == "heartbeat":
+                handle.last_heartbeat = self._clock()
+
+    async def _watch_exit(self, handle: _WorkerHandle, generation: int) -> None:
+        """Notice a worker death and trigger its restart."""
+        assert handle.proc is not None
+        proc = handle.proc
+        await proc.wait()
+        LIVE_WORKER_PIDS.discard(proc.pid)
+        if self._stopping or handle.shutting:
+            return
+        await self._restart(handle, generation)
+
+    async def _reap(self, handle: _WorkerHandle) -> None:
+        """Tear down a (possibly dead) worker's process and connection."""
+        if handle.client is not None:
+            await handle.client.close()
+            handle.client = None
+        if handle.control_task is not None:
+            handle.control_task.cancel()
+            await asyncio.gather(handle.control_task, return_exceptions=True)
+            handle.control_task = None
+        if handle.proc is not None:
+            if handle.proc.returncode is None:
+                handle.proc.kill()
+            await handle.proc.wait()
+            LIVE_WORKER_PIDS.discard(handle.proc.pid)
+            handle.proc = None
+
+    async def _restart(self, handle: _WorkerHandle, dead_generation: int) -> None:
+        """Bounded restart-with-backoff; at most once per dead generation.
+
+        Every path that notices the death (exit watcher, failed fetch,
+        failed write) funnels here; the per-worker lock plus the generation
+        check make the recovery idempotent.  The respawned worker replays
+        the write journal before ``ready`` is set, so readers blocked on
+        :meth:`_wait_ready` resume against fully recovered state.
+        """
+        async with handle.lock:
+            if handle.failed or handle.generation != dead_generation:
+                return
+            handle.ready.clear()
+            await self._reap(handle)
+            while True:
+                if handle.restarts >= self.cluster.max_restarts:
+                    handle.failed = True
+                    handle.ready.set()  # wake waiters; they see .failed
+                    return
+                handle.restarts += 1
+                self.total_restarts += 1
+                backoff = self.cluster.restart_backoff * (
+                    2 ** (handle.restarts - 1)
+                )
+                await asyncio.sleep(backoff)
+                handle.generation += 1
+                try:
+                    await self._spawn(handle)
+                    if handle.index == self.partition.tail:
+                        await self._replay_journal(handle)
+                except (ClusterError, ConnectionError, OSError):
+                    await self._reap(handle)
+                    continue
+                handle.ready.set()
+                return
+
+    async def _replay_journal(self, handle: _WorkerHandle) -> None:
+        """Re-apply every journaled write to a freshly spawned tail worker."""
+        assert handle.client is not None
+        futures = []
+        for name in self.columns:
+            for values in self._journal[name]:
+                frame = encode_request("extend", shard=name, values=values)
+                futures.append(await handle.client.submit(frame))
+        for future in futures:
+            line = await future
+            response = json.loads(line)
+            if not response.get("ok"):
+                raise ClusterError(
+                    f"journal replay failed on worker {handle.index}: "
+                    f"{response['error']['code']}: {response['error']['message']}"
+                )
+
+    async def _wait_ready(self, handle: _WorkerHandle) -> None:
+        await handle.ready.wait()
+        if handle.failed:
+            raise ClusterError(
+                f"worker {handle.index} is unavailable "
+                f"(failed after {handle.restarts} restarts)"
+            )
+
+    async def _shutdown_workers(self) -> None:
+        for handle in self._workers:
+            handle.shutting = True
+        for handle in self._workers:
+            if handle.watch_task is not None:
+                handle.watch_task.cancel()
+                await asyncio.gather(handle.watch_task, return_exceptions=True)
+                handle.watch_task = None
+            if handle.proc is not None and handle.proc.returncode is None:
+                handle.proc.terminate()
+        for handle in self._workers:
+            if handle.proc is not None:
+                await handle.proc.wait()
+                LIVE_WORKER_PIDS.discard(handle.proc.pid)
+            if handle.client is not None:
+                await handle.client.close()
+                handle.client = None
+            if handle.control_task is not None:
+                handle.control_task.cancel()
+                await asyncio.gather(handle.control_task, return_exceptions=True)
+                handle.control_task = None
+            if os.path.exists(handle.socket_path):
+                os.unlink(handle.socket_path)
+
+    # ------------------------------------------------------------------
+    # The scatter seam: the routers' fetch callable
+    # ------------------------------------------------------------------
+    async def _fetch(self, shard: int, payloads: List[Dict[str, Any]]) -> List[Any]:
+        """Pipeline one batch of subrequests to one worker, with recovery.
+
+        Reads are idempotent, so a connection failure (the worker died
+        mid-batch) triggers the bounded restart and then simply retries
+        the whole batch against the recovered worker.
+        """
+        handle = self._workers[shard]
+        frames = [encode_frame(payload) for payload in payloads]
+        last_error: Optional[BaseException] = None
+        for _ in range(self.cluster.max_restarts + 1):
+            await self._wait_ready(handle)
+            generation = handle.generation
+            client = handle.client
+            assert client is not None
+            try:
+                futures = [await client.submit(frame) for frame in frames]
+                lines = await asyncio.gather(*futures)
+                return [self._subresult(shard, line) for line in lines]
+            except ConnectionError as error:
+                last_error = error
+                await self._restart(handle, generation)
+        raise ClusterError(
+            f"worker {shard} is unavailable: {last_error}"
+        )
+
+    @staticmethod
+    def _subresult(shard: int, line: bytes) -> Any:
+        response = json.loads(line)
+        if not response.get("ok"):
+            # The supervisor pre-validates, so a worker-side error means
+            # the cluster's own invariants broke -- surface it loudly.
+            raise ClusterError(
+                f"worker {shard} rejected a subrequest: "
+                f"{response['error']['code']}: {response['error']['message']}"
+            )
+        return response["result"]
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def dispatch(self, request: Request) -> bytes:
+        """Answer one validated request: admin inline, reads and writes
+        through the supervisor's coalescing pump."""
+        if request.op in ADMIN_OPS:
+            self.metrics.record_request(request.op)
+            if request.op == "ping":
+                return encode_result(request.id, "pong")
+            return encode_result(request.id, await self.cluster_stats())
+        if self._stopping or self._draining:
+            self.metrics.record_error("shutting_down")
+            return encode_error(request.id, "shutting_down", "server is draining")
+        if request.shard not in self.routers:
+            self.metrics.record_error("unknown_shard")
+            return encode_error(
+                request.id,
+                "unknown_shard",
+                f"no shard named {request.shard!r}: "
+                f"serving {sorted(self.routers)}",
+            )
+        self.metrics.record_request(request.op)
+        if len(self._reads) + len(self._writes) >= self.config.max_pending:
+            self.metrics.record_error("overloaded")
+            return encode_error(
+                request.id,
+                "overloaded",
+                f"shard {request.shard!r} queue is full "
+                f"({self.config.max_pending} pending)",
+            )
+        self._ensure_pump()
+        started = self._clock()
+        deadline = (
+            started + self.config.request_timeout
+            if self.config.request_timeout is not None
+            else None
+        )
+        pending = _Pending(
+            request, asyncio.get_running_loop().create_future(), deadline
+        )
+        if request.op in WRITE_OPS:
+            self._writes.append(pending)
+        else:
+            assert request.op in READ_OPS, request.op
+            self._reads.append(pending)
+        assert self._wakeup is not None
+        self._wakeup.set()
+        frame = await pending.future
+        self.metrics.record_latency(request.op, self._clock() - started)
+        if frame.startswith(b'{"error"'):
+            self.metrics.record_error(json.loads(frame)["error"]["code"])
+        return frame
+
+    # ------------------------------------------------------------------
+    # The supervisor pump: one tick = drained writes, one routed read batch
+    # ------------------------------------------------------------------
+    def _ensure_pump(self) -> None:
+        if self._wakeup is None:
+            self._wakeup = asyncio.Event()
+        if self._pump_task is None or self._pump_task.done():
+            self._pump_task = asyncio.get_running_loop().create_task(
+                self._pump(), name="repro-cluster-pump"
+            )
+
+    async def _pump(self) -> None:
+        while True:
+            if not self._reads and not self._writes:
+                if self._draining:
+                    return
+                assert self._wakeup is not None
+                self._wakeup.clear()
+                if not self._reads and not self._writes:
+                    if self._draining:
+                        return
+                    await self._wakeup.wait()
+                continue
+            self.metrics.record_tick()
+            await self._gather_window()
+            await self._tick()
+
+    async def _gather_window(self) -> None:
+        # Same idiom as IndexShard._gather_window: let staggered arrivals
+        # join the tick, stop as soon as the queue stops growing.
+        if self.config.coalesce_window <= 0:
+            return
+        for _ in range(self.config.coalesce_window):
+            before = len(self._reads) + len(self._writes)
+            await asyncio.sleep(0)
+            if len(self._reads) + len(self._writes) == before:
+                break
+
+    async def _tick(self) -> None:
+        now = self._clock()
+        while self._writes:
+            pending = self._writes.popleft()
+            if self._expire(pending, now):
+                continue
+            await self._apply_write(pending)
+
+        if not self._reads:
+            return
+        batch = list(self._reads)
+        self._reads.clear()
+        live = [p for p in batch if not self._expire(p, now)]
+        if not live:
+            return
+        by_column: Dict[str, List[_Pending]] = {}
+        for pending in live:
+            by_column.setdefault(pending.request.shard, []).append(pending)
+
+        async def answer(name: str, members: List[_Pending]) -> None:
+            try:
+                frames = await self.routers[name].answer(
+                    [p.request for p in members], self.versions[name]
+                )
+            except Exception as error:
+                code = error_code_for_exception(error)
+                message = error_message(error)
+                for pending in members:
+                    self._resolve(
+                        pending, encode_error(pending.request.id, code, message)
+                    )
+                return
+            for pending, frame in zip(members, frames):
+                self._resolve(pending, frame)
+
+        await asyncio.gather(
+            *(answer(name, members) for name, members in by_column.items())
+        )
+
+    async def _apply_write(self, pending: _Pending) -> None:
+        """One journaled write to the tail worker, recovered if it crashes.
+
+        The journal entry is appended *before* the send: from that moment
+        the write is part of the column's durable definition, so a worker
+        crash at any point recovers it through the replay -- the response
+        the client gets is correct in either world, exactly once.
+        """
+        request = pending.request
+        name = request.shard
+        if request.op == "append":
+            values = [request.args["value"]]
+        else:
+            values = list(request.args["values"])
+        handle = self._workers[self.partition.tail]
+        self._journal[name].append(values)
+        self.versions[name] += len(values)
+        version = self.versions[name]
+        frame = encode_request("extend", shard=name, values=values)
+        try:
+            while True:
+                await self._wait_ready(handle)
+                generation = handle.generation
+                client = handle.client
+                assert client is not None
+                try:
+                    line = await client.call_raw(frame)
+                except ConnectionError:
+                    # The respawn's journal replay applies this write (it
+                    # is already journaled); nothing to resend.
+                    await self._restart(handle, generation)
+                    await self._wait_ready(handle)
+                    break
+                response = json.loads(line)
+                if not response.get("ok"):
+                    # A clean worker-side rejection (e.g. codec error):
+                    # forward it and undo the journal entry -- applied
+                    # nowhere, reported as the single-process server would.
+                    self._journal[name].pop()
+                    self.versions[name] -= len(values)
+                    error = response["error"]
+                    self._resolve(
+                        pending,
+                        encode_error(
+                            request.id, error["code"], error["message"]
+                        ),
+                    )
+                    return
+                break
+        except ClusterError as error:
+            # Tail worker dead past its restart budget: the write cannot
+            # be served; undo the journal entry and degrade loudly.
+            self._journal[name].pop()
+            self.versions[name] -= len(values)
+            self._resolve(
+                pending,
+                encode_error(request.id, "internal", error_message(error)),
+            )
+            return
+        self._resolve(
+            pending,
+            encode_result(request.id, {"appended": len(values)}, version),
+        )
+
+    def _expire(self, pending: _Pending, now: float) -> bool:
+        if pending.deadline is not None and now > pending.deadline:
+            self._resolve(
+                pending,
+                encode_error(
+                    pending.request.id,
+                    "timeout",
+                    f"request expired after {self.config.request_timeout}s in queue",
+                ),
+            )
+            return True
+        return False
+
+    @staticmethod
+    def _resolve(pending: _Pending, frame: bytes) -> None:
+        if not pending.future.done():
+            pending.future.set_result(frame)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def cluster_state(self) -> Dict[str, Any]:
+        """Topology snapshot: partition, versions, per-worker lifecycle."""
+        return {
+            "workers": {
+                str(handle.index): handle.state() for handle in self._workers
+            },
+            "partition": self.partition.to_manifest(),
+            "tail": self.partition.tail,
+            "columns": {name: self.versions[name] for name in self.columns},
+            "journal_entries": {
+                name: len(entries) for name, entries in self._journal.items()
+            },
+            "total_restarts": self.total_restarts,
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        """The synchronous (``GET /stats``) payload: supervisor-local only.
+
+        The NDJSON ``stats`` op serves :meth:`cluster_stats` instead, which
+        additionally gathers and merges every live worker's metrics.
+        """
+        return {
+            "cluster": self.cluster_state(),
+            "metrics": self.metrics.snapshot(),
+            "config": {
+                "coalesce": self.config.coalesce,
+                "coalesce_window": self.config.coalesce_window,
+                "max_pending": self.config.max_pending,
+                "request_timeout": self.config.request_timeout,
+                "max_frame_bytes": self.config.max_frame_bytes,
+                "workers": self.num_workers,
+            },
+        }
+
+    async def cluster_stats(self) -> Dict[str, Any]:
+        """The merged ``stats`` op payload.
+
+        ``metrics`` is the exact counter **sum** of the supervisor's and
+        every reachable worker's metrics (see
+        :func:`~repro.serving.metrics.merge_snapshots`); the unmerged
+        per-worker payloads ride along under ``workers``.
+        """
+        stats_frame = encode_request("stats")
+        worker_metrics: Dict[str, Any] = {}
+        for handle in self._workers:
+            if handle.failed or not handle.ready.is_set():
+                continue
+            client = handle.client
+            if client is None:
+                continue
+            try:
+                line = await client.call_raw(stats_frame)
+                payload = json.loads(line)
+            except (ConnectionError, json.JSONDecodeError):
+                continue
+            if payload.get("ok"):
+                worker_metrics[str(handle.index)] = payload["result"]["metrics"]
+        merged = merge_snapshots(
+            [self.metrics.snapshot()] + list(worker_metrics.values())
+        )
+        payload = self.stats()
+        payload["metrics"] = merged
+        payload["supervisor_metrics"] = self.metrics.snapshot()
+        payload["worker_metrics"] = worker_metrics
+        return payload
+
+    async def check_workers(self) -> Dict[str, Any]:
+        """Active health check: ping every worker over its data socket."""
+        ping = encode_request("ping")
+        health: Dict[str, Any] = {}
+        for handle in self._workers:
+            state = handle.state()
+            alive = False
+            if not handle.failed and handle.ready.is_set() and handle.client:
+                try:
+                    response = json.loads(await handle.client.call_raw(ping))
+                    alive = response.get("result") == "pong"
+                except (ConnectionError, json.JSONDecodeError):
+                    alive = False
+            health[str(handle.index)] = {**state, "alive": alive}
+        return health

@@ -23,8 +23,9 @@ default no-op injector.
 
 from __future__ import annotations
 
+import os
 from collections import deque
-from typing import Any, Callable, Deque, Dict, Optional
+from typing import Any, Callable, Deque, Dict, Optional, Sequence
 
 __all__ = ["FaultInjector", "FaultPlan"]
 
@@ -46,6 +47,40 @@ class FaultPlan:
         self.advance_clock = advance_clock
         self.crash = crash
         self.callback = callback
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, Any]) -> "FaultPlan":
+        """Build a plan from a JSON-safe spec (the cross-process form).
+
+        Cluster tests script *worker subprocess* faults, so plans must travel
+        over ``argv`` as JSON.  Recognised keys:
+
+        * ``{"exit": code}`` -- hard-kill the worker process mid-batch via
+          ``os._exit`` (after the snapshot pin, before the batch executes):
+          the crash the recovery suite drives;
+        * ``{"crash": message}`` -- raise inside the handler (the in-process
+          crash: every request in the tick gets an ``internal`` error);
+        * ``yield_turns`` / ``churn`` / ``advance_clock`` -- as the keyword
+          arguments above.
+        """
+        known = {"exit", "crash", "yield_turns", "churn", "advance_clock"}
+        unknown = set(spec) - known
+        if unknown:
+            raise ValueError(f"unknown fault spec keys {sorted(unknown)}")
+        callback = None
+        if "exit" in spec:
+            code = int(spec["exit"])
+            callback = lambda shard: os._exit(code)  # noqa: E731
+        crash: Optional[BaseException] = None
+        if "crash" in spec:
+            crash = RuntimeError(str(spec["crash"]))
+        return cls(
+            yield_turns=int(spec.get("yield_turns", 0)),
+            churn_values=spec.get("churn"),
+            advance_clock=float(spec.get("advance_clock", 0.0)),
+            crash=crash,
+            callback=callback,
+        )
 
 
 class FaultInjector:
@@ -70,6 +105,23 @@ class FaultInjector:
         """Queue fault plans for the next ticks (returns self for chaining)."""
         self._plans.extend(plans)
         return self
+
+    @classmethod
+    def from_specs(cls, specs: Sequence[Dict[str, Any]]) -> "FaultInjector":
+        """Build a scripted injector from JSON-safe specs (one per tick).
+
+        The cross-process entry point: a worker receives its fault script
+        as a JSON list on ``argv`` and replays it tick by tick.  A
+        ``{"skip": n}`` entry expands to ``n`` explicit no-fault ticks;
+        everything else is one :meth:`FaultPlan.from_spec` plan.
+        """
+        injector = cls()
+        for spec in specs:
+            if set(spec) == {"skip"}:
+                injector.skip_ticks(int(spec["skip"]))
+            else:
+                injector.script(FaultPlan.from_spec(spec))
+        return injector
 
     def skip_ticks(self, count: int) -> "FaultInjector":
         """Queue ``count`` explicit no-fault ticks before the next plan."""

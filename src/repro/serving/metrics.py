@@ -15,9 +15,9 @@ one ring on demand (stats calls only).
 from __future__ import annotations
 
 from collections import Counter, deque
-from typing import Any, Deque, Dict
+from typing import Any, Deque, Dict, Sequence
 
-__all__ = ["ServingMetrics"]
+__all__ = ["ServingMetrics", "merge_snapshots"]
 
 _RESERVOIR = 4096
 
@@ -104,3 +104,63 @@ class ServingMetrics:
             "batches": batch_stats,
             "latency": latency,
         }
+
+
+def merge_snapshots(snapshots: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge several :meth:`ServingMetrics.snapshot` payloads into one.
+
+    The cluster supervisor's ``stats`` op reports this over its own and
+    every worker's metrics.  Every counter is an exact **sum** across the
+    inputs (``requests`` / ``errors`` per key, ``ticks``,
+    ``client_disconnects``, and per-op batch/request totals, with
+    ``max_size`` the max and ``mean_size`` recomputed from the summed
+    totals).  Latency percentiles do not compose from percentiles, so the
+    merged ``latency`` keeps only what merges exactly: summed ``samples``
+    and the max of ``max_ms`` per op -- per-worker percentiles stay
+    available in the unmerged payloads alongside.
+    """
+    requests: Counter = Counter()
+    errors: Counter = Counter()
+    ticks = 0
+    disconnects = 0
+    batch_calls: Counter = Counter()
+    batch_requests: Counter = Counter()
+    batch_max: Dict[str, int] = {}
+    latency_samples: Counter = Counter()
+    latency_max: Dict[str, float] = {}
+    for snapshot in snapshots:
+        requests.update(snapshot.get("requests", {}))
+        errors.update(snapshot.get("errors", {}))
+        ticks += snapshot.get("ticks", 0)
+        disconnects += snapshot.get("client_disconnects", 0)
+        for op, stats in snapshot.get("batches", {}).items():
+            batch_calls[op] += stats["batches"]
+            batch_requests[op] += stats["requests"]
+            if stats["max_size"] > batch_max.get(op, 0):
+                batch_max[op] = stats["max_size"]
+        for op, stats in snapshot.get("latency", {}).items():
+            latency_samples[op] += stats["samples"]
+            if stats["max_ms"] > latency_max.get(op, 0.0):
+                latency_max[op] = stats["max_ms"]
+    return {
+        "requests": dict(sorted(requests.items())),
+        "errors": dict(sorted(errors.items())),
+        "ticks": ticks,
+        "client_disconnects": disconnects,
+        "batches": {
+            op: {
+                "batches": batch_calls[op],
+                "requests": batch_requests[op],
+                "mean_size": round(batch_requests[op] / batch_calls[op], 2),
+                "max_size": batch_max.get(op, 0),
+            }
+            for op in sorted(batch_calls)
+        },
+        "latency": {
+            op: {
+                "samples": latency_samples[op],
+                "max_ms": latency_max.get(op, 0.0),
+            }
+            for op in sorted(latency_samples)
+        },
+    }

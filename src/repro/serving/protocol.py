@@ -54,6 +54,7 @@ __all__ = [
     "decode_frame",
     "encode_error",
     "encode_frame",
+    "encode_request",
     "encode_result",
     "error_code_for_exception",
     "error_message",
@@ -193,6 +194,22 @@ def decode_frame(
 def encode_frame(payload: Dict[str, Any]) -> bytes:
     """One response line: compact, key-sorted, newline-terminated."""
     return json.dumps(payload, separators=(",", ":"), sort_keys=True).encode() + b"\n"
+
+
+def encode_request(op: str, shard: str = "default", id: Any = None, **args: Any) -> bytes:
+    """One *request* line, compactly encoded (the client-side twin of
+    :func:`decode_frame`).
+
+    Used wherever this codebase is itself the client: the cluster
+    supervisor's scatter subrequests and journal replays, and the test
+    harnesses' deterministic request logs.  ``id`` is omitted when ``None``
+    (pipelined connections correlate strictly FIFO, so scatter subrequests
+    carry no ids at all).
+    """
+    payload: Dict[str, Any] = {"op": op, "shard": shard, **args}
+    if id is not None:
+        payload["id"] = id
+    return encode_frame(payload)
 
 
 def encode_result(

@@ -1,23 +1,31 @@
 """The asyncio index server: transports, dispatch, and lifecycle.
 
-:class:`IndexServer` serves one or more named shards (each a
-:class:`~repro.db.column.CompressedColumn` behind an
-:class:`~repro.serving.shard.IndexShard`) over two transports:
+Two layers live here:
 
-* a **unix socket** speaking raw NDJSON -- one request frame per line, one
-  response frame per line, answered in order per connection;
-* **localhost HTTP/1.1** -- ``GET /stats`` for the metrics payload and
-  ``POST /query`` with an NDJSON body (the same frames, batched per call).
+* :class:`FrameServer` -- the transport machinery shared by every serving
+  front end (the single-process :class:`IndexServer` below and the
+  multi-process :class:`~repro.serving.cluster.ClusterSupervisor`): a
+  **unix socket** speaking raw NDJSON and **localhost HTTP/1.1**
+  (``GET /stats`` / ``GET /ping`` for admin, ``POST /query`` with an NDJSON
+  body).  The NDJSON handler is *pipelined*: it keeps reading frames while
+  earlier ones are still being answered (bounded by
+  ``ServerConfig.pipeline_depth``) and writes responses strictly in request
+  order, so one connection can feed a whole coalescing tick.
+* :class:`IndexServer` -- the single-process server: one or more named
+  shards (each a :class:`~repro.db.column.CompressedColumn` behind an
+  :class:`~repro.serving.shard.IndexShard`), requests routed by the frame's
+  ``shard`` field.
 
-Connections are handled sequentially frame-by-frame; *cross-connection*
-concurrency is what the per-shard coalescing queue turns into batches.  A
-graceful :meth:`IndexServer.stop` closes the listeners, lets every queued
-request finish (``drain``), answers anything submitted after the stop with
-a ``shutting_down`` error, then disconnects lingering idle clients.
+A graceful ``stop`` closes the listeners, lets every queued request finish
+(the subclass ``_drain`` hook), answers anything submitted after the stop
+with a ``shutting_down`` error, then disconnects lingering idle clients.
 
-:class:`NDJSONClient` is the minimal matching client used by the test
-harness, the benchmark and the CLI: connect, send one frame, read one
-frame.
+:class:`NDJSONClient` is the matching client used by the test harness, the
+benchmark, the CLI and the cluster supervisor.  It supports **bounded
+pipelining**: up to ``max_inflight`` frames may be outstanding on one
+connection, responses correlate to requests strictly FIFO (the server
+answers in order per connection), so a single client can exercise the
+server's per-(op, key) coalescing width.
 """
 
 from __future__ import annotations
@@ -25,8 +33,9 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple, Union
+from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple, Union
 
 from repro.db.column import CompressedColumn
 from repro.serving.faults import FaultInjector
@@ -42,14 +51,14 @@ from repro.serving.protocol import (
 )
 from repro.serving.shard import IndexShard
 
-__all__ = ["IndexServer", "NDJSONClient", "ServerConfig"]
+__all__ = ["FrameServer", "IndexServer", "NDJSONClient", "ServerConfig"]
 
 _HTTP_BODY_LIMIT = 1 << 24  # 16 MiB of NDJSON per POST /query call
 
 
 @dataclass
 class ServerConfig:
-    """Tunables for an :class:`IndexServer` (all transports optional)."""
+    """Tunables for a :class:`FrameServer` (all transports optional)."""
 
     unix_path: Optional[str] = None
     http_host: str = "127.0.0.1"
@@ -60,43 +69,44 @@ class ServerConfig:
     max_pending: int = 1024
     request_timeout: Optional[float] = None
     compact_budget: Optional[int] = None
+    pipeline_depth: int = 32  # frames one connection may have in flight
 
 
-class IndexServer:
-    """Serve Wavelet-Trie columns with coalesced reads and snapshot pins."""
+class FrameServer:
+    """Transport + lifecycle shared by the serving front ends.
+
+    Subclasses implement :meth:`dispatch` (answer one validated request with
+    one response frame) and :meth:`stats` (the ``GET /stats`` payload), and
+    may override :meth:`_drain` to finish queued work during a graceful
+    :meth:`stop`.
+    """
 
     def __init__(
         self,
-        columns: Union[CompressedColumn, Dict[str, CompressedColumn]],
         config: Optional[ServerConfig] = None,
-        *,
-        clock: Optional[Callable[[], float]] = None,
-        faults: Optional[FaultInjector] = None,
+        metrics: Optional[ServingMetrics] = None,
     ) -> None:
         self.config = config if config is not None else ServerConfig()
-        self.metrics = ServingMetrics()
-        if isinstance(columns, CompressedColumn):
-            columns = {"default": columns}
-        self.shards: Dict[str, IndexShard] = {
-            name: IndexShard(
-                name,
-                column,
-                coalesce=self.config.coalesce,
-                coalesce_window=self.config.coalesce_window,
-                max_pending=self.config.max_pending,
-                request_timeout=self.config.request_timeout,
-                compact_budget=self.config.compact_budget,
-                clock=clock,
-                metrics=self.metrics,
-                faults=faults,
-            )
-            for name, column in columns.items()
-        }
+        self.metrics = metrics if metrics is not None else ServingMetrics()
         self._servers: List[asyncio.AbstractServer] = []
         self._conn_tasks: Set["asyncio.Task"] = set()
         self._stopping = False
         self._stopped: Optional[asyncio.Event] = None
         self.http_address: Optional[Tuple[str, int]] = None
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    async def dispatch(self, request: Request) -> bytes:
+        """Answer one validated request with one response frame."""
+        raise NotImplementedError
+
+    def stats(self) -> Dict[str, Any]:
+        """The full ``stats`` payload served by ``GET /stats``."""
+        raise NotImplementedError
+
+    async def _drain(self) -> None:
+        """Finish queued work during a graceful stop (subclass hook)."""
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -125,7 +135,7 @@ class IndexServer:
             raise ValueError("ServerConfig enables no transport")
 
     async def stop(self) -> None:
-        """Graceful shutdown: stop accepting, drain every shard, disconnect.
+        """Graceful shutdown: stop accepting, drain queued work, disconnect.
 
         Queued requests are answered; frames arriving after the stop get a
         typed ``shutting_down`` error; idle connections are then closed.
@@ -133,8 +143,7 @@ class IndexServer:
         self._stopping = True
         for server in self._servers:
             server.close()
-        for shard in self.shards.values():
-            await shard.drain()
+        await self._drain()
         for task in list(self._conn_tasks):
             task.cancel()
         if self._conn_tasks:
@@ -170,7 +179,7 @@ class IndexServer:
         return run
 
     # ------------------------------------------------------------------
-    # Dispatch (shared by both transports)
+    # Dispatch plumbing (shared by both transports)
     # ------------------------------------------------------------------
     @staticmethod
     def _salvage_id(line: bytes) -> Any:
@@ -194,49 +203,39 @@ class IndexServer:
             return encode_error(self._salvage_id(line), error.code, str(error))
         return await self.dispatch(request)
 
-    async def dispatch(self, request: Request) -> bytes:
-        """Route one validated request to its shard (or answer it inline)."""
-        if request.op in ADMIN_OPS:
-            self.metrics.record_request(request.op)
-            if request.op == "ping":
-                return encode_result(request.id, "pong")
-            return encode_result(request.id, self.stats())
-        if self._stopping:
-            self.metrics.record_error("shutting_down")
-            return encode_error(
-                request.id, "shutting_down", "server is draining"
-            )
-        shard = self.shards.get(request.shard)
-        if shard is None:
-            self.metrics.record_error("unknown_shard")
-            return encode_error(
-                request.id,
-                "unknown_shard",
-                f"no shard named {request.shard!r}: "
-                f"serving {sorted(self.shards)}",
-            )
-        return await shard.submit(request)
-
-    def stats(self) -> Dict[str, Any]:
-        """The full ``stats`` payload: per-shard state plus server metrics."""
-        return {
-            "shards": {
-                name: shard.stats() for name, shard in sorted(self.shards.items())
-            },
-            "metrics": self.metrics.snapshot(),
-            "config": {
-                "coalesce": self.config.coalesce,
-                "coalesce_window": self.config.coalesce_window,
-                "max_pending": self.config.max_pending,
-                "request_timeout": self.config.request_timeout,
-                "max_frame_bytes": self.config.max_frame_bytes,
-            },
-        }
-
     # ------------------------------------------------------------------
-    # Unix-socket transport: raw NDJSON, one frame in, one frame out
+    # Unix-socket transport: pipelined NDJSON, responses in request order
     # ------------------------------------------------------------------
     async def _handle_ndjson(self, reader, writer) -> None:
+        # One dispatch task per frame, up to pipeline_depth in flight; a
+        # single response pump writes results strictly in request order, so
+        # pipelined clients correlate responses FIFO.
+        depth = max(1, self.config.pipeline_depth)
+        responses: "asyncio.Queue" = asyncio.Queue(maxsize=depth)
+
+        async def pump_responses() -> None:
+            while True:
+                dispatch = await responses.get()
+                if dispatch is None:
+                    return
+                writer.write(await dispatch)
+                await writer.drain()
+
+        pump = asyncio.create_task(pump_responses())
+
+        async def enqueue(dispatch: Optional["asyncio.Task"]) -> bool:
+            # A put that cannot deadlock on a dead response pump: wait on
+            # both; if the pump finished first the connection is over.
+            put = asyncio.ensure_future(responses.put(dispatch))
+            await asyncio.wait({put, pump}, return_when=asyncio.FIRST_COMPLETED)
+            if put.done() and not put.cancelled():
+                return True
+            put.cancel()
+            if dispatch is not None:
+                dispatch.cancel()
+            return False
+
+        oversized = False
         try:
             while True:
                 try:
@@ -245,28 +244,42 @@ class IndexServer:
                     # The line outgrew the stream buffer: report it as an
                     # oversized frame, then close -- resyncing mid-line is
                     # not possible.
-                    writer.write(
-                        encode_error(
-                            None,
-                            "oversized",
-                            "frame exceeds the "
-                            f"{self.config.max_frame_bytes} byte limit",
-                        )
-                    )
-                    self.metrics.record_error("oversized")
-                    await writer.drain()
+                    oversized = True
                     break
                 if not line:
                     break
                 if not line.strip():
                     continue
-                writer.write(await self.dispatch_line(line))
+                dispatch = asyncio.create_task(self.dispatch_line(line))
+                if not await enqueue(dispatch):
+                    break
+            if await enqueue(None):
+                await pump
+            else:
+                await pump  # surface the pump's exception, if any
+            if oversized:
+                writer.write(
+                    encode_error(
+                        None,
+                        "oversized",
+                        "frame exceeds the "
+                        f"{self.config.max_frame_bytes} byte limit",
+                    )
+                )
+                self.metrics.record_error("oversized")
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
             self.metrics.record_disconnect()
         except asyncio.CancelledError:
             raise
         finally:
+            if not pump.done():
+                pump.cancel()
+            await asyncio.gather(pump, return_exceptions=True)
+            while not responses.empty():
+                dispatch = responses.get_nowait()
+                if dispatch is not None:
+                    dispatch.cancel()
             writer.close()
             try:
                 await writer.wait_closed()
@@ -346,18 +359,143 @@ class IndexServer:
         await writer.drain()
 
 
-class NDJSONClient:
-    """A minimal unix-socket client: one frame out, one frame back, in order."""
+class IndexServer(FrameServer):
+    """Serve Wavelet-Trie columns with coalesced reads and snapshot pins."""
 
-    def __init__(self, reader, writer) -> None:
+    def __init__(
+        self,
+        columns: Union[CompressedColumn, Dict[str, CompressedColumn]],
+        config: Optional[ServerConfig] = None,
+        *,
+        clock: Optional[Callable[[], float]] = None,
+        faults: Optional[FaultInjector] = None,
+    ) -> None:
+        super().__init__(config)
+        if isinstance(columns, CompressedColumn):
+            columns = {"default": columns}
+        self.shards: Dict[str, IndexShard] = {
+            name: IndexShard(
+                name,
+                column,
+                coalesce=self.config.coalesce,
+                coalesce_window=self.config.coalesce_window,
+                max_pending=self.config.max_pending,
+                request_timeout=self.config.request_timeout,
+                compact_budget=self.config.compact_budget,
+                clock=clock,
+                metrics=self.metrics,
+                faults=faults,
+            )
+            for name, column in columns.items()
+        }
+
+    async def _drain(self) -> None:
+        for shard in self.shards.values():
+            await shard.drain()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def dispatch(self, request: Request) -> bytes:
+        """Route one validated request to its shard (or answer it inline)."""
+        if request.op in ADMIN_OPS:
+            self.metrics.record_request(request.op)
+            if request.op == "ping":
+                return encode_result(request.id, "pong")
+            return encode_result(request.id, self.stats())
+        if self._stopping:
+            self.metrics.record_error("shutting_down")
+            return encode_error(
+                request.id, "shutting_down", "server is draining"
+            )
+        shard = self.shards.get(request.shard)
+        if shard is None:
+            self.metrics.record_error("unknown_shard")
+            return encode_error(
+                request.id,
+                "unknown_shard",
+                f"no shard named {request.shard!r}: "
+                f"serving {sorted(self.shards)}",
+            )
+        return await shard.submit(request)
+
+    def stats(self) -> Dict[str, Any]:
+        """The full ``stats`` payload: per-shard state plus server metrics."""
+        return {
+            "shards": {
+                name: shard.stats() for name, shard in sorted(self.shards.items())
+            },
+            "metrics": self.metrics.snapshot(),
+            "config": {
+                "coalesce": self.config.coalesce,
+                "coalesce_window": self.config.coalesce_window,
+                "max_pending": self.config.max_pending,
+                "request_timeout": self.config.request_timeout,
+                "max_frame_bytes": self.config.max_frame_bytes,
+            },
+        }
+
+
+class NDJSONClient:
+    """A unix-socket NDJSON client with bounded pipelining.
+
+    Up to ``max_inflight`` request frames may be outstanding on the
+    connection at once; responses correlate to requests strictly FIFO
+    (the server answers in order per connection).  With the default
+    ``max_inflight=1`` the client behaves exactly like the original
+    one-frame-at-a-time client; the cluster supervisor and the pipelining
+    tests raise it so a single connection can fill a whole coalescing tick.
+    """
+
+    def __init__(self, reader, writer, max_inflight: int = 1) -> None:
         self._reader = reader
         self._writer = writer
+        self.max_inflight = max(1, int(max_inflight))
+        self._slots = asyncio.Semaphore(self.max_inflight)
+        self._waiting: Deque["asyncio.Future[bytes]"] = deque()
+        self._reader_task: Optional["asyncio.Task"] = None
+        self._broken: Optional[BaseException] = None
 
     @classmethod
-    async def connect(cls, unix_path: str) -> "NDJSONClient":
+    async def connect(
+        cls, unix_path: str, max_inflight: int = 1
+    ) -> "NDJSONClient":
         """Open one NDJSON connection to the server's unix socket."""
         reader, writer = await asyncio.open_unix_connection(unix_path)
-        return cls(reader, writer)
+        return cls(reader, writer, max_inflight=max_inflight)
+
+    # ------------------------------------------------------------------
+    async def submit(self, frame: bytes) -> "asyncio.Future[bytes]":
+        """Send one pre-encoded frame as soon as a pipeline slot frees.
+
+        Returns a future resolving to the raw response line for *this*
+        frame (FIFO correlation).  Blocks only while ``max_inflight``
+        frames are already outstanding -- the backpressure that keeps the
+        pipeline bounded.
+        """
+        if self._broken is not None:
+            raise ConnectionError("connection is broken") from self._broken
+        await self._slots.acquire()
+        if self._broken is not None:
+            self._slots.release()
+            raise ConnectionError("connection is broken") from self._broken
+        self._ensure_reader()
+        future: "asyncio.Future[bytes]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._waiting.append(future)
+        try:
+            self._writer.write(frame)
+            await self._writer.drain()
+        except Exception as error:
+            self._fail_pending(error)
+            raise
+        return future
+
+    async def call_raw(self, frame: bytes) -> bytes:
+        """Send one pre-encoded frame, await and return the raw response."""
+        future = await self.submit(frame)
+        return await future
 
     async def call(self, **payload: Any) -> Dict[str, Any]:
         """Send one request object, await and decode its response frame."""
@@ -366,17 +504,48 @@ class NDJSONClient:
         )
         return json.loads(frame)
 
-    async def call_raw(self, frame: bytes) -> bytes:
-        """Send one pre-encoded frame, return the raw response line."""
-        self._writer.write(frame)
-        await self._writer.drain()
-        line = await self._reader.readline()
-        if not line:
-            raise ConnectionError("server closed the connection")
-        return line
+    # ------------------------------------------------------------------
+    def _ensure_reader(self) -> None:
+        if self._reader_task is None or self._reader_task.done():
+            self._reader_task = asyncio.get_running_loop().create_task(
+                self._read_loop()
+            )
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    raise ConnectionError("server closed the connection")
+                if self._waiting:
+                    future = self._waiting.popleft()
+                    if not future.done():
+                        future.set_result(line)
+                    self._slots.release()
+        except asyncio.CancelledError:
+            raise
+        except BaseException as error:  # noqa: BLE001 - fan the failure out
+            self._fail_pending(error)
+
+    def _fail_pending(self, error: BaseException) -> None:
+        self._broken = error
+        while self._waiting:
+            future = self._waiting.popleft()
+            if not future.done():
+                if isinstance(error, ConnectionError):
+                    future.set_exception(error)
+                else:
+                    future.set_exception(
+                        ConnectionError(f"connection failed: {error!r}")
+                    )
+            self._slots.release()
 
     async def close(self) -> None:
-        """Close the connection (idempotent)."""
+        """Close the connection (idempotent); fails outstanding futures."""
+        if self._reader_task is not None and not self._reader_task.done():
+            self._reader_task.cancel()
+            await asyncio.gather(self._reader_task, return_exceptions=True)
+        self._fail_pending(ConnectionError("client closed"))
         self._writer.close()
         try:
             await self._writer.wait_closed()

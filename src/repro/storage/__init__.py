@@ -28,6 +28,12 @@ sections, memory-mapped back with zero-copy views, so a cold open costs
 O(sections) regardless of index size and worker processes share one page
 cache.  :func:`load` and :func:`loads` sniff the magic and accept both.
 See docs/ARCHITECTURE.md, "Storage", for the decision table.
+
+:mod:`repro.storage.shards` builds on RWT2 as the serving cluster's
+exchange format: :func:`~repro.storage.shards.export_shard_images` splits
+a store into per-worker slice images plus a ``manifest.json``, and
+:func:`~repro.storage.shards.open_worker_columns` mmaps one worker's
+slices back as servable columns (only the tail worker's are appendable).
 """
 
 from repro.storage.format import FORMAT_VERSION, MAGIC, dumps, load, loads, save
@@ -41,20 +47,30 @@ from repro.storage.image import (
     save_image,
 )
 from repro.storage.serializers import TYPE_TAGS
+from repro.storage.shards import (
+    MANIFEST_NAME,
+    export_shard_images,
+    load_manifest,
+    open_worker_columns,
+)
 
 __all__ = [
     "FORMAT_VERSION",
     "IMAGE_MAGIC",
     "IMAGE_VERSION",
     "MAGIC",
+    "MANIFEST_NAME",
     "TYPE_TAGS",
     "dumps",
     "dumps_image",
+    "export_shard_images",
     "freeze",
     "load",
+    "load_manifest",
     "loads",
     "loads_image",
     "open_image",
+    "open_worker_columns",
     "save",
     "save_image",
 ]

@@ -45,6 +45,20 @@ def test_bench_serving_quick_mode():
     # Write coalescing: strictly fewer bulk extends than appends.
     assert burst["bulk_extends"] < burst["appends"]
     assert burst["mean_appends_per_extend"] > 1
+    # The multi-process section ran its sharded replay and its embedded
+    # determinism gate (cluster frames byte-identical to single-process).
+    multi = payload["multiprocess"]
+    assert multi["byte_identical_to_single_process"] is True
+    assert multi["cpus"] >= 1
+    cluster = multi["workers_2"]
+    assert cluster["workers"] == 2
+    assert cluster["throughput_rps"] > 0
+    assert cluster["export_s"] > 0 and cluster["spawn_s"] > 0
+    # No throughput floor here: with fewer cores than workers the
+    # scatter-gather hop costs more than the (nonexistent) parallelism
+    # pays; the full-size BENCH_serving.json records the honest ratio
+    # alongside `cpus`.
+    assert cluster["speedup_vs_single_process"] > 0
 
 
 def test_bench_serving_mix_is_normalised():

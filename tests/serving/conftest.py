@@ -1,0 +1,72 @@
+"""Serving-suite fixtures: a hard per-test timeout and an orphan reaper.
+
+The cluster tests in this directory fork real worker processes.  Two
+autouse fixtures keep that safe on CI:
+
+* ``hard_test_timeout`` -- a SIGALRM-based wall-clock ceiling per test.  A
+  deadlocked supervisor pump or a worker that never sends its ready
+  handshake fails the *test* with a traceback pointing at the stuck await,
+  instead of hanging the whole suite until the runner's global timeout.
+* ``reap_orphan_workers`` -- after every test, SIGKILLs any worker pid
+  still registered in :data:`repro.serving.cluster.LIVE_WORKER_PIDS` (the
+  supervisor maintains the registry across spawn and reap).  A test that
+  fails mid-cluster therefore cannot leak processes into later tests or
+  later CI matrix legs.
+
+Both fixtures are deliberately no-ops on the happy path: a passing test
+cancels its alarm and leaves the registry empty.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+from repro.serving.cluster import LIVE_WORKER_PIDS
+
+# Generous: the whole cluster suite runs in seconds.  This only fires when
+# something is genuinely wedged.
+HARD_TIMEOUT_SECONDS = 120
+
+
+@pytest.fixture(autouse=True)
+def hard_test_timeout(request):
+    """Fail (don't hang) any serving test that exceeds the hard ceiling."""
+    if os.name != "posix":  # pragma: no cover - SIGALRM is posix-only
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"{request.node.nodeid} exceeded the hard "
+            f"{HARD_TIMEOUT_SECONDS}s serving-test timeout"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(HARD_TIMEOUT_SECONDS)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@pytest.fixture(autouse=True)
+def reap_orphan_workers():
+    """SIGKILL any cluster worker a failing test left behind."""
+    yield
+    leaked = list(LIVE_WORKER_PIDS)
+    LIVE_WORKER_PIDS.clear()
+    for pid in leaked:
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except ProcessLookupError:
+            continue
+        try:
+            os.waitpid(pid, 0)
+        except ChildProcessError:
+            pass
+    if leaked:
+        pytest.fail(f"test leaked cluster worker processes: pids {sorted(leaked)}")

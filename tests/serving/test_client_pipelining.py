@@ -1,0 +1,143 @@
+"""Bounded client pipelining: in-flight limits and FIFO correlation.
+
+The :class:`~repro.serving.server.NDJSONClient` may keep up to
+``max_inflight`` frames outstanding on one connection.  The protocol has
+no response reordering -- the server answers each connection strictly in
+request order -- so the client correlates responses to requests purely by
+FIFO position.  The regression pinned here: under full pipelining, with
+the server coalescing across the pipelined frames, every future resolves
+to *its own* request's response (ids echo back in submission order), the
+in-flight bound actually holds, and a dying server fails every
+outstanding future instead of hanging them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.db.column import CompressedColumn
+from repro.serving.protocol import encode_request
+from repro.serving.server import IndexServer, NDJSONClient, ServerConfig
+
+
+def make_server(tmp_path, **config_kw) -> IndexServer:
+    values = ["app/a", "app/b", "blog"] * 30
+    config_kw.setdefault("unix_path", str(tmp_path / "srv.sock"))
+    return IndexServer(
+        {"default": CompressedColumn("default", values, appendable=True)},
+        ServerConfig(**config_kw),
+    )
+
+
+class TestClientPipelining:
+    def test_pipelined_responses_correlate_in_submission_order(self, tmp_path):
+        async def main():
+            server = make_server(tmp_path)
+            await server.start()
+            try:
+                client = await NDJSONClient.connect(
+                    server.config.unix_path, max_inflight=16
+                )
+                # Distinct ops with distinct ids, all in flight at once:
+                # the coalescer regroups them per op behind the socket, but
+                # the response order back to us must match submission order.
+                futures = []
+                for i in range(64):
+                    if i % 3 == 0:
+                        frame = encode_request("access", id=f"id-{i}", pos=i)
+                    elif i % 3 == 1:
+                        frame = encode_request("rank", id=f"id-{i}", value="app/a", pos=i)
+                    else:
+                        frame = encode_request("ping", id=f"id-{i}")
+                    futures.append(await client.submit(frame))
+                responses = [json.loads(await future) for future in futures]
+                await client.close()
+            finally:
+                await server.stop()
+            assert [r["id"] for r in responses] == [f"id-{i}" for i in range(64)]
+            assert all(r["ok"] for r in responses)
+            # Spot-check payload/request pairing, not just id echo.
+            assert responses[0]["result"] == "app/a"      # access pos 0
+            assert responses[1]["result"] == 1            # rank app/a upto 1
+            assert responses[2]["result"] == "pong"       # ping
+
+        asyncio.run(main())
+
+    def test_inflight_bound_is_enforced(self, tmp_path):
+        async def main():
+            server = make_server(tmp_path)
+            await server.start()
+            try:
+                client = await NDJSONClient.connect(
+                    server.config.unix_path, max_inflight=4
+                )
+                peak = 0
+
+                async def one(i):
+                    nonlocal peak
+                    future = await client.submit(
+                        encode_request("access", id=i, pos=i % 10)
+                    )
+                    outstanding = client.max_inflight - client._slots._value
+                    peak = max(peak, outstanding)
+                    return json.loads(await future)
+
+                responses = await asyncio.gather(*(one(i) for i in range(40)))
+                await client.close()
+            finally:
+                await server.stop()
+            assert all(r["ok"] for r in responses)
+            assert peak <= 4  # never more than max_inflight outstanding
+
+        asyncio.run(main())
+
+    def test_default_client_is_sequential(self, tmp_path):
+        async def main():
+            server = make_server(tmp_path)
+            await server.start()
+            try:
+                client = await NDJSONClient.connect(server.config.unix_path)
+                assert client.max_inflight == 1
+                first = await client.call_raw(encode_request("access", id=1, pos=0))
+                second = await client.call_raw(encode_request("access", id=2, pos=1))
+                await client.close()
+            finally:
+                await server.stop()
+            assert json.loads(first)["id"] == 1
+            assert json.loads(second)["id"] == 2
+
+        asyncio.run(main())
+
+    def test_server_death_fails_every_outstanding_future(self, tmp_path):
+        async def main():
+            server = make_server(tmp_path)
+            await server.start()
+            client = await NDJSONClient.connect(
+                server.config.unix_path, max_inflight=8
+            )
+            # Handshake once so the server has accepted this connection --
+            # a connection still in the listen backlog at stop() time is
+            # never handled and would keep its futures pending forever.
+            await client.call_raw(encode_request("ping", id="warm"))
+            futures = [
+                await client.submit(encode_request("access", id=i, pos=i))
+                for i in range(8)
+            ]
+            # Drop the server out from under the pipelined futures.  The
+            # graceful stop answers what it accepted, then closes; every
+            # future must settle -- answered or ConnectionError, never hung.
+            await server.stop()
+            settled = await asyncio.gather(*futures, return_exceptions=True)
+            assert all(
+                isinstance(result, (bytes, ConnectionError)) for result in settled
+            )
+            # Once broken, new submits fail fast instead of queueing.
+            if any(isinstance(result, ConnectionError) for result in settled):
+                with pytest.raises(ConnectionError):
+                    await client.submit(encode_request("ping", id="late"))
+            await client.close()
+
+        asyncio.run(main())

@@ -1,0 +1,280 @@
+"""Crash recovery: scripted worker deaths, no lost or duplicated responses.
+
+Worker crashes are driven deterministically through the existing
+fault-injection seams: a JSON ``--fault-script`` rides the worker's argv,
+:meth:`~repro.serving.faults.FaultInjector.from_specs` turns it into a
+scripted plan, and ``{"exit": N}`` hard-kills the process (``os._exit``)
+at the ``before_batch`` seam -- *after* requests were accepted and the
+batch snapshot pinned, the worst moment.  Scripts only apply to
+generation 0, so respawned workers come back healthy.
+
+No wall-clock sleeps anywhere: ``restart_backoff=0``, the supervisor's
+ready handshake is event-driven, and recovery is exercised purely by
+awaiting the responses the client is owed.  The invariants pinned:
+
+* every submitted request gets exactly one response (no losses, no
+  duplicates -- correlation ids are unique across the whole run);
+* journaled writes survive a tail-worker crash **exactly once** (the
+  respawn replays the journal; acknowledged versions never rewind);
+* recovered responses are byte-identical to a never-crashed cluster's;
+* a worker dead past ``max_restarts`` degrades loudly (``internal``
+  errors for its shard) instead of hanging, and the supervisor's restart
+  accounting shows up in ``stats``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+from typing import List
+
+import pytest
+
+from repro.db.column import CompressedColumn
+from repro.serving.cluster import ClusterConfig, ClusterError, ClusterSupervisor
+from repro.serving.protocol import encode_request
+from repro.serving.server import NDJSONClient, ServerConfig
+from repro.storage.shards import export_shard_images
+
+
+def export(tmp_path, values: List[str], workers: int) -> str:
+    image_dir = tmp_path / "images"
+    export_shard_images(
+        {"default": CompressedColumn("default", values, appendable=True)},
+        image_dir,
+        workers,
+    )
+    return str(image_dir)
+
+
+def make_cluster(tmp_path, image_dir: str, **cluster_kw) -> ClusterSupervisor:
+    cluster_kw.setdefault("restart_backoff", 0.0)
+    return ClusterSupervisor(
+        ServerConfig(unix_path=str(tmp_path / "sup.sock")),
+        ClusterConfig(image_dir=image_dir, **cluster_kw),
+    )
+
+
+def make_values(n: int = 300, seed: int = 3) -> List[str]:
+    rng = random.Random(seed)
+    return [rng.choice(["app/a", "app/b", "blog", "b"]) for _ in range(n)]
+
+
+class TestCrashRecovery:
+    def test_read_worker_crash_mid_batch_recovers_every_response(self, tmp_path):
+        values = make_values()
+        image_dir = export(tmp_path, values, 3)
+
+        async def run(fault_scripts) -> List[bytes]:
+            cluster = make_cluster(tmp_path, image_dir, fault_scripts=fault_scripts)
+            await cluster.start()
+            try:
+                client = await NDJSONClient.connect(
+                    cluster.config.unix_path, max_inflight=64
+                )
+                # A burst spanning all three shards: shard 0 dies mid-batch.
+                futures = [
+                    await client.submit(
+                        encode_request("access", id=i, pos=(i * 7) % len(values))
+                    )
+                    for i in range(90)
+                ]
+                futures.append(
+                    await client.submit(
+                        encode_request("rank", id="r", value="app/a", pos=len(values))
+                    )
+                )
+                frames = [await future for future in futures]
+                stats = json.loads(
+                    await client.call_raw(encode_request("stats", id="s"))
+                )["result"]
+                await client.close()
+            finally:
+                await cluster.stop()
+            return frames, stats
+
+        crashed_frames, crashed_stats = asyncio.run(
+            run({0: [{"exit": 17}]})
+        )
+        healthy_frames, healthy_stats = asyncio.run(run({}))
+
+        # Exactly one response per request, none lost, none duplicated.
+        ids = [json.loads(frame)["id"] for frame in crashed_frames]
+        assert len(ids) == len(set(ids)) == 91
+        # Byte-identical to the never-crashed run.
+        assert crashed_frames == healthy_frames
+        assert all(json.loads(frame)["ok"] for frame in crashed_frames)
+        # The crash really happened and really was recovered.
+        assert crashed_stats["cluster"]["total_restarts"] >= 1
+        assert crashed_stats["cluster"]["workers"]["0"]["restarts"] >= 1
+        assert crashed_stats["cluster"]["workers"]["0"]["ready"]
+        assert healthy_stats["cluster"]["total_restarts"] == 0
+
+    def test_tail_crash_applies_journaled_writes_exactly_once(self, tmp_path):
+        values = make_values()
+        image_dir = export(tmp_path, values, 3)
+
+        async def main():
+            # Tail worker (index 2): survive one batch, die on the next --
+            # which is the batch carrying our writes.
+            cluster = make_cluster(
+                tmp_path,
+                image_dir,
+                fault_scripts={2: [{"skip": 1}, {"exit": 42}]},
+            )
+            await cluster.start()
+            try:
+                client = await NDJSONClient.connect(
+                    cluster.config.unix_path, max_inflight=64
+                )
+                # First batch: a harmless read consumes the skip tick.
+                await client.call_raw(encode_request("access", id="warm", pos=0))
+                write1 = await client.submit(
+                    encode_request("extend", id="w1", values=["zzz", "zzz"])
+                )
+                write2 = await client.submit(
+                    encode_request("append", id="w2", value="qqq")
+                )
+                reads = [
+                    await client.submit(encode_request("access", id=i, pos=i * 3))
+                    for i in range(40)
+                ]
+                first = json.loads(await write1)
+                second = json.loads(await write2)
+                frames = [json.loads(await future) for future in reads]
+                # Post-recovery reads see the writes exactly once.
+                rank = json.loads(
+                    await client.call_raw(
+                        encode_request(
+                            "rank", id="rz", value="zzz", pos=len(values) + 3
+                        )
+                    )
+                )
+                tail_row = json.loads(
+                    await client.call_raw(
+                        encode_request("access", id="t", pos=len(values) + 2)
+                    )
+                )
+                stats = json.loads(
+                    await client.call_raw(encode_request("stats", id="s"))
+                )["result"]
+                await client.close()
+            finally:
+                await cluster.stop()
+            assert first == {
+                "id": "w1", "ok": True,
+                "result": {"appended": 2}, "version": len(values) + 2,
+            }
+            assert second == {
+                "id": "w2", "ok": True,
+                "result": {"appended": 1}, "version": len(values) + 3,
+            }
+            assert all(frame["ok"] for frame in frames)
+            assert rank["result"] == 2, f"write applied {rank['result']}x, not once"
+            assert tail_row["result"] == "qqq"
+            assert stats["cluster"]["workers"]["2"]["restarts"] >= 1
+            assert stats["cluster"]["journal_entries"]["default"] == 2
+            assert stats["cluster"]["columns"]["default"] == len(values) + 3
+
+        asyncio.run(main())
+
+    def test_worker_dead_past_restart_budget_degrades_loudly(self, tmp_path):
+        values = make_values(120)
+        image_dir = export(tmp_path, values, 3)
+
+        async def main():
+            cluster = make_cluster(
+                tmp_path,
+                image_dir,
+                fault_scripts={0: [{"exit": 9}]},
+                max_restarts=0,  # the crash exhausts the budget immediately
+            )
+            await cluster.start()
+            try:
+                client = await NDJSONClient.connect(
+                    cluster.config.unix_path, max_inflight=8
+                )
+                # Hits shard 0, which dies and may never come back.
+                dead = json.loads(
+                    await client.call_raw(encode_request("access", id="d", pos=0))
+                )
+                # Shards 1/2 keep serving: the cluster degrades, not dies.
+                alive = json.loads(
+                    await client.call_raw(
+                        encode_request("access", id="a", pos=len(values) - 1)
+                    )
+                )
+                stats = json.loads(
+                    await client.call_raw(encode_request("stats", id="s"))
+                )["result"]
+                await client.close()
+            finally:
+                await cluster.stop()
+            assert not dead["ok"]
+            assert dead["error"]["code"] == "internal"
+            assert "unavailable" in dead["error"]["message"]
+            assert alive == {
+                "id": "a", "ok": True,
+                "result": values[-1], "version": len(values),
+            }
+            assert stats["cluster"]["workers"]["0"]["failed"]
+            assert stats["cluster"]["workers"]["1"]["ready"]
+
+        asyncio.run(main())
+
+    def test_worker_crashing_before_ready_fails_start(self, tmp_path):
+        image_dir = export(tmp_path, make_values(60), 1)
+
+        async def main():
+            cluster = make_cluster(
+                tmp_path,
+                image_dir,
+                # Unknown fault key: the worker raises during startup,
+                # before its ready handshake.
+                fault_scripts={0: [{"not-a-fault": 1}]},
+            )
+            with pytest.raises(ClusterError, match="before its ready handshake"):
+                await cluster.start()
+
+        asyncio.run(main())
+
+    def test_repeated_crashes_within_budget_all_recover(self, tmp_path):
+        values = make_values(200)
+        image_dir = export(tmp_path, values, 2)
+
+        async def main():
+            # Worker 0 dies on its first batch; every respawn is healthy,
+            # so one restart suffices -- but issue several bursts to prove
+            # the restarted worker is a full citizen.
+            cluster = make_cluster(
+                tmp_path, image_dir, fault_scripts={0: [{"exit": 5}]}
+            )
+            await cluster.start()
+            try:
+                client = await NDJSONClient.connect(
+                    cluster.config.unix_path, max_inflight=32
+                )
+                for burst in range(3):
+                    futures = [
+                        await client.submit(
+                            encode_request(
+                                "access", id=f"{burst}-{i}", pos=(i * 11) % len(values)
+                            )
+                        )
+                        for i in range(30)
+                    ]
+                    frames = [json.loads(await future) for future in futures]
+                    assert all(frame["ok"] for frame in frames)
+                    assert [frame["result"] for frame in frames] == [
+                        values[(i * 11) % len(values)] for i in range(30)
+                    ]
+                stats = json.loads(
+                    await client.call_raw(encode_request("stats", id="s"))
+                )["result"]
+                await client.close()
+            finally:
+                await cluster.stop()
+            assert stats["cluster"]["workers"]["0"]["restarts"] == 1
+
+        asyncio.run(main())

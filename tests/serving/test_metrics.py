@@ -1,0 +1,138 @@
+"""Edge cases of :class:`~repro.serving.metrics.ServingMetrics` and the
+cluster's cross-worker counter merge.
+
+The merge contract the cluster's ``stats`` op depends on: *merged stats
+equal the sum of the per-worker stats* -- exactly, for every counter that
+sums (requests, errors, ticks, disconnects, batch totals), with max-style
+fields taking the max and non-composable percentiles dropped rather than
+fabricated.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.serving.metrics import ServingMetrics, merge_snapshots
+
+
+class TestSnapshotEdgeCases:
+    def test_empty_window_has_no_percentiles(self):
+        # No latency samples recorded: the snapshot must not invent
+        # percentiles (no zero-filled ops, no division errors).
+        metrics = ServingMetrics()
+        snapshot = metrics.snapshot()
+        assert snapshot["latency"] == {}
+        assert snapshot["batches"] == {}
+        assert snapshot["requests"] == {}
+        assert snapshot["ticks"] == 0
+
+    def test_single_sample_latency_is_its_own_percentiles(self):
+        metrics = ServingMetrics()
+        metrics.record_latency("access", 0.004)
+        stats = metrics.snapshot()["latency"]["access"]
+        assert stats["samples"] == 1
+        assert stats["p50_ms"] == stats["p99_ms"] == stats["max_ms"] == 4.0
+
+    def test_drained_ring_vanishes_from_snapshot(self):
+        # A ring that existed but holds nothing must be skipped, not
+        # crash the percentile computation.
+        metrics = ServingMetrics(reservoir=4)
+        metrics.record_latency("rank", 0.001)
+        metrics._latency["rank"].clear()
+        assert metrics.snapshot()["latency"] == {}
+
+    def test_reservoir_keeps_only_recent_samples(self):
+        metrics = ServingMetrics(reservoir=8)
+        for i in range(100):
+            metrics.record_latency("access", float(i))
+        stats = metrics.snapshot()["latency"]["access"]
+        assert stats["samples"] == 8
+        assert stats["max_ms"] == 99_000.0  # newest survive, oldest evicted
+
+    def test_single_batch_mean_equals_its_size(self):
+        metrics = ServingMetrics()
+        metrics.record_batch("access", 7)
+        stats = metrics.snapshot()["batches"]["access"]
+        assert stats == {"batches": 1, "requests": 7, "mean_size": 7.0, "max_size": 7}
+
+
+class TestMergeSnapshots:
+    def test_merge_of_nothing_is_zero(self):
+        merged = merge_snapshots([])
+        assert merged["requests"] == {} and merged["errors"] == {}
+        assert merged["ticks"] == 0 and merged["client_disconnects"] == 0
+        assert merged["batches"] == {} and merged["latency"] == {}
+
+    def test_merge_of_one_preserves_every_counter(self):
+        metrics = ServingMetrics()
+        metrics.record_request("access")
+        metrics.record_error("timeout")
+        metrics.record_batch("rank", 3)
+        metrics.record_tick()
+        snapshot = metrics.snapshot()
+        merged = merge_snapshots([snapshot])
+        assert merged["requests"] == snapshot["requests"]
+        assert merged["errors"] == snapshot["errors"]
+        assert merged["ticks"] == snapshot["ticks"]
+        assert merged["batches"] == snapshot["batches"]
+
+    def test_merged_counters_are_exact_sums_across_workers(self):
+        # Simulate a supervisor + three workers with overlapping op mixes.
+        rng = random.Random(17)
+        workers = []
+        for _ in range(4):
+            metrics = ServingMetrics()
+            for _ in range(rng.randrange(5, 40)):
+                metrics.record_request(rng.choice(["access", "rank", "select"]))
+            for _ in range(rng.randrange(0, 6)):
+                metrics.record_error(rng.choice(["timeout", "out_of_bounds"]))
+            for _ in range(rng.randrange(1, 9)):
+                metrics.record_batch(
+                    rng.choice(["access", "rank"]), rng.randrange(1, 12)
+                )
+                metrics.record_tick()
+            for _ in range(rng.randrange(0, 20)):
+                metrics.record_latency("access", rng.random() / 100)
+            workers.append(metrics)
+        snapshots = [metrics.snapshot() for metrics in workers]
+        merged = merge_snapshots(snapshots)
+
+        for op in ("access", "rank", "select"):
+            assert merged["requests"].get(op, 0) == sum(
+                s["requests"].get(op, 0) for s in snapshots
+            )
+        for code in ("timeout", "out_of_bounds"):
+            assert merged["errors"].get(code, 0) == sum(
+                s["errors"].get(code, 0) for s in snapshots
+            )
+        assert merged["ticks"] == sum(s["ticks"] for s in snapshots)
+        for op in merged["batches"]:
+            calls = sum(s["batches"].get(op, {}).get("batches", 0) for s in snapshots)
+            total = sum(s["batches"].get(op, {}).get("requests", 0) for s in snapshots)
+            assert merged["batches"][op]["batches"] == calls
+            assert merged["batches"][op]["requests"] == total
+            assert merged["batches"][op]["mean_size"] == round(total / calls, 2)
+            assert merged["batches"][op]["max_size"] == max(
+                s["batches"].get(op, {}).get("max_size", 0) for s in snapshots
+            )
+        assert merged["latency"]["access"]["samples"] == sum(
+            s["latency"].get("access", {}).get("samples", 0) for s in snapshots
+        )
+        assert merged["latency"]["access"]["max_ms"] == max(
+            s["latency"].get("access", {}).get("max_ms", 0.0) for s in snapshots
+        )
+        # Percentiles do not compose: the merge must not fabricate them.
+        assert "p50_ms" not in merged["latency"]["access"]
+        assert "p99_ms" not in merged["latency"]["access"]
+
+    def test_merge_is_associative_on_counters(self):
+        parts = []
+        for seed in (1, 2, 3):
+            metrics = ServingMetrics()
+            for _ in range(seed * 4):
+                metrics.record_request("access")
+                metrics.record_batch("access", seed)
+            parts.append(metrics.snapshot())
+        all_at_once = merge_snapshots(parts)
+        two_step = merge_snapshots([merge_snapshots(parts[:2]), parts[2]])
+        assert all_at_once == two_step

@@ -1,0 +1,199 @@
+"""Property suite for the cluster's partition function and read router.
+
+Everything here is hermetic -- no worker processes.  The
+:class:`~repro.serving.router.ClusterRouter`'s only I/O seam is its async
+``fetch`` callable, so the properties drive it against *sliced in-process
+columns* and compare byte-for-byte against the unsharded coalescer
+(:func:`~repro.serving.coalescer.run_read_tick`), the same oracle the
+single-process server uses.
+
+Pinned properties:
+
+* the partition function is **total** -- every non-negative position maps
+  to exactly one shard, and that shard's range contains it;
+* it is **stable** -- a pure function of ``(total, num_shards)``,
+  bit-identical across recomputation and across the manifest round-trip
+  (what a supervisor restart or worker respawn does);
+* scatter-gathered reads are **byte-identical** to the unsharded server
+  for the whole query surface, success and error frames alike.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, List
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.static import WaveletTrie
+from repro.db.column import CompressedColumn
+from repro.db.partition import partition_ranges
+from repro.serving.coalescer import run_read_tick
+from repro.serving.protocol import Request
+from repro.serving.router import ClusterRouter, PartitionMap
+
+VALUES = st.lists(
+    st.sampled_from(["app/a", "app/b", "app/cart", "blog", "b", ""]),
+    min_size=0,
+    max_size=40,
+)
+
+
+class SlicedColumns:
+    """An in-process stand-in for the worker fleet: one slice per shard."""
+
+    def __init__(self, values: List[str], partition: PartitionMap) -> None:
+        self.slices = [
+            WaveletTrie(values[partition.base_of(i) : partition.bounds[i + 1]])
+            for i in range(partition.num_shards)
+        ]
+        self.batches: List[int] = []  # scatter widths, for amortisation checks
+
+    async def fetch(self, shard: int, payloads: List[Dict[str, Any]]) -> List[Any]:
+        self.batches.append(len(payloads))
+        trie = self.slices[shard]
+        results: List[Any] = []
+        for payload in payloads:
+            op = payload["op"]
+            if op == "access":
+                results.append(trie.access(payload["pos"]))
+            elif op == "rank":
+                results.append(trie.rank(payload["value"], payload["pos"]))
+            elif op == "rank_prefix":
+                results.append(trie.rank_prefix(payload["prefix"], payload["pos"]))
+            elif op == "select":
+                results.append(trie.select(payload["value"], payload["idx"]))
+            elif op == "select_prefix":
+                results.append(trie.select_prefix(payload["prefix"], payload["idx"]))
+            else:  # pragma: no cover - the router only emits read ops
+                raise AssertionError(op)
+        return results
+
+
+class TestPartitionFunction:
+    @given(total=st.integers(0, 2000), num_shards=st.integers(1, 12))
+    def test_total_every_position_has_exactly_one_owner(self, total, num_shards):
+        part = PartitionMap.from_total(total, num_shards)
+        ranges = partition_ranges(total, num_shards)
+        # The ranges tile [0, total): disjoint, contiguous, complete.
+        assert ranges[0][0] == 0 and ranges[-1][1] == total
+        assert all(hi == next_lo for (_, hi), (next_lo, _) in zip(ranges, ranges[1:]))
+        for pos in range(min(total, 64)):
+            owner = part.owner_of(pos)
+            owners = [i for i, (lo, hi) in enumerate(ranges) if lo <= pos < hi]
+            assert owners == [owner]
+        # Appended rows (>= total) always belong to the tail.
+        assert part.owner_of(total) == part.tail
+        assert part.owner_of(total + 17) == part.tail
+
+    @given(total=st.integers(0, 2000), num_shards=st.integers(1, 12))
+    def test_stable_across_recomputation_and_manifest_round_trip(
+        self, total, num_shards
+    ):
+        first = PartitionMap.from_total(total, num_shards)
+        again = PartitionMap.from_total(total, num_shards)
+        assert first == again and first.bounds == again.bounds
+        # The respawn path: manifest JSON in between.
+        restored = PartitionMap.from_manifest(
+            json.loads(json.dumps(first.to_manifest()))
+        )
+        assert restored == first
+        for pos in range(0, total + 2, max(1, total // 7)):
+            assert restored.owner_of(pos) == first.owner_of(pos)
+            assert restored.boundary_of(pos) == first.boundary_of(pos)
+
+    @given(total=st.integers(0, 500), num_shards=st.integers(1, 8))
+    def test_balanced_within_one_row(self, total, num_shards):
+        lengths = [hi - lo for lo, hi in partition_ranges(total, num_shards)]
+        assert sum(lengths) == total
+        assert max(lengths) - min(lengths) <= 1
+
+    @given(pos=st.integers(0, 40), total=st.integers(0, 40), shards=st.integers(1, 5))
+    def test_boundary_matches_rank_decomposition(self, pos, total, shards):
+        # boundary_of(pos) is owner_of(pos) except at exact range ends,
+        # where either neighbour is valid for a rank; it must never exceed
+        # the tail and must cover pos with its [base, base+len] span.
+        part = PartitionMap.from_total(total, shards)
+        boundary = part.boundary_of(pos)
+        assert 0 <= boundary <= part.tail
+        base = part.base_of(boundary)
+        assert base <= pos
+        if boundary < part.tail:
+            assert pos - base <= part.length_of(boundary)
+
+
+def request_log(values: List[str]) -> List[Request]:
+    """Every op against every interesting position/index, valid and not."""
+    n = len(values)
+    keys = sorted(set(values))[:3] + ["app/", "zz-missing", ""]
+    log: List[Request] = []
+    ident = 0
+    for pos in {-1, 0, n // 3, max(0, n - 1), n, n + 3}:
+        log.append(Request("access", "default", f"a{ident}", {"pos": pos}))
+        ident += 1
+    for key in keys:
+        for pos in {0, n // 2, n, n + 2}:
+            log.append(Request("rank", "default", f"r{ident}", {"value": key, "pos": pos}))
+            log.append(
+                Request("rank_prefix", "default", f"p{ident}", {"prefix": key, "pos": pos})
+            )
+            ident += 1
+        for idx in {-1, 0, 1, n // 2, n + 1}:
+            log.append(Request("select", "default", f"s{ident}", {"value": key, "idx": idx}))
+            log.append(
+                Request(
+                    "select_prefix", "default", f"q{ident}", {"prefix": key, "idx": idx}
+                )
+            )
+            ident += 1
+    return log
+
+
+class TestScatterGatherByteIdentity:
+    @settings(max_examples=30, deadline=None)
+    @given(values=VALUES, num_shards=st.integers(1, 5))
+    def test_routed_frames_equal_unsharded_frames(self, values, num_shards):
+        part = PartitionMap.from_total(len(values), num_shards)
+        workers = SlicedColumns(values, part)
+        router = ClusterRouter(part, workers.fetch)
+        requests = request_log(values)
+
+        column = CompressedColumn("default", list(values))
+        expected = run_read_tick(column.snapshot(), requests)
+        actual = asyncio.run(router.answer(requests, len(values)))
+        assert actual == expected  # byte-for-byte, success and error frames
+
+    @settings(max_examples=15, deadline=None)
+    @given(values=VALUES.filter(lambda v: len(v) >= 6), num_shards=st.integers(2, 4))
+    def test_routing_is_stable_across_router_restarts(self, values, num_shards):
+        # A fresh router (cold caches -- what a supervisor restart builds)
+        # answers the same log with the same bytes as a warmed-up one.
+        part = PartitionMap.from_total(len(values), num_shards)
+        requests = request_log(values)
+        warm = ClusterRouter(part, SlicedColumns(values, part).fetch)
+        first = asyncio.run(warm.answer(requests, len(values)))
+        second = asyncio.run(warm.answer(requests, len(values)))  # cached counts
+        cold = ClusterRouter(part, SlicedColumns(values, part).fetch)
+        third = asyncio.run(cold.answer(requests, len(values)))
+        assert first == second == third
+
+    def test_count_caches_amortise_repeat_ranks(self):
+        values = ["app/a", "app/b", "blog"] * 20
+        part = PartitionMap.from_total(len(values), 4)
+        workers = SlicedColumns(values, part)
+        router = ClusterRouter(part, workers.fetch)
+        log = [
+            Request("rank", "default", i, {"value": "app/a", "pos": len(values)})
+            for i in range(8)
+        ]
+        asyncio.run(router.answer(log, len(values)))
+        cold_subrequests = sum(workers.batches)
+        workers.batches.clear()
+        asyncio.run(router.answer(log, len(values)))
+        warm_subrequests = sum(workers.batches)
+        # Warm pass needs only the per-request boundary-local ranks (the
+        # worker's own coalescer dedups those); the frozen full counts --
+        # 3 shards' worth on the cold pass -- never refetch.
+        assert cold_subrequests == len(log) + 3
+        assert warm_subrequests == len(log)

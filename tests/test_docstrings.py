@@ -200,6 +200,18 @@ def test_serving_section_matches_the_code():
         "max_pending",
         "coalesce_window",
         "version",
+        # The multi-process cluster's moving parts and guarantees.
+        "ClusterSupervisor",
+        "ClusterRouter",
+        "PartitionMap",
+        "export_shard_images",
+        "merge_snapshots",
+        "manifest.json",
+        "repro.serving.worker",
+        "max_restarts",
+        "restart_backoff",
+        "pipeline_depth",
+        "byte-identical",
     ):
         assert name in section, (
             f"serving term '{name}' missing from the Serving section"
