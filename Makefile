@@ -3,7 +3,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test docs-check bench-kernel bench-kernel-quick bench-dynamic \
 	bench-storage bench-storage-quick bench-tiered bench-tiered-quick \
-	bench-serving bench-serving-quick bench
+	bench-serving bench-serving-quick bench-search bench-search-quick bench
 
 # Tier-1 verification: the full test suite (includes the quick-mode
 # benchmark harnesses and the docs-check gate).
@@ -60,4 +60,15 @@ bench-serving:
 bench-serving-quick:
 	$(PYTHON) benchmarks/bench_serving.py --quick
 
-bench: bench-kernel bench-dynamic bench-storage bench-tiered bench-serving
+bench-search:
+	$(PYTHON) benchmarks/bench_search.py
+
+# Small-size smoke run of the search harness (no JSON written); its
+# differential gates (FM-index counts/locations vs the str.find oracle,
+# batched vs scalar backward-search intervals) also run inside tier-1 via
+# tests/integration/test_bench_search_quick.py.
+bench-search-quick:
+	$(PYTHON) benchmarks/bench_search.py --quick
+
+bench: bench-kernel bench-dynamic bench-storage bench-tiered bench-serving \
+	bench-search

@@ -19,6 +19,9 @@ range-analytics queries against the compressed file:
    $ wavelet-trie compact access.wt --save
    $ wavelet-trie save access.wt -o access.rwt2 --image
    $ wavelet-trie open access.rwt2
+   $ wavelet-trie search build access.log -o access.fm --sa-sample 32
+   $ wavelet-trie search count access.fm "/checkout" "/cart"
+   $ wavelet-trie search locate access.fm "ads.example" --limit 20
 
 Input files are plain text, one string per line (the empty string is a valid
 value; trailing newlines are stripped).  Indexes are stored in the
@@ -41,7 +44,8 @@ from repro.core.append_only import AppendOnlyWaveletTrie
 from repro.core.dynamic import DynamicWaveletTrie
 from repro.core.static import WaveletTrie
 from repro.core.tiers import TieredWaveletTrie
-from repro.exceptions import ReproError
+from repro.db.doc_store import DocumentStore
+from repro.exceptions import ReproError, SerializationError
 from repro.storage import IMAGE_MAGIC, load, save, save_image
 
 __all__ = ["main", "build_parser"]
@@ -365,7 +369,22 @@ def _cmd_compact(args: argparse.Namespace) -> int:
 def _cmd_save(args: argparse.Namespace) -> int:
     index = load(args.index)
     if args.image:
-        written = save_image(index, args.output)
+        try:
+            written = save_image(index, args.output)
+        except SerializationError as error:
+            # Not every index has a frozen-image layout (e.g. static tries
+            # with RLE node bitvectors); fail with a way out instead of a
+            # bare serialisation error.
+            print(f"error: {error}", file=sys.stderr)
+            print(
+                "hint: this index cannot be written as an RWT2 frozen image; "
+                "drop --image to save it in the RWT1 logical container, or "
+                "rebuild it with `build --variant static --bitvector rrr` "
+                "(RWT2 supports rrr/plain static layouts) and re-run save "
+                "--image on the result.",
+                file=sys.stderr,
+            )
+            return 1
         container = "RWT2"
     else:
         written = save(index, args.output)
@@ -523,6 +542,96 @@ def _serve_cluster(args: argparse.Namespace, column, config) -> int:
 
     asyncio.run(run())
     return 0
+
+
+# ----------------------------------------------------------------------
+# Full-text search sub-commands (FM-index document store)
+# ----------------------------------------------------------------------
+def _cmd_search_build(args: argparse.Namespace) -> int:
+    documents = _read_lines(args.input)
+    try:
+        store = DocumentStore(
+            documents, sa_sample=args.sa_sample, bitvector=args.bitvector
+        )
+    except ValueError as error:
+        raise ReproError(str(error))
+    written = save(store, args.output)
+    raw_bytes = sum(len(doc.encode("utf-8")) + 1 for doc in documents)
+    payload = {
+        "input": args.input,
+        "output": args.output,
+        "documents": len(store),
+        "text_length": store.text_length,
+        "sa_sample": args.sa_sample,
+        "index_bits": store.size_in_bits(),
+        "raw_bytes": raw_bytes,
+        "stored_bytes": written,
+    }
+    _emit(
+        payload,
+        args.json,
+        [
+            f"indexed {len(store):,} documents ({store.text_length:,} characters) "
+            f"from {args.input}",
+            f"wrote {written:,} bytes to {args.output} "
+            f"(sa_sample={args.sa_sample}; raw text was {raw_bytes:,} bytes)",
+        ],
+    )
+    return 0
+
+
+def _cmd_search_count(args: argparse.Namespace) -> int:
+    store = _require_doc_store(load(args.index))
+    try:
+        counts = store.count_many(args.patterns)
+    except ValueError as error:
+        raise ReproError(str(error))
+    payload = {
+        "results": [
+            {"pattern": pattern, "count": count}
+            for pattern, count in zip(args.patterns, counts)
+        ]
+    }
+    _emit(
+        payload,
+        args.json,
+        [f"{count}\t{pattern}" for pattern, count in zip(args.patterns, counts)],
+    )
+    return 0
+
+
+def _cmd_search_locate(args: argparse.Namespace) -> int:
+    store = _require_doc_store(load(args.index))
+    try:
+        matches = store.locate(args.pattern)
+    except ValueError as error:
+        raise ReproError(str(error))
+    total = len(matches)
+    if args.limit is not None:
+        matches = matches[: args.limit]
+    payload = {
+        "pattern": args.pattern,
+        "total": total,
+        "matches": [
+            {"document": doc, "offset": offset} for doc, offset in matches
+        ],
+    }
+    lines = [f"{doc}\t{offset}" for doc, offset in matches]
+    lines.append(
+        f"{total} occurrences"
+        + ("" if len(matches) == total else f" (showing the first {len(matches)})")
+    )
+    _emit(payload, args.json, lines)
+    return 0
+
+
+def _require_doc_store(index: Any) -> DocumentStore:
+    if not isinstance(index, DocumentStore):
+        raise ReproError(
+            f"the file holds a {type(index).__name__}, not a search index; "
+            "create one with `search build`"
+        )
+    return index
 
 
 def _require_trie(index: Any) -> None:
@@ -757,6 +866,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_common(serve)
     serve.set_defaults(handler=_cmd_serve)
+
+    search = subparsers.add_parser(
+        "search", help="full-text substring search over an FM-index document store"
+    )
+    search_sub = search.add_subparsers(dest="search_command", required=True)
+
+    search_build = search_sub.add_parser(
+        "build", help="index a text file as searchable documents (one per line)"
+    )
+    search_build.add_argument("input", help="input text file, or - for stdin")
+    search_build.add_argument("-o", "--output", required=True, help="output index file")
+    search_build.add_argument(
+        "--sa-sample",
+        type=int,
+        default=32,
+        help="suffix-array sampling rate: smaller is faster locate, larger index "
+        "(default: 32)",
+    )
+    search_build.add_argument(
+        "--bitvector",
+        choices=["plain", "rrr"],
+        default="plain",
+        help="BWT node bitvectors: plain (fast batched ranks) or rrr "
+        "(compressed nodes; default: plain)",
+    )
+    add_common(search_build)
+    search_build.set_defaults(handler=_cmd_search_build)
+
+    search_count = search_sub.add_parser(
+        "count", help="count substring occurrences across all documents"
+    )
+    search_count.add_argument("index", help="index file produced by `search build`")
+    search_count.add_argument("patterns", nargs="+", help="substring pattern(s)")
+    add_common(search_count)
+    search_count.set_defaults(handler=_cmd_search_count)
+
+    search_locate = search_sub.add_parser(
+        "locate", help="list every (document, offset) where a substring occurs"
+    )
+    search_locate.add_argument("index", help="index file produced by `search build`")
+    search_locate.add_argument("pattern", help="substring pattern")
+    search_locate.add_argument(
+        "--limit", type=int, default=None, help="show at most LIMIT matches"
+    )
+    add_common(search_locate)
+    search_locate.set_defaults(handler=_cmd_search_locate)
 
     return parser
 

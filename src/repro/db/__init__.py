@@ -18,10 +18,13 @@ cases:
   relation (the paper's social-network example) with on-the-fly adjacency
   snapshots and per-window deltas;
 * :mod:`repro.db.partition` -- position-range partitioning of columns for
-  the multi-process serving cluster (balanced ranges, shard slicing).
+  the multi-process serving cluster (balanced ranges, shard slicing);
+* :class:`~repro.db.doc_store.DocumentStore` -- FM-index-backed full-text
+  substring search (count/locate/extract) over a collection of documents.
 """
 
 from repro.db.column import ColumnSnapshot, CompressedColumn
+from repro.db.doc_store import DocumentStore
 from repro.db.graph_store import TemporalGraphStore
 from repro.db.log_store import AccessLogStore
 from repro.db.partition import as_column_dict, partition_ranges, slice_column
@@ -33,6 +36,7 @@ __all__ = [
     "ColumnSnapshot",
     "ColumnStore",
     "CompressedColumn",
+    "DocumentStore",
     "Predicate",
     "Query",
     "TemporalGraphStore",

@@ -15,8 +15,11 @@ encoding exploits), not the size of the raw value list.
 Supported types (see :data:`TYPE_TAGS`): the three Wavelet Trie variants,
 the LSM-style :class:`~repro.core.tiers.TieredWaveletTrie` (frozen tiers as
 nested static-trie payloads plus the live dynamic tail),
-:class:`~repro.db.column.CompressedColumn`, :class:`~repro.db.table.ColumnStore`
-and :class:`~repro.db.log_store.AccessLogStore`.
+:class:`~repro.db.column.CompressedColumn`, :class:`~repro.db.table.ColumnStore`,
+:class:`~repro.db.log_store.AccessLogStore`, and the full-text structures
+:class:`~repro.text.fm_index.FMIndex` (BWT codes plus the sampled suffix
+array; the loader rebuilds the wavelet tree without re-running suffix
+sorting) and :class:`~repro.db.doc_store.DocumentStore`.
 """
 
 from __future__ import annotations
@@ -34,11 +37,16 @@ from repro.core.dynamic import DynamicWaveletTrie
 from repro.core.node import WaveletTrieNode
 from repro.core.static import WaveletTrie
 from repro.core.tiers import TieredWaveletTrie, freeze_trie
+from repro.bits.packed import PackedIntVector
+from repro.bitvector.sparse import SparseBitVector
 from repro.db.column import CompressedColumn
+from repro.db.doc_store import DocumentStore
 from repro.db.log_store import AccessLogStore
 from repro.db.table import ColumnStore
 from repro.exceptions import SerializationError
 from repro.storage.varint import ByteReader, ByteWriter, bits_to_runs
+from repro.text.fm_index import FMIndex
+from repro.wavelet.huffman import HuffmanWaveletTree
 from repro.tries.binarize import (
     BytesCodec,
     FixedWidthIntCodec,
@@ -347,6 +355,95 @@ def _read_tiered_trie(reader: ByteReader) -> TieredWaveletTrie:
 
 
 # ----------------------------------------------------------------------
+# Full-text search layer
+# ----------------------------------------------------------------------
+def _write_fm_index(writer: ByteWriter, fm: FMIndex) -> None:
+    # The BWT codes and the sampled suffix array fully determine the index;
+    # the loader rebuilds the wavelet tree and the C table from them without
+    # re-running suffix sorting.
+    writer.write_uvarint(fm.sa_sample)
+    writer.write_text(fm.bitvector_kind)
+    writer.write_uvarint(fm.text_length)
+    writer.write_text(fm.alphabet)
+    rows = fm.text_length + 1
+    for code in fm._bwt.access_many(range(rows)):
+        writer.write_uvarint(code)
+    writer.write_bits(_bitvector_content(fm._marked))
+    writer.write_uvarint(len(fm._samples))
+    for position in fm._samples:
+        writer.write_uvarint(position)
+    writer.write_uvarint(len(fm._isa_samples))
+    for row in fm._isa_samples:
+        writer.write_uvarint(row)
+
+
+def _read_fm_index(reader: ByteReader) -> FMIndex:
+    sa_sample = reader.read_uvarint()
+    kind = reader.read_text()
+    factories = {"plain": PlainBitVector, "rrr": RRRBitVector}
+    if kind not in factories:
+        raise SerializationError(f"unknown BWT bitvector kind {kind!r}")
+    text_length = reader.read_uvarint()
+    alphabet = reader.read_text()
+    rows = text_length + 1
+    bwt = [reader.read_uvarint() for _ in range(rows)]
+    for code in bwt:
+        if code > len(alphabet):
+            raise SerializationError(
+                f"BWT code {code} exceeds alphabet size {len(alphabet)}"
+            )
+    marked = reader.read_bits()
+    if len(marked) != rows:
+        raise SerializationError(
+            f"sample bitvector has {len(marked)} bits for {rows} BWT rows"
+        )
+    width = max(1, (rows - 1).bit_length())
+    samples = [reader.read_uvarint() for _ in range(reader.read_uvarint())]
+    isa_samples = [reader.read_uvarint() for _ in range(reader.read_uvarint())]
+    if len(samples) != sum(marked):
+        raise SerializationError(
+            f"{len(samples)} suffix-array samples stored but "
+            f"{sum(marked)} rows are marked"
+        )
+    return FMIndex._from_parts(
+        text_length,
+        alphabet,
+        sa_sample,
+        kind,
+        HuffmanWaveletTree(bwt, bitvector_factory=factories[kind]),
+        RRRBitVector(list(marked)),
+        PackedIntVector(width, samples),
+        PackedIntVector(width, isa_samples),
+    )
+
+
+def _write_doc_store(writer: ByteWriter, store: DocumentStore) -> None:
+    writer.write_uvarint(len(store))
+    previous = 0
+    for doc in range(len(store)):
+        start = store._starts.select(1, doc)
+        writer.write_uvarint(start - previous)  # delta coding; ascending
+        previous = start
+    _write_fm_index(writer, store.fm_index)
+
+
+def _read_doc_store(reader: ByteReader) -> DocumentStore:
+    doc_count = reader.read_uvarint()
+    starts = []
+    current = 0
+    for _ in range(doc_count):
+        current += reader.read_uvarint()
+        starts.append(current)
+    fm = _read_fm_index(reader)
+    if doc_count and starts[-1] >= fm.text_length:
+        raise SerializationError(
+            f"document start {starts[-1]} beyond text length {fm.text_length}"
+        )
+    vector = SparseBitVector(max(fm.text_length, 1), starts) if doc_count else None
+    return DocumentStore._from_parts(fm, vector, doc_count)
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 #: Stable numeric tag of every serialisable type (written into the container
@@ -359,6 +456,8 @@ TYPE_TAGS: Dict[type, int] = {
     ColumnStore: 5,
     AccessLogStore: 6,
     TieredWaveletTrie: 7,
+    FMIndex: 8,
+    DocumentStore: 9,
 }
 
 _WRITERS: Dict[type, Callable[[ByteWriter, Any], None]] = {
@@ -369,6 +468,8 @@ _WRITERS: Dict[type, Callable[[ByteWriter, Any], None]] = {
     ColumnStore: _write_column_store,
     AccessLogStore: _write_access_log,
     TieredWaveletTrie: _write_tiered_trie,
+    FMIndex: _write_fm_index,
+    DocumentStore: _write_doc_store,
 }
 
 _READERS: Dict[int, Callable[[ByteReader], Any]] = {
@@ -379,6 +480,8 @@ _READERS: Dict[int, Callable[[ByteReader], Any]] = {
     TYPE_TAGS[ColumnStore]: _read_column_store,
     TYPE_TAGS[AccessLogStore]: _read_access_log,
     TYPE_TAGS[TieredWaveletTrie]: _read_tiered_trie,
+    TYPE_TAGS[FMIndex]: _read_fm_index,
+    TYPE_TAGS[DocumentStore]: _read_doc_store,
 }
 
 

@@ -1,0 +1,17 @@
+"""Full-text search over the wavelet layer (Ferragina-Manzini FM-index).
+
+The canonical rank/select consumer: a Burrows-Wheeler transform of the text
+stored in a Huffman-shaped Wavelet Tree answers ``count``/``locate``/
+``extract`` over the original text in compressed space, with backward search
+issuing one batched rank pair per pattern character instead of two scalar
+walks.  Construction goes through :func:`~repro.text.suffix_array.suffix_array`
+(prefix doubling; vectorised ``lexsort`` rounds under the numpy kernel
+backend, pure-python sorts otherwise).
+
+See docs/ARCHITECTURE.md, "Full-text search".
+"""
+
+from repro.text.fm_index import FMIndex
+from repro.text.suffix_array import bwt_from_suffix_array, suffix_array
+
+__all__ = ["FMIndex", "bwt_from_suffix_array", "suffix_array"]

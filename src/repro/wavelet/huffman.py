@@ -15,6 +15,7 @@ from collections import Counter
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.bits.bitstring import Bits
+from repro.bitvector.base import validate_select_indexes
 from repro.bitvector.rrr import RRRBitVector
 from repro.exceptions import OutOfBoundsError, ValueNotFoundError
 
@@ -164,6 +165,115 @@ class HuffmanWaveletTree:
     def count(self, symbol: Hashable) -> int:
         """Total occurrences of ``symbol``."""
         return self.rank(symbol, self._size)
+
+    # ------------------------------------------------------------------
+    # Batch query paths (docs/API.md, "The batch-API convention")
+    # ------------------------------------------------------------------
+    def access_many(self, positions: Sequence[int]) -> List[Hashable]:
+        """The symbols at each of ``positions``.
+
+        Queries descend the code trie in groups: each touched node is
+        visited once per batch with one ``access_many``/``rank_many`` pair
+        on its bitvector, so node and attribute overhead is amortised over
+        the whole batch instead of paid per query.
+        """
+        if not isinstance(positions, (list, tuple)):
+            positions = list(positions)
+        for pos in positions:
+            if not 0 <= pos < self._size:
+                raise OutOfBoundsError(
+                    f"position {pos} out of range for length {self._size}"
+                )
+        if not positions:
+            return []
+        out: List[Optional[Hashable]] = [None] * len(positions)
+        stack: List[Tuple[_CodeNode, List[Tuple[int, int]]]] = [
+            (self._root, list(enumerate(positions)))
+        ]
+        while stack:
+            node, queries = stack.pop()
+            if node.is_leaf:
+                symbol = node.symbol
+                for index, _ in queries:
+                    out[index] = symbol
+                continue
+            vector = node.bitvector
+            pos_list = [pos for _, pos in queries]
+            bits = vector.access_many(pos_list)
+            # One rank_many(0) pass serves both children: rank(1, pos) is
+            # just pos - rank(0, pos).
+            zero_ranks = vector.rank_many(0, pos_list)
+            lefts = [
+                (index, rank)
+                for (index, _), bit, rank in zip(queries, bits, zero_ranks)
+                if not bit
+            ]
+            rights = [
+                (index, pos - rank)
+                for (index, pos), bit, rank in zip(queries, bits, zero_ranks)
+                if bit
+            ]
+            if lefts:
+                stack.append((node.children[0], lefts))
+            if rights:
+                stack.append((node.children[1], rights))
+        return out
+
+    def rank_many(self, symbol: Hashable, positions: Sequence[int]) -> List[int]:
+        """``rank(symbol, pos)`` for each of ``positions``.
+
+        One walk down the symbol's code path serves the whole batch: every
+        node on the path is visited once with a single batched ``rank_many``
+        on its bitvector, amortising to ``O(|code|)`` batch passes total
+        instead of ``q`` independent ``O(|code|)`` scalar walks -- the
+        backward-search access pattern of :class:`repro.text.fm_index.FMIndex`.
+        """
+        if not isinstance(positions, (list, tuple)):
+            positions = list(positions)
+        for pos in positions:
+            if not 0 <= pos <= self._size:
+                raise OutOfBoundsError(
+                    f"position {pos} out of range for length {self._size}"
+                )
+        code = self._codes.get(symbol)
+        if code is None or not positions:
+            return [0] * len(positions)
+        current = [int(pos) for pos in positions]
+        node = self._root
+        for depth in range(len(code)):
+            if node is None or node.is_leaf:
+                break
+            current = node.bitvector.rank_many(code[depth], current)
+            node = node.children[code[depth]]
+        if node is not None and node.is_leaf and node.symbol == symbol:
+            return current
+        return [0] * len(positions)
+
+    def select_many(self, symbol: Hashable, indexes: Sequence[int]) -> List[int]:
+        """``select(symbol, idx)`` for each of ``indexes``.
+
+        The symbol's root-to-leaf code path is recorded once and unwound
+        with each node bitvector's batched ``select_many`` (shared directory
+        walks), amortising the per-node work over the whole batch instead of
+        paying ``q`` independent unwinds.
+        """
+        code = self._codes.get(symbol)
+        if code is None:
+            raise ValueNotFoundError(f"symbol {symbol!r} does not occur")
+        indexes = validate_select_indexes(indexes, self.count(symbol), symbol)
+        if not indexes:
+            return []
+        node = self._root
+        path: List[Tuple[_CodeNode, int]] = []
+        for depth in range(len(code)):
+            if node.is_leaf:
+                break
+            path.append((node, code[depth]))
+            node = node.children[code[depth]]
+        current = indexes
+        for ancestor, bit in reversed(path):
+            current = ancestor.bitvector.select_many(bit, current)
+        return current
 
     def to_list(self) -> List[Hashable]:
         """Materialise the stored sequence."""

@@ -347,3 +347,131 @@ class TestCompact:
     def test_compact_rejects_non_tiered_index(self, built_index, capsys):
         assert main(["compact", str(built_index)]) == 1
         assert "not a tiered index" in capsys.readouterr().err
+
+
+class TestSearchCommands:
+    @pytest.fixture()
+    def docs_file(self, tmp_path):
+        path = tmp_path / "docs.txt"
+        path.write_text(
+            "the quick brown fox\njumps over\nthe lazy dog\n\nfoxtrot the fox\n",
+            encoding="utf-8",
+        )
+        return path
+
+    @pytest.fixture()
+    def search_index(self, tmp_path, docs_file):
+        path = tmp_path / "docs.fm"
+        assert (
+            main(
+                ["search", "build", str(docs_file), "-o", str(path), "--sa-sample", "8"]
+            )
+            == 0
+        )
+        return path
+
+    def test_search_build_reports_sizes(self, tmp_path, docs_file, capsys):
+        out_path = tmp_path / "docs.fm"
+        payload = run_json(
+            capsys, ["search", "build", str(docs_file), "-o", str(out_path)]
+        )
+        assert payload["documents"] == 5
+        assert payload["sa_sample"] == 32
+        assert payload["stored_bytes"] == out_path.stat().st_size
+
+    def test_search_count(self, search_index, capsys):
+        payload = run_json(
+            capsys, ["search", "count", str(search_index), "the", "fox", "zebra"]
+        )
+        counts = {r["pattern"]: r["count"] for r in payload["results"]}
+        assert counts == {"the": 3, "fox": 3, "zebra": 0}
+        assert main(["search", "count", str(search_index), "fox"]) == 0
+        assert capsys.readouterr().out.splitlines() == ["3\tfox"]
+
+    def test_search_locate(self, search_index, capsys):
+        payload = run_json(capsys, ["search", "locate", str(search_index), "fox"])
+        assert payload["total"] == 3
+        assert payload["matches"] == [
+            {"document": 0, "offset": 16},
+            {"document": 4, "offset": 0},
+            {"document": 4, "offset": 12},
+        ]
+
+    def test_search_locate_limit(self, search_index, capsys):
+        payload = run_json(
+            capsys, ["search", "locate", str(search_index), "o", "--limit", "2"]
+        )
+        assert payload["total"] == 7
+        assert len(payload["matches"]) == 2
+        assert main(["search", "locate", str(search_index), "o", "--limit", "2"]) == 0
+        assert "showing the first 2" in capsys.readouterr().out
+
+    def test_search_empty_pattern_fails_cleanly(self, search_index, capsys):
+        assert main(["search", "count", str(search_index), ""]) == 1
+        assert "non-empty" in capsys.readouterr().err
+
+    def test_search_commands_reject_trie_indexes(self, built_index, capsys):
+        assert main(["search", "count", str(built_index), "x"]) == 1
+        assert "search build" in capsys.readouterr().err
+
+    def test_trie_commands_reject_search_indexes(self, search_index, capsys):
+        assert main(["info", str(search_index)]) == 1
+        assert "not a Wavelet Trie index" in capsys.readouterr().err
+
+    def test_search_roundtrips_through_resave(self, search_index, tmp_path, capsys):
+        copy = tmp_path / "copy.fm"
+        assert main(["save", str(search_index), "-o", str(copy)]) == 0
+        capsys.readouterr()
+        payload = run_json(capsys, ["search", "count", str(copy), "lazy"])
+        assert payload["results"] == [{"pattern": "lazy", "count": 1}]
+
+
+class TestSaveImageFailurePath:
+    def test_rle_trie_image_save_fails_with_hint(self, tmp_path, log_file, capsys):
+        """Regression: `save --image` on an RLE-backed static trie must exit
+        nonzero with an actionable message, not a raw traceback."""
+        rle_path = tmp_path / "rle.wt"
+        assert (
+            main(
+                [
+                    "build",
+                    str(log_file),
+                    "-o",
+                    str(rle_path),
+                    "--variant",
+                    "static",
+                    "--bitvector",
+                    "rle",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        image_path = tmp_path / "rle.rwt2"
+        assert main(["save", str(rle_path), "-o", str(image_path), "--image"]) == 1
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "hint:" in captured.err
+        assert "drop --image" in captured.err
+        assert "--bitvector rrr" in captured.err
+        assert not image_path.exists()
+
+    def test_rle_trie_rwt1_save_still_works(self, tmp_path, log_file, capsys):
+        rle_path = tmp_path / "rle.wt"
+        assert (
+            main(
+                [
+                    "build",
+                    str(log_file),
+                    "-o",
+                    str(rle_path),
+                    "--variant",
+                    "static",
+                    "--bitvector",
+                    "rle",
+                ]
+            )
+            == 0
+        )
+        out = tmp_path / "copy.wt"
+        assert main(["save", str(rle_path), "-o", str(out), "--json"]) == 0

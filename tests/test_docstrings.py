@@ -220,3 +220,41 @@ def test_serving_section_matches_the_code():
         assert f"`{code}`" in section, (
             f"error code '{code}' missing from the Serving section"
         )
+
+
+def test_full_text_search_section_matches_the_code():
+    """The ARCHITECTURE.md "Full-text search" section must exist and name the
+    text layer's moving parts (index, store, construction, the backward-search
+    recurrence, the sampling knob, the batched paths and their measured
+    baseline) -- so renaming a component or dropping the knob forces the doc
+    to follow."""
+    text = ARCHITECTURE_MD.read_text(encoding="utf-8")
+    assert "## Full-text search" in text, "Full-text search section missing"
+    section = text.split("## Full-text search", 1)[1].split("\n## ", 1)[0]
+    for name in (
+        "FMIndex",
+        "DocumentStore",
+        "suffix_array",
+        "HuffmanWaveletTree",
+        "sa_sample",
+        "rank_many",
+        "count_many",
+        "_interval_scalar",
+        "locate",
+        "extract",
+        "LF mapping",
+        "Burrows",
+        "backward search",
+        "BENCH_search.json",
+        "search build",
+        "SparseBitVector",
+        "terminator",
+    ):
+        assert name in section, (
+            f"full-text-search term '{name}' missing from the section"
+        )
+    # The knob really is the constructor's; a rename must update the doc.
+    from repro.text import FMIndex
+    import inspect
+
+    assert "sa_sample" in inspect.signature(FMIndex).parameters

@@ -1,0 +1,132 @@
+"""Differential tests for suffix-array and BWT construction.
+
+The prefix-doubling construction rides on the host sort machinery (one
+``np.lexsort`` per round under the numpy backend, ``list.sort`` otherwise),
+so every test runs under each available kernel backend and compares against
+the sorted-suffix oracle -- the two code paths certify each other.
+"""
+
+import contextlib
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bits import kernel
+from repro.text import bwt_from_suffix_array, suffix_array
+
+BACKENDS = kernel.available_backends()
+
+
+@contextlib.contextmanager
+def active_backend(name):
+    previous = kernel.use_backend(name)
+    try:
+        yield
+    finally:
+        kernel.use_backend(previous)
+
+
+def oracle_suffix_array(codes):
+    return sorted(range(len(codes)), key=lambda i: codes[i:])
+
+
+def with_terminator(codes):
+    """Shift to 1-based codes and append the unique smallest terminator."""
+    return [code + 1 for code in codes] + [0]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestSuffixArray:
+    def test_empty(self, backend):
+        with active_backend(backend):
+            assert suffix_array([]) == []
+
+    def test_single_and_run(self, backend):
+        with active_backend(backend):
+            assert suffix_array([5]) == [0]
+            # A constant run has no unique terminator: shorter suffixes sort
+            # first via the doubling sentinel, matching the slice oracle.
+            run = [3] * 9
+            assert suffix_array(run) == oracle_suffix_array(run)
+
+    def test_classic_banana(self, backend):
+        codes = with_terminator([ord(c) for c in "banana"])
+        with active_backend(backend):
+            order = suffix_array(codes)
+        assert order == oracle_suffix_array(codes)
+        assert order[0] == len(codes) - 1  # the terminator suffix is row 0
+
+    def test_negative_codes_rejected(self, backend):
+        with active_backend(backend):
+            with pytest.raises(ValueError):
+                suffix_array([1, -1, 2])
+
+    def test_random_against_oracle(self, backend):
+        rng = random.Random(99)
+        with active_backend(backend):
+            for _ in range(25):
+                n = rng.randint(1, 120)
+                sigma = rng.choice([1, 2, 4, 26])
+                codes = with_terminator(
+                    [rng.randrange(sigma) for _ in range(n)]
+                )
+                assert suffix_array(codes) == oracle_suffix_array(codes)
+
+    @given(st.lists(st.integers(min_value=0, max_value=3), max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_oracle(self, backend, codes):
+        terminated = with_terminator(codes)
+        with active_backend(backend):
+            assert suffix_array(terminated) == oracle_suffix_array(terminated)
+
+    def test_backends_agree(self, backend):
+        rng = random.Random(5)
+        codes = with_terminator([rng.randrange(6) for _ in range(200)])
+        with active_backend(backend):
+            ours = suffix_array(codes)
+        reference = oracle_suffix_array(codes)
+        assert ours == reference
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestBWT:
+    def test_banana_rotation(self, backend):
+        codes = with_terminator([ord(c) for c in "banana"])
+        with active_backend(backend):
+            order = suffix_array(codes)
+            bwt = bwt_from_suffix_array(codes, order)
+        # bwt[row] is the character preceding the row's suffix (wrapping).
+        expected = [
+            codes[pos - 1] if pos else codes[-1] for pos in oracle_suffix_array(codes)
+        ]
+        assert bwt == expected
+        assert sorted(bwt) == sorted(codes)  # a permutation of the text
+
+    def test_length_mismatch_rejected(self, backend):
+        with active_backend(backend):
+            with pytest.raises(ValueError):
+                bwt_from_suffix_array([1, 2, 0], [0, 1])
+
+    def test_bwt_invertible_via_lf(self, backend):
+        """Walking the LF mapping from row 0 recovers the reversed text."""
+        rng = random.Random(17)
+        original = [rng.randrange(4) for _ in range(80)]
+        codes = with_terminator(original)
+        with active_backend(backend):
+            order = suffix_array(codes)
+            bwt = bwt_from_suffix_array(codes, order)
+        counts = [0] * (max(codes) + 2)
+        for code in bwt:
+            counts[code + 1] += 1
+        c_table = [0] * (len(counts))
+        for code in range(1, len(counts)):
+            c_table[code] = c_table[code - 1] + counts[code]
+        row = 0
+        recovered = []
+        for _ in range(len(original)):
+            code = bwt[row]
+            rank = sum(1 for r in range(row) if bwt[r] == code)
+            row = c_table[code] + rank
+            recovered.append(code - 1)
+        assert recovered[::-1] == original

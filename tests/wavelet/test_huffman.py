@@ -92,3 +92,79 @@ class TestHuffmanWaveletTree:
             assert tree.select(symbol, len(occurrences) - 1) == occurrences[-1]
             for pos in (0, len(data) // 2, len(data)):
                 assert tree.rank(symbol, pos) == data[:pos].count(symbol)
+
+
+class TestHuffmanBatchAPIs:
+    """The batch methods (docs/API.md convention) vs their scalar twins.
+
+    ``access_many``/``rank_many``/``select_many`` must return exactly what
+    the scalar loop returns, preserve input order, and validate the whole
+    batch before touching the tree (all-or-nothing).
+    """
+
+    DATA = list("abracadabra simsalabim abracadabra")
+
+    def test_access_many_matches_scalar(self):
+        tree = HuffmanWaveletTree(self.DATA)
+        positions = [0, 5, 3, len(self.DATA) - 1, 5, 12]
+        assert tree.access_many(positions) == [tree.access(p) for p in positions]
+        assert tree.access_many([]) == []
+        assert tree.access_many(range(3)) == [tree.access(p) for p in range(3)]
+
+    def test_rank_many_matches_scalar(self):
+        tree = HuffmanWaveletTree(self.DATA)
+        positions = [0, len(self.DATA), 7, 7, 3]
+        for symbol in ["a", "b", " ", "z"]:  # incl. an absent symbol
+            assert tree.rank_many(symbol, positions) == [
+                tree.rank(symbol, p) for p in positions
+            ]
+        assert tree.rank_many("a", []) == []
+
+    def test_select_many_matches_scalar(self):
+        tree = HuffmanWaveletTree(self.DATA)
+        indexes = [0, tree.count("a") - 1, 1, 1]
+        assert tree.select_many("a", indexes) == [
+            tree.select("a", i) for i in indexes
+        ]
+        assert tree.select_many("a", []) == []
+
+    def test_batch_validation_is_all_or_nothing(self):
+        tree = HuffmanWaveletTree(self.DATA)
+        size = len(self.DATA)
+        with pytest.raises(OutOfBoundsError):
+            tree.access_many([0, size])  # access: pos < size
+        with pytest.raises(OutOfBoundsError):
+            tree.rank_many("a", [0, size + 1])  # rank: pos <= size
+        with pytest.raises(OutOfBoundsError):
+            tree.select_many("a", [0, tree.count("a")])
+        with pytest.raises(ValueNotFoundError):
+            tree.select_many("z", [0])
+
+    def test_single_symbol_tree_batches(self):
+        tree = HuffmanWaveletTree(["x"] * 6)
+        assert tree.access_many([0, 5, 2]) == ["x", "x", "x"]
+        assert tree.rank_many("x", [0, 3, 6]) == [0, 3, 6]
+        assert tree.rank_many("y", [2, 4]) == [0, 0]
+        assert tree.select_many("x", [5, 0]) == [5, 0]
+
+    @given(
+        data=st.lists(st.sampled_from("abcde "), min_size=1, max_size=120),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_batches_match_scalar(self, data, seed):
+        rng = random.Random(seed)
+        tree = HuffmanWaveletTree(data)
+        positions = [rng.randrange(len(data)) for _ in range(10)]
+        assert tree.access_many(positions) == [tree.access(p) for p in positions]
+        rank_positions = [rng.randint(0, len(data)) for _ in range(10)]
+        for symbol in "abcde z":
+            assert tree.rank_many(symbol, rank_positions) == [
+                tree.rank(symbol, p) for p in rank_positions
+            ]
+        for symbol in set(data):
+            total = tree.count(symbol)
+            indexes = [rng.randrange(total) for _ in range(min(6, total))]
+            assert tree.select_many(symbol, indexes) == [
+                tree.select(symbol, i) for i in indexes
+            ]
